@@ -1,0 +1,57 @@
+// Ablation: the value of decreasing-match-length pair ordering and of
+// cluster-aware pair selection (§3.2).
+//
+// Three strategies over the identical promising-pair stream:
+//   ordered    — on-demand decreasing-match-length + same-cluster skip
+//                (the paper's design);
+//   arbitrary  — pairs materialized and processed in an order
+//                uncorrelated with match length, same-cluster skip kept;
+//   all-pairs  — every promising pair aligned (what an assembler that
+//                needs all overlap scores does; no skip).
+// All three produce the same final clustering; the alignment counts
+// quantify the paper's work saving.
+
+#include "bench/common.hpp"
+#include "pace/sequential.hpp"
+
+int main(int argc, char** argv) {
+  using namespace estclust;
+  using namespace estclust::bench;
+  CliArgs args(argc, argv);
+  const double scale = parse_scale(args);
+
+  print_header("Ablation: pair ordering and cluster-aware selection",
+               "Section 3.2's design claims behind Fig 7");
+
+  TablePrinter table({"ESTs", "ordered", "arbitrary", "all-pairs",
+                      "saved vs all-pairs", "same clustering?"});
+  for (std::size_t base : {250, 500, 1000, 2000}) {
+    const std::size_t n = scaled(base, scale);
+    auto wl = sim::generate(bench_workload_config(n));
+    auto cfg = bench_pace_config();
+    auto ordered = pace::cluster_sequential(wl.ests, cfg, {});
+    auto arbitrary = pace::cluster_sequential(
+        wl.ests, cfg, {.arbitrary_order = true});
+    auto allpairs = pace::cluster_sequential(
+        wl.ests, cfg, {.arbitrary_order = true, .cluster_skip = false});
+    double saved =
+        100.0 * (1.0 - static_cast<double>(ordered.stats.pairs_processed) /
+                           static_cast<double>(std::max<std::uint64_t>(
+                               1, allpairs.stats.pairs_processed)));
+    bool same =
+        ordered.clusters.labels() == arbitrary.clusters.labels() &&
+        ordered.clusters.labels() == allpairs.clusters.labels();
+    table.add_row({TablePrinter::fmt(static_cast<std::uint64_t>(n)),
+                   TablePrinter::fmt(ordered.stats.pairs_processed),
+                   TablePrinter::fmt(arbitrary.stats.pairs_processed),
+                   TablePrinter::fmt(allpairs.stats.pairs_processed),
+                   TablePrinter::fmt(saved, 1) + "%",
+                   same ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: ordered <= arbitrary << all-pairs, with "
+            << "identical output.\nThe ordered-vs-arbitrary gap is the "
+            << "match-length heuristic; the gap to\nall-pairs is the "
+            << "cluster-aware selection both modes share.\n";
+  return 0;
+}

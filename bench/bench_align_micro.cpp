@@ -1,0 +1,93 @@
+// Microbenchmarks of the alignment kernels (google-benchmark): full
+// Needleman-Wunsch vs banded global vs the production anchored extension,
+// quantifying §3.3's "limits the area of computation" claim.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "align/anchored.hpp"
+#include "align/banded.hpp"
+#include "align/nw.hpp"
+#include "bio/alphabet.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace estclust;
+
+std::string random_dna(Prng& rng, std::size_t len) {
+  std::string s(len, 'A');
+  for (auto& c : s) c = bio::decode_base(static_cast<int>(rng.uniform(4)));
+  return s;
+}
+
+/// Builds a dovetail pair with ~1.5% errors and a clean central anchor.
+struct OverlapCase {
+  std::string a, b;
+  align::Anchor anchor;
+};
+
+OverlapCase make_case(std::size_t len) {
+  Prng rng(len);
+  std::string shared = random_dna(rng, len);
+  // Introduce scattered substitutions outside a central exact core.
+  std::string noisy = shared;
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    bool in_core = i >= len / 2 - 10 && i < len / 2 + 10;
+    if (!in_core && rng.bernoulli(0.015)) {
+      noisy[i] = bio::decode_base(
+          (bio::encode_base(noisy[i]) + 1 + static_cast<int>(rng.uniform(3))) %
+          4);
+    }
+  }
+  OverlapCase c;
+  c.a = random_dna(rng, len) + shared;
+  c.b = noisy + random_dna(rng, len);
+  c.anchor = {c.a.size() - len + len / 2 - 10, len / 2 - 10, 20};
+  return c;
+}
+
+void BM_FullNW(benchmark::State& state) {
+  auto c = make_case(static_cast<std::size_t>(state.range(0)));
+  align::Scoring sc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::global_align(c.a, c.b, sc).score);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullNW)->Arg(100)->Arg(200)->Arg(400)->Complexity();
+
+void BM_BandedGlobal(benchmark::State& state) {
+  auto c = make_case(static_cast<std::size_t>(state.range(0)));
+  align::Scoring sc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::banded_global_score(c.a, c.b, sc, 8));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BandedGlobal)->Arg(100)->Arg(200)->Arg(400)->Complexity();
+
+void BM_AnchoredExtension(benchmark::State& state) {
+  auto c = make_case(static_cast<std::size_t>(state.range(0)));
+  align::OverlapParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        align::align_anchored(c.a, c.b, c.anchor, params).score);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AnchoredExtension)->Arg(100)->Arg(200)->Arg(400)->Complexity();
+
+void BM_SmithWaterman(benchmark::State& state) {
+  auto c = make_case(static_cast<std::size_t>(state.range(0)));
+  align::Scoring sc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::local_align(c.a, c.b, sc).score);
+  }
+}
+BENCHMARK(BM_SmithWaterman)->Arg(100)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

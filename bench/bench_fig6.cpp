@@ -1,0 +1,61 @@
+// Figure 6 reproduction.
+//  (a) parallel run-time as a function of processor count for several
+//      data sizes — curves fall with p and larger inputs sit higher;
+//  (b) run-time as a function of data size at a fixed processor count —
+//      growth is modest and smooth (near-linear in input size).
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace estclust;
+  using namespace estclust::bench;
+  CliArgs args(argc, argv);
+  const double scale = parse_scale(args);
+
+  print_header("Figure 6a: run-time vs number of processors",
+               "Fig 6a (n = 10k, 20k, 40k, 81,414; p up to 128)");
+
+  const std::vector<std::size_t> sizes = {
+      scaled(250, scale), scaled(500, scale), scaled(1000, scale),
+      scaled(2000, scale)};
+  const std::vector<int> procs = {1, 2, 4, 8, 16, 32, 64, 128};
+
+  auto cfg = bench_pace_config();
+
+  TablePrinter a({"p", "n=" + std::to_string(sizes[0]),
+                  "n=" + std::to_string(sizes[1]),
+                  "n=" + std::to_string(sizes[2]),
+                  "n=" + std::to_string(sizes[3])});
+  // Generate each workload once and reuse across p.
+  std::vector<sim::Workload> workloads;
+  for (std::size_t n : sizes) {
+    workloads.push_back(sim::generate(bench_workload_config(n)));
+  }
+  std::vector<std::vector<double>> times(procs.size());
+  for (std::size_t pi = 0; pi < procs.size(); ++pi) {
+    std::vector<std::string> row = {
+        TablePrinter::fmt(static_cast<std::uint64_t>(procs[pi]))};
+    for (auto& wl : workloads) {
+      auto res = run_parallel(wl.ests, cfg, procs[pi]);
+      times[pi].push_back(res.stats.t_total);
+      row.push_back(TablePrinter::fmt(res.stats.t_total, 3));
+    }
+    a.add_row(row);
+  }
+  a.print(std::cout);
+  std::cout << "\n(virtual seconds; each column should fall with p, "
+            << "larger n sits higher)\n";
+
+  print_header("Figure 6b: run-time vs data size at fixed p",
+               "Fig 6b (run-time vs number of ESTs, p = 64)");
+  const int fixed_p = static_cast<int>(args.get_int("p", 64));
+  TablePrinter b({"ESTs", "run-time (virt s)"});
+  std::size_t p_idx = 0;
+  while (p_idx + 1 < procs.size() && procs[p_idx] != fixed_p) ++p_idx;
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    b.add_row({TablePrinter::fmt(static_cast<std::uint64_t>(sizes[si])),
+               TablePrinter::fmt(times[p_idx][si], 3)});
+  }
+  b.print(std::cout);
+  return 0;
+}

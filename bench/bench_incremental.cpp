@@ -1,0 +1,75 @@
+// Extension benchmark: incremental clustering (the §5 open problem) vs
+// re-clustering from scratch after each new sequencing batch.
+//
+// Shape to check: per-batch incremental cost stays roughly flat (only
+// dirty buckets are re-refined and only pairs touching new ESTs are
+// considered) while the cumulative from-scratch strategy grows with every
+// batch; results are identical throughout.
+
+#include "bench/common.hpp"
+#include "pace/incremental.hpp"
+#include "pace/sequential.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace estclust;
+  using namespace estclust::bench;
+  CliArgs args(argc, argv);
+  const double scale = parse_scale(args);
+  const std::size_t initial =
+      scaled(static_cast<std::size_t>(args.get_int("initial", 1500)), scale);
+  const std::size_t update =
+      scaled(static_cast<std::size_t>(args.get_int("update", 75)), scale);
+  const std::size_t updates =
+      static_cast<std::size_t>(args.get_int("updates", 4));
+
+  print_header("Extension: incremental clustering vs from-scratch",
+               "Section 5's open problem: 'Is there a way to incrementally "
+               "adjust the EST clusters when a new batch of ESTs is "
+               "sequenced?'");
+  const std::size_t n = initial + update * updates;
+  auto wl = sim::generate(bench_workload_config(n));
+  auto cfg = bench_pace_config();
+  std::cout << "Initial library: " << initial << " ESTs; then " << updates
+            << " sequencing batches of " << update << "\n\n";
+
+  TablePrinter table({"event", "cumulative ESTs", "incremental (s)",
+                      "from-scratch (s)", "speedup", "aligned (inc)",
+                      "aligned (scratch)", "identical?"});
+  pace::IncrementalClusterer inc(cfg);
+  std::vector<bio::Sequence> so_far;
+  std::size_t next = 0;
+  auto feed = [&](std::size_t count, const std::string& name) {
+    std::vector<bio::Sequence> batch;
+    for (std::size_t k = 0; k < count && next < n; ++k, ++next) {
+      batch.push_back(wl.ests.est(static_cast<bio::EstId>(next)));
+      so_far.push_back(batch.back());
+    }
+    auto st = inc.add_batch(std::move(batch));
+
+    bio::EstSet prefix_set(so_far);
+    WallTimer t;
+    auto scratch = pace::cluster_sequential(prefix_set, cfg);
+    double scratch_time = t.seconds();
+
+    table.add_row(
+        {name, TablePrinter::fmt(static_cast<std::uint64_t>(so_far.size())),
+         TablePrinter::fmt(st.seconds, 3),
+         TablePrinter::fmt(scratch_time, 3),
+         TablePrinter::fmt(scratch_time / std::max(st.seconds, 1e-9), 1) +
+             "x",
+         TablePrinter::fmt(st.pairs_processed),
+         TablePrinter::fmt(scratch.stats.pairs_processed),
+         inc.labels() == scratch.clusters.labels() ? "yes" : "NO"});
+  };
+  feed(initial, "initial load");
+  for (std::size_t u = 0; u < updates; ++u) {
+    feed(update, "update " + std::to_string(u + 1));
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: updates cost a fraction of re-clustering "
+            << "the grown library\n(only dirty buckets re-refined, only "
+            << "pairs touching new ESTs aligned); outputs\nidentical at "
+            << "every step.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table 3 reproduction: virtual time spent in each component of parallel
+// clustering as the processor count grows (paper: 20,000 ESTs, p = 8..128).
+//
+// Shape to check: every component shrinks roughly linearly with p; GST
+// construction dominates partitioning and sorting; alignment and GST
+// construction are the two largest contributors.
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace estclust;
+  using namespace estclust::bench;
+  CliArgs args(argc, argv);
+  const double scale = parse_scale(args);
+  const std::size_t n = scaled(
+      static_cast<std::size_t>(args.get_int("ests", 1000)), scale);
+
+  print_header("Table 3: per-component times vs processor count",
+               "Table 3 (partitioning / GST construction / node sorting / "
+               "pairwise alignment / total, 20,000 ESTs, p = 8..128)");
+  std::cout << "ESTs: " << n << "  (virtual seconds, LogP cost model)\n\n";
+
+  auto wl = sim::generate(bench_workload_config(n));
+  auto cfg = bench_pace_config();
+
+  TablePrinter table({"p", "partitioning", "GST build", "node sorting",
+                      "alignment loop", "total"});
+  for (int p : {8, 16, 32, 64, 128}) {
+    auto res = run_parallel(wl.ests, cfg, p);
+    const auto& st = res.stats;
+    table.add_row({TablePrinter::fmt(static_cast<std::uint64_t>(p)),
+                   TablePrinter::fmt(st.t_partition, 3),
+                   TablePrinter::fmt(st.t_gst, 3),
+                   TablePrinter::fmt(st.t_sort, 3),
+                   TablePrinter::fmt(st.t_align, 3),
+                   TablePrinter::fmt(st.t_total, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: each column shrinks as p grows; GST "
+            << "construction and the\nalignment loop dominate, as in the "
+            << "paper's Table 3.\n";
+  return 0;
+}

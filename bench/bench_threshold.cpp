@@ -1,0 +1,58 @@
+// Methodology reproduction (§4.1): "The results are based on the choice
+// of quality threshold experimentally found to result in the least number
+// of false positives and false negatives."
+//
+// Sweeps the acceptance ratio and reports FP, FN, FP+FN and the §4.1
+// metrics; the production default (0.80) should sit at or near the
+// FP+FN minimum, with the trade-off visible on both sides: a lax
+// threshold admits paralog/repeat merges (FP up), a strict one fragments
+// true clusters (FN up).
+
+#include "bench/common.hpp"
+#include "pace/sequential.hpp"
+#include "quality/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace estclust;
+  using namespace estclust::bench;
+  CliArgs args(argc, argv);
+  const double scale = parse_scale(args);
+  const std::size_t n =
+      scaled(static_cast<std::size_t>(args.get_int("ests", 1000)), scale);
+
+  print_header("Methodology: choosing the acceptance threshold",
+               "Section 4.1's remark on selecting the quality threshold "
+               "minimizing FP + FN");
+  auto wcfg = bench_workload_config(n);
+  wcfg.num_genes = std::max<std::size_t>(2, n / 6);
+  wcfg.min_exons = 4;
+  wcfg.max_exons = 9;
+  auto wl = sim::generate(wcfg);
+  std::cout << "ESTs: " << n << " (paralog/repeat-rich workload)\n\n";
+
+  TablePrinter table({"min quality", "FP", "FN", "FP+FN", "OQ", "OV", "UN",
+                      "CC"});
+  for (double q : {0.60, 0.70, 0.75, 0.80, 0.85, 0.90}) {
+    auto cfg = bench_pace_config();
+    // The sweep isolates the *ratio* threshold, so the orthogonal
+    // min-overlap defence stays at the paper-like default 40 — otherwise
+    // the false-positive arm of the trade-off would be suppressed before
+    // the ratio gets a say.
+    cfg.overlap.min_overlap = 40;
+    cfg.overlap.min_quality = q;
+    auto res = pace::cluster_sequential(wl.ests, cfg);
+    auto pc = quality::count_pairs(res.clusters.labels(), wl.truth);
+    table.add_row({TablePrinter::fmt(q, 2), TablePrinter::fmt(pc.fp),
+                   TablePrinter::fmt(pc.fn),
+                   TablePrinter::fmt(pc.fp + pc.fn),
+                   TablePrinter::fmt(pc.overlap_quality()),
+                   TablePrinter::fmt(pc.over_prediction()),
+                   TablePrinter::fmt(pc.under_prediction()),
+                   TablePrinter::fmt(pc.correlation())});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: FP falls and FN rises as the threshold "
+            << "tightens; FP+FN is\nminimized near the production default "
+            << "(0.80), which is how the paper chose its\nthreshold.\n";
+  return 0;
+}

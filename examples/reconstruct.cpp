@@ -1,0 +1,92 @@
+// Transcript reconstruction: the downstream step EST clustering exists
+// for. Cluster a simulated library, lay each cluster out from the
+// accepted overlaps, build draft consensi, and measure how well they
+// recover the true transcripts.
+//
+//   ./reconstruct [--ests 300] [--genes 20]
+
+#include <iostream>
+
+#include "align/nw.hpp"
+#include "assembly/consensus.hpp"
+#include "bio/sequence.hpp"
+#include "pace/sequential.hpp"
+#include "sim/workload.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// Best identity of `cons` against any window of `mrna` in either
+// orientation (computed with the library's own local aligner).
+double recovery_identity(const std::string& cons, const std::string& mrna) {
+  estclust::align::Scoring sc;
+  auto fwd = estclust::align::local_align(cons, mrna, sc);
+  auto rev = estclust::align::local_align(
+      cons, estclust::bio::reverse_complement(mrna), sc);
+  const auto& best = fwd.score >= rev.score ? fwd : rev;
+  if (best.ops.empty()) return 0.0;
+  // Identity over the aligned region, weighted by how much of the
+  // consensus it covers.
+  double span = static_cast<double>(best.a_end - best.a_begin) /
+                static_cast<double>(cons.size());
+  return best.identity() * span;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace estclust;
+  CliArgs args(argc, argv);
+
+  sim::SimConfig wcfg = sim::scaled_config(
+      static_cast<std::size_t>(args.get_int("ests", 300)));
+  wcfg.num_genes = static_cast<std::size_t>(
+      args.get_int("genes", static_cast<long>(wcfg.num_genes)));
+  wcfg.sub_rate = 0.01;
+  wcfg.ins_rate = wcfg.del_rate = 0.001;
+  auto wl = sim::generate(wcfg);
+
+  pace::PaceConfig cfg;
+  auto res = pace::cluster_sequential(wl.ests, cfg);
+  auto contigs = assembly::assemble_clusters(wl.ests, res.overlaps);
+
+  std::cout << "Clustered " << wl.ests.num_ests() << " ESTs into "
+            << res.stats.num_clusters << " clusters; assembled "
+            << contigs.size() << " contigs.\n\n";
+
+  TablePrinter table({"contig", "ESTs", "length", "mean depth",
+                      "true gene", "recovery"});
+  std::size_t shown = 0;
+  double total_recovery = 0.0;
+  std::size_t scored = 0;
+  for (std::size_t c = 0; c < contigs.size(); ++c) {
+    const auto& contig = contigs[c];
+    const auto gene = wl.truth[contig.layout.placements[0].est];
+    double rec = recovery_identity(contig.consensus, wl.mrnas[gene]);
+    total_recovery += rec;
+    ++scored;
+    double depth = 0;
+    for (auto d : contig.coverage) depth += d;
+    depth /= static_cast<double>(std::max<std::size_t>(1,
+                                                       contig.coverage.size()));
+    if (contig.num_ests() >= 2 && shown < 10) {
+      ++shown;
+      table.add_row(
+          {TablePrinter::fmt(static_cast<std::uint64_t>(c)),
+           TablePrinter::fmt(static_cast<std::uint64_t>(contig.num_ests())),
+           TablePrinter::fmt(
+               static_cast<std::uint64_t>(contig.consensus.size())),
+           TablePrinter::fmt(depth, 1),
+           "gene" + std::to_string(gene),
+           TablePrinter::fmt(100.0 * rec, 1) + "%"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nMean transcript recovery over all " << scored
+            << " contigs: "
+            << TablePrinter::fmt(100.0 * total_recovery / scored, 1)
+            << "% (identity x coverage of the consensus against the true "
+            << "transcript).\n";
+  return 0;
+}

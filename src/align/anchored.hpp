@@ -1,0 +1,69 @@
+// Anchored pairwise alignment (Fig 5a) and overlap classification (Fig 5b).
+//
+// Instead of aligning two whole ESTs, the production path extends an
+// already-known maximal common substring match leftward and rightward with
+// banded DP, then checks whether the resulting alignment has one of the four
+// shapes accepted as evidence for merging clusters:
+//   1. a suffix of s overlaps a prefix of s'   (dovetail s, s')
+//   2. a suffix of s' overlaps a prefix of s   (dovetail s', s)
+//   3. s is contained in s'
+//   4. s' is contained in s
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "align/banded.hpp"
+#include "align/scoring.hpp"
+
+namespace estclust::align {
+
+/// A common-substring seed: a[a_pos .. a_pos+len) == b[b_pos .. b_pos+len).
+struct Anchor {
+  std::size_t a_pos = 0;
+  std::size_t b_pos = 0;
+  std::size_t len = 0;
+};
+
+enum class OverlapKind : std::uint8_t {
+  kNone = 0,          ///< alignment does not reach string boundaries
+  kABDovetail,        ///< suffix of a overlaps prefix of b (a precedes b)
+  kBADovetail,        ///< suffix of b overlaps prefix of a (b precedes a)
+  kAContainedInB,     ///< all of a aligns within b
+  kBContainedInA,     ///< all of b aligns within a
+};
+
+const char* to_string(OverlapKind kind);
+
+/// Outcome of anchored alignment of one pair.
+struct OverlapResult {
+  long score = 0;
+  double quality = 0.0;  ///< score / ideal score of the aligned span
+  OverlapKind kind = OverlapKind::kNone;
+  std::size_t a_begin = 0, a_end = 0;  ///< aligned span in a
+  std::size_t b_begin = 0, b_end = 0;  ///< aligned span in b
+  std::uint64_t cells = 0;             ///< DP cells computed
+
+  std::size_t a_span() const { return a_end - a_begin; }
+  std::size_t b_span() const { return b_end - b_begin; }
+};
+
+/// Acceptance parameters (§3.3 "quality can be controlled by the usual set
+/// of parameters").
+struct OverlapParams {
+  Scoring scoring;
+  std::size_t band = 8;        ///< banded-DP radius (errors tolerated)
+  double min_quality = 0.80;   ///< score / ideal-score acceptance ratio
+  std::size_t min_overlap = 40;  ///< minimum aligned span (both strings)
+};
+
+/// Extends `anchor` in both directions and classifies the overlap.
+/// Preconditions: the anchor ranges are in bounds and the anchored texts
+/// are equal (checked).
+OverlapResult align_anchored(std::string_view a, std::string_view b,
+                             const Anchor& anchor, const OverlapParams& p);
+
+/// True iff `r` is strong enough evidence to merge the pair's clusters.
+bool accept_overlap(const OverlapResult& r, const OverlapParams& p);
+
+}  // namespace estclust::align

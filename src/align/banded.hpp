@@ -1,0 +1,44 @@
+// Banded alignment kernels (§3.3: "to further limit work, we use banded
+// dynamic programming, where the band size is determined by the number of
+// errors tolerated").
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "align/scoring.hpp"
+
+namespace estclust::align {
+
+/// Result of a banded overlap extension starting at (0, 0).
+struct ExtensionResult {
+  long score = 0;          ///< best semi-global score
+  std::size_t a_len = 0;   ///< prefix of `a` consumed by the best extension
+  std::size_t b_len = 0;   ///< prefix of `b` consumed
+  bool a_exhausted = false;  ///< extension reached the end of a
+  bool b_exhausted = false;  ///< extension reached the end of b
+  std::uint64_t cells = 0;   ///< DP cells computed
+};
+
+/// Best extension of `a` against `b` where the alignment starts at (0,0)
+/// and must consume all of `a` or all of `b` (overlap/semi-global
+/// semantics), restricted to diagonals within `band` of the main diagonal.
+/// Used twice per pair by the anchored aligner: once rightward from the
+/// anchor and once leftward on reversed prefixes.
+ExtensionResult extend_overlap(std::string_view a, std::string_view b,
+                               const Scoring& sc, std::size_t band);
+
+/// O(mn) reference implementation of the same semantics (no band) for
+/// validation; with band >= max(m, n) the banded kernel must agree.
+ExtensionResult extend_overlap_reference(std::string_view a,
+                                         std::string_view b,
+                                         const Scoring& sc);
+
+/// Banded global alignment score. Requires the end cell to be inside the
+/// band (|m - n| <= band); returns the best global score, or LONG_MIN/4 if
+/// no path fits in the band.
+long banded_global_score(std::string_view a, std::string_view b,
+                         const Scoring& sc, std::size_t band,
+                         std::uint64_t* cells_out = nullptr);
+
+}  // namespace estclust::align

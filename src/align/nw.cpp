@@ -1,0 +1,320 @@
+#include "align/nw.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace estclust::align {
+
+namespace {
+
+constexpr long kNegInf = std::numeric_limits<long>::min() / 4;
+
+// Traceback direction codes shared by the kernels.
+enum Dir : std::uint8_t { kStop = 0, kDiag = 1, kUp = 2, kLeft = 3 };
+
+// Walks a direction matrix from (ai, bj) back to a kStop cell (or to (0,0)
+// for global alignments) and fills the transcript/statistics of `res`.
+void traceback(const std::vector<std::uint8_t>& dir, std::size_t cols,
+               std::string_view a, std::string_view b, std::size_t ai,
+               std::size_t bj, bool stop_at_zero, AlignResult& res) {
+  std::string ops;
+  std::size_t i = ai, j = bj;
+  while (i > 0 || j > 0) {
+    std::uint8_t d = dir[i * cols + j];
+    if (stop_at_zero && d == kStop) break;
+    if (d == kDiag) {
+      ops.push_back(a[i - 1] == b[j - 1] ? 'M' : 'X');
+      --i;
+      --j;
+    } else if (d == kUp) {
+      ops.push_back('D');
+      --i;
+    } else if (d == kLeft) {
+      ops.push_back('I');
+      --j;
+    } else {
+      break;  // kStop in a global trace only happens at the origin
+    }
+  }
+  std::reverse(ops.begin(), ops.end());
+  res.a_begin = i;
+  res.b_begin = j;
+  res.a_end = ai;
+  res.b_end = bj;
+  for (char c : ops) {
+    if (c == 'M') ++res.matches;
+    else if (c == 'X') ++res.mismatches;
+    else ++res.gaps;
+  }
+  res.ops = std::move(ops);
+}
+
+}  // namespace
+
+AlignResult global_align(std::string_view a, std::string_view b,
+                         const Scoring& sc) {
+  const std::size_t m = a.size(), n = b.size();
+  const std::size_t cols = n + 1;
+  std::vector<long> prev(cols), cur(cols);
+  std::vector<std::uint8_t> dir((m + 1) * cols, kStop);
+
+  for (std::size_t j = 1; j <= n; ++j) {
+    prev[j] = prev[j - 1] + sc.gap;
+    dir[j] = kLeft;
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    cur[0] = prev[0] + sc.gap;
+    dir[i * cols] = kUp;
+    for (std::size_t j = 1; j <= n; ++j) {
+      long diag =
+          prev[j - 1] + (a[i - 1] == b[j - 1] ? sc.match : sc.mismatch);
+      long up = prev[j] + sc.gap;
+      long left = cur[j - 1] + sc.gap;
+      long best = diag;
+      std::uint8_t d = kDiag;
+      if (up > best) {
+        best = up;
+        d = kUp;
+      }
+      if (left > best) {
+        best = left;
+        d = kLeft;
+      }
+      cur[j] = best;
+      dir[i * cols + j] = d;
+    }
+    std::swap(prev, cur);
+  }
+
+  AlignResult res;
+  res.score = prev[n];
+  res.cells = (m + 1) * (n + 1);
+  traceback(dir, cols, a, b, m, n, /*stop_at_zero=*/false, res);
+  return res;
+}
+
+AlignResult global_align_affine(std::string_view a, std::string_view b,
+                                const Scoring& sc) {
+  const std::size_t m = a.size(), n = b.size();
+  const std::size_t cols = n + 1;
+  // Gotoh: H best ending in match/mismatch or any, E gap in a (left moves),
+  // F gap in b (up moves). Traceback via one combined direction matrix that
+  // records which of the three recurrences produced H; gap runs are then
+  // re-derived greedily, which is exact for affine penalties because an
+  // optimal gap run never splits.
+  std::vector<long> h_prev(cols), h_cur(cols), e_cur(cols), f_prev(cols);
+  std::vector<std::uint8_t> dir((m + 1) * cols, kStop);
+
+  h_prev[0] = 0;
+  f_prev[0] = kNegInf;
+  for (std::size_t j = 1; j <= n; ++j) {
+    h_prev[j] = sc.gap_open + static_cast<long>(j) * sc.gap_extend;
+    f_prev[j] = kNegInf;
+    dir[j] = kLeft;
+  }
+  std::vector<long> f_cur(cols);
+  for (std::size_t i = 1; i <= m; ++i) {
+    h_cur[0] = sc.gap_open + static_cast<long>(i) * sc.gap_extend;
+    e_cur[0] = kNegInf;
+    f_cur[0] = kNegInf;
+    dir[i * cols] = kUp;
+    for (std::size_t j = 1; j <= n; ++j) {
+      e_cur[j] = std::max(e_cur[j - 1] + sc.gap_extend,
+                          h_cur[j - 1] + sc.gap_open + sc.gap_extend);
+      f_cur[j] = std::max(f_prev[j] + sc.gap_extend,
+                          h_prev[j] + sc.gap_open + sc.gap_extend);
+      long diag =
+          h_prev[j - 1] + (a[i - 1] == b[j - 1] ? sc.match : sc.mismatch);
+      long best = diag;
+      std::uint8_t d = kDiag;
+      if (f_cur[j] > best) {
+        best = f_cur[j];
+        d = kUp;
+      }
+      if (e_cur[j] > best) {
+        best = e_cur[j];
+        d = kLeft;
+      }
+      h_cur[j] = best;
+      dir[i * cols + j] = d;
+    }
+    std::swap(h_prev, h_cur);
+    std::swap(f_prev, f_cur);
+  }
+
+  AlignResult res;
+  res.score = h_prev[n];
+  res.cells = (m + 1) * (n + 1);
+  traceback(dir, cols, a, b, m, n, /*stop_at_zero=*/false, res);
+  return res;
+}
+
+AlignResult local_align(std::string_view a, std::string_view b,
+                        const Scoring& sc) {
+  const std::size_t m = a.size(), n = b.size();
+  const std::size_t cols = n + 1;
+  std::vector<long> prev(cols, 0), cur(cols, 0);
+  std::vector<std::uint8_t> dir((m + 1) * cols, kStop);
+
+  long best = 0;
+  std::size_t bi = 0, bj = 0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    cur[0] = 0;
+    for (std::size_t j = 1; j <= n; ++j) {
+      long diag =
+          prev[j - 1] + (a[i - 1] == b[j - 1] ? sc.match : sc.mismatch);
+      long up = prev[j] + sc.gap;
+      long left = cur[j - 1] + sc.gap;
+      long v = diag;
+      std::uint8_t d = kDiag;
+      if (up > v) {
+        v = up;
+        d = kUp;
+      }
+      if (left > v) {
+        v = left;
+        d = kLeft;
+      }
+      if (v <= 0) {
+        v = 0;
+        d = kStop;
+      }
+      cur[j] = v;
+      dir[i * cols + j] = d;
+      if (v > best) {
+        best = v;
+        bi = i;
+        bj = j;
+      }
+    }
+    std::swap(prev, cur);
+  }
+
+  AlignResult res;
+  res.score = best;
+  res.cells = (m + 1) * (n + 1);
+  if (best > 0) {
+    traceback(dir, cols, a, b, bi, bj, /*stop_at_zero=*/true, res);
+  }
+  return res;
+}
+
+AlignResult local_align_affine(std::string_view a, std::string_view b,
+                               const Scoring& sc) {
+  const std::size_t m = a.size(), n = b.size();
+  const std::size_t cols = n + 1;
+  // Three DP states per cell: H (ends in match/mismatch or fresh start),
+  // E (gap in a; consumed b, moving left), F (gap in b; consumed a, moving
+  // up). Backpointers record, per state, which state the optimum came
+  // from, so the traceback is exact for affine penalties.
+  enum State : std::uint8_t { kH = 0, kE = 1, kF = 2 };
+  // h_from: kStop=fresh start, kDiag=H diag, kUp=F here, kLeft=E here.
+  std::vector<long> h_prev(cols, 0), h_cur(cols, 0);
+  std::vector<long> e_cur(cols, kNegInf);
+  std::vector<long> f_prev(cols, kNegInf), f_cur(cols, kNegInf);
+  std::vector<std::uint8_t> h_from((m + 1) * cols, kStop);
+  std::vector<std::uint8_t> e_open((m + 1) * cols, 1);  // 1: opened from H
+  std::vector<std::uint8_t> f_open((m + 1) * cols, 1);
+
+  long best = 0;
+  std::size_t bi = 0, bj = 0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    h_cur[0] = 0;
+    e_cur[0] = kNegInf;
+    f_cur[0] = kNegInf;
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::size_t idx = i * cols + j;
+      // E: gap in a (left move).
+      long e_ext = e_cur[j - 1] + sc.gap_extend;
+      long e_new = h_cur[j - 1] + sc.gap_open + sc.gap_extend;
+      e_cur[j] = std::max(e_ext, e_new);
+      e_open[idx] = e_new >= e_ext ? 1 : 0;
+      // F: gap in b (up move).
+      long f_ext = f_prev[j] + sc.gap_extend;
+      long f_new = h_prev[j] + sc.gap_open + sc.gap_extend;
+      f_cur[j] = std::max(f_ext, f_new);
+      f_open[idx] = f_new >= f_ext ? 1 : 0;
+      // H: best of diagonal, gap states, or a fresh local start.
+      long diag =
+          h_prev[j - 1] + (a[i - 1] == b[j - 1] ? sc.match : sc.mismatch);
+      long v = diag;
+      std::uint8_t from = kDiag;
+      if (f_cur[j] > v) {
+        v = f_cur[j];
+        from = kUp;
+      }
+      if (e_cur[j] > v) {
+        v = e_cur[j];
+        from = kLeft;
+      }
+      if (v <= 0) {
+        v = 0;
+        from = kStop;
+      }
+      h_cur[j] = v;
+      h_from[idx] = from;
+      if (v > best) {
+        best = v;
+        bi = i;
+        bj = j;
+      }
+    }
+    std::swap(h_prev, h_cur);
+    std::swap(f_prev, f_cur);
+  }
+
+  AlignResult res;
+  res.score = best;
+  res.cells = (m + 1) * (n + 1);
+  if (best == 0) return res;
+
+  // Traceback through the three-state machine.
+  std::string ops;
+  std::size_t i = bi, j = bj;
+  State state = kH;
+  for (;;) {
+    const std::size_t idx = i * cols + j;
+    if (state == kH) {
+      std::uint8_t from = h_from[idx];
+      if (from == kStop) break;
+      if (from == kDiag) {
+        ops.push_back(a[i - 1] == b[j - 1] ? 'M' : 'X');
+        --i;
+        --j;
+      } else if (from == kUp) {
+        state = kF;
+      } else {
+        state = kE;
+      }
+    } else if (state == kE) {
+      // One column of gap-in-a; then either keep extending or close.
+      ops.push_back('I');
+      std::uint8_t opened = e_open[idx];
+      --j;
+      state = opened ? kH : kE;
+    } else {  // kF
+      ops.push_back('D');
+      std::uint8_t opened = f_open[idx];
+      --i;
+      state = opened ? kH : kF;
+    }
+    if (i == 0 && j == 0) break;
+  }
+  std::reverse(ops.begin(), ops.end());
+  res.a_begin = i;
+  res.b_begin = j;
+  res.a_end = bi;
+  res.b_end = bj;
+  for (char c : ops) {
+    if (c == 'M') ++res.matches;
+    else if (c == 'X') ++res.mismatches;
+    else ++res.gaps;
+  }
+  res.ops = std::move(ops);
+  return res;
+}
+
+}  // namespace estclust::align

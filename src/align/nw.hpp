@@ -1,0 +1,58 @@
+// Reference full-matrix alignment kernels with traceback.
+//
+// These O(mn) kernels are the ground truth the fast banded/anchored kernels
+// are validated against in tests; they are also exposed for users who want
+// exact alignments of short sequences.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "align/scoring.hpp"
+
+namespace estclust::align {
+
+/// Result of a full alignment. `ops` is the edit transcript over the aligned
+/// region: 'M' match, 'X' mismatch, 'I' insertion in `b` (gap in `a`),
+/// 'D' deletion from `a` (gap in `b`).
+struct AlignResult {
+  long score = 0;
+  std::size_t a_begin = 0, a_end = 0;  ///< aligned half-open range in a
+  std::size_t b_begin = 0, b_end = 0;  ///< aligned half-open range in b
+  std::uint64_t matches = 0;
+  std::uint64_t mismatches = 0;
+  std::uint64_t gaps = 0;
+  std::uint64_t cells = 0;  ///< DP cells computed (for work accounting)
+  std::string ops;
+
+  /// Fraction of aligned columns that are matches.
+  double identity() const {
+    std::uint64_t cols = matches + mismatches + gaps;
+    return cols == 0 ? 0.0 : static_cast<double>(matches) /
+                                 static_cast<double>(cols);
+  }
+};
+
+/// Needleman-Wunsch global alignment, linear gap penalty.
+AlignResult global_align(std::string_view a, std::string_view b,
+                         const Scoring& sc);
+
+/// Gotoh global alignment with affine gaps (gap_open + k * gap_extend for a
+/// gap of length k).
+AlignResult global_align_affine(std::string_view a, std::string_view b,
+                                const Scoring& sc);
+
+/// Smith-Waterman local alignment, linear gap penalty. The returned ranges
+/// delimit the best-scoring local region (empty if best score is 0).
+AlignResult local_align(std::string_view a, std::string_view b,
+                        const Scoring& sc);
+
+/// Smith-Waterman-Gotoh local alignment with affine gaps and an exact
+/// three-state traceback. Long indels (e.g. a spliced-out exon) stay as a
+/// single gap run instead of being shredded by chance matches, which is
+/// what the alternative-splicing detector relies on.
+AlignResult local_align_affine(std::string_view a, std::string_view b,
+                               const Scoring& sc);
+
+}  // namespace estclust::align

@@ -1,0 +1,25 @@
+// Alignment scoring parameters (§3.3: match/mismatch scores, gap penalties,
+// and the score-to-ideal-score acceptance ratio).
+#pragma once
+
+#include <cstdint>
+
+namespace estclust::align {
+
+/// Linear-gap scoring used by the production (banded/anchored) kernels.
+/// Affine gaps are available in the reference Gotoh kernel.
+struct Scoring {
+  int match = 2;       ///< score for an identical base pair
+  int mismatch = -3;   ///< score for a substitution
+  int gap = -4;        ///< per-base insertion/deletion penalty
+  int gap_open = -5;   ///< affine: opening a gap (Gotoh kernel only)
+  int gap_extend = -2; ///< affine: extending a gap (Gotoh kernel only)
+
+  /// Score of an all-match alignment of `len` bases — the "ideal score"
+  /// denominator of the paper's quality ratio.
+  long ideal(std::size_t len) const {
+    return static_cast<long>(match) * static_cast<long>(len);
+  }
+};
+
+}  // namespace estclust::align

@@ -1,0 +1,133 @@
+#include "analysis/splice.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "align/nw.hpp"
+#include "pairgen/generator.hpp"
+#include "util/check.hpp"
+
+namespace estclust::analysis {
+
+namespace {
+
+/// Splits a local-alignment transcript into (left flank, gap, right
+/// flank) around the longest single-sequence gap run. Returns false when
+/// no gap run reaches min_gap.
+bool split_on_longest_gap(const std::string& ops, std::size_t min_gap,
+                          std::size_t& gap_begin, std::size_t& gap_len,
+                          bool& gap_in_a) {
+  std::size_t best_len = 0, best_begin = 0;
+  char best_op = 'I';
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    if (ops[i] == 'I' || ops[i] == 'D') {
+      std::size_t j = i;
+      while (j < ops.size() && ops[j] == ops[i]) ++j;
+      if (j - i > best_len) {
+        best_len = j - i;
+        best_begin = i;
+        best_op = ops[i];
+      }
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  if (best_len < min_gap) return false;
+  gap_begin = best_begin;
+  gap_len = best_len;
+  // 'D' consumes a: the gap (extra segment) sits in sequence a.
+  gap_in_a = (best_op == 'D');
+  return true;
+}
+
+double identity_of(const std::string& ops, std::size_t begin,
+                   std::size_t end) {
+  std::size_t matches = 0, cols = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    ++cols;
+    if (ops[i] == 'M') ++matches;
+  }
+  return cols == 0 ? 0.0 : static_cast<double>(matches) /
+                               static_cast<double>(cols);
+}
+
+}  // namespace
+
+bool examine_pair(const bio::EstSet& ests, bio::EstId a, bio::EstId b,
+                  bool b_rc, const SpliceParams& params,
+                  SpliceCandidate& out) {
+  auto sa = ests.str(bio::EstSet::forward_sid(a));
+  auto sb = ests.str(b_rc ? bio::EstSet::rc_sid(b)
+                          : bio::EstSet::forward_sid(b));
+  // Affine gaps: opening is expensive, extending is cheap, so bridging a
+  // whole skipped exon is worthwhile when both flanks match, while chance
+  // matches inside the skipped segment cannot shred the gap into pieces.
+  align::Scoring sc;
+  sc.match = 2;
+  sc.mismatch = -3;
+  sc.gap_open = -16;
+  sc.gap_extend = -1;
+  align::AlignResult res = align::local_align_affine(sa, sb, sc);
+  if (res.ops.empty()) return false;
+
+  std::size_t gap_begin = 0, gap_len = 0;
+  bool gap_in_a = false;
+  if (!split_on_longest_gap(res.ops, params.min_gap, gap_begin, gap_len,
+                            gap_in_a)) {
+    return false;
+  }
+  const std::size_t left = gap_begin;
+  const std::size_t right = res.ops.size() - (gap_begin + gap_len);
+  if (left < params.min_flank || right < params.min_flank) return false;
+  const double left_id = identity_of(res.ops, 0, gap_begin);
+  const double right_id =
+      identity_of(res.ops, gap_begin + gap_len, res.ops.size());
+  if (left_id < params.min_flank_identity ||
+      right_id < params.min_flank_identity) {
+    return false;
+  }
+
+  out.a = a;
+  out.b = b;
+  out.b_rc = b_rc;
+  out.gap_in_a = gap_in_a;
+  out.gap_len = gap_len;
+  out.left_flank = left;
+  out.right_flank = right;
+  out.flank_identity = std::min(left_id, right_id);
+  return true;
+}
+
+std::vector<SpliceCandidate> detect_alternative_splicing(
+    const bio::EstSet& ests, const std::vector<gst::Tree>& forest,
+    const SpliceParams& params) {
+  pairgen::PairGenerator gen(ests, forest, params.psi);
+  std::set<std::tuple<bio::EstId, bio::EstId, bool>> seen;
+  std::vector<SpliceCandidate> out;
+  std::vector<pairgen::PromisingPair> batch;
+  std::size_t examined = 0;
+  while (gen.next_batch(256, batch) > 0 && examined < params.max_pairs) {
+    for (const auto& p : batch) {
+      if (examined >= params.max_pairs) break;
+      if (!seen.insert({p.a, p.b, p.b_rc}).second) continue;
+      ++examined;
+      SpliceCandidate cand;
+      if (examine_pair(ests, p.a, p.b, p.b_rc, params, cand)) {
+        out.push_back(cand);
+      }
+    }
+    batch.clear();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpliceCandidate& x, const SpliceCandidate& y) {
+              if (x.gap_len != y.gap_len) return x.gap_len > y.gap_len;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  return out;
+}
+
+}  // namespace estclust::analysis

@@ -1,0 +1,55 @@
+// Alternative-splicing detection — the "additional processing like
+// detection of alternative splicing" the paper lists (§3.3, §5) as the
+// next quality-improvement step after clustering.
+//
+// Two ESTs reading different isoforms of one gene align well on their
+// shared exons but one of them carries an extra internal exon: the
+// signature is a local alignment with well-matching flanks separated by
+// one long gap run in a single sequence. This pass scans promising pairs
+// (from the same GST stream the clusterer uses) and reports pairs showing
+// that signature.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/dataset.hpp"
+#include "gst/tree.hpp"
+
+namespace estclust::analysis {
+
+struct SpliceParams {
+  std::uint32_t psi = 20;          ///< promising-pair threshold
+  std::size_t min_gap = 25;        ///< minimum skipped-segment length
+  std::size_t min_flank = 30;      ///< aligned bases required on each side
+  double min_flank_identity = 0.9; ///< identity of the flanking alignment
+  std::size_t max_pairs = 1 << 20; ///< safety cap on pairs examined
+};
+
+/// One candidate event: EST `a` (forward) vs EST `b` (orientation
+/// `b_rc`); `gap_in_a` tells which sequence carries the extra segment.
+struct SpliceCandidate {
+  bio::EstId a = 0;
+  bio::EstId b = 0;
+  bool b_rc = false;
+  bool gap_in_a = false;   ///< true: a has the extra exon; false: b does
+  std::size_t gap_len = 0; ///< length of the skipped segment
+  std::size_t left_flank = 0;   ///< aligned columns left of the gap
+  std::size_t right_flank = 0;  ///< aligned columns right of the gap
+  double flank_identity = 0.0;
+};
+
+/// Scans all promising pairs of `forest` and returns the splice
+/// candidates, strongest (longest gap) first. Each (a, b, orientation) is
+/// reported at most once.
+std::vector<SpliceCandidate> detect_alternative_splicing(
+    const bio::EstSet& ests, const std::vector<gst::Tree>& forest,
+    const SpliceParams& params);
+
+/// Examines one pair directly (exposed for tests and tools). Returns true
+/// and fills `out` if the pair shows the exon-skip signature.
+bool examine_pair(const bio::EstSet& ests, bio::EstId a, bio::EstId b,
+                  bool b_rc, const SpliceParams& params,
+                  SpliceCandidate& out);
+
+}  // namespace estclust::analysis

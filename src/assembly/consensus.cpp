@@ -1,0 +1,68 @@
+#include "assembly/consensus.hpp"
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "bio/alphabet.hpp"
+#include "bio/sequence.hpp"
+#include "util/check.hpp"
+
+namespace estclust::assembly {
+
+Contig build_contig(const bio::EstSet& ests, Layout layout) {
+  Contig contig;
+  const std::size_t len = layout.length;
+  // 4 vote counters per column.
+  std::vector<std::array<std::uint16_t, 4>> votes(
+      len, std::array<std::uint16_t, 4>{0, 0, 0, 0});
+
+  for (const auto& p : layout.placements) {
+    std::string oriented(ests.str(bio::EstSet::forward_sid(p.est)));
+    if (p.rc) oriented = bio::reverse_complement(oriented);
+    for (std::size_t i = 0; i < oriented.size(); ++i) {
+      const long col = p.offset + static_cast<long>(i);
+      if (col < 0 || col >= static_cast<long>(len)) continue;
+      int code = bio::encode_base(oriented[i]);
+      auto& v = votes[static_cast<std::size_t>(col)]
+                     [static_cast<std::size_t>(code)];
+      if (v < std::numeric_limits<std::uint16_t>::max()) ++v;
+    }
+  }
+
+  contig.consensus.resize(len, 'N');
+  contig.coverage.resize(len, 0);
+  for (std::size_t col = 0; col < len; ++col) {
+    int best = -1;
+    std::uint32_t best_votes = 0, total = 0;
+    for (int c = 0; c < bio::kSigma; ++c) {
+      const std::uint16_t v = votes[col][static_cast<std::size_t>(c)];
+      total += v;
+      if (v > best_votes) {
+        best_votes = v;
+        best = c;
+      }
+    }
+    contig.coverage[col] = static_cast<std::uint16_t>(
+        std::min<std::uint32_t>(total, 65535));
+    if (best >= 0 && best_votes > 0) {
+      contig.consensus[col] = bio::decode_base(best);
+    }
+  }
+  contig.layout = std::move(layout);
+  return contig;
+}
+
+std::vector<Contig> assemble_clusters(
+    const bio::EstSet& ests,
+    const std::vector<pace::AcceptedOverlap>& overlaps) {
+  auto layouts = layout_clusters(ests, overlaps);
+  std::vector<Contig> out;
+  out.reserve(layouts.size());
+  for (auto& layout : layouts) {
+    out.push_back(build_contig(ests, std::move(layout)));
+  }
+  return out;
+}
+
+}  // namespace estclust::assembly

@@ -1,0 +1,39 @@
+// Draft consensus per laid-out cluster: per-column majority vote over the
+// oriented, offset-placed ESTs.
+//
+// Offsets come from alignment-span endpoints, so within an overlap with
+// net indels the columns of different ESTs can drift by a base or two —
+// the majority vote absorbs that at EST error rates. This is a draft
+// consensus in the assembler sense (a real assembler would follow with a
+// banded multi-alignment polish); for error-free reads it reconstructs
+// the transcript region exactly (tested).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "assembly/layout.hpp"
+#include "bio/dataset.hpp"
+
+namespace estclust::assembly {
+
+struct Contig {
+  Layout layout;
+  std::string consensus;
+  /// Per-column read depth (same length as consensus).
+  std::vector<std::uint16_t> coverage;
+
+  std::size_t num_ests() const { return layout.placements.size(); }
+};
+
+/// Builds the consensus for one layout.
+Contig build_contig(const bio::EstSet& ests, Layout layout);
+
+/// Convenience: layout + consensus for every cluster; contigs ordered by
+/// smallest member EST id, singletons included (their consensus is the
+/// EST itself).
+std::vector<Contig> assemble_clusters(
+    const bio::EstSet& ests,
+    const std::vector<pace::AcceptedOverlap>& overlaps);
+
+}  // namespace estclust::assembly

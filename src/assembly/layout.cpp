@@ -1,0 +1,117 @@
+#include "assembly/layout.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace estclust::assembly {
+
+namespace {
+
+/// Derives the placement of the edge's other endpoint from a known one.
+/// The record aligns A = forward(e_a) span [a_begin, a_end) with
+/// B = oriented(e_b) span [b_begin, b_end); the net shift between the two
+/// oriented frames is a_begin - b_begin. When the known endpoint sits
+/// reverse-complemented in the contig, the whole pair flips.
+Placement derive(const pace::AcceptedOverlap& ov, const Placement& known,
+                 bool known_is_a, std::size_t len_a, std::size_t len_b) {
+  Placement out;
+  const long shift = static_cast<long>(ov.a_begin) -
+                     static_cast<long>(ov.b_begin);
+  if (known_is_a) {
+    out.est = ov.b;
+    if (!known.rc) {
+      // A in record orientation: B keeps its record orientation.
+      out.rc = ov.b_rc;
+      out.offset = known.offset + shift;
+    } else {
+      // Contig holds rc(A): B flips too, and coordinates mirror.
+      out.rc = !ov.b_rc;
+      out.offset = known.offset + static_cast<long>(len_a) -
+                   static_cast<long>(len_b) - shift;
+    }
+  } else {
+    out.est = ov.a;
+    const bool b_matches_record = (known.rc == ov.b_rc);
+    if (b_matches_record) {
+      out.rc = false;
+      out.offset = known.offset - shift;
+    } else {
+      out.rc = true;
+      out.offset = known.offset + static_cast<long>(len_b) -
+                   static_cast<long>(len_a) + shift;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Layout> layout_clusters(
+    const bio::EstSet& ests,
+    const std::vector<pace::AcceptedOverlap>& overlaps) {
+  const std::size_t n = ests.num_ests();
+  // Adjacency over accepted overlaps.
+  std::vector<std::vector<std::uint32_t>> adj(n);  // indices into overlaps
+  for (std::uint32_t k = 0; k < overlaps.size(); ++k) {
+    adj[overlaps[k].a].push_back(k);
+    adj[overlaps[k].b].push_back(k);
+  }
+
+  std::vector<Layout> out;
+  std::vector<char> visited(n, 0);
+  std::vector<Placement> placement(n);
+  for (bio::EstId root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    // BFS this component, assigning orientation and offset relative to
+    // the root (forward at offset 0).
+    std::deque<bio::EstId> queue;
+    std::vector<bio::EstId> members;
+    visited[root] = 1;
+    placement[root] = {root, false, 0};
+    queue.push_back(root);
+    while (!queue.empty()) {
+      bio::EstId u = queue.front();
+      queue.pop_front();
+      members.push_back(u);
+      for (std::uint32_t k : adj[u]) {
+        const auto& ov = overlaps[k];
+        const bio::EstId v = (ov.a == u) ? ov.b : ov.a;
+        if (visited[v]) continue;
+        visited[v] = 1;
+        placement[v] = derive(
+            ov, placement[u], /*known_is_a=*/ov.a == u,
+            ests.str(bio::EstSet::forward_sid(ov.a)).size(),
+            ests.str(bio::EstSet::forward_sid(ov.b)).size());
+        placement[v].est = v;
+        queue.push_back(v);
+      }
+    }
+
+    Layout layout;
+    long min_off = std::numeric_limits<long>::max();
+    for (auto id : members) min_off = std::min(min_off, placement[id].offset);
+    long max_end = std::numeric_limits<long>::min();
+    for (auto id : members) {
+      Placement p = placement[id];
+      p.offset -= min_off;
+      max_end = std::max(
+          max_end,
+          p.offset + static_cast<long>(
+                         ests.str(bio::EstSet::forward_sid(id)).size()));
+      layout.placements.push_back(p);
+    }
+    std::sort(layout.placements.begin(), layout.placements.end(),
+              [](const Placement& x, const Placement& y) {
+                if (x.offset != y.offset) return x.offset < y.offset;
+                return x.est < y.est;
+              });
+    layout.length = static_cast<std::size_t>(std::max<long>(0, max_end));
+    out.push_back(std::move(layout));
+  }
+  return out;
+}
+
+}  // namespace estclust::assembly

@@ -1,0 +1,42 @@
+// Cluster layout: placing each EST of a cluster on a common coordinate
+// axis using the accepted overlaps as evidence.
+//
+// Clustering is the paper's product; assembling each cluster into a
+// contig/consensus is the step the field ran next (CAP3 per cluster, as
+// in TGICL). The accepted overlaps of §3.3 already carry everything a
+// layout needs: for each merged pair, the aligned spans fix the relative
+// offset and relative orientation of the two ESTs. A BFS over the overlap
+// graph propagates (orientation, offset) from an arbitrary root; offsets
+// are then normalized to start at zero.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/dataset.hpp"
+#include "pace/sequential.hpp"
+
+namespace estclust::assembly {
+
+/// One EST placed on the contig axis.
+struct Placement {
+  bio::EstId est = 0;
+  bool rc = false;   ///< EST participates reverse-complemented
+  long offset = 0;   ///< contig coordinate of the oriented EST's base 0
+};
+
+/// The layout of one connected overlap component.
+struct Layout {
+  std::vector<Placement> placements;  ///< sorted by offset, then EST id
+  std::size_t length = 0;             ///< contig extent in bases
+};
+
+/// Groups ESTs into connected components of the accepted-overlap graph
+/// and lays each component out. Components are ordered by smallest member
+/// id; unplaced singletons (ESTs without accepted overlaps) come out as
+/// one-EST layouts.
+std::vector<Layout> layout_clusters(
+    const bio::EstSet& ests,
+    const std::vector<pace::AcceptedOverlap>& overlaps);
+
+}  // namespace estclust::assembly

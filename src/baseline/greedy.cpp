@@ -1,0 +1,146 @@
+#include "baseline/greedy.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "bio/alphabet.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace estclust::baseline {
+
+namespace {
+
+/// A materialized candidate: ESTs a < b, with the seed match as anchor.
+struct Candidate {
+  bio::EstId a = 0;
+  bio::EstId b = 0;
+  std::uint8_t b_rc = 0;
+  std::uint32_t a_pos = 0;
+  std::uint32_t b_pos = 0;
+};
+
+struct KmerOcc {
+  bio::StringId sid = 0;
+  std::uint32_t pos = 0;
+};
+
+}  // namespace
+
+BaselineResult cluster_baseline(const bio::EstSet& ests,
+                                const BaselineConfig& cfg) {
+  ESTCLUST_CHECK(cfg.kmer >= 4 && cfg.kmer <= 31);
+  const std::size_t n = ests.num_ests();
+  BaselineResult res{cluster::UnionFind(n), {}};
+  BaselineStats& st = res.stats;
+  WallTimer total;
+
+  // Phase 1: k-mer index over all 2n strings.
+  WallTimer phase;
+  std::unordered_map<std::uint64_t, std::vector<KmerOcc>> index;
+  index.reserve(ests.total_string_chars());
+  const std::uint64_t mask = (1ULL << (2 * cfg.kmer)) - 1;
+  for (bio::StringId sid = 0; sid < ests.num_strings(); ++sid) {
+    auto s = ests.str(sid);
+    if (s.size() < cfg.kmer) continue;
+    std::uint64_t key = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      key = ((key << 2) | static_cast<std::uint64_t>(
+                              bio::encode_base(s[i]))) &
+            mask;
+      if (i + 1 >= cfg.kmer) {
+        index[key].push_back(
+            {sid, static_cast<std::uint32_t>(i + 1 - cfg.kmer)});
+      }
+    }
+  }
+  st.t_index = phase.seconds();
+
+  // Phase 2: materialize every candidate pair (the memory-intensive step).
+  phase.reset();
+  std::vector<Candidate> candidates;
+  auto storage_bytes = [&] {
+    return candidates.size() * sizeof(Candidate);
+  };
+  bool aborted = false;
+  for (const auto& [key, occs] : index) {
+    if (occs.size() > cfg.max_kmer_occ) continue;  // repeat masking
+    for (std::size_t i = 0; i < occs.size() && !aborted; ++i) {
+      for (std::size_t j = i + 1; j < occs.size(); ++j) {
+        KmerOcc lo = occs[i], hi = occs[j];
+        if (bio::EstSet::est_of(lo.sid) > bio::EstSet::est_of(hi.sid)) {
+          std::swap(lo, hi);
+        }
+        const bio::EstId a = bio::EstSet::est_of(lo.sid);
+        const bio::EstId b = bio::EstSet::est_of(hi.sid);
+        if (a == b) continue;
+        if (bio::EstSet::is_rc(lo.sid)) continue;  // orientation dedup
+        candidates.push_back({a, b,
+                              static_cast<std::uint8_t>(
+                                  bio::EstSet::is_rc(hi.sid) ? 1 : 0),
+                              lo.pos, hi.pos});
+        st.peak_bytes = std::max(st.peak_bytes, storage_bytes());
+        if (cfg.memory_cap_bytes != 0 &&
+            storage_bytes() > cfg.memory_cap_bytes) {
+          aborted = true;
+          break;
+        }
+      }
+    }
+    if (aborted) break;
+  }
+  if (aborted) {
+    st.out_of_memory = true;
+    st.t_pairs = phase.seconds();
+    st.t_total = total.seconds();
+    st.num_clusters = res.clusters.num_clusters();
+    return res;
+  }
+
+  // Deduplicate to one candidate (with one anchor) per (a, b, orientation).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& x, const Candidate& y) {
+              if (x.a != y.a) return x.a < y.a;
+              if (x.b != y.b) return x.b < y.b;
+              if (x.b_rc != y.b_rc) return x.b_rc < y.b_rc;
+              if (x.a_pos != y.a_pos) return x.a_pos < y.a_pos;
+              return x.b_pos < y.b_pos;
+            });
+  candidates.erase(std::unique(candidates.begin(), candidates.end(),
+                               [](const Candidate& x, const Candidate& y) {
+                                 return x.a == y.a && x.b == y.b &&
+                                        x.b_rc == y.b_rc;
+                               }),
+                   candidates.end());
+  st.candidate_pairs = candidates.size();
+  st.peak_bytes = std::max(st.peak_bytes, storage_bytes());
+  st.t_pairs = phase.seconds();
+
+  // Phase 3: align candidates in arbitrary (EST-id) order. With full_dp
+  // the band spans the whole matrix, i.e. the O(|a|·|b|) alignments the
+  // serial tools performed; otherwise the banded production kernel runs.
+  phase.reset();
+  for (const auto& c : candidates) {
+    if (cfg.cluster_skip && res.clusters.same(c.a, c.b)) continue;
+    auto a = ests.str(bio::EstSet::forward_sid(c.a));
+    auto b = ests.str(c.b_rc ? bio::EstSet::rc_sid(c.b)
+                             : bio::EstSet::forward_sid(c.b));
+    align::Anchor anchor{c.a_pos, c.b_pos, cfg.kmer};
+    align::OverlapParams params = cfg.overlap;
+    if (cfg.full_dp) params.band = a.size() + b.size();
+    auto overlap = align::align_anchored(a, b, anchor, params);
+    ++st.pairs_processed;
+    st.dp_cells += overlap.cells;
+    if (align::accept_overlap(overlap, cfg.overlap)) {
+      ++st.pairs_accepted;
+      if (res.clusters.unite(c.a, c.b)) ++st.merges;
+    }
+  }
+  st.t_align = phase.seconds();
+  st.num_clusters = res.clusters.num_clusters();
+  st.t_total = total.seconds();
+  return res;
+}
+
+}  // namespace estclust::baseline

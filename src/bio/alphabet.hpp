@@ -1,0 +1,65 @@
+// DNA alphabet Σ = {A, C, G, T}.
+//
+// Codes are ordered A < C < G < T; code 4 is reserved by the pair-generation
+// layer for λ (the null left-extension character of §3.2). Strand
+// complementation follows the Watson-Crick pairing A<->T, C<->G.
+#pragma once
+
+#include <cstdint>
+
+namespace estclust::bio {
+
+inline constexpr int kSigma = 4;        ///< |Σ|
+inline constexpr int kLambdaCode = 4;   ///< λ, the null character (§3.2)
+inline constexpr int kNumLsetCodes = kSigma + 1;  ///< Σ ∪ {λ}
+
+/// Maps a nucleotide character (case-insensitive) to its code 0..3;
+/// returns -1 for any non-ACGT character.
+constexpr int encode_base(char c) {
+  switch (c) {
+    case 'A':
+    case 'a':
+      return 0;
+    case 'C':
+    case 'c':
+      return 1;
+    case 'G':
+    case 'g':
+      return 2;
+    case 'T':
+    case 't':
+      return 3;
+    default:
+      return -1;
+  }
+}
+
+/// Inverse of encode_base for codes 0..3.
+constexpr char decode_base(int code) {
+  constexpr char table[4] = {'A', 'C', 'G', 'T'};
+  return table[code & 3];
+}
+
+/// Watson-Crick complement of an uppercase base character.
+constexpr char complement_base(char c) {
+  switch (c) {
+    case 'A':
+    case 'a':
+      return 'T';
+    case 'C':
+    case 'c':
+      return 'G';
+    case 'G':
+    case 'g':
+      return 'C';
+    case 'T':
+    case 't':
+      return 'A';
+    default:
+      return c;
+  }
+}
+
+constexpr bool is_valid_base(char c) { return encode_base(c) >= 0; }
+
+}  // namespace estclust::bio

@@ -1,0 +1,55 @@
+// DNA sequence value type, reverse complementation and 2-bit packing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace estclust::bio {
+
+/// A named DNA sequence. Bases are stored uppercase; construction validates
+/// the alphabet.
+struct Sequence {
+  std::string id;
+  std::string bases;
+};
+
+/// Returns the reverse complement of `s` (uppercase ACGT in, uppercase out).
+std::string reverse_complement(std::string_view s);
+
+/// Uppercases and validates a raw string; throws CheckError on non-ACGT
+/// characters (column/position included in the message).
+std::string normalize_bases(std::string_view raw);
+
+/// True iff every character is one of ACGTacgt.
+bool all_valid_bases(std::string_view s);
+
+/// Space-efficient 2-bit/base storage. Used by the GST layer's space
+/// accounting and by tests that check the O(N) memory contract.
+class PackedSeq {
+ public:
+  PackedSeq() = default;
+  explicit PackedSeq(std::string_view bases);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Base character at position i (decoded).
+  char at(std::size_t i) const;
+
+  /// Code 0..3 at position i.
+  int code_at(std::size_t i) const;
+
+  /// Decode the whole sequence.
+  std::string unpack() const;
+
+  /// Bytes of heap storage used.
+  std::size_t storage_bytes() const { return words_.capacity() * 8; }
+
+ private:
+  std::vector<std::uint64_t> words_;  // 32 bases per word
+  std::size_t size_ = 0;
+};
+
+}  // namespace estclust::bio

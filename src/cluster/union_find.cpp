@@ -1,0 +1,88 @@
+#include "cluster/union_find.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace estclust::cluster {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), rank_(n, 0), size_(n, 1), clusters_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+void UnionFind::grow(std::size_t new_n) {
+  ESTCLUST_CHECK(new_n >= parent_.size());
+  const std::size_t old_n = parent_.size();
+  parent_.resize(new_n);
+  rank_.resize(new_n, 0);
+  size_.resize(new_n, 1);
+  for (std::size_t i = old_n; i < new_n; ++i) {
+    parent_[i] = static_cast<std::uint32_t>(i);
+  }
+  clusters_ += new_n - old_n;
+}
+
+std::uint32_t UnionFind::find(std::uint32_t x) {
+  ESTCLUST_DCHECK(x < parent_.size());
+  ++ops_;
+  std::uint32_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    std::uint32_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::same(std::uint32_t x, std::uint32_t y) {
+  return find(x) == find(y);
+}
+
+bool UnionFind::unite(std::uint32_t x, std::uint32_t y) {
+  std::uint32_t rx = find(x);
+  std::uint32_t ry = find(y);
+  ++ops_;
+  if (rx == ry) return false;
+  if (rank_[rx] < rank_[ry]) std::swap(rx, ry);
+  parent_[ry] = rx;
+  size_[rx] += size_[ry];
+  if (rank_[rx] == rank_[ry]) ++rank_[rx];
+  --clusters_;
+  return true;
+}
+
+std::uint32_t UnionFind::cluster_size(std::uint32_t x) {
+  return size_[find(x)];
+}
+
+std::vector<std::uint32_t> UnionFind::labels() {
+  const std::size_t n = parent_.size();
+  // Label every element with the smallest member of its cluster so labels
+  // are canonical across runs regardless of union order.
+  std::vector<std::uint32_t> smallest(n, static_cast<std::uint32_t>(n));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t r = find(i);
+    smallest[r] = std::min(smallest[r], i);
+  }
+  std::vector<std::uint32_t> out(n);
+  for (std::uint32_t i = 0; i < n; ++i) out[i] = smallest[find(i)];
+  return out;
+}
+
+std::vector<std::vector<std::uint32_t>> UnionFind::extract_clusters() {
+  const std::size_t n = parent_.size();
+  std::vector<std::vector<std::uint32_t>> by_root(n);
+  for (std::uint32_t i = 0; i < n; ++i) by_root[find(i)].push_back(i);
+  std::vector<std::vector<std::uint32_t>> out;
+  for (auto& members : by_root) {
+    if (!members.empty()) out.push_back(std::move(members));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+  return out;
+}
+
+}  // namespace estclust::cluster

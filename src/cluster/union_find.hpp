@@ -1,0 +1,56 @@
+// Union-find cluster maintenance (§3.3).
+//
+// Each EST starts as its own cluster; accepted overlaps merge clusters.
+// Union by rank with path compression gives inverse-Ackermann amortized
+// cost per operation (Tarjan 1975), effectively constant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace estclust::cluster {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  /// Appends elements n..new_n-1 as fresh singleton clusters (incremental
+  /// clustering grows the universe batch by batch). new_n must not shrink
+  /// the structure.
+  void grow(std::size_t new_n);
+
+  std::size_t size() const { return parent_.size(); }
+
+  /// Representative of x's cluster (with path compression).
+  std::uint32_t find(std::uint32_t x);
+
+  /// True iff x and y are in the same cluster.
+  bool same(std::uint32_t x, std::uint32_t y);
+
+  /// Merges the clusters of x and y; returns false if already merged.
+  bool unite(std::uint32_t x, std::uint32_t y);
+
+  /// Number of clusters remaining.
+  std::size_t num_clusters() const { return clusters_; }
+
+  /// Number of elements in x's cluster.
+  std::uint32_t cluster_size(std::uint32_t x);
+
+  /// find/union operations performed so far (virtual-time charging).
+  std::uint64_t operations() const { return ops_; }
+
+  /// Clusters as member lists, each sorted, ordered by smallest member.
+  std::vector<std::vector<std::uint32_t>> extract_clusters();
+
+  /// Cluster label per element: label = smallest member id of its cluster.
+  std::vector<std::uint32_t> labels();
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::vector<std::uint32_t> size_;
+  std::size_t clusters_;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace estclust::cluster

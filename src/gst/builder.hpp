@@ -1,0 +1,74 @@
+// GST construction by bucketing + character-wise refinement (§3.1).
+//
+// A sequential suffix-tree algorithm cannot build a bucket's subtree because
+// the bucket does not contain all suffixes of any one string; the paper
+// instead scans the suffixes of a bucket one character at a time, splitting
+// recursively until every suffix group is a leaf. Run-time is O(sum of
+// pairwise-distinguishing prefixes), O(N·l / p) per rank in the worst case,
+// which works well because the average EST length l is a constant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/dataset.hpp"
+#include "gst/tree.hpp"
+
+namespace estclust::gst {
+
+/// Work counters reported by the builder; the parallel wrapper converts
+/// them into virtual time.
+struct BuildCounters {
+  std::uint64_t suffixes = 0;       ///< suffixes inserted
+  std::uint64_t chars_scanned = 0;  ///< character-bucketing steps performed
+  std::uint64_t nodes = 0;          ///< nodes emitted
+};
+
+/// A suffix tagged with its destination bucket.
+struct BucketedSuffix {
+  std::uint64_t bucket = 0;
+  SuffixOcc occ;
+};
+
+/// Bucket id of the length-w prefix starting at `pos` (lexicographic,
+/// base 4). Requires pos + w <= |s|.
+std::uint64_t bucket_of(std::string_view s, std::size_t pos, std::uint32_t w);
+
+/// Number of buckets for window w (4^w). Checked to fit comfortably in
+/// memory: w <= 11.
+std::uint64_t num_buckets(std::uint32_t w);
+
+/// Enumerates all suffixes of strings [sid_begin, sid_end) that are at
+/// least w long, tagged with their bucket. Shorter suffixes are dropped:
+/// they cannot begin a maximal common substring of length >= psi >= w.
+void collect_suffixes(const bio::EstSet& ests, bio::StringId sid_begin,
+                      bio::StringId sid_end, std::uint32_t w,
+                      std::vector<BucketedSuffix>& out);
+
+/// Builds the subtree for one bucket. `suffixes` must all share the same
+/// length-w prefix; they are canonically sorted by (sid, pos) internally so
+/// the resulting tree is independent of input order.
+Tree build_bucket_tree(const bio::EstSet& ests,
+                       std::vector<SuffixOcc> suffixes, std::uint32_t w,
+                       std::uint64_t bucket_id, BuildCounters& counters);
+
+/// Builds the whole forest on one processor (the p = 1 reference path).
+/// Trees are ordered by bucket id.
+std::vector<Tree> build_forest_sequential(const bio::EstSet& ests,
+                                          std::uint32_t w,
+                                          BuildCounters* counters = nullptr);
+
+/// Splits ESTs into p contiguous ranges with near-equal character totals
+/// (the paper's initial data distribution). Returns p (begin, end) pairs.
+std::vector<std::pair<bio::EstId, bio::EstId>> partition_ests(
+    const bio::EstSet& ests, int p);
+
+/// Greedy balanced assignment of buckets to ranks: buckets in decreasing
+/// size order go to the currently least-loaded rank. Deterministic; every
+/// rank computes the same mapping from the same global histogram.
+/// Returns for each listed bucket id its owner rank.
+std::vector<int> assign_buckets(const std::vector<std::uint64_t>& bucket_ids,
+                                const std::vector<std::uint64_t>& sizes,
+                                int p);
+
+}  // namespace estclust::gst

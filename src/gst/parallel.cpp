@@ -1,0 +1,135 @@
+#include "gst/parallel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mpr/message.hpp"
+#include "util/check.hpp"
+
+namespace estclust::gst {
+
+std::vector<Tree> build_forest_parallel(mpr::Communicator& comm,
+                                        const bio::EstSet& ests,
+                                        const GstConfig& cfg,
+                                        ParallelBuildStats* stats,
+                                        int first_owner_rank) {
+  const int p = comm.size();
+  ESTCLUST_CHECK(first_owner_rank >= 0 && first_owner_rank < p);
+  const int owners = p - first_owner_rank;
+  const int rank = comm.rank();
+  const auto& cm = comm.cost_model();
+  const double t0 = comm.clock().time();
+
+  // Phase 1: bucket my block's suffixes. Both orientations of an EST live
+  // with the EST's owner.
+  auto ranges = partition_ests(ests, p);
+  std::vector<BucketedSuffix> mine;
+  collect_suffixes(ests, bio::EstSet::forward_sid(ranges[rank].first),
+                   bio::EstSet::forward_sid(ranges[rank].second),
+                   cfg.window, mine);
+  // Rolling-window bucketing is ~1 char step per suffix plus w per string.
+  comm.charge(cm.char_op,
+              mine.size() + cfg.window * 2 *
+                                (ranges[rank].second - ranges[rank].first));
+
+  // Phase 2: global bucket histogram via parallel summation (O(log p)).
+  const std::uint64_t nbuckets = num_buckets(cfg.window);
+  std::vector<std::uint64_t> hist(nbuckets, 0);
+  for (const auto& bs : mine) ++hist[bs.bucket];
+  comm.charge(cm.char_op, mine.size());
+  hist = comm.allreduce_sum_vec(std::move(hist));
+
+  // Phase 3: deterministic greedy bucket -> rank assignment, computed
+  // identically on every rank from the shared histogram.
+  std::vector<std::uint64_t> nonempty_ids;
+  std::vector<std::uint64_t> nonempty_sizes;
+  std::uint64_t global_suffixes = 0;
+  for (std::uint64_t b = 0; b < nbuckets; ++b) {
+    if (hist[b] > 0) {
+      nonempty_ids.push_back(b);
+      nonempty_sizes.push_back(hist[b]);
+      global_suffixes += hist[b];
+    }
+  }
+  std::vector<int> owner_of =
+      assign_buckets(nonempty_ids, nonempty_sizes, owners);
+  for (int& r : owner_of) r += first_owner_rank;
+  comm.charge(cm.sort_op,
+              nonempty_ids.size() *
+                  (1 + static_cast<std::uint64_t>(
+                           std::log2(static_cast<double>(
+                               nonempty_ids.size() + 1)))));
+  // Dense lookup: bucket id -> owner rank.
+  std::vector<int> owner(nbuckets, -1);
+  for (std::size_t i = 0; i < nonempty_ids.size(); ++i) {
+    owner[nonempty_ids[i]] = owner_of[i];
+  }
+
+  // Phase 4: route suffixes to their bucket owners.
+  std::vector<mpr::BufWriter> packs(p);
+  for (const auto& bs : mine) {
+    mpr::BufWriter& w = packs[owner[bs.bucket]];
+    w.put<std::uint64_t>(bs.bucket);
+    w.put<std::uint32_t>(bs.occ.sid);
+    w.put<std::uint32_t>(bs.occ.pos);
+  }
+  comm.charge(cm.byte_op, mine.size() * 16);
+  mine.clear();
+  mine.shrink_to_fit();
+  std::vector<mpr::Buffer> sendbufs(p);
+  for (int r = 0; r < p; ++r) sendbufs[r] = packs[r].take();
+  packs.clear();
+  std::vector<mpr::Buffer> recvbufs = comm.all_to_all(std::move(sendbufs));
+
+  std::vector<BucketedSuffix> owned;
+  for (const auto& buf : recvbufs) {
+    mpr::BufReader r(buf);
+    while (!r.exhausted()) {
+      BucketedSuffix bs;
+      bs.bucket = r.get<std::uint64_t>();
+      bs.occ.sid = r.get<std::uint32_t>();
+      bs.occ.pos = r.get<std::uint32_t>();
+      owned.push_back(bs);
+    }
+  }
+  recvbufs.clear();
+  std::sort(owned.begin(), owned.end(),
+            [](const BucketedSuffix& a, const BucketedSuffix& b) {
+              if (a.bucket != b.bucket) return a.bucket < b.bucket;
+              if (a.occ.sid != b.occ.sid) return a.occ.sid < b.occ.sid;
+              return a.occ.pos < b.occ.pos;
+            });
+  comm.charge(cm.sort_op,
+              owned.size() * (1 + static_cast<std::uint64_t>(std::log2(
+                                      static_cast<double>(owned.size() + 1)))));
+  const double t1 = comm.clock().time();
+
+  // Phase 5: refine owned buckets into subtrees.
+  BuildCounters counters;
+  std::vector<Tree> forest;
+  std::size_t i = 0;
+  while (i < owned.size()) {
+    std::size_t j = i;
+    while (j < owned.size() && owned[j].bucket == owned[i].bucket) ++j;
+    std::vector<SuffixOcc> bucket;
+    bucket.reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) bucket.push_back(owned[k].occ);
+    forest.push_back(build_bucket_tree(ests, std::move(bucket), cfg.window,
+                                       owned[i].bucket, counters));
+    i = j;
+  }
+  comm.charge(cm.char_op, counters.chars_scanned);
+  const double t2 = comm.clock().time();
+
+  if (stats) {
+    stats->partition_vtime = t1 - t0;
+    stats->build_vtime = t2 - t1;
+    stats->local_suffixes = counters.suffixes;
+    stats->local_buckets = forest.size();
+    stats->chars_scanned = counters.chars_scanned;
+    stats->global_suffixes = global_suffixes;
+  }
+  return forest;
+}
+
+}  // namespace estclust::gst

@@ -1,0 +1,50 @@
+// Distributed GST construction (§3.1).
+//
+// 1. ESTs are block-partitioned across ranks with near-equal character
+//    counts.
+// 2. Each rank scans its ESTs and reverse complements, bucketing suffixes
+//    by their first w characters.
+// 3. A parallel summation produces the global per-bucket histogram in
+//    O(log p) communication steps.
+// 4. Buckets are assigned to ranks so each rank holds ~N·l/p suffixes
+//    (greedy largest-first), with every suffix of a bucket on one rank.
+// 5. An all-to-all exchange routes suffixes to their bucket owner; each
+//    rank then refines its buckets into subtrees locally.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/dataset.hpp"
+#include "gst/builder.hpp"
+#include "gst/tree.hpp"
+#include "mpr/communicator.hpp"
+
+namespace estclust::gst {
+
+struct GstConfig {
+  std::uint32_t window = 8;  ///< w, the bucketing prefix length
+};
+
+/// Virtual-time and size accounting for one rank's share of the build.
+struct ParallelBuildStats {
+  double partition_vtime = 0.0;  ///< suffix bucketing + histogram + routing
+  double build_vtime = 0.0;      ///< local refinement of owned buckets
+  std::uint64_t local_suffixes = 0;   ///< suffixes this rank owns post-exchange
+  std::uint64_t local_buckets = 0;    ///< buckets (= subtrees) owned
+  std::uint64_t chars_scanned = 0;    ///< refinement character steps
+  std::uint64_t global_suffixes = 0;  ///< total suffixes across ranks
+};
+
+/// Collective: every rank calls this; returns the rank's local share of the
+/// distributed GST (one Tree per owned bucket, ordered by bucket id).
+/// `first_owner_rank` excludes lower ranks from bucket ownership (the
+/// master/slave driver keeps the GST off the master); every rank still
+/// participates in the collectives.
+std::vector<Tree> build_forest_parallel(mpr::Communicator& comm,
+                                        const bio::EstSet& ests,
+                                        const GstConfig& cfg,
+                                        ParallelBuildStats* stats = nullptr,
+                                        int first_owner_rank = 0);
+
+}  // namespace estclust::gst

@@ -1,0 +1,271 @@
+#include "mpr/communicator.hpp"
+
+#include <algorithm>
+
+#include "mpr/runtime.hpp"
+#include "util/check.hpp"
+
+namespace estclust::mpr {
+
+Communicator::Communicator(Runtime& rt, int rank) : rt_(rt), rank_(rank) {}
+
+int Communicator::size() const { return rt_.size(); }
+
+VirtualClock& Communicator::clock() { return rt_.clock(rank_); }
+
+const CostModel& Communicator::cost_model() const { return rt_.cost_model(); }
+
+RankStats& Communicator::stats() { return rt_.stats(rank_); }
+
+void Communicator::charge(double unit_cost, std::uint64_t count) {
+  clock().advance(unit_cost * static_cast<double>(count));
+}
+
+void Communicator::send_internal(int dest, int tag, Buffer payload) {
+  ESTCLUST_CHECK(dest >= 0 && dest < size());
+  const CostModel& cm = cost_model();
+  VirtualClock& clk = clock();
+  clk.advance(cm.send_overhead);
+  Message m;
+  m.src = rank_;
+  m.tag = tag;
+  m.arrival_vtime = clk.time() + cm.message_cost(payload.size());
+  auto& st = stats();
+  ++st.messages_sent;
+  st.bytes_sent += payload.size();
+  m.payload = std::move(payload);
+  rt_.mailbox(dest).push(std::move(m));
+}
+
+void Communicator::send(int dest, int tag, Buffer payload) {
+  ESTCLUST_CHECK_MSG(tag >= 0 && tag < kInternalTagBase,
+                     "user tags must be in [0, 2^24)");
+  send_internal(dest, tag, std::move(payload));
+}
+
+Message Communicator::recv_internal(int src, int tag) {
+  Message m = rt_.mailbox(rank_).pop(src, tag);
+  VirtualClock& clk = clock();
+  clk.sync_to(m.arrival_vtime);
+  clk.advance(cost_model().recv_overhead);
+  ++stats().messages_received;
+  return m;
+}
+
+Message Communicator::recv(int src, int tag) { return recv_internal(src, tag); }
+
+std::optional<Message> Communicator::try_recv(int src, int tag) {
+  auto m = rt_.mailbox(rank_).try_pop(src, tag);
+  if (!m) return std::nullopt;
+  VirtualClock& clk = clock();
+  clk.sync_to(m->arrival_vtime);
+  clk.advance(cost_model().recv_overhead);
+  ++stats().messages_received;
+  return m;
+}
+
+bool Communicator::probe(int src, int tag) {
+  return rt_.mailbox(rank_).probe(src, tag);
+}
+
+template <typename T>
+T Communicator::allreduce_impl(T v, const std::function<T(T, T)>& op) {
+  const int p = size();
+  const int reduce_tag = kInternalTagBase + 2 * collective_seq_;
+  const int bcast_tag = reduce_tag + 1;
+  ++collective_seq_;
+  if (p == 1) return v;
+
+  // Binomial-tree reduce toward rank 0.
+  for (int k = 1; k < p; k <<= 1) {
+    if (rank_ & k) {
+      BufWriter w;
+      w.put(v);
+      send_internal(rank_ - k, reduce_tag, w.take());
+      break;
+    }
+    if (rank_ + k < p) {
+      Message m = recv_internal(rank_ + k, reduce_tag);
+      BufReader r(m.payload);
+      v = op(v, r.get<T>());
+    }
+  }
+
+  // Binomial-tree broadcast from rank 0. Parent of r is r with its lowest
+  // set bit cleared; children are r + 2^j for descending j below that bit.
+  int top = 1;
+  while (top < p) top <<= 1;
+  int lsb = rank_ == 0 ? top : (rank_ & -rank_);
+  if (rank_ != 0) {
+    Message m = recv_internal(rank_ & (rank_ - 1), bcast_tag);
+    BufReader r(m.payload);
+    v = r.get<T>();
+  }
+  for (int k = lsb >> 1; k >= 1; k >>= 1) {
+    if (rank_ + k < p) {
+      BufWriter w;
+      w.put(v);
+      send_internal(rank_ + k, bcast_tag, w.take());
+    }
+  }
+  return v;
+}
+
+void Communicator::barrier() {
+  allreduce_impl<std::uint64_t>(
+      0, [](std::uint64_t a, std::uint64_t b) { return a | b; });
+}
+
+std::uint64_t Communicator::allreduce_sum(std::uint64_t v) {
+  return allreduce_impl<std::uint64_t>(
+      v, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+double Communicator::allreduce_sum(double v) {
+  return allreduce_impl<double>(v, [](double a, double b) { return a + b; });
+}
+
+double Communicator::allreduce_max(double v) {
+  return allreduce_impl<double>(
+      v, [](double a, double b) { return std::max(a, b); });
+}
+
+std::uint64_t Communicator::allreduce_max(std::uint64_t v) {
+  return allreduce_impl<std::uint64_t>(
+      v, [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); });
+}
+
+std::vector<std::uint64_t> Communicator::allreduce_sum_vec(
+    std::vector<std::uint64_t> v) {
+  const int p = size();
+  const int reduce_tag = kInternalTagBase + 2 * collective_seq_;
+  const int bcast_tag = reduce_tag + 1;
+  ++collective_seq_;
+  if (p == 1) return v;
+
+  for (int k = 1; k < p; k <<= 1) {
+    if (rank_ & k) {
+      BufWriter w;
+      w.put_vec(v);
+      send_internal(rank_ - k, reduce_tag, w.take());
+      break;
+    }
+    if (rank_ + k < p) {
+      Message m = recv_internal(rank_ + k, reduce_tag);
+      BufReader r(m.payload);
+      auto other = r.get_vec<std::uint64_t>();
+      ESTCLUST_CHECK(other.size() == v.size());
+      for (std::size_t i = 0; i < v.size(); ++i) v[i] += other[i];
+      charge(cost_model().byte_op, v.size() * 8);
+    }
+  }
+
+  int top = 1;
+  while (top < p) top <<= 1;
+  int lsb = rank_ == 0 ? top : (rank_ & -rank_);
+  if (rank_ != 0) {
+    Message m = recv_internal(rank_ & (rank_ - 1), bcast_tag);
+    BufReader r(m.payload);
+    v = r.get_vec<std::uint64_t>();
+  }
+  for (int k = lsb >> 1; k >= 1; k >>= 1) {
+    if (rank_ + k < p) {
+      BufWriter w;
+      w.put_vec(v);
+      send_internal(rank_ + k, bcast_tag, w.take());
+    }
+  }
+  return v;
+}
+
+std::vector<std::uint64_t> Communicator::allgather(std::uint64_t v) {
+  const int p = size();
+  const int gather_tag = kInternalTagBase + 2 * collective_seq_;
+  const int bcast_tag = gather_tag + 1;
+  ++collective_seq_;
+  std::vector<std::uint64_t> all(p, 0);
+  all[rank_] = v;
+  if (p == 1) return all;
+
+  if (rank_ == 0) {
+    for (int r = 1; r < p; ++r) {
+      Message m = recv_internal(r, gather_tag);
+      BufReader br(m.payload);
+      all[r] = br.get<std::uint64_t>();
+    }
+  } else {
+    BufWriter w;
+    w.put(v);
+    send_internal(0, gather_tag, w.take());
+  }
+
+  int top = 1;
+  while (top < p) top <<= 1;
+  int lsb = rank_ == 0 ? top : (rank_ & -rank_);
+  if (rank_ != 0) {
+    Message m = recv_internal(rank_ & (rank_ - 1), bcast_tag);
+    BufReader br(m.payload);
+    all = br.get_vec<std::uint64_t>();
+  }
+  for (int k = lsb >> 1; k >= 1; k >>= 1) {
+    if (rank_ + k < p) {
+      BufWriter w;
+      w.put_vec(all);
+      send_internal(rank_ + k, bcast_tag, w.take());
+    }
+  }
+  return all;
+}
+
+Buffer Communicator::broadcast(Buffer from_root) {
+  const int p = size();
+  const int tag = kInternalTagBase + 2 * collective_seq_;
+  ++collective_seq_;
+  if (p == 1) return from_root;
+
+  int top = 1;
+  while (top < p) top <<= 1;
+  int lsb = rank_ == 0 ? top : (rank_ & -rank_);
+  Buffer data = std::move(from_root);
+  if (rank_ != 0) {
+    Message m = recv_internal(rank_ & (rank_ - 1), tag);
+    data = std::move(m.payload);
+  }
+  for (int k = lsb >> 1; k >= 1; k >>= 1) {
+    if (rank_ + k < p) {
+      send_internal(rank_ + k, tag, data);  // copy: several children
+    }
+  }
+  return data;
+}
+
+std::vector<Buffer> Communicator::all_to_all(std::vector<Buffer> sendbufs) {
+  const int p = size();
+  ESTCLUST_CHECK(static_cast<int>(sendbufs.size()) == p);
+  const int tag = kInternalTagBase + 2 * collective_seq_;
+  ++collective_seq_;
+
+  std::vector<Buffer> result(p);
+  // Local copy costs byte_op per byte; remote buffers pay the message cost.
+  charge(cost_model().byte_op, sendbufs[rank_].size());
+  result[rank_] = std::move(sendbufs[rank_]);
+  for (int off = 1; off < p; ++off) {
+    int dest = (rank_ + off) % p;
+    send_internal(dest, tag, std::move(sendbufs[dest]));
+  }
+  for (int off = 1; off < p; ++off) {
+    int src = (rank_ - off % p + p) % p;
+    Message m = recv_internal(src, tag);
+    result[src] = std::move(m.payload);
+  }
+  return result;
+}
+
+double run_ranks(int nranks, const CostModel& cm,
+                 const std::function<void(Communicator&)>& rank_main) {
+  Runtime rt(nranks, cm);
+  rt.run(rank_main);
+  return rt.elapsed_vtime();
+}
+
+}  // namespace estclust::mpr

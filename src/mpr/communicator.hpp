@@ -1,0 +1,107 @@
+// Per-rank handle into the message-passing runtime.
+//
+// Mirrors the dozen MPI calls the paper's software needs: point-to-point
+// send/recv/probe, barrier, reductions, gather and all-to-all-v. Collectives
+// are implemented with real point-to-point messages over a binomial tree so
+// their virtual-time cost is the genuine O(log p) of the algorithm, not a
+// formula.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "mpr/clock.hpp"
+#include "mpr/mailbox.hpp"
+#include "mpr/message.hpp"
+
+namespace estclust::mpr {
+
+class Runtime;
+
+/// Per-rank communication statistics (for benchmark reporting).
+struct RankStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+};
+
+class Communicator {
+ public:
+  Communicator(Runtime& rt, int rank);
+
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Sends `payload` to `dest` with user tag `tag` (0 <= tag <
+  /// kInternalTagBase). Advances the sender's clock by the send overhead.
+  void send(int dest, int tag, Buffer payload);
+
+  /// Blocking receive; src/tag may be kAnySource / kAnyTag. On return the
+  /// receiver's clock has been synced to the message arrival time.
+  Message recv(int src = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking receive. Only returns a message whose modeled arrival time
+  /// is <= the receiver's current clock *or* any queued message if the
+  /// receiver is idle-polling (we sync the clock forward in that case).
+  std::optional<Message> try_recv(int src = kAnySource, int tag = kAnyTag);
+
+  /// True iff a matching message is queued.
+  bool probe(int src = kAnySource, int tag = kAnyTag);
+
+  /// Synchronizes all ranks; clocks advance to the common release time.
+  void barrier();
+
+  /// Reductions over all ranks (every rank gets the result).
+  std::uint64_t allreduce_sum(std::uint64_t v);
+  double allreduce_sum(double v);
+  double allreduce_max(double v);
+  std::uint64_t allreduce_max(std::uint64_t v);
+
+  /// Element-wise sum of equal-length vectors across ranks.
+  std::vector<std::uint64_t> allreduce_sum_vec(std::vector<std::uint64_t> v);
+
+  /// Gather one value per rank to every rank, indexed by rank.
+  std::vector<std::uint64_t> allgather(std::uint64_t v);
+
+  /// Broadcasts rank 0's buffer to every rank over a binomial tree; the
+  /// argument is ignored on non-root ranks.
+  Buffer broadcast(Buffer from_root);
+
+  /// Personalized all-to-all: sendbufs[r] goes to rank r; returns the
+  /// buffers received, indexed by source rank. sendbufs.size() must be p.
+  std::vector<Buffer> all_to_all(std::vector<Buffer> sendbufs);
+
+  /// Virtual clock of this rank.
+  VirtualClock& clock();
+  const CostModel& cost_model() const;
+
+  /// Charges `count` units of the given per-unit cost to this rank's clock.
+  void charge(double unit_cost, std::uint64_t count);
+
+  RankStats& stats();
+
+ private:
+  void send_internal(int dest, int tag, Buffer payload);
+  Message recv_internal(int src, int tag);
+
+  /// Binomial-tree reduce-to-0 + broadcast of a fixed-size payload.
+  template <typename T>
+  T allreduce_impl(T v, const std::function<T(T, T)>& op);
+
+  Runtime& rt_;
+  int rank_;
+  int collective_seq_ = 0;  // matches across ranks: SPMD collective order
+};
+
+/// Runs `rank_main` on `nranks` ranks (one thread each) and returns the
+/// parallel virtual run-time: the maximum final clock over all ranks.
+/// Exceptions thrown by any rank are rethrown from the calling thread.
+double run_ranks(int nranks, const CostModel& cm,
+                 const std::function<void(Communicator&)>& rank_main);
+
+}  // namespace estclust::mpr

@@ -1,0 +1,56 @@
+#include "mpr/mailbox.hpp"
+
+namespace estclust::mpr {
+
+void Mailbox::push(Message&& m) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(m));
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::matches(const Message& m, int src, int tag) {
+  if (src != kAnySource && m.src != src) return false;
+  if (tag == kAnyTag) return m.tag < kInternalTagBase;
+  return m.tag == tag;
+}
+
+std::optional<Message> Mailbox::pop_locked(int src, int tag) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, src, tag)) {
+      Message m = std::move(*it);
+      queue_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+Message Mailbox::pop(int src, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (auto m = pop_locked(src, tag)) return std::move(*m);
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Message> Mailbox::try_pop(int src, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pop_locked(src, tag);
+}
+
+bool Mailbox::probe(int src, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& m : queue_) {
+    if (matches(m, src, tag)) return true;
+  }
+  return false;
+}
+
+std::size_t Mailbox::size() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace estclust::mpr

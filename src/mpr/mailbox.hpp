@@ -1,0 +1,49 @@
+// Per-rank incoming message queue.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "mpr/message.hpp"
+
+namespace estclust::mpr {
+
+/// First tag value reserved for runtime-internal traffic (collectives).
+/// User code must use tags in [0, kInternalTagBase); a wildcard receive
+/// (tag = kAnyTag) matches user tags only, so collective traffic can never
+/// be stolen by application receives.
+inline constexpr int kInternalTagBase = 1 << 24;
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Multi-producer single-consumer mailbox with (src, tag) matching.
+/// Messages that don't match a pending receive stay queued in FIFO order.
+class Mailbox {
+ public:
+  void push(Message&& m);
+
+  /// Blocks until a message matching (src, tag) is available and removes it.
+  /// src = kAnySource matches any sender; tag = kAnyTag matches any *user*
+  /// tag (see kInternalTagBase).
+  Message pop(int src, int tag);
+
+  /// Non-blocking variant.
+  std::optional<Message> try_pop(int src, int tag);
+
+  /// True iff a matching message is queued right now.
+  bool probe(int src, int tag);
+
+  std::size_t size();
+
+ private:
+  static bool matches(const Message& m, int src, int tag);
+  std::optional<Message> pop_locked(int src, int tag);
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace estclust::mpr

@@ -1,0 +1,109 @@
+// Messages and POD serialization for the message-passing runtime.
+//
+// mpr plays the role MPI plays in the paper's implementation: rank-addressed
+// point-to-point messages plus a handful of collectives. Payloads are flat
+// byte buffers written/read with BufWriter/BufReader; only trivially
+// copyable types, strings and vectors thereof are supported, which keeps the
+// wire format obvious and portable.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace estclust::mpr {
+
+using Buffer = std::vector<std::uint8_t>;
+
+/// A delivered message. `arrival_vtime` is the virtual time at which the
+/// LogP-style cost model says the message reaches the receiver.
+struct Message {
+  int src = -1;
+  int tag = -1;
+  Buffer payload;
+  double arrival_vtime = 0.0;
+};
+
+/// Appends typed values to a Buffer.
+class BufWriter {
+ public:
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  void put_string(std::string_view s) {
+    put<std::uint64_t>(s.size());
+    const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+    buf_.insert(buf_.end(), p, p + s.size());
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put_vec(const std::vector<T>& v) {
+    put<std::uint64_t>(v.size());
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+  }
+
+  Buffer take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Buffer buf_;
+};
+
+/// Reads typed values back out of a Buffer in write order.
+class BufReader {
+ public:
+  explicit BufReader(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit BufReader(const Buffer& b) : data_(b.data(), b.size()) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T get() {
+    ESTCLUST_CHECK_MSG(pos_ + sizeof(T) <= data_.size(),
+                       "BufReader underflow");
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string get_string() {
+    auto len = get<std::uint64_t>();
+    ESTCLUST_CHECK_MSG(pos_ + len <= data_.size(), "BufReader underflow");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> get_vec() {
+    auto len = get<std::uint64_t>();
+    ESTCLUST_CHECK_MSG(pos_ + len * sizeof(T) <= data_.size(),
+                       "BufReader underflow");
+    std::vector<T> v(len);
+    std::memcpy(v.data(), data_.data() + pos_, len * sizeof(T));
+    pos_ += len * sizeof(T);
+    return v;
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace estclust::mpr

@@ -1,0 +1,55 @@
+#include "mpr/runtime.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace estclust::mpr {
+
+Runtime::Runtime(int nranks, CostModel cm)
+    : cm_(cm), clocks_(nranks), stats_(nranks) {
+  ESTCLUST_CHECK(nranks > 0);
+  mailboxes_.reserve(nranks);
+  for (int i = 0; i < nranks; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void Runtime::run(const std::function<void(Communicator&)>& rank_main) {
+  const int p = size();
+  std::vector<std::thread> threads;
+  threads.reserve(p);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm(*this, r);
+      try {
+        rank_main(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+double Runtime::elapsed_vtime() const {
+  double t = 0.0;
+  for (const auto& c : clocks_) t = std::max(t, c.time());
+  return t;
+}
+
+double Runtime::total_busy_vtime() const {
+  double t = 0.0;
+  for (const auto& c : clocks_) t += c.busy_time();
+  return t;
+}
+
+}  // namespace estclust::mpr

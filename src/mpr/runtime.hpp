@@ -1,0 +1,42 @@
+// Runtime: owns the mailboxes, clocks and threads backing a rank group.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mpr/clock.hpp"
+#include "mpr/communicator.hpp"
+#include "mpr/mailbox.hpp"
+
+namespace estclust::mpr {
+
+class Runtime {
+ public:
+  Runtime(int nranks, CostModel cm);
+
+  int size() const { return static_cast<int>(mailboxes_.size()); }
+  const CostModel& cost_model() const { return cm_; }
+
+  Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
+  VirtualClock& clock(int rank) { return clocks_[rank]; }
+  RankStats& stats(int rank) { return stats_[rank]; }
+
+  /// Runs rank_main on every rank (rank 0..n-1), one std::thread each.
+  /// Blocks until all ranks return; rethrows the first rank exception.
+  void run(const std::function<void(Communicator&)>& rank_main);
+
+  /// Max final virtual clock over ranks after run().
+  double elapsed_vtime() const;
+
+  /// Sum of per-rank busy virtual time (for utilization metrics).
+  double total_busy_vtime() const;
+
+ private:
+  CostModel cm_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<VirtualClock> clocks_;
+  std::vector<RankStats> stats_;
+};
+
+}  // namespace estclust::mpr

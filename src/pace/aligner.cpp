@@ -1,0 +1,22 @@
+#include "pace/aligner.hpp"
+
+namespace estclust::pace {
+
+PairEvaluation evaluate_pair(const bio::EstSet& ests,
+                             const pairgen::PromisingPair& pair,
+                             const align::OverlapParams& params) {
+  auto a = ests.str(bio::EstSet::forward_sid(pair.a));
+  auto b = ests.str(pair.b_rc ? bio::EstSet::rc_sid(pair.b)
+                              : bio::EstSet::forward_sid(pair.b));
+  align::Anchor anchor;
+  anchor.a_pos = pair.a_pos;
+  anchor.b_pos = pair.b_pos;
+  anchor.len = pair.match_len;
+
+  PairEvaluation out;
+  out.overlap = align::align_anchored(a, b, anchor, params);
+  out.accepted = align::accept_overlap(out.overlap, params);
+  return out;
+}
+
+}  // namespace estclust::pace

@@ -1,0 +1,24 @@
+// Bridges promising pairs to the anchored alignment kernel.
+#pragma once
+
+#include "align/anchored.hpp"
+#include "bio/dataset.hpp"
+#include "pairgen/generator.hpp"
+
+namespace estclust::pace {
+
+/// Outcome of aligning one promising pair.
+struct PairEvaluation {
+  align::OverlapResult overlap;
+  bool accepted = false;
+};
+
+/// Runs the anchored banded alignment of §3.3 on the pair: string a is the
+/// forward orientation of EST pair.a; string b is EST pair.b in the
+/// orientation recorded by the generator; the maximal common substring
+/// found by the GST is the anchor.
+PairEvaluation evaluate_pair(const bio::EstSet& ests,
+                             const pairgen::PromisingPair& pair,
+                             const align::OverlapParams& params);
+
+}  // namespace estclust::pace

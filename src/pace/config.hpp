@@ -1,0 +1,56 @@
+// Configuration of the clustering pipeline.
+#pragma once
+
+#include <cstdint>
+
+#include "align/anchored.hpp"
+#include "gst/parallel.hpp"
+
+namespace estclust::pace {
+
+struct PaceConfig {
+  gst::GstConfig gst;  ///< bucket window w (paper: 8)
+
+  /// Promising-pair threshold psi: minimum maximal-common-substring length.
+  /// Must be >= gst.window (shorter suffixes are never inserted).
+  std::uint32_t psi = 20;
+
+  align::OverlapParams overlap;  ///< banded alignment + acceptance knobs
+
+  /// Pairs dispatched to a slave per interaction (paper: 40-60 optimal).
+  std::size_t batchsize = 60;
+
+  /// Capacity of the master's WORKBUF in pairs.
+  std::size_t workbuf_capacity = 1 << 14;
+
+  /// Target fill of a slave's PAIRBUF (pairs generated ahead while the
+  /// slave would otherwise wait for the master).
+  std::size_t pairbuf_capacity = 2048;
+
+  void validate() const;
+};
+
+/// Counters and phase timings shared by the sequential and parallel
+/// drivers. Times are wall-clock seconds for the sequential driver and
+/// virtual seconds (max over ranks) for the parallel one.
+struct PaceStats {
+  std::uint64_t pairs_generated = 0;  ///< emitted by pair generators
+  std::uint64_t pairs_processed = 0;  ///< actually aligned
+  std::uint64_t pairs_accepted = 0;   ///< alignments passing the criteria
+  std::uint64_t pairs_skipped = 0;    ///< dropped: ESTs already co-clustered
+  std::uint64_t merges = 0;           ///< successful cluster unions
+  std::uint64_t dp_cells = 0;         ///< DP cells computed in alignments
+  std::size_t num_clusters = 0;
+
+  double t_partition = 0.0;  ///< suffix bucketing + histogram + routing
+  double t_gst = 0.0;        ///< bucket-tree construction
+  double t_sort = 0.0;       ///< node sorting by string-depth
+  double t_align = 0.0;      ///< clustering loop (alignment-dominated)
+  double t_total = 0.0;
+
+  /// Fraction of total time the master spent busy (§4.2: < 2% even at 128
+  /// processors). Zero for the sequential driver.
+  double master_busy_fraction = 0.0;
+};
+
+}  // namespace estclust::pace

@@ -1,0 +1,168 @@
+#include "pace/master.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace estclust::pace {
+
+Master::Master(mpr::Communicator& comm, const bio::EstSet& ests,
+               const PaceConfig& cfg)
+    : comm_(comm),
+      cfg_(cfg),
+      clusters_(ests.num_ests()),
+      num_slaves_(comm.size() - 1),
+      state_(comm.size(), SlaveState::kExpectingReport),
+      passive_(comm.size(), false),
+      last_reported_(comm.size(), 0),
+      last_admitted_(comm.size(), 0) {
+  ESTCLUST_CHECK_MSG(num_slaves_ >= 1, "master requires at least one slave");
+}
+
+bool Master::all_waiting() const {
+  for (int s = 1; s <= num_slaves_; ++s) {
+    if (state_[s] == SlaveState::kExpectingReport) return false;
+  }
+  return true;
+}
+
+void Master::process_report(int slave, const ReportMsg& msg) {
+  ++counters_.interactions;
+  // Incorporate alignment results: merge clusters for accepted overlaps.
+  for (const auto& r : msg.results) {
+    if (r.accepted) {
+      ++counters_.pairs_accepted;
+      if (clusters_.unite(r.a, r.b)) ++counters_.merges;
+      overlaps_.push_back({r.a, r.b, r.b_rc != 0,
+                           static_cast<align::OverlapKind>(r.kind),
+                           r.a_begin, r.a_end, r.b_begin, r.b_end,
+                           static_cast<double>(r.quality)});
+    }
+  }
+  // Admit reported pairs whose ESTs are still in different clusters.
+  std::uint64_t admitted = 0;
+  for (const auto& p : msg.pairs) {
+    if (clusters_.same(p.a, p.b)) {
+      ++counters_.pairs_skipped;
+    } else {
+      // The E rule keeps the buffer under capacity in steady state; the
+      // unsolicited initial batches may nudge past it, so the capacity is
+      // soft (compute_request sees nfree = 0 and throttles).
+      workbuf_.push_back(p);
+      ++counters_.pairs_enqueued;
+      ++admitted;
+    }
+  }
+  last_reported_[slave] = msg.pairs.size();
+  last_admitted_[slave] = admitted;
+  passive_[slave] = msg.out_of_pairs;
+
+  // Charge union-find work incurred since the last report.
+  std::uint64_t ops = clusters_.operations();
+  comm_.charge(comm_.cost_model().uf_op, ops - uf_ops_charged_);
+  uf_ops_charged_ = ops;
+}
+
+std::uint64_t Master::compute_request(int slave) const {
+  if (passive_[slave]) return 0;
+  const double reported = static_cast<double>(last_reported_[slave]);
+  const double admitted =
+      static_cast<double>(std::max<std::uint64_t>(1, last_admitted_[slave]));
+  const double delta_ratio = std::max(1.0, reported / admitted);  // Δ
+  int active = 0;
+  for (int s = 1; s <= num_slaves_; ++s) active += passive_[s] ? 0 : 1;
+  const double delta_factor =
+      static_cast<double>(num_slaves_) / std::max(1, active);  // δ
+  const double nfree = static_cast<double>(
+      cfg_.workbuf_capacity > workbuf_.size()
+          ? cfg_.workbuf_capacity - workbuf_.size()
+          : 0);
+  const double e = std::min(
+      delta_ratio * delta_factor * static_cast<double>(cfg_.batchsize),
+      nfree / static_cast<double>(num_slaves_));
+  return static_cast<std::uint64_t>(std::max(0.0, e));
+}
+
+std::vector<pairgen::PromisingPair> Master::take_work() {
+  std::vector<pairgen::PromisingPair> work;
+  const std::size_t w = std::min(cfg_.batchsize, workbuf_.size());
+  work.reserve(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    work.push_back(workbuf_.front());
+    workbuf_.pop_front();
+  }
+  return work;
+}
+
+void Master::reply(int slave) {
+  AssignMsg assign;
+  assign.work = take_work();
+  assign.request = compute_request(slave);
+  if (assign.work.empty() && assign.request == 0) {
+    // Nothing to do and nothing to ask for: park the slave (§3.3 wait
+    // queue) instead of ping-ponging empty messages.
+    state_[slave] = SlaveState::kWaiting;
+    wait_queue_.push_back(slave);
+    return;
+  }
+  comm_.send(slave, kTagAssign, encode_assign(assign));
+  state_[slave] = SlaveState::kExpectingReport;
+}
+
+void Master::drain_wait_queue() {
+  while (!wait_queue_.empty() && !workbuf_.empty()) {
+    int slave = wait_queue_.front();
+    wait_queue_.pop_front();
+    AssignMsg assign;
+    assign.work = take_work();
+    assign.request = compute_request(slave);
+    comm_.send(slave, kTagAssign, encode_assign(assign));
+    state_[slave] = SlaveState::kExpectingReport;
+  }
+}
+
+void Master::run() {
+  // Every slave owes an unsolicited initial report. Service reports in
+  // deterministic round-robin order; the wait-queue keeps idle passive
+  // slaves out of the rotation until work appears for them.
+  int cursor = 1;
+  for (;;) {
+    if (all_waiting()) {
+      if (workbuf_.empty()) break;
+      drain_wait_queue();
+      continue;
+    }
+    // Advance to the next slave owing a report.
+    while (state_[cursor] != SlaveState::kExpectingReport) {
+      cursor = cursor % num_slaves_ + 1;
+    }
+    const int slave = cursor;
+    cursor = cursor % num_slaves_ + 1;
+
+    mpr::Message m = comm_.recv(slave, kTagReport);
+    ReportMsg report = decode_report(m.payload);
+    process_report(slave, report);
+    reply(slave);
+    drain_wait_queue();
+  }
+
+  // All slaves are parked and the work buffer is drained. Slaves parked on
+  // the wait-queue still hold the results of their final alignments (a
+  // report is only sent in response to an assignment), so flush each with
+  // an empty assignment before stopping it.
+  for (int s = 1; s <= num_slaves_; ++s) {
+    ESTCLUST_CHECK(state_[s] == SlaveState::kWaiting);
+    comm_.send(s, kTagAssign, encode_assign(AssignMsg{}));
+    mpr::Message m = comm_.recv(s, kTagReport);
+    ReportMsg report = decode_report(m.payload);
+    ESTCLUST_CHECK_MSG(report.pairs.empty(),
+                       "parked slave produced pairs during final flush");
+    process_report(s, report);
+  }
+  for (int s = 1; s <= num_slaves_; ++s) {
+    comm_.send(s, kTagStop, {});
+    state_[s] = SlaveState::kStopped;
+  }
+}
+
+}  // namespace estclust::pace

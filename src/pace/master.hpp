@@ -1,0 +1,74 @@
+// The master processor (§3.3): owns CLUSTERS (union-find) and WORKBUF,
+// selects which promising pairs are worth aligning, and flow-controls the
+// slaves' pair generation with the E = min(Δ·δ·batchsize, nfree/p) rule.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "bio/dataset.hpp"
+#include "cluster/union_find.hpp"
+#include "mpr/communicator.hpp"
+#include "pace/config.hpp"
+#include "pace/messages.hpp"
+#include "pace/sequential.hpp"
+
+namespace estclust::pace {
+
+/// Master-side counters.
+struct MasterCounters {
+  std::uint64_t pairs_skipped = 0;   ///< dropped: already co-clustered
+  std::uint64_t pairs_enqueued = 0;  ///< admitted to WORKBUF
+  std::uint64_t pairs_accepted = 0;  ///< results with a passing alignment
+  std::uint64_t merges = 0;
+  std::uint64_t interactions = 0;    ///< slave messages processed
+};
+
+class Master {
+ public:
+  Master(mpr::Communicator& comm, const bio::EstSet& ests,
+         const PaceConfig& cfg);
+
+  /// Runs the interaction loop until every slave is out of pairs and all
+  /// in-flight work has been reported; sends STOP to all slaves.
+  void run();
+
+  cluster::UnionFind& clusters() { return clusters_; }
+  const MasterCounters& counters() const { return counters_; }
+
+  /// Accepted overlaps reported by the slaves (for downstream assembly).
+  std::vector<AcceptedOverlap>& overlaps() { return overlaps_; }
+
+ private:
+  enum class SlaveState : std::uint8_t {
+    kExpectingReport,  ///< an assignment is out; a report will come back
+    kWaiting,          ///< parked on the wait-queue (no message owed)
+    kStopped,
+  };
+
+  void process_report(int slave, const ReportMsg& msg);
+  void reply(int slave);
+  void drain_wait_queue();
+  std::uint64_t compute_request(int slave) const;
+  std::vector<pairgen::PromisingPair> take_work();
+  bool all_waiting() const;
+
+  mpr::Communicator& comm_;
+  const PaceConfig& cfg_;
+  cluster::UnionFind clusters_;
+  std::deque<pairgen::PromisingPair> workbuf_;
+  MasterCounters counters_;
+
+  int num_slaves_;
+  std::vector<SlaveState> state_;   ///< indexed by rank (entry 0 unused)
+  std::vector<bool> passive_;      ///< slave has no more pairs to generate
+  std::deque<int> wait_queue_;
+  // Per-slave P and P' of the latest report, for the Δ = P/P' factor.
+  std::vector<std::uint64_t> last_reported_;
+  std::vector<std::uint64_t> last_admitted_;
+  std::uint64_t uf_ops_charged_ = 0;
+  std::vector<AcceptedOverlap> overlaps_;
+};
+
+}  // namespace estclust::pace

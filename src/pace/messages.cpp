@@ -1,0 +1,37 @@
+#include "pace/messages.hpp"
+
+namespace estclust::pace {
+
+mpr::Buffer encode_report(const ReportMsg& m) {
+  mpr::BufWriter w;
+  w.put_vec(m.results);
+  w.put_vec(m.pairs);
+  w.put<std::uint8_t>(m.out_of_pairs ? 1 : 0);
+  return w.take();
+}
+
+ReportMsg decode_report(const mpr::Buffer& b) {
+  mpr::BufReader r(b);
+  ReportMsg m;
+  m.results = r.get_vec<WireResult>();
+  m.pairs = r.get_vec<pairgen::PromisingPair>();
+  m.out_of_pairs = r.get<std::uint8_t>() != 0;
+  return m;
+}
+
+mpr::Buffer encode_assign(const AssignMsg& m) {
+  mpr::BufWriter w;
+  w.put_vec(m.work);
+  w.put<std::uint64_t>(m.request);
+  return w.take();
+}
+
+AssignMsg decode_assign(const mpr::Buffer& b) {
+  mpr::BufReader r(b);
+  AssignMsg m;
+  m.work = r.get_vec<pairgen::PromisingPair>();
+  m.request = r.get<std::uint64_t>();
+  return m;
+}
+
+}  // namespace estclust::pace

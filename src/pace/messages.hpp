@@ -1,0 +1,55 @@
+// Wire formats of the master/slave protocol (§3.3).
+//
+// One interaction is: slave -> master REPORT {R results, P promising
+// pairs, out-of-pairs flag}; master -> slave ASSIGN {W pairs to align, E
+// pairs to bring next time}. STOP ends a slave's loop after a final flush.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/dataset.hpp"
+#include "mpr/message.hpp"
+#include "pairgen/generator.hpp"
+
+namespace estclust::pace {
+
+inline constexpr int kTagReport = 1;
+inline constexpr int kTagAssign = 2;
+inline constexpr int kTagStop = 3;
+
+/// Result of one pairwise alignment, as shipped to the master. The master
+/// only needs the identity of the pair and the verdict; score/quality ride
+/// along for logging and tests.
+struct WireResult {
+  bio::EstId a = 0;
+  bio::EstId b = 0;
+  std::uint8_t b_rc = 0;
+  std::uint8_t accepted = 0;
+  std::uint8_t kind = 0;  ///< align::OverlapKind
+  float quality = 0.0f;
+  // Aligned spans (for downstream layout/assembly).
+  std::uint32_t a_begin = 0, a_end = 0;
+  std::uint32_t b_begin = 0, b_end = 0;
+};
+static_assert(std::is_trivially_copyable_v<WireResult>);
+static_assert(std::is_trivially_copyable_v<pairgen::PromisingPair>);
+
+struct ReportMsg {
+  std::vector<WireResult> results;           ///< R
+  std::vector<pairgen::PromisingPair> pairs; ///< P
+  bool out_of_pairs = false;
+};
+
+struct AssignMsg {
+  std::vector<pairgen::PromisingPair> work;  ///< W
+  std::uint64_t request = 0;                 ///< E
+};
+
+mpr::Buffer encode_report(const ReportMsg& m);
+ReportMsg decode_report(const mpr::Buffer& b);
+
+mpr::Buffer encode_assign(const AssignMsg& m);
+AssignMsg decode_assign(const mpr::Buffer& b);
+
+}  // namespace estclust::pace

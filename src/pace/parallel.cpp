@@ -1,0 +1,151 @@
+#include "pace/parallel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/union_find.hpp"
+#include "gst/parallel.hpp"
+#include "pace/aligner.hpp"
+#include "pace/master.hpp"
+#include "pace/slave.hpp"
+#include "pairgen/generator.hpp"
+#include "util/check.hpp"
+
+namespace estclust::pace {
+
+namespace {
+
+/// p = 1: the full pipeline on one rank with identical charging, so the
+/// single-processor point of the scaling curves is measured by the same
+/// clock as the parallel points.
+ParallelResult cluster_single_rank(mpr::Communicator& comm,
+                                   const bio::EstSet& ests,
+                                   const PaceConfig& cfg) {
+  const auto& cm = comm.cost_model();
+  ParallelResult res;
+  PaceStats& st = res.stats;
+
+  gst::ParallelBuildStats build_stats;
+  auto forest = gst::build_forest_parallel(comm, ests, cfg.gst, &build_stats);
+  st.t_partition = build_stats.partition_vtime;
+  st.t_gst = build_stats.build_vtime;
+
+  double t = comm.clock().time();
+  pairgen::PairGenerator gen(ests, forest, cfg.psi);
+  std::uint64_t k = 0;
+  for (const auto& tr : forest) k += tr.size();
+  comm.charge(cm.sort_op,
+              k * (1 + static_cast<std::uint64_t>(
+                           std::log2(static_cast<double>(k + 1)))));
+  st.t_sort = comm.clock().time() - t;
+
+  t = comm.clock().time();
+  cluster::UnionFind uf(ests.num_ests());
+  std::uint64_t uf_charged = 0;
+  std::vector<pairgen::PromisingPair> batch;
+  while (gen.next_batch(cfg.batchsize, batch) > 0) {
+    comm.charge(cm.pair_op, gen.take_work_units());
+    for (const auto& p : batch) {
+      if (uf.same(p.a, p.b)) {
+        ++st.pairs_skipped;
+        continue;
+      }
+      PairEvaluation ev = evaluate_pair(ests, p, cfg.overlap);
+      comm.charge(cm.dp_cell, ev.overlap.cells);
+      ++st.pairs_processed;
+      st.dp_cells += ev.overlap.cells;
+      if (ev.accepted) {
+        ++st.pairs_accepted;
+        if (uf.unite(p.a, p.b)) ++st.merges;
+        res.overlaps.push_back(
+            {p.a, p.b, p.b_rc, ev.overlap.kind,
+             static_cast<std::uint32_t>(ev.overlap.a_begin),
+             static_cast<std::uint32_t>(ev.overlap.a_end),
+             static_cast<std::uint32_t>(ev.overlap.b_begin),
+             static_cast<std::uint32_t>(ev.overlap.b_end),
+             ev.overlap.quality});
+      }
+    }
+    comm.charge(cm.uf_op, uf.operations() - uf_charged);
+    uf_charged = uf.operations();
+    batch.clear();
+  }
+  st.t_align = comm.clock().time() - t;
+
+  st.pairs_generated = gen.stats().pairs_emitted;
+  st.num_clusters = uf.num_clusters();
+  st.t_total = comm.clock().time();
+  res.labels = uf.labels();
+  return res;
+}
+
+}  // namespace
+
+ParallelResult cluster_parallel(mpr::Communicator& comm,
+                                const bio::EstSet& ests,
+                                const PaceConfig& cfg) {
+  cfg.validate();
+  if (comm.size() == 1) return cluster_single_rank(comm, ests, cfg);
+
+  // Keep the soft WORKBUF cap comfortably above the slaves' unsolicited
+  // initial batches so flow control starts in steady state.
+  PaceConfig effective = cfg;
+  effective.workbuf_capacity =
+      std::max(cfg.workbuf_capacity,
+               4 * static_cast<std::size_t>(comm.size()) * cfg.batchsize);
+
+  ParallelResult res;
+  PaceStats& st = res.stats;
+
+  // Phase 1+2: distributed GST, buckets owned by slaves only.
+  gst::ParallelBuildStats build_stats;
+  auto forest = gst::build_forest_parallel(comm, ests, effective.gst,
+                                           &build_stats,
+                                           /*first_owner_rank=*/1);
+  st.t_partition = comm.allreduce_max(build_stats.partition_vtime);
+  st.t_gst = comm.allreduce_max(build_stats.build_vtime);
+
+  // Phase 3+4: master/slave clustering loop.
+  std::vector<std::uint32_t> labels;
+  SlaveCounters slave_counters;
+  MasterCounters master_counters;
+  double master_busy = 0.0;
+  if (comm.rank() == 0) {
+    const double busy_before = comm.clock().busy_time();
+    Master master(comm, ests, effective);
+    master.run();
+    master_busy = comm.clock().busy_time() - busy_before;
+    master_counters = master.counters();
+    labels = master.clusters().labels();
+    st.num_clusters = master.clusters().num_clusters();
+    res.overlaps = std::move(master.overlaps());
+  } else {
+    Slave slave(comm, ests, effective, forest);
+    slave_counters = slave.run();
+  }
+
+  // Aggregate counters and phase times.
+  st.pairs_generated = comm.allreduce_sum(slave_counters.pairs_generated);
+  st.pairs_processed = comm.allreduce_sum(slave_counters.pairs_aligned);
+  st.dp_cells = comm.allreduce_sum(slave_counters.dp_cells);
+  st.pairs_accepted = comm.allreduce_sum(master_counters.pairs_accepted);
+  st.pairs_skipped = comm.allreduce_sum(master_counters.pairs_skipped);
+  st.merges = comm.allreduce_sum(master_counters.merges);
+  st.num_clusters = static_cast<std::size_t>(
+      comm.allreduce_max(static_cast<std::uint64_t>(st.num_clusters)));
+  st.t_sort = comm.allreduce_max(slave_counters.sort_vtime);
+  st.t_align = comm.allreduce_max(slave_counters.loop_vtime);
+  st.t_total = comm.allreduce_max(comm.clock().time());
+  st.master_busy_fraction =
+      comm.allreduce_max(master_busy) / std::max(st.t_total, 1e-12);
+
+  // Share the clustering with every rank.
+  mpr::BufWriter w;
+  w.put_vec(labels);
+  mpr::Buffer b = comm.broadcast(w.take());
+  mpr::BufReader r(b);
+  res.labels = r.get_vec<std::uint32_t>();
+  return res;
+}
+
+}  // namespace estclust::pace

@@ -1,0 +1,93 @@
+#include "pace/sequential.hpp"
+
+#include <algorithm>
+
+#include "gst/builder.hpp"
+#include "pace/aligner.hpp"
+#include "pairgen/generator.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace estclust::pace {
+
+void PaceConfig::validate() const {
+  ESTCLUST_CHECK_MSG(psi >= gst.window,
+                     "psi must be >= the GST window w");
+  ESTCLUST_CHECK(batchsize > 0);
+  ESTCLUST_CHECK(workbuf_capacity >= batchsize);
+  ESTCLUST_CHECK(pairbuf_capacity >= batchsize);
+}
+
+SequentialResult cluster_sequential(const bio::EstSet& ests,
+                                    const PaceConfig& cfg,
+                                    SequentialOptions options) {
+  cfg.validate();
+  const std::size_t n = ests.num_ests();
+  SequentialResult res{cluster::UnionFind(n), {}, {}};
+  PaceStats& st = res.stats;
+  WallTimer total;
+
+  WallTimer phase;
+  auto forest = gst::build_forest_sequential(ests, cfg.gst.window);
+  st.t_gst = phase.seconds();
+
+  phase.reset();
+  pairgen::PairGenerator gen(ests, forest, cfg.psi);
+  st.t_sort = phase.seconds();
+
+  phase.reset();
+  auto handle_pair = [&](const pairgen::PromisingPair& p) {
+    if (options.cluster_skip && res.clusters.same(p.a, p.b)) {
+      ++st.pairs_skipped;
+      return;
+    }
+    PairEvaluation ev = evaluate_pair(ests, p, cfg.overlap);
+    ++st.pairs_processed;
+    st.dp_cells += ev.overlap.cells;
+    if (ev.accepted) {
+      ++st.pairs_accepted;
+      if (res.clusters.unite(p.a, p.b)) ++st.merges;
+      res.overlaps.push_back(
+          {p.a, p.b, p.b_rc, ev.overlap.kind,
+           static_cast<std::uint32_t>(ev.overlap.a_begin),
+           static_cast<std::uint32_t>(ev.overlap.a_end),
+           static_cast<std::uint32_t>(ev.overlap.b_begin),
+           static_cast<std::uint32_t>(ev.overlap.b_end),
+           ev.overlap.quality});
+    }
+  };
+
+  if (!options.arbitrary_order) {
+    // On-demand path: pairs arrive in decreasing maximal-common-substring
+    // length, so early merges suppress later redundant alignments.
+    std::vector<pairgen::PromisingPair> batch;
+    while (gen.next_batch(cfg.batchsize, batch) > 0) {
+      for (const auto& p : batch) handle_pair(p);
+      batch.clear();
+    }
+  } else {
+    // Ablation: materialize every promising pair first (the memory-hungry
+    // strategy of prior tools), then process in an order uncorrelated with
+    // match length.
+    std::vector<pairgen::PromisingPair> all;
+    while (gen.next_batch(1 << 20, all) > 0) {
+    }
+    std::sort(all.begin(), all.end(),
+              [](const pairgen::PromisingPair& x,
+                 const pairgen::PromisingPair& y) {
+                if (x.a != y.a) return x.a < y.a;
+                if (x.b != y.b) return x.b < y.b;
+                if (x.a_pos != y.a_pos) return x.a_pos < y.a_pos;
+                return x.b_pos < y.b_pos;
+              });
+    for (const auto& p : all) handle_pair(p);
+  }
+  st.t_align = phase.seconds();
+
+  st.pairs_generated = gen.stats().pairs_emitted;
+  st.num_clusters = res.clusters.num_clusters();
+  st.t_total = total.seconds();
+  return res;
+}
+
+}  // namespace estclust::pace

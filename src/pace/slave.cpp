@@ -1,0 +1,129 @@
+#include "pace/slave.hpp"
+
+#include <cmath>
+
+#include "pace/aligner.hpp"
+#include "util/check.hpp"
+
+namespace estclust::pace {
+
+Slave::Slave(mpr::Communicator& comm, const bio::EstSet& ests,
+             const PaceConfig& cfg, const std::vector<gst::Tree>& forest)
+    : comm_(comm), ests_(ests), cfg_(cfg), generator_(ests, forest, cfg.psi) {
+  // The generator's constructor sorted the local nodes by string-depth;
+  // charge it to this rank's clock (Table 3's "Sorting Nodes" column).
+  std::uint64_t k = 0;
+  for (const auto& t : forest) k += t.size();
+  const double before = comm_.clock().time();
+  comm_.charge(comm_.cost_model().sort_op,
+               k * (1 + static_cast<std::uint64_t>(
+                            std::log2(static_cast<double>(k + 1)))));
+  counters_.sort_vtime = comm_.clock().time() - before;
+}
+
+bool Slave::out_of_pairs() const {
+  return generator_.exhausted() && pairbuf_.empty();
+}
+
+void Slave::top_up_pairbuf(std::size_t target) {
+  if (pairbuf_.size() >= target || generator_.exhausted()) return;
+  std::vector<pairgen::PromisingPair> tmp;
+  generator_.next_batch(target - pairbuf_.size(), tmp);
+  for (const auto& p : tmp) pairbuf_.push_back(p);
+  comm_.charge(comm_.cost_model().pair_op, generator_.take_work_units());
+}
+
+std::vector<pairgen::PromisingPair> Slave::take_pairs(std::size_t count) {
+  std::vector<pairgen::PromisingPair> out;
+  const std::size_t k = std::min(count, pairbuf_.size());
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    out.push_back(pairbuf_.front());
+    pairbuf_.pop_front();
+  }
+  return out;
+}
+
+std::vector<WireResult> Slave::align_all(
+    const std::vector<pairgen::PromisingPair>& work) {
+  std::vector<WireResult> results;
+  results.reserve(work.size());
+  for (const auto& p : work) {
+    PairEvaluation ev = evaluate_pair(ests_, p, cfg_.overlap);
+    comm_.charge(comm_.cost_model().dp_cell, ev.overlap.cells);
+    ++counters_.pairs_aligned;
+    counters_.dp_cells += ev.overlap.cells;
+    WireResult r;
+    r.a = p.a;
+    r.b = p.b;
+    r.b_rc = p.b_rc ? 1 : 0;
+    r.accepted = ev.accepted ? 1 : 0;
+    r.kind = static_cast<std::uint8_t>(ev.overlap.kind);
+    r.quality = static_cast<float>(ev.overlap.quality);
+    r.a_begin = static_cast<std::uint32_t>(ev.overlap.a_begin);
+    r.a_end = static_cast<std::uint32_t>(ev.overlap.a_end);
+    r.b_begin = static_cast<std::uint32_t>(ev.overlap.b_begin);
+    r.b_end = static_cast<std::uint32_t>(ev.overlap.b_end);
+    results.push_back(r);
+  }
+  return results;
+}
+
+SlaveCounters Slave::run() {
+  const double loop_start = comm_.clock().time();
+
+  // Startup (§3.3): generate batchsize pairs split into three equal
+  // portions. Align the first; ship its results with the third; keep the
+  // second as NEXTWORK. From then on the slave always has a batch in hand
+  // while a report is in flight, overlapping communication with
+  // computation. (These startup alignments bypass the master's filter, so
+  // the portions are deliberately small.)
+  const std::size_t portion = std::max<std::size_t>(1, cfg_.batchsize / 3);
+  top_up_pairbuf(3 * portion);
+  std::vector<pairgen::PromisingPair> portion1 = take_pairs(portion);
+  std::vector<pairgen::PromisingPair> nextwork = take_pairs(portion);
+  std::vector<pairgen::PromisingPair> portion3 = take_pairs(portion);
+
+  ReportMsg initial;
+  initial.results = align_all(portion1);
+  initial.pairs = std::move(portion3);
+  initial.out_of_pairs = out_of_pairs();
+  comm_.send(0, kTagReport, encode_report(initial));
+
+  for (;;) {
+    // Compute on the batch in hand before blocking on the master.
+    std::vector<WireResult> results = align_all(nextwork);
+    nextwork.clear();
+
+    // "While waiting, generate more promising pairs" — performed here,
+    // before the blocking receive, so the overlap is deterministic.
+    top_up_pairbuf(cfg_.pairbuf_capacity);
+
+    mpr::Message m = comm_.recv(0);
+    if (m.tag == kTagStop) {
+      ESTCLUST_CHECK_MSG(results.empty(),
+                         "STOP arrived with unreported results");
+      break;
+    }
+    ESTCLUST_CHECK(m.tag == kTagAssign);
+    AssignMsg assign = decode_assign(m.payload);
+
+    // Honour the master's request E, generating on the fly if PAIRBUF
+    // cannot cover it.
+    if (pairbuf_.size() < assign.request) top_up_pairbuf(assign.request);
+
+    ReportMsg report;
+    report.results = std::move(results);
+    report.pairs = take_pairs(assign.request);
+    report.out_of_pairs = out_of_pairs();
+    comm_.send(0, kTagReport, encode_report(report));
+
+    nextwork = std::move(assign.work);
+  }
+
+  counters_.pairs_generated = generator_.stats().pairs_emitted;
+  counters_.loop_vtime = comm_.clock().time() - loop_start;
+  return counters_;
+}
+
+}  // namespace estclust::pace

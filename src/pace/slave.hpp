@@ -1,0 +1,52 @@
+// A slave processor (§3.3): generates promising pairs on demand from its
+// local share of the distributed GST and aligns the pair batches the master
+// assigns, overlapping generation with the wait for the master's reply.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "bio/dataset.hpp"
+#include "gst/tree.hpp"
+#include "mpr/communicator.hpp"
+#include "pace/config.hpp"
+#include "pace/messages.hpp"
+#include "pairgen/generator.hpp"
+
+namespace estclust::pace {
+
+/// Slave-side counters.
+struct SlaveCounters {
+  std::uint64_t pairs_generated = 0;  ///< emitted by the local generator
+  std::uint64_t pairs_aligned = 0;
+  std::uint64_t dp_cells = 0;
+  double sort_vtime = 0.0;   ///< node sorting (generator construction)
+  double loop_vtime = 0.0;   ///< interaction loop (alignment-dominated)
+};
+
+class Slave {
+ public:
+  /// `forest` is this rank's share of the distributed GST.
+  Slave(mpr::Communicator& comm, const bio::EstSet& ests,
+        const PaceConfig& cfg, const std::vector<gst::Tree>& forest);
+
+  /// Runs until the master sends STOP.
+  SlaveCounters run();
+
+ private:
+  std::vector<WireResult> align_all(
+      const std::vector<pairgen::PromisingPair>& work);
+  void top_up_pairbuf(std::size_t target);
+  std::vector<pairgen::PromisingPair> take_pairs(std::size_t count);
+  bool out_of_pairs() const;
+
+  mpr::Communicator& comm_;
+  const bio::EstSet& ests_;
+  const PaceConfig& cfg_;
+  pairgen::PairGenerator generator_;
+  std::deque<pairgen::PromisingPair> pairbuf_;
+  SlaveCounters counters_;
+};
+
+}  // namespace estclust::pace

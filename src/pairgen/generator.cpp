@@ -1,0 +1,230 @@
+#include "pairgen/generator.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace estclust::pairgen {
+
+namespace {
+// Ordering of Σ ∪ {λ} used for the leaf rule (c1 < c2): λ precedes the
+// bases, matching the paper's convention that l_λ pairs with every other
+// class exactly once.
+constexpr int kClassOrder[bio::kNumLsetCodes] = {
+    /*A*/ 1, /*C*/ 2, /*G*/ 3, /*T*/ 4, /*λ*/ 0};
+}  // namespace
+
+PairGenerator::PairGenerator(const bio::EstSet& ests,
+                             const std::vector<gst::Tree>& forest,
+                             std::uint32_t psi)
+    : ests_(ests), forest_(forest), psi_(psi) {
+  for (const auto& t : forest_) {
+    ESTCLUST_CHECK_MSG(
+        psi_ >= t.prefix_depth,
+        "psi must be >= the GST bucket window w (suffixes shorter than w "
+        "were dropped)");
+  }
+  // Collect nodes of string-depth >= psi. Sorting puts deeper nodes first;
+  // within equal depth, higher node index first so that a $-leaf (which
+  // ties its parent's depth) is processed before its parent.
+  remaining_.assign(forest_.size(), 0);
+  for (std::uint32_t t = 0; t < forest_.size(); ++t) {
+    for (std::uint32_t v = 0; v < forest_[t].size(); ++v) {
+      if (forest_[t].depth(v) >= psi_) {
+        order_.push_back({t, v});
+        ++remaining_[t];
+      }
+    }
+  }
+  std::sort(order_.begin(), order_.end(),
+            [&](const NodeRef& x, const NodeRef& y) {
+              std::uint32_t dx = forest_[x.tree].depth(x.node);
+              std::uint32_t dy = forest_[y.tree].depth(y.node);
+              if (dx != dy) return dx > dy;
+              if (x.tree != y.tree) return x.tree < y.tree;
+              return x.node > y.node;
+            });
+  lsets_.resize(forest_.size());
+  mark_.assign(ests_.num_strings(), 0);
+}
+
+NodeLsets& PairGenerator::lsets_of(std::uint32_t tree_idx,
+                                   std::uint32_t node) {
+  auto& per_tree = lsets_[tree_idx];
+  if (per_tree.empty()) per_tree.resize(forest_[tree_idx].size());
+  return per_tree[node];
+}
+
+void PairGenerator::release_lsets(NodeLsets& lsets) {
+  for (auto& set : lsets) pool_.release(set);
+}
+
+bool PairGenerator::exhausted() const {
+  return buffer_.empty() && next_node_ == order_.size();
+}
+
+std::uint64_t PairGenerator::take_work_units() {
+  std::uint64_t w = work_since_take_;
+  work_since_take_ = 0;
+  return w;
+}
+
+std::size_t PairGenerator::next_batch(std::size_t max_pairs,
+                                      std::vector<PromisingPair>& out) {
+  while (buffer_.size() < max_pairs && next_node_ < order_.size()) {
+    process_next_node();
+  }
+  std::size_t count = std::min(max_pairs, buffer_.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(buffer_.front());
+    buffer_.pop_front();
+  }
+  return count;
+}
+
+void PairGenerator::process_next_node() {
+  const NodeRef ref = order_[next_node_++];
+  const gst::Tree& t = forest_[ref.tree];
+  NodeLsets& lsets = lsets_of(ref.tree, ref.node);
+  if (t.is_leaf(ref.node)) {
+    process_leaf(t, ref.node, lsets);
+  } else {
+    process_internal(t, ref.tree, ref.node, lsets);
+  }
+  ++stats_.nodes_processed;
+  // Surviving lsets are only needed by ancestors of depth >= psi. Nodes
+  // whose parents lie below psi (or bucket roots) keep theirs until the
+  // tree's last ordered node completes, at which point the whole tree's
+  // lset storage is retired. This bounds live cells by the occurrence
+  // count of the trees still in flight — linear in input size.
+  if (--remaining_[ref.tree] == 0) {
+    for (auto& node_lsets : lsets_[ref.tree]) release_lsets(node_lsets);
+    lsets_[ref.tree].clear();
+    lsets_[ref.tree].shrink_to_fit();
+  }
+}
+
+void PairGenerator::process_leaf(const gst::Tree& t, std::uint32_t v,
+                                 NodeLsets& lsets) {
+  // lsets come straight from the leaf's occurrence labels. A string appears
+  // at most once per leaf (two suffixes of one string are never equal), so
+  // no duplicate elimination is needed here.
+  for (const auto& occ : t.occurrences(v)) {
+    int c = gst::left_extension_code(ests_, occ);
+    pool_.push(lsets[static_cast<std::size_t>(c)], {occ.sid, occ.pos});
+    ++work_since_take_;
+    ++stats_.lset_work;
+  }
+  const std::uint32_t len = t.depth(v);
+  // Pairs across classes (c1 < c2) and within λ.
+  for (int c1 = 0; c1 < bio::kNumLsetCodes; ++c1) {
+    for (int c2 = c1 + 1; c2 < bio::kNumLsetCodes; ++c2) {
+      if (kClassOrder[c1] < kClassOrder[c2]) {
+        cross_product(lsets[static_cast<std::size_t>(c1)],
+                      lsets[static_cast<std::size_t>(c2)], len);
+      } else {
+        cross_product(lsets[static_cast<std::size_t>(c2)],
+                      lsets[static_cast<std::size_t>(c1)], len);
+      }
+    }
+  }
+  self_product(lsets[bio::kLambdaCode], len);
+}
+
+void PairGenerator::process_internal(const gst::Tree& t,
+                                     std::uint32_t tree_idx, std::uint32_t v,
+                                     NodeLsets& lsets) {
+  // Step 1: eliminate duplicate strings across the children's lsets. Each
+  // string keeps exactly one (child, class) occurrence — the first in
+  // child-then-class order.
+  const std::uint64_t token = ++token_;
+  std::vector<std::uint32_t> children;
+  t.for_each_child(v, [&](std::uint32_t u) { children.push_back(u); });
+
+  for (std::uint32_t u : children) {
+    NodeLsets& child = lsets_of(tree_idx, u);
+    for (auto& set : child) {
+      stats_.lset_work += set.size;
+      work_since_take_ += set.size;
+      pool_.remove_if(set, [&](const LsetEntry& e) {
+        if (mark_[e.sid] == token) return true;
+        mark_[e.sid] = token;
+        return false;
+      });
+    }
+  }
+
+  // Step 2: cross-child cartesian products with c1 != c2 or c1 = c2 = λ.
+  const std::uint32_t len = t.depth(v);
+  for (std::size_t k = 0; k < children.size(); ++k) {
+    NodeLsets& lk = lsets_of(tree_idx, children[k]);
+    for (std::size_t l = k + 1; l < children.size(); ++l) {
+      NodeLsets& ll = lsets_of(tree_idx, children[l]);
+      for (int c1 = 0; c1 < bio::kNumLsetCodes; ++c1) {
+        for (int c2 = 0; c2 < bio::kNumLsetCodes; ++c2) {
+          if (c1 == c2 && c1 != bio::kLambdaCode) continue;
+          cross_product(lk[static_cast<std::size_t>(c1)],
+                        ll[static_cast<std::size_t>(c2)], len);
+        }
+      }
+    }
+  }
+
+  // Step 3: union the children's lsets class-wise onto v (O(|Σ|²) splices)
+  // and retire the children's storage.
+  for (std::uint32_t u : children) {
+    NodeLsets& child = lsets_of(tree_idx, u);
+    for (int c = 0; c < bio::kNumLsetCodes; ++c) {
+      pool_.concat(lsets[static_cast<std::size_t>(c)],
+                   child[static_cast<std::size_t>(c)]);
+    }
+  }
+}
+
+void PairGenerator::cross_product(const Lset& s1, const Lset& s2,
+                                  std::uint32_t len) {
+  if (s1.empty() || s2.empty()) return;
+  pool_.for_each(s1, [&](const LsetEntry& e1) {
+    pool_.for_each(s2, [&](const LsetEntry& e2) { emit(e1, e2, len); });
+  });
+}
+
+void PairGenerator::self_product(const Lset& s, std::uint32_t len) {
+  if (s.size < 2) return;
+  pool_.for_each_pair(
+      s, [&](const LsetEntry& e1, const LsetEntry& e2) { emit(e1, e2, len); });
+}
+
+void PairGenerator::emit(const LsetEntry& e1, const LsetEntry& e2,
+                         std::uint32_t len) {
+  ++work_since_take_;
+  LsetEntry lo = e1, hi = e2;
+  if (bio::EstSet::est_of(lo.sid) > bio::EstSet::est_of(hi.sid)) {
+    std::swap(lo, hi);
+  }
+  const bio::EstId i = bio::EstSet::est_of(lo.sid);
+  const bio::EstId j = bio::EstSet::est_of(hi.sid);
+  if (i == j) {
+    // Both strings derive from one EST (self-repeat or palindromic match).
+    ++stats_.discarded_self;
+    return;
+  }
+  if (bio::EstSet::is_rc(lo.sid)) {
+    // The equivalent pair with both strings complemented is generated at
+    // the node whose path-label is the reverse complement of this one
+    // (§3.2's duplicate discard rule).
+    ++stats_.discarded_orientation;
+    return;
+  }
+  PromisingPair p;
+  p.a = i;
+  p.b = j;
+  p.b_rc = bio::EstSet::is_rc(hi.sid);
+  p.match_len = len;
+  p.a_pos = lo.pos;
+  p.b_pos = hi.pos;
+  buffer_.push_back(p);
+  ++stats_.pairs_emitted;
+}
+
+}  // namespace estclust::pairgen

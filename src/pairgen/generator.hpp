@@ -1,0 +1,118 @@
+// On-demand promising-pair generation (§3.2, Algorithm 1).
+//
+// A *promising pair* is a pair of strings sharing a maximal common substring
+// of length >= psi. The generator walks the nodes of the local GST forest in
+// decreasing string-depth order and, at each node with path-label α, emits
+// exactly the pairs for which α is a maximal common substring (Lemma 1):
+//
+//   * at a leaf: cartesian products of lsets over (c1 < c2) plus l_λ × l_λ;
+//   * at an internal node: after eliminating duplicate strings across the
+//     children's lsets, cross-child products over (c1 != c2 or both λ),
+//     then lset union onto the node.
+//
+// Pairs therefore stream out in decreasing order of maximal common
+// substring length with respect to this forest (the paper accepts per-rank
+// rather than global order). The generator remembers its position between
+// calls, so pairs are produced on demand at no extra storage cost.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "bio/dataset.hpp"
+#include "gst/tree.hpp"
+#include "pairgen/lset.hpp"
+
+namespace estclust::pairgen {
+
+/// A generated promising pair. `a` is always the smaller EST id in forward
+/// orientation (the duplicate-orientation discard rule of §3.2); `b_rc`
+/// says whether the second EST participates in reverse complement. The
+/// anchor (a_pos, b_pos, match_len) locates the maximal common substring in
+/// str(2a) and str(2b + b_rc) for the anchored aligner.
+struct PromisingPair {
+  bio::EstId a = 0;
+  bio::EstId b = 0;
+  bool b_rc = false;
+  std::uint32_t match_len = 0;
+  std::uint32_t a_pos = 0;
+  std::uint32_t b_pos = 0;
+};
+
+/// Counters for Fig 7 and for virtual-time charging.
+struct GenStats {
+  std::uint64_t pairs_emitted = 0;
+  std::uint64_t discarded_orientation = 0;  ///< smaller-EST string was rc
+  std::uint64_t discarded_self = 0;         ///< both strings from one EST
+  std::uint64_t nodes_processed = 0;
+  std::uint64_t lset_work = 0;  ///< entries touched (dedup + products)
+};
+
+class PairGenerator {
+ public:
+  /// The forest is borrowed and must outlive the generator. psi must be at
+  /// least the forest's bucket prefix depth w (suffixes shorter than w were
+  /// never inserted, which is only sound when psi >= w).
+  PairGenerator(const bio::EstSet& ests, const std::vector<gst::Tree>& forest,
+                std::uint32_t psi);
+
+  /// Appends up to `max_pairs` pairs to `out`. Returns the number appended;
+  /// 0 means the stream is exhausted.
+  std::size_t next_batch(std::size_t max_pairs,
+                         std::vector<PromisingPair>& out);
+
+  /// True once every node has been processed and the buffer drained.
+  bool exhausted() const;
+
+  const GenStats& stats() const { return stats_; }
+
+  /// Work units performed since the last call to this function (for
+  /// virtual-time charging by the parallel driver).
+  std::uint64_t take_work_units();
+
+  /// Live lset cells right now (space-linearity tests).
+  std::uint32_t live_lset_cells() const { return pool_.live_cells(); }
+
+ private:
+  struct NodeRef {
+    std::uint32_t tree = 0;
+    std::uint32_t node = 0;
+  };
+
+  void process_next_node();
+  void process_leaf(const gst::Tree& t, std::uint32_t v, NodeLsets& lsets);
+  void process_internal(const gst::Tree& t, std::uint32_t tree_idx,
+                        std::uint32_t v, NodeLsets& lsets);
+  void emit(const LsetEntry& e1, const LsetEntry& e2, std::uint32_t len);
+  void cross_product(const Lset& s1, const Lset& s2, std::uint32_t len);
+  void self_product(const Lset& s, std::uint32_t len);
+
+  NodeLsets& lsets_of(std::uint32_t tree_idx, std::uint32_t node);
+  void release_lsets(NodeLsets& lsets);
+
+  const bio::EstSet& ests_;
+  const std::vector<gst::Tree>& forest_;
+  std::uint32_t psi_;
+
+  std::vector<NodeRef> order_;   ///< nodes with depth >= psi, sorted
+  std::size_t next_node_ = 0;    ///< cursor into order_
+  std::vector<std::uint32_t> remaining_;  ///< unprocessed nodes per tree
+
+  LsetPool pool_;
+  // Dense lset storage per tree, allocated lazily per tree: lsets_[t] has
+  // one NodeLsets per node of tree t (order_ touches only depth >= psi
+  // nodes, but children of processed nodes also live here).
+  std::vector<std::vector<NodeLsets>> lsets_;
+
+  // Duplicate-elimination mark array: mark_[sid] == token when sid was
+  // already seen at the internal node currently being processed.
+  std::vector<std::uint64_t> mark_;
+  std::uint64_t token_ = 0;
+
+  std::deque<PromisingPair> buffer_;
+  GenStats stats_;
+  std::uint64_t work_since_take_ = 0;
+};
+
+}  // namespace estclust::pairgen

@@ -1,0 +1,58 @@
+#include "pairgen/lset.hpp"
+
+namespace estclust::pairgen {
+
+std::int32_t LsetPool::alloc_cell() {
+  ++live_;
+  if (free_head_ != -1) {
+    std::int32_t i = free_head_;
+    free_head_ = cells_[i].next;
+    return i;
+  }
+  cells_.push_back(Cell{});
+  return static_cast<std::int32_t>(cells_.size()) - 1;
+}
+
+void LsetPool::free_cell(std::int32_t i) {
+  ESTCLUST_DCHECK(live_ > 0);
+  --live_;
+  cells_[i].next = free_head_;
+  free_head_ = i;
+}
+
+void LsetPool::push(Lset& set, LsetEntry entry) {
+  std::int32_t i = alloc_cell();
+  cells_[i].entry = entry;
+  cells_[i].next = -1;
+  if (set.tail == -1) {
+    set.head = set.tail = i;
+  } else {
+    cells_[set.tail].next = i;
+    set.tail = i;
+  }
+  ++set.size;
+}
+
+void LsetPool::concat(Lset& dst, Lset& src) {
+  if (src.empty()) return;
+  if (dst.empty()) {
+    dst = src;
+  } else {
+    cells_[dst.tail].next = src.head;
+    dst.tail = src.tail;
+    dst.size += src.size;
+  }
+  src = Lset{};
+}
+
+void LsetPool::release(Lset& set) {
+  std::int32_t cur = set.head;
+  while (cur != -1) {
+    std::int32_t next = cells_[cur].next;
+    free_cell(cur);
+    cur = next;
+  }
+  set = Lset{};
+}
+
+}  // namespace estclust::pairgen

@@ -1,0 +1,91 @@
+#include "quality/metrics.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace estclust::quality {
+
+namespace {
+std::uint64_t choose2(std::uint64_t k) { return k * (k - 1) / 2; }
+}  // namespace
+
+double PairCounts::overlap_quality() const {
+  std::uint64_t denom = tp + fp + fn;
+  return denom == 0 ? 100.0 : 100.0 * static_cast<double>(tp) /
+                                  static_cast<double>(denom);
+}
+
+double PairCounts::over_prediction() const {
+  std::uint64_t denom = tp + fp;
+  return denom == 0 ? 0.0 : 100.0 * static_cast<double>(fp) /
+                                static_cast<double>(denom);
+}
+
+double PairCounts::under_prediction() const {
+  std::uint64_t denom = tp + fn;
+  return denom == 0 ? 0.0 : 100.0 * static_cast<double>(fn) /
+                                static_cast<double>(denom);
+}
+
+double PairCounts::correlation() const {
+  double a = static_cast<double>(tp + fp);
+  double b = static_cast<double>(tn + fn);
+  double c = static_cast<double>(tp + fn);
+  double d = static_cast<double>(tn + fp);
+  double denom = std::sqrt(a) * std::sqrt(b) * std::sqrt(c) * std::sqrt(d);
+  if (denom == 0.0) return 100.0;
+  double num = static_cast<double>(tp) * static_cast<double>(tn) -
+               static_cast<double>(fp) * static_cast<double>(fn);
+  return 100.0 * num / denom;
+}
+
+PairCounts count_pairs(const std::vector<std::uint32_t>& predicted,
+                       const std::vector<std::uint32_t>& truth) {
+  ESTCLUST_CHECK(predicted.size() == truth.size());
+  const std::uint64_t n = predicted.size();
+
+  std::unordered_map<std::uint32_t, std::uint64_t> pred_sizes;
+  std::unordered_map<std::uint32_t, std::uint64_t> truth_sizes;
+  std::unordered_map<std::uint64_t, std::uint64_t> joint_sizes;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ++pred_sizes[predicted[i]];
+    ++truth_sizes[truth[i]];
+    ++joint_sizes[(static_cast<std::uint64_t>(predicted[i]) << 32) |
+                  truth[i]];
+  }
+
+  std::uint64_t pred_pairs = 0;   // TP + FP
+  std::uint64_t truth_pairs = 0;  // TP + FN
+  std::uint64_t joint_pairs = 0;  // TP
+  for (const auto& [id, k] : pred_sizes) pred_pairs += choose2(k);
+  for (const auto& [id, k] : truth_sizes) truth_pairs += choose2(k);
+  for (const auto& [id, k] : joint_sizes) joint_pairs += choose2(k);
+
+  PairCounts out;
+  out.tp = joint_pairs;
+  out.fp = pred_pairs - joint_pairs;
+  out.fn = truth_pairs - joint_pairs;
+  out.tn = choose2(n) - out.tp - out.fp - out.fn;
+  return out;
+}
+
+PairCounts count_pairs_reference(const std::vector<std::uint32_t>& predicted,
+                                 const std::vector<std::uint32_t>& truth) {
+  ESTCLUST_CHECK(predicted.size() == truth.size());
+  PairCounts out;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    for (std::size_t j = i + 1; j < predicted.size(); ++j) {
+      bool p = predicted[i] == predicted[j];
+      bool t = truth[i] == truth[j];
+      if (p && t) ++out.tp;
+      else if (p && !t) ++out.fp;
+      else if (!p && t) ++out.fn;
+      else ++out.tn;
+    }
+  }
+  return out;
+}
+
+}  // namespace estclust::quality

@@ -1,0 +1,47 @@
+// Clustering quality metrics (§4.1).
+//
+// A predicted clustering is compared with the correct clustering at pair
+// granularity: each unordered EST pair is a true/false positive/negative
+// depending on whether the pair is co-clustered in the prediction and in
+// the truth. From the four counts the paper derives:
+//   overlap quality  OQ = TP / (TP + FP + FN)
+//   over-prediction  OV = FP / (TP + FP)
+//   under-prediction UN = FN / (TP + FN)
+//   correlation      CC = (TP·TN − FP·FN) /
+//                         sqrt((TP+FP)(TN+FN)(TP+FN)(TN+FP))
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace estclust::quality {
+
+struct PairCounts {
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t tn = 0;
+  std::uint64_t fn = 0;
+
+  std::uint64_t total() const { return tp + fp + tn + fn; }
+
+  /// Metrics returned as percentages in [0, 100] to match the paper's
+  /// Table 2. Degenerate denominators yield the ideal value (no predicted
+  /// pairs => no over-prediction, etc.).
+  double overlap_quality() const;   // OQ
+  double over_prediction() const;   // OV
+  double under_prediction() const;  // UN
+  double correlation() const;       // CC
+};
+
+/// Counts pairs in O(n + clusters) time via cluster-size contingency
+/// arithmetic rather than the O(n²) literal pair sweep: predicted and truth
+/// labels are arbitrary per-element cluster ids (equal label = same
+/// cluster). Both vectors must have the same length.
+PairCounts count_pairs(const std::vector<std::uint32_t>& predicted,
+                       const std::vector<std::uint32_t>& truth);
+
+/// O(n²) reference implementation for validation in tests.
+PairCounts count_pairs_reference(const std::vector<std::uint32_t>& predicted,
+                                 const std::vector<std::uint32_t>& truth);
+
+}  // namespace estclust::quality

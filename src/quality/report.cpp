@@ -1,0 +1,82 @@
+#include "quality/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace estclust::quality {
+
+std::size_t Report::impure_clusters() const {
+  std::size_t n = 0;
+  for (const auto& c : clusters) n += c.truth_clusters > 1;
+  return n;
+}
+
+std::size_t Report::fragmented_truths() const {
+  std::size_t n = 0;
+  for (const auto& t : truths) n += t.fragments > 1;
+  return n;
+}
+
+double Report::weighted_purity() const {
+  double acc = 0.0;
+  std::size_t total = 0;
+  for (const auto& c : clusters) {
+    acc += c.purity * static_cast<double>(c.size);
+    total += c.size;
+  }
+  return total == 0 ? 1.0 : acc / static_cast<double>(total);
+}
+
+Report build_report(const std::vector<std::uint32_t>& predicted,
+                    const std::vector<std::uint32_t>& truth) {
+  ESTCLUST_CHECK(predicted.size() == truth.size());
+  Report report;
+  report.pairs = count_pairs(predicted, truth);
+
+  // predicted label -> (truth gene -> count)
+  std::map<std::uint32_t, std::map<std::uint32_t, std::size_t>> joint;
+  std::map<std::uint32_t, std::set<std::uint32_t>> truth_spread;
+  std::map<std::uint32_t, std::size_t> truth_size;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    ++joint[predicted[i]][truth[i]];
+    truth_spread[truth[i]].insert(predicted[i]);
+    ++truth_size[truth[i]];
+  }
+
+  for (const auto& [label, genes] : joint) {
+    ClusterDiagnostics d;
+    d.label = label;
+    d.truth_clusters = genes.size();
+    std::size_t largest = 0;
+    for (const auto& [gene, count] : genes) {
+      d.size += count;
+      largest = std::max(largest, count);
+    }
+    d.purity = static_cast<double>(largest) / static_cast<double>(d.size);
+    report.clusters.push_back(d);
+  }
+  std::sort(report.clusters.begin(), report.clusters.end(),
+            [](const ClusterDiagnostics& a, const ClusterDiagnostics& b) {
+              if (a.size != b.size) return a.size > b.size;
+              return a.label < b.label;
+            });
+
+  for (const auto& [gene, spread] : truth_spread) {
+    TruthDiagnostics t;
+    t.gene = gene;
+    t.size = truth_size[gene];
+    t.fragments = spread.size();
+    report.truths.push_back(t);
+  }
+  std::sort(report.truths.begin(), report.truths.end(),
+            [](const TruthDiagnostics& a, const TruthDiagnostics& b) {
+              if (a.fragments != b.fragments) return a.fragments > b.fragments;
+              return a.gene < b.gene;
+            });
+  return report;
+}
+
+}  // namespace estclust::quality

@@ -1,0 +1,47 @@
+// Cluster-level diagnostics beyond the paper's pairwise metrics: which
+// predicted clusters are pure, which truth clusters were fragmented, and
+// which merges were spurious. This is what a curator looks at after the
+// OQ/OV/UN/CC summary says something is off.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quality/metrics.hpp"
+
+namespace estclust::quality {
+
+/// Per-predicted-cluster diagnostics.
+struct ClusterDiagnostics {
+  std::uint32_t label = 0;        ///< predicted cluster label
+  std::size_t size = 0;           ///< members
+  std::size_t truth_clusters = 0; ///< distinct truth genes inside
+  double purity = 0.0;            ///< largest truth fraction inside
+};
+
+/// Per-truth-cluster diagnostics.
+struct TruthDiagnostics {
+  std::uint32_t gene = 0;
+  std::size_t size = 0;
+  std::size_t fragments = 0;  ///< predicted clusters its members landed in
+};
+
+struct Report {
+  PairCounts pairs;
+  std::vector<ClusterDiagnostics> clusters;  ///< sorted by size desc
+  std::vector<TruthDiagnostics> truths;      ///< sorted by fragments desc
+
+  /// Predicted clusters containing members of more than one gene.
+  std::size_t impure_clusters() const;
+  /// Truth genes split across more than one predicted cluster.
+  std::size_t fragmented_truths() const;
+  /// Mean purity weighted by cluster size.
+  double weighted_purity() const;
+};
+
+/// Builds the full report. `predicted` and `truth` are per-element labels
+/// as in count_pairs.
+Report build_report(const std::vector<std::uint32_t>& predicted,
+                    const std::vector<std::uint32_t>& truth);
+
+}  // namespace estclust::quality

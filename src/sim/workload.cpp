@@ -1,0 +1,168 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+
+#include "bio/alphabet.hpp"
+#include "bio/sequence.hpp"
+#include "util/check.hpp"
+
+namespace estclust::sim {
+
+namespace {
+
+std::string random_dna(Prng& rng, std::size_t len) {
+  std::string s(len, 'A');
+  for (auto& c : s) c = bio::decode_base(static_cast<int>(rng.uniform(4)));
+  return s;
+}
+
+std::size_t uniform_len(Prng& rng, std::size_t lo, std::size_t hi) {
+  ESTCLUST_CHECK(lo <= hi);
+  return lo + static_cast<std::size_t>(rng.uniform(hi - lo + 1));
+}
+
+}  // namespace
+
+std::string apply_errors(const std::string& s, double sub, double ins,
+                         double del, Prng& rng) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    if (rng.bernoulli(del)) continue;
+    if (rng.bernoulli(ins)) {
+      out.push_back(bio::decode_base(static_cast<int>(rng.uniform(4))));
+    }
+    if (rng.bernoulli(sub)) {
+      int code =
+          (bio::encode_base(c) + 1 + static_cast<int>(rng.uniform(3))) % 4;
+      out.push_back(bio::decode_base(code));
+    } else {
+      out.push_back(c);
+    }
+  }
+  if (out.empty()) out.push_back('A');  // never emit an empty EST
+  return out;
+}
+
+Workload generate(const SimConfig& cfg) {
+  ESTCLUST_CHECK(cfg.num_genes > 0);
+  ESTCLUST_CHECK(cfg.min_exons >= 1 && cfg.min_exons <= cfg.max_exons);
+  ESTCLUST_CHECK(cfg.exon_len_min >= 1 &&
+                 cfg.exon_len_min <= cfg.exon_len_max);
+  ESTCLUST_CHECK(cfg.est_len_min >= 1);
+  Prng rng(cfg.seed);
+
+  // Shared repeat-element library (SINE/LINE-like): the same element may
+  // land in transcripts of unrelated genes, lightly mutated per insertion.
+  std::vector<std::string> repeats;
+  for (std::size_t r = 0; r < cfg.repeat_library; ++r) {
+    repeats.push_back(random_dna(rng, cfg.repeat_len));
+  }
+  auto mutate_copy = [&](const std::string& s, double rate) {
+    std::string out = s;
+    for (auto& c : out) {
+      if (rng.bernoulli(rate)) {
+        c = bio::decode_base(
+            (bio::encode_base(c) + 1 + static_cast<int>(rng.uniform(3))) % 4);
+      }
+    }
+    return out;
+  };
+
+  Workload wl;
+  wl.mrnas.reserve(cfg.num_genes);
+  wl.isoforms.reserve(cfg.num_genes);
+  for (std::size_t g = 0; g < cfg.num_genes; ++g) {
+    std::string mrna;
+    std::vector<std::string> exon_list;
+    if (g > 0 && rng.bernoulli(cfg.paralog_fraction)) {
+      // Paralog: a diverged copy of an earlier gene's transcript. Its ESTs
+      // form a *separate* true cluster, but they share enough exact
+      // stretches with the parent to produce promising pairs that the
+      // alignment stage must reject.
+      const std::size_t parent = rng.uniform(g);
+      mrna = mutate_copy(wl.mrnas[parent], cfg.paralog_divergence);
+    } else {
+      const std::size_t exons =
+          uniform_len(rng, cfg.min_exons, cfg.max_exons);
+      for (std::size_t e = 0; e < exons; ++e) {
+        exon_list.push_back(random_dna(
+            rng, uniform_len(rng, cfg.exon_len_min, cfg.exon_len_max)));
+        mrna += exon_list.back();
+        if (e + 1 < exons) {
+          // The intron is generated (it belongs to the gene) but spliced
+          // out of the transcript; it never reaches an EST.
+          (void)random_dna(
+              rng, uniform_len(rng, cfg.intron_len_min, cfg.intron_len_max));
+        }
+      }
+    }
+    if (!repeats.empty() && rng.bernoulli(cfg.repeat_prob)) {
+      const std::string element = mutate_copy(
+          repeats[rng.uniform(repeats.size())], cfg.repeat_divergence);
+      const std::size_t at = rng.uniform(mrna.size() + 1);
+      mrna.insert(at, element);
+      exon_list.clear();  // insertion invalidates the exon decomposition
+    }
+    // Transcripts shorter than the minimum read length would yield
+    // unusable fragments; pad with an extra exon's worth of sequence.
+    if (mrna.size() < cfg.est_len_min) {
+      mrna += random_dna(rng, cfg.est_len_min - mrna.size() + 1);
+      exon_list.clear();
+    }
+
+    std::vector<std::string> gene_isoforms = {mrna};
+    if (exon_list.size() >= 3 && rng.bernoulli(cfg.alt_splice_prob)) {
+      // Second isoform: one internal exon skipped.
+      const std::size_t skip = 1 + rng.uniform(exon_list.size() - 2);
+      std::string alt;
+      for (std::size_t e = 0; e < exon_list.size(); ++e) {
+        if (e != skip) alt += exon_list[e];
+      }
+      if (alt.size() >= cfg.est_len_min) gene_isoforms.push_back(alt);
+    }
+    wl.mrnas.push_back(std::move(mrna));
+    wl.isoforms.push_back(std::move(gene_isoforms));
+  }
+
+  std::vector<bio::Sequence> ests;
+  ests.reserve(cfg.num_ests);
+  wl.truth.reserve(cfg.num_ests);
+  for (std::size_t i = 0; i < cfg.num_ests; ++i) {
+    const std::uint32_t gene = static_cast<std::uint32_t>(
+        rng.zipf(cfg.num_genes, cfg.expression_skew));
+    const std::uint8_t iso = static_cast<std::uint8_t>(
+        rng.uniform(wl.isoforms[gene].size()));
+    const std::string& mrna = wl.isoforms[gene][iso];
+    wl.est_isoform.push_back(iso);
+
+    // Fragment length ~ N(mean, sd), clamped to [min, |mRNA|].
+    double draw = rng.normal(static_cast<double>(cfg.est_len_mean),
+                             static_cast<double>(cfg.est_len_stddev));
+    std::size_t len = static_cast<std::size_t>(std::max(
+        draw, static_cast<double>(cfg.est_len_min)));
+    len = std::min(len, mrna.size());
+    const std::size_t start =
+        static_cast<std::size_t>(rng.uniform(mrna.size() - len + 1));
+
+    std::string read = apply_errors(mrna.substr(start, len), cfg.sub_rate,
+                                    cfg.ins_rate, cfg.del_rate, rng);
+    if (rng.bernoulli(cfg.rc_prob)) read = bio::reverse_complement(read);
+    ests.push_back({"est" + std::to_string(i), std::move(read)});
+    wl.truth.push_back(gene);
+  }
+
+  wl.ests = bio::EstSet(std::move(ests));
+  return wl;
+}
+
+SimConfig scaled_config(std::size_t num_ests, std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.num_ests = num_ests;
+  // ~12 ESTs per gene on average, as in large EST libraries.
+  cfg.num_genes = std::max<std::size_t>(2, num_ests / 12);
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace estclust::sim

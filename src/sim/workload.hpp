@@ -1,0 +1,92 @@
+// Synthetic EST workload generation with ground truth.
+//
+// Substitutes for the paper's 81,414-EST Arabidopsis benchmark (whose
+// correct clustering was derived from the sequenced genome). The generator
+// follows the biology sketched in the paper's Figure 1:
+//
+//   gene  = exon1 intron1 exon2 intron2 ... exonK      (random DNA)
+//   mRNA  = exon1 exon2 ... exonK                      (introns spliced out)
+//   EST   = error-injected fragment of the mRNA, sequenced from a random
+//           position, on a random strand (reverse complement with prob 1/2)
+//
+// Genes are sampled with a Zipf-skewed expression profile, mirroring real
+// EST libraries where a few genes dominate. The generating gene of every
+// EST is recorded as the correct clustering for quality assessment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bio/dataset.hpp"
+#include "util/prng.hpp"
+
+namespace estclust::sim {
+
+struct SimConfig {
+  std::size_t num_genes = 50;
+
+  // Gene structure.
+  std::size_t min_exons = 2;
+  std::size_t max_exons = 6;
+  std::size_t exon_len_min = 80;
+  std::size_t exon_len_max = 300;
+  std::size_t intron_len_min = 50;
+  std::size_t intron_len_max = 200;
+
+  // Gene families and repeats. Real EST libraries contain paralogous
+  // genes (duplicated, diverged copies) and interspersed repeat elements;
+  // both produce promising pairs whose alignments then *fail* the quality
+  // criteria — the dominant source of wasted alignments in Fig 7 — and
+  // occasional false merges (the paper's nonzero OV column in Table 2).
+  double paralog_fraction = 0.0;   ///< genes cloned from an earlier gene
+  double paralog_divergence = 0.12;  ///< per-base substitution between copies
+  std::size_t repeat_library = 3;  ///< distinct repeat elements
+  std::size_t repeat_len = 150;
+  double repeat_prob = 0.0;        ///< chance a transcript carries a repeat
+  double repeat_divergence = 0.08; ///< per-insertion mutation of the element
+
+  /// Alternative splicing: probability that a (non-paralog) gene has a
+  /// second isoform with one internal exon skipped. ESTs then sample
+  /// either isoform uniformly; both belong to the same true cluster.
+  double alt_splice_prob = 0.0;
+
+  // EST sampling.
+  std::size_t num_ests = 500;
+  double expression_skew = 0.6;  ///< Zipf theta across genes (0 = uniform)
+  std::size_t est_len_mean = 500;  ///< paper: average EST length 500-600
+  std::size_t est_len_stddev = 80;
+  std::size_t est_len_min = 100;
+  double rc_prob = 0.5;  ///< probability the read reports the minus strand
+
+  // Sequencing error channel (per base).
+  double sub_rate = 0.01;
+  double ins_rate = 0.002;
+  double del_rate = 0.002;
+
+  std::uint64_t seed = 20020811;  ///< any fixed seed reproduces the set
+};
+
+/// A generated data set: the ESTs plus the correct clustering.
+struct Workload {
+  bio::EstSet ests;
+  std::vector<std::uint32_t> truth;  ///< generating gene id per EST
+  std::vector<std::string> mrnas;    ///< primary transcript, per gene
+  /// All transcripts per gene (1 entry normally, 2 when the gene has an
+  /// exon-skipping isoform; isoforms[g][0] == mrnas[g]).
+  std::vector<std::vector<std::string>> isoforms;
+  /// Which isoform each EST was read from.
+  std::vector<std::uint8_t> est_isoform;
+};
+
+Workload generate(const SimConfig& cfg);
+
+/// A config scaled for a target EST count with paper-like proportions
+/// (about 12 ESTs per gene on average, matching ~81k ESTs over ~7k genes).
+SimConfig scaled_config(std::size_t num_ests, std::uint64_t seed = 20020811);
+
+/// Applies the error channel to one sequence (exposed for tests).
+std::string apply_errors(const std::string& s, double sub, double ins,
+                         double del, Prng& rng);
+
+}  // namespace estclust::sim

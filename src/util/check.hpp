@@ -1,0 +1,54 @@
+// Always-on invariant checks.
+//
+// Unlike assert(), these fire in release builds too. Cheap checks guarding
+// algorithmic invariants (index bounds on public entry points, protocol state
+// machines) stay enabled; hot inner loops use ESTCLUST_DCHECK which compiles
+// out in release.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace estclust {
+
+/// Thrown when an ESTCLUST_CHECK fails: indicates a broken precondition or
+/// internal invariant, never a recoverable user error.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace estclust
+
+#define ESTCLUST_CHECK(expr)                                              \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::estclust::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define ESTCLUST_CHECK_MSG(expr, msg)                                     \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << msg;                                                         \
+      ::estclust::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                       os_.str());                        \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define ESTCLUST_DCHECK(expr) ((void)0)
+#else
+#define ESTCLUST_DCHECK(expr) ESTCLUST_CHECK(expr)
+#endif

@@ -1,0 +1,43 @@
+// Leveled stderr logging. Thread-safe at line granularity.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace estclust {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& line);
+}
+
+/// RAII stream that emits one line on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() {
+    if (level_ >= log_level()) detail::log_line(level_, os_.str());
+  }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    if (level_ >= log_level()) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace estclust
+
+#define ESTCLUST_LOG_DEBUG ::estclust::LogStream(::estclust::LogLevel::kDebug)
+#define ESTCLUST_LOG_INFO ::estclust::LogStream(::estclust::LogLevel::kInfo)
+#define ESTCLUST_LOG_WARN ::estclust::LogStream(::estclust::LogLevel::kWarn)
+#define ESTCLUST_LOG_ERROR ::estclust::LogStream(::estclust::LogLevel::kError)

@@ -1,0 +1,147 @@
+#include "util/prng.hpp"
+
+#include <cmath>
+
+namespace estclust {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Prng::Prng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // xoshiro must not start from the all-zero state; splitmix64 of any seed
+  // cannot produce four zero outputs in a row, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Prng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Prng::uniform(std::uint64_t bound) {
+  ESTCLUST_CHECK(bound > 0);
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Prng::uniform_range(std::int64_t lo, std::int64_t hi) {
+  ESTCLUST_CHECK(lo <= hi);
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full range
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Prng::uniform01() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Prng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Prng::normal(double mean, double stddev) {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform01();
+  } while (u1 <= 0.0);
+  double u2 = uniform01();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * 3.14159265358979323846 * u2;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+std::uint64_t Prng::geometric(double p) {
+  ESTCLUST_CHECK(p > 0.0 && p <= 1.0);
+  if (p == 1.0) return 0;
+  double u = 0.0;
+  do {
+    u = uniform01();
+  } while (u <= 0.0);
+  return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+std::uint64_t Prng::zipf(std::uint64_t n, double theta) {
+  ESTCLUST_CHECK(n > 0);
+  if (n == 1 || theta <= 0.0) return theta <= 0.0 ? uniform(n) : 0;
+  // Inverse-CDF on the harmonic partial sums would need O(n) state; use
+  // rejection sampling over the continuous envelope instead (Devroye).
+  const double alpha = 1.0 / (1.0 - theta);
+  const double zeta2 = std::pow(2.0, 1.0 - theta);
+  const double eta = (1.0 - zeta2) / (1.0 - std::pow(2.0, -(1.0 - theta)));
+  (void)eta;
+  for (;;) {
+    double u = uniform01();
+    double v = uniform01();
+    double x = std::pow(static_cast<double>(n) + 1.0, 1.0 - theta);
+    double y = std::pow(u * (x - 1.0) + 1.0, alpha) - 1.0;
+    std::uint64_t k = static_cast<std::uint64_t>(y);
+    if (k >= n) continue;
+    double ratio = std::pow((static_cast<double>(k) + 1.0) /
+                                (static_cast<double>(k) + 2.0),
+                            theta);
+    double t = std::pow((y + 2.0) / (y + 1.0), theta) * ratio;
+    if (v * t <= 1.0) return k;
+  }
+}
+
+std::size_t Prng::weighted_pick(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    ESTCLUST_CHECK(w >= 0.0);
+    total += w;
+  }
+  ESTCLUST_CHECK(total > 0.0);
+  double r = uniform01() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // floating-point slack lands on the last item
+}
+
+Prng Prng::split() {
+  std::uint64_t seed = next() ^ rotl(next(), 23);
+  return Prng(seed);
+}
+
+}  // namespace estclust

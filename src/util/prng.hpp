@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through Prng (xoshiro256**, seeded via
+// splitmix64) so that every experiment is reproducible from a single seed.
+// std::mt19937 is deliberately avoided: its distributions are not specified
+// bit-exactly across standard library implementations, ours are.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace estclust {
+
+/// splitmix64 step; used to expand a single seed into xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator with bit-exact helper distributions.
+class Prng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64 random bits.
+  std::uint64_t next();
+
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Unbiased
+  /// (Lemire-style rejection).
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Standard normal via Box-Muller (deterministic; caches the spare value).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Geometric: number of failures before first success, success prob p.
+  std::uint64_t geometric(double p);
+
+  /// Zipf-like index in [0, n): probability of i proportional to
+  /// 1/(i+1)^theta. Used for skewed gene-expression sampling.
+  std::uint64_t zipf(std::uint64_t n, double theta);
+
+  /// Pick an index according to non-negative weights (sum > 0).
+  std::size_t weighted_pick(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-rank / per-worker
+  /// streams that must not correlate with the parent).
+  Prng split();
+
+ private:
+  std::uint64_t s_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace estclust

@@ -1,0 +1,71 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace estclust {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double q) {
+  ESTCLUST_CHECK(!values.empty());
+  ESTCLUST_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  double pos = q * static_cast<double>(values.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double median(std::vector<double> values) {
+  return percentile(std::move(values), 0.5);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  ESTCLUST_CHECK(hi > lo);
+  ESTCLUST_CHECK(bins > 0);
+}
+
+void Histogram::add(double x) {
+  double t = (x - lo_) / (hi_ - lo_);
+  std::size_t bin;
+  if (t < 0.0) {
+    bin = 0;
+  } else if (t >= 1.0) {
+    bin = counts_.size() - 1;
+  } else {
+    bin = static_cast<std::size_t>(t * static_cast<double>(counts_.size()));
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+}  // namespace estclust

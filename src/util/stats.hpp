@@ -1,0 +1,53 @@
+// Streaming and batch statistics used by the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace estclust {
+
+/// Welford streaming mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation); q in [0,1]. Sorts a copy.
+double percentile(std::vector<double> values, double q);
+
+/// Median convenience wrapper.
+double median(std::vector<double> values);
+
+/// Simple fixed-width histogram over [lo, hi) with `bins` buckets;
+/// out-of-range samples clamp to the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  const std::vector<std::size_t>& counts() const { return counts_; }
+  std::size_t total() const { return total_; }
+  double bucket_lo(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace estclust

@@ -1,0 +1,30 @@
+// Fixed-width ASCII table printing for paper-style benchmark output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace estclust {
+
+/// Collects rows of string cells and prints them with aligned columns,
+/// mirroring the tables in the paper (Table 1-3).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row. Missing cells print empty; extra cells widen the table.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats helpers for numeric cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(std::uint64_t v);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace estclust

@@ -1,0 +1,48 @@
+// Wall-clock timing helpers (real time; virtual time lives in mpr/clock.hpp).
+#pragma once
+
+#include <chrono>
+
+namespace estclust {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across start/stop intervals, e.g. per-phase totals.
+class PhaseTimer {
+ public:
+  void start() {
+    running_ = true;
+    timer_.reset();
+  }
+  void stop() {
+    if (running_) total_ += timer_.seconds();
+    running_ = false;
+  }
+  double total_seconds() const {
+    return total_ + (running_ ? timer_.seconds() : 0.0);
+  }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace estclust

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "analysis/splice.hpp"
+#include "bio/alphabet.hpp"
+#include "gst/builder.hpp"
+#include "sim/workload.hpp"
+#include "util/prng.hpp"
+
+namespace estclust::analysis {
+namespace {
+
+using bio::EstSet;
+using bio::Sequence;
+
+std::string random_dna(Prng& rng, std::size_t len) {
+  std::string s(len, 'A');
+  for (auto& c : s) c = bio::decode_base(static_cast<int>(rng.uniform(4)));
+  return s;
+}
+
+SpliceParams params() {
+  SpliceParams p;
+  p.psi = 20;
+  p.min_gap = 25;
+  p.min_flank = 30;
+  p.min_flank_identity = 0.9;
+  return p;
+}
+
+TEST(ExaminePair, DetectsExonSkipSignature) {
+  Prng rng(1);
+  std::string exon1 = random_dna(rng, 80);
+  std::string exon2 = random_dna(rng, 60);  // the skipped exon
+  std::string exon3 = random_dna(rng, 80);
+  EstSet ests({{"long", exon1 + exon2 + exon3}, {"short", exon1 + exon3}});
+  SpliceCandidate cand;
+  ASSERT_TRUE(examine_pair(ests, 0, 1, false, params(), cand));
+  EXPECT_TRUE(cand.gap_in_a);  // EST 0 carries the extra exon
+  EXPECT_NEAR(static_cast<double>(cand.gap_len), 60.0, 8.0);
+  EXPECT_GE(cand.left_flank, 30u);
+  EXPECT_GE(cand.right_flank, 30u);
+  EXPECT_GE(cand.flank_identity, 0.9);
+}
+
+TEST(ExaminePair, GapSideReportedCorrectly) {
+  Prng rng(2);
+  std::string exon1 = random_dna(rng, 80);
+  std::string exon2 = random_dna(rng, 50);
+  std::string exon3 = random_dna(rng, 80);
+  // Now the *second* EST carries the extra exon.
+  EstSet ests({{"short", exon1 + exon3}, {"long", exon1 + exon2 + exon3}});
+  SpliceCandidate cand;
+  ASSERT_TRUE(examine_pair(ests, 0, 1, false, params(), cand));
+  EXPECT_FALSE(cand.gap_in_a);
+}
+
+TEST(ExaminePair, PlainOverlapIsNotFlagged) {
+  Prng rng(3);
+  std::string shared = random_dna(rng, 120);
+  EstSet ests({{"a", random_dna(rng, 60) + shared},
+               {"b", shared + random_dna(rng, 60)}});
+  SpliceCandidate cand;
+  EXPECT_FALSE(examine_pair(ests, 0, 1, false, params(), cand));
+}
+
+TEST(ExaminePair, ShortGapBelowThresholdIgnored) {
+  Prng rng(4);
+  std::string exon1 = random_dna(rng, 80);
+  std::string tiny = random_dna(rng, 10);  // below min_gap = 25
+  std::string exon3 = random_dna(rng, 80);
+  EstSet ests({{"a", exon1 + tiny + exon3}, {"b", exon1 + exon3}});
+  SpliceCandidate cand;
+  EXPECT_FALSE(examine_pair(ests, 0, 1, false, params(), cand));
+}
+
+TEST(ExaminePair, ShortFlankRejected) {
+  Prng rng(5);
+  std::string exon1 = random_dna(rng, 15);  // below min_flank = 30
+  std::string exon2 = random_dna(rng, 60);
+  std::string exon3 = random_dna(rng, 80);
+  EstSet ests({{"a", exon1 + exon2 + exon3}, {"b", exon1 + exon3}});
+  SpliceCandidate cand;
+  EXPECT_FALSE(examine_pair(ests, 0, 1, false, params(), cand));
+}
+
+TEST(ExaminePair, UnrelatedSequencesRejected) {
+  Prng rng(6);
+  EstSet ests({{"a", random_dna(rng, 150)}, {"b", random_dna(rng, 150)}});
+  SpliceCandidate cand;
+  EXPECT_FALSE(examine_pair(ests, 0, 1, false, params(), cand));
+}
+
+TEST(DetectSplicing, FindsPlantedIsoformPair) {
+  Prng rng(7);
+  std::string exon1 = random_dna(rng, 90);
+  std::string exon2 = random_dna(rng, 70);
+  std::string exon3 = random_dna(rng, 90);
+  std::vector<Sequence> seqs = {{"iso_a", exon1 + exon2 + exon3},
+                                {"iso_b", exon1 + exon3},
+                                {"noise", random_dna(rng, 200)}};
+  EstSet ests(std::move(seqs));
+  auto forest = gst::build_forest_sequential(ests, 8);
+  auto candidates = detect_alternative_splicing(ests, forest, params());
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates[0].a, 0u);
+  EXPECT_EQ(candidates[0].b, 1u);
+}
+
+TEST(DetectSplicing, ReverseComplementIsoformFound) {
+  Prng rng(8);
+  std::string exon1 = random_dna(rng, 90);
+  std::string exon2 = random_dna(rng, 70);
+  std::string exon3 = random_dna(rng, 90);
+  EstSet ests({{"iso_a", exon1 + exon2 + exon3},
+               {"iso_b_rc", bio::reverse_complement(exon1 + exon3)}});
+  auto forest = gst::build_forest_sequential(ests, 8);
+  auto candidates = detect_alternative_splicing(ests, forest, params());
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_TRUE(candidates[0].b_rc);
+}
+
+TEST(DetectSplicing, SimulatedIsoformWorkload) {
+  sim::SimConfig cfg;
+  cfg.num_genes = 6;
+  cfg.num_ests = 80;
+  cfg.alt_splice_prob = 1.0;  // every eligible gene gets an isoform
+  cfg.min_exons = 3;
+  cfg.max_exons = 5;
+  cfg.exon_len_min = 60;
+  cfg.exon_len_max = 120;
+  cfg.est_len_mean = 400;
+  cfg.est_len_min = 150;
+  cfg.sub_rate = 0.005;
+  cfg.ins_rate = cfg.del_rate = 0.001;
+  cfg.seed = 505;
+  auto wl = sim::generate(cfg);
+
+  // The generator must actually have produced isoforms for this test to
+  // mean anything.
+  bool has_isoform = false;
+  for (const auto& iso : wl.isoforms) has_isoform |= iso.size() > 1;
+  ASSERT_TRUE(has_isoform);
+
+  auto forest = gst::build_forest_sequential(wl.ests, 8);
+  auto candidates = detect_alternative_splicing(wl.ests, forest, params());
+  ASSERT_FALSE(candidates.empty());
+  // Every reported candidate must link ESTs of the same gene (isoforms),
+  // never two different genes.
+  for (const auto& c : candidates) {
+    EXPECT_EQ(wl.truth[c.a], wl.truth[c.b])
+        << "splice candidate across genes: " << c.a << " vs " << c.b;
+  }
+}
+
+TEST(DetectSplicing, DeduplicatesPairs) {
+  Prng rng(9);
+  std::string exon1 = random_dna(rng, 90);
+  std::string exon2 = random_dna(rng, 70);
+  std::string exon3 = random_dna(rng, 90);
+  EstSet ests({{"a", exon1 + exon2 + exon3}, {"b", exon1 + exon3}});
+  auto forest = gst::build_forest_sequential(ests, 8);
+  auto candidates = detect_alternative_splicing(ests, forest, params());
+  // The pair shares two maximal substrings (exon1 and exon3) and so is
+  // generated more than once, but must be reported at most once per
+  // orientation.
+  std::size_t fwd = 0;
+  for (const auto& c : candidates) {
+    if (c.a == 0 && c.b == 1 && !c.b_rc) ++fwd;
+  }
+  EXPECT_EQ(fwd, 1u);
+}
+
+}  // namespace
+}  // namespace estclust::analysis

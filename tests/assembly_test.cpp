@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+
+#include "assembly/consensus.hpp"
+#include "assembly/layout.hpp"
+#include "bio/alphabet.hpp"
+#include "mpr/runtime.hpp"
+#include "pace/parallel.hpp"
+#include "pace/sequential.hpp"
+#include "sim/workload.hpp"
+#include "util/prng.hpp"
+
+namespace estclust::assembly {
+namespace {
+
+using bio::EstSet;
+using bio::Sequence;
+
+std::string random_dna(Prng& rng, std::size_t len) {
+  std::string s(len, 'A');
+  for (auto& c : s) c = bio::decode_base(static_cast<int>(rng.uniform(4)));
+  return s;
+}
+
+pace::PaceConfig config() {
+  pace::PaceConfig cfg;
+  cfg.gst.window = 6;
+  cfg.psi = 22;
+  cfg.overlap.min_quality = 0.8;
+  cfg.overlap.min_overlap = 40;
+  return cfg;
+}
+
+TEST(Layout, TwoDovetailedEsts) {
+  Prng rng(1);
+  std::string mrna = random_dna(rng, 300);
+  EstSet ests({{"left", mrna.substr(0, 180)}, {"right", mrna.substr(100, 200)}});
+  auto res = pace::cluster_sequential(ests, config());
+  ASSERT_FALSE(res.overlaps.empty());
+  auto layouts = layout_clusters(ests, res.overlaps);
+  ASSERT_EQ(layouts.size(), 1u);
+  const Layout& l = layouts[0];
+  ASSERT_EQ(l.placements.size(), 2u);
+  EXPECT_EQ(l.placements[0].offset, 0);
+  // The right read starts 100 bases into the transcript.
+  EXPECT_EQ(l.placements[1].offset, 100);
+  EXPECT_EQ(l.length, 300u);
+}
+
+TEST(Layout, ReverseComplementReadPlacedCorrectly) {
+  Prng rng(2);
+  std::string mrna = random_dna(rng, 300);
+  EstSet ests({{"fwd", mrna.substr(0, 180)},
+               {"rev", bio::reverse_complement(mrna.substr(100, 200))}});
+  auto res = pace::cluster_sequential(ests, config());
+  ASSERT_FALSE(res.overlaps.empty());
+  auto layouts = layout_clusters(ests, res.overlaps);
+  ASSERT_EQ(layouts.size(), 1u);
+  const Layout& l = layouts[0];
+  ASSERT_EQ(l.placements.size(), 2u);
+  // One of the two must be flagged rc, and the extent must be the full
+  // 300 bases either way.
+  EXPECT_NE(l.placements[0].rc, l.placements[1].rc);
+  EXPECT_EQ(l.length, 300u);
+}
+
+TEST(Layout, SingletonsBecomeOwnComponents) {
+  Prng rng(3);
+  EstSet ests({{"a", random_dna(rng, 120)}, {"b", random_dna(rng, 120)}});
+  std::vector<pace::AcceptedOverlap> none;
+  auto layouts = layout_clusters(ests, none);
+  ASSERT_EQ(layouts.size(), 2u);
+  EXPECT_EQ(layouts[0].placements.size(), 1u);
+  EXPECT_EQ(layouts[0].length, 120u);
+}
+
+TEST(Layout, OffsetsNonNegativeAndExtentTight) {
+  Prng rng(4);
+  std::string mrna = random_dna(rng, 500);
+  std::vector<Sequence> seqs;
+  for (int i = 0; i < 8; ++i) {
+    std::size_t start = static_cast<std::size_t>(i) * 50;
+    seqs.push_back({"r" + std::to_string(i), mrna.substr(start, 150)});
+  }
+  EstSet ests(std::move(seqs));
+  auto res = pace::cluster_sequential(ests, config());
+  auto layouts = layout_clusters(ests, res.overlaps);
+  ASSERT_EQ(layouts.size(), 1u);
+  long max_end = 0;
+  for (const auto& p : layouts[0].placements) {
+    EXPECT_GE(p.offset, 0);
+    max_end = std::max(
+        max_end, p.offset + static_cast<long>(
+                                ests.str(bio::EstSet::forward_sid(p.est))
+                                    .size()));
+  }
+  EXPECT_EQ(static_cast<long>(layouts[0].length), max_end);
+}
+
+TEST(Consensus, ErrorFreeReadsReconstructTranscriptExactly) {
+  Prng rng(5);
+  std::string mrna = random_dna(rng, 600);
+  std::vector<Sequence> seqs;
+  for (int i = 0; i < 10; ++i) {
+    std::size_t start = static_cast<std::size_t>(i) * 50;
+    std::string read = mrna.substr(start, 150);
+    if (i % 3 == 1) read = bio::reverse_complement(read);
+    seqs.push_back({"r" + std::to_string(i), read});
+  }
+  EstSet ests(std::move(seqs));
+  auto res = pace::cluster_sequential(ests, config());
+  ASSERT_EQ(res.stats.num_clusters, 1u);
+  auto contigs = assemble_clusters(ests, res.overlaps);
+  ASSERT_EQ(contigs.size(), 1u);
+  const std::string& cons = contigs[0].consensus;
+  // Reads span [0, 600): the consensus must equal the covered transcript
+  // region in one orientation or the other.
+  bool fwd = mrna.find(cons) != std::string::npos;
+  bool rev = bio::reverse_complement(mrna).find(cons) != std::string::npos;
+  EXPECT_EQ(cons.size(), 600u);
+  EXPECT_TRUE(fwd || rev) << "consensus is not a transcript substring";
+}
+
+TEST(Consensus, MajorityVoteFixesScatteredErrors) {
+  Prng rng(6);
+  std::string mrna = random_dna(rng, 400);
+  std::vector<Sequence> seqs;
+  // Deep coverage: every base covered by ~6 reads with 1% substitutions.
+  for (int i = 0; i < 16; ++i) {
+    std::size_t start = rng.uniform(250);
+    std::string read = mrna.substr(start, 150);
+    for (auto& c : read) {
+      if (rng.bernoulli(0.01)) {
+        c = bio::decode_base(
+            (bio::encode_base(c) + 1 + static_cast<int>(rng.uniform(3))) % 4);
+      }
+    }
+    seqs.push_back({"r" + std::to_string(i), read});
+  }
+  EstSet ests(std::move(seqs));
+  auto res = pace::cluster_sequential(ests, config());
+  auto contigs = assemble_clusters(ests, res.overlaps);
+  ASSERT_EQ(contigs.size(), 1u);
+  const std::string& cons = contigs[0].consensus;
+  // Identity of consensus against the matching transcript window: the
+  // vote should push it above any single read's 99%.
+  std::size_t matches = 0, best = 0;
+  for (std::size_t shift = 0; shift + cons.size() <= mrna.size(); ++shift) {
+    matches = 0;
+    for (std::size_t i = 0; i < cons.size(); ++i) {
+      if (cons[i] == mrna[shift + i]) ++matches;
+    }
+    best = std::max(best, matches);
+  }
+  EXPECT_GT(static_cast<double>(best) / cons.size(), 0.995);
+}
+
+TEST(Consensus, CoverageCountsReads) {
+  Prng rng(7);
+  std::string mrna = random_dna(rng, 300);
+  EstSet ests({{"a", mrna.substr(0, 200)}, {"b", mrna.substr(100, 200)}});
+  auto res = pace::cluster_sequential(ests, config());
+  auto contigs = assemble_clusters(ests, res.overlaps);
+  ASSERT_EQ(contigs.size(), 1u);
+  const auto& cov = contigs[0].coverage;
+  ASSERT_EQ(cov.size(), 300u);
+  EXPECT_EQ(cov[50], 1);    // only read a
+  EXPECT_EQ(cov[150], 2);   // both reads
+  EXPECT_EQ(cov[250], 1);   // only read b
+}
+
+TEST(Consensus, DisjointGenesYieldSeparateContigs) {
+  Prng rng(8);
+  std::string g1 = random_dna(rng, 300);
+  std::string g2 = random_dna(rng, 300);
+  EstSet ests({{"a1", g1.substr(0, 180)},
+               {"a2", g1.substr(100, 200)},
+               {"b1", g2.substr(0, 180)},
+               {"b2", g2.substr(100, 200)}});
+  auto res = pace::cluster_sequential(ests, config());
+  auto contigs = assemble_clusters(ests, res.overlaps);
+  ASSERT_EQ(contigs.size(), 2u);
+  EXPECT_EQ(contigs[0].num_ests(), 2u);
+  EXPECT_EQ(contigs[1].num_ests(), 2u);
+}
+
+TEST(Consensus, EndToEndSimulatedWorkload) {
+  sim::SimConfig wcfg;
+  wcfg.num_genes = 5;
+  wcfg.num_ests = 60;
+  wcfg.est_len_mean = 220;
+  wcfg.est_len_min = 100;
+  wcfg.sub_rate = 0.005;
+  wcfg.ins_rate = wcfg.del_rate = 0.0;
+  wcfg.seed = 21;
+  auto wl = sim::generate(wcfg);
+  auto res = pace::cluster_sequential(wl.ests, config());
+  auto contigs = assemble_clusters(wl.ests, res.overlaps);
+  // Every EST appears in exactly one contig.
+  std::size_t placed = 0;
+  for (const auto& c : contigs) placed += c.num_ests();
+  EXPECT_EQ(placed, wl.ests.num_ests());
+  // Contig count equals cluster count.
+  EXPECT_EQ(contigs.size(), res.stats.num_clusters);
+  // No contig shorter than its longest member EST.
+  for (const auto& c : contigs) {
+    for (const auto& p : c.layout.placements) {
+      EXPECT_GE(c.consensus.size(),
+                wl.ests.str(bio::EstSet::forward_sid(p.est)).size());
+    }
+  }
+}
+
+TEST(ParallelOverlaps, ComponentsMatchClusteringAndSequentialContigs) {
+  // The parallel master records its own accepted-overlap set; it can
+  // differ from the sequential one, but its connected components must be
+  // the clustering, so assembly groups the same ESTs.
+  sim::SimConfig wcfg;
+  wcfg.num_genes = 6;
+  wcfg.num_ests = 80;
+  wcfg.est_len_mean = 220;
+  wcfg.est_len_min = 100;
+  wcfg.seed = 33;
+  auto wl = sim::generate(wcfg);
+  auto cfg = config();
+
+  auto seq = pace::cluster_sequential(wl.ests, cfg);
+  auto seq_contigs = assemble_clusters(wl.ests, seq.overlaps);
+
+  mpr::Runtime rt(5, mpr::CostModel{});
+  std::vector<pace::AcceptedOverlap> par_overlaps;
+  std::vector<std::uint32_t> par_labels;
+  std::mutex mu;
+  rt.run([&](mpr::Communicator& comm) {
+    auto res = pace::cluster_parallel(comm, wl.ests, cfg);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      par_overlaps = std::move(res.overlaps);
+      par_labels = std::move(res.labels);
+    }
+  });
+  ASSERT_FALSE(par_overlaps.empty());
+  auto par_contigs = assemble_clusters(wl.ests, par_overlaps);
+
+  // Member sets per contig must agree with both the labels and the
+  // sequential contigs.
+  auto membership = [&](const std::vector<Contig>& contigs) {
+    std::vector<std::set<bio::EstId>> out;
+    for (const auto& c : contigs) {
+      std::set<bio::EstId> m;
+      for (const auto& p : c.layout.placements) m.insert(p.est);
+      out.push_back(std::move(m));
+    }
+    return out;
+  };
+  EXPECT_EQ(membership(par_contigs), membership(seq_contigs));
+  EXPECT_EQ(par_contigs.size(),
+            std::set<std::uint32_t>(par_labels.begin(), par_labels.end())
+                .size());
+}
+
+}  // namespace
+}  // namespace estclust::assembly

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "baseline/greedy.hpp"
+#include "pace/sequential.hpp"
+#include "quality/metrics.hpp"
+#include "sim/workload.hpp"
+#include "util/check.hpp"
+
+namespace estclust::baseline {
+namespace {
+
+sim::Workload test_workload(std::size_t ests = 120, std::uint64_t seed = 5) {
+  sim::SimConfig cfg;
+  cfg.num_genes = 8;
+  cfg.num_ests = ests;
+  cfg.est_len_mean = 220;
+  cfg.est_len_stddev = 40;
+  cfg.est_len_min = 80;
+  cfg.seed = seed;
+  return sim::generate(cfg);
+}
+
+BaselineConfig test_config() {
+  BaselineConfig cfg;
+  cfg.kmer = 14;
+  cfg.overlap.band = 8;
+  cfg.overlap.min_quality = 0.75;
+  cfg.overlap.min_overlap = 40;
+  cfg.full_dp = false;  // fast kernel for most tests
+  return cfg;
+}
+
+TEST(Baseline, RecoversGeneClusters) {
+  auto wl = test_workload();
+  auto res = cluster_baseline(wl.ests, test_config());
+  EXPECT_FALSE(res.stats.out_of_memory);
+  auto pc = quality::count_pairs(res.clusters.labels(), wl.truth);
+  EXPECT_GT(pc.overlap_quality(), 80.0);
+  EXPECT_GT(pc.correlation(), 85.0);
+}
+
+TEST(Baseline, StatsCoherent) {
+  auto wl = test_workload();
+  auto res = cluster_baseline(wl.ests, test_config());
+  const BaselineStats& st = res.stats;
+  EXPECT_GT(st.candidate_pairs, 0u);
+  EXPECT_LE(st.pairs_processed, st.candidate_pairs);
+  EXPECT_LE(st.pairs_accepted, st.pairs_processed);
+  EXPECT_LE(st.merges, st.pairs_accepted);
+  EXPECT_GT(st.peak_bytes, 0u);
+  EXPECT_EQ(st.num_clusters, res.clusters.num_clusters());
+}
+
+TEST(Baseline, MemoryCapAborts) {
+  auto wl = test_workload(200);
+  auto cfg = test_config();
+  cfg.memory_cap_bytes = 256;  // absurdly small: must trip
+  auto res = cluster_baseline(wl.ests, cfg);
+  EXPECT_TRUE(res.stats.out_of_memory);
+  // Aborted run leaves the identity clustering.
+  EXPECT_EQ(res.stats.num_clusters, wl.ests.num_ests());
+}
+
+TEST(Baseline, UnlimitedMemoryCompletes) {
+  auto wl = test_workload(60);
+  auto cfg = test_config();
+  cfg.memory_cap_bytes = 0;
+  auto res = cluster_baseline(wl.ests, cfg);
+  EXPECT_FALSE(res.stats.out_of_memory);
+}
+
+TEST(Baseline, MaterializesMorePairsThanPaceAligns) {
+  // The architectural contrast: the baseline stores every candidate up
+  // front and aligns in arbitrary order, while pace's ordering + cluster
+  // check suppresses most alignments.
+  auto wl = test_workload(160);
+  auto base = cluster_baseline(wl.ests, test_config());
+
+  pace::PaceConfig pcfg;
+  pcfg.gst.window = 6;
+  pcfg.psi = 24;
+  pcfg.overlap = test_config().overlap;
+  auto ours = pace::cluster_sequential(wl.ests, pcfg);
+
+  EXPECT_GT(base.stats.pairs_processed, ours.stats.pairs_processed);
+}
+
+TEST(Baseline, ComparableQualityToPace) {
+  // Table 2's point: the two systems land close on quality; the win is
+  // time and memory, not accuracy.
+  auto wl = test_workload(150, 17);
+  auto base = cluster_baseline(wl.ests, test_config());
+
+  pace::PaceConfig pcfg;
+  pcfg.gst.window = 6;
+  pcfg.psi = 24;
+  pcfg.overlap = test_config().overlap;
+  auto ours = pace::cluster_sequential(wl.ests, pcfg);
+
+  auto pc_base = quality::count_pairs(base.clusters.labels(), wl.truth);
+  auto pc_ours = quality::count_pairs(ours.clusters.labels(), wl.truth);
+  EXPECT_NEAR(pc_base.correlation(), pc_ours.correlation(), 10.0);
+}
+
+TEST(Baseline, DeterministicAcrossRuns) {
+  auto wl = test_workload(80);
+  auto a = cluster_baseline(wl.ests, test_config());
+  auto b = cluster_baseline(wl.ests, test_config());
+  EXPECT_EQ(a.clusters.labels(), b.clusters.labels());
+  EXPECT_EQ(a.stats.candidate_pairs, b.stats.candidate_pairs);
+}
+
+TEST(Baseline, RepeatMaskingBoundsLowComplexityBlowup) {
+  // Poly-A ESTs would otherwise produce quadratic candidates.
+  std::vector<bio::Sequence> seqs;
+  for (int i = 0; i < 30; ++i) {
+    seqs.push_back({"p" + std::to_string(i), std::string(120, 'A')});
+  }
+  bio::EstSet ests(std::move(seqs));
+  auto cfg = test_config();
+  cfg.max_kmer_occ = 8;
+  auto res = cluster_baseline(ests, cfg);
+  // All k-mer buckets exceed the occupancy cap, so no candidates at all.
+  EXPECT_EQ(res.stats.candidate_pairs, 0u);
+}
+
+TEST(Baseline, FullDpDoesQuadraticallyMoreCellWork) {
+  // The serial tools' full-matrix DP versus the paper's banded anchored
+  // extension: identical candidates, vastly more cells.
+  auto wl = test_workload(50);
+  auto fast_cfg = test_config();
+  auto full_cfg = test_config();
+  full_cfg.full_dp = true;
+  auto fast = cluster_baseline(wl.ests, fast_cfg);
+  auto full = cluster_baseline(wl.ests, full_cfg);
+  EXPECT_EQ(fast.stats.candidate_pairs, full.stats.candidate_pairs);
+  EXPECT_GT(full.stats.dp_cells, 5 * fast.stats.dp_cells);
+}
+
+TEST(Baseline, RejectsSillyKmer) {
+  auto wl = test_workload(20);
+  auto cfg = test_config();
+  cfg.kmer = 2;
+  EXPECT_THROW(cluster_baseline(wl.ests, cfg), CheckError);
+}
+
+}  // namespace
+}  // namespace estclust::baseline

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "cluster/union_find.hpp"
+#include "util/prng.hpp"
+
+namespace estclust::cluster {
+namespace {
+
+TEST(UnionFind, StartsFullyDisjoint) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_clusters(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.cluster_size(i), 1u);
+  }
+}
+
+TEST(UnionFind, UniteMergesAndReportsNovelty) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));  // already merged
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(0, 2));
+  EXPECT_EQ(uf.num_clusters(), 3u);
+  EXPECT_EQ(uf.cluster_size(1), 2u);
+}
+
+TEST(UnionFind, TransitiveMerges) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.same(0, 3));
+  EXPECT_EQ(uf.cluster_size(0), 4u);
+  EXPECT_EQ(uf.num_clusters(), 3u);  // {0,1,2,3}, {4}, {5}
+}
+
+TEST(UnionFind, LabelsAreSmallestMember) {
+  UnionFind uf(5);
+  uf.unite(3, 1);
+  uf.unite(4, 3);
+  auto labels = uf.labels();
+  EXPECT_EQ(labels[1], 1u);
+  EXPECT_EQ(labels[3], 1u);
+  EXPECT_EQ(labels[4], 1u);
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[2], 2u);
+}
+
+TEST(UnionFind, LabelsInvariantUnderMergeOrder) {
+  // The same partition reached through different union sequences must give
+  // identical labels.
+  UnionFind a(6), b(6);
+  a.unite(0, 5);
+  a.unite(5, 2);
+  b.unite(2, 5);
+  b.unite(0, 2);
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
+TEST(UnionFind, ExtractClustersPartitionsAll) {
+  UnionFind uf(7);
+  uf.unite(0, 2);
+  uf.unite(4, 5);
+  uf.unite(5, 6);
+  auto clusters = uf.extract_clusters();
+  std::size_t total = 0;
+  for (const auto& c : clusters) total += c.size();
+  EXPECT_EQ(total, 7u);
+  EXPECT_EQ(clusters.size(), uf.num_clusters());
+  // Ordered by smallest member; members sorted.
+  EXPECT_EQ(clusters[0][0], 0u);
+  for (const auto& c : clusters) {
+    for (std::size_t i = 1; i < c.size(); ++i) EXPECT_LT(c[i - 1], c[i]);
+  }
+}
+
+TEST(UnionFind, SingleElement) {
+  UnionFind uf(1);
+  EXPECT_EQ(uf.find(0), 0u);
+  EXPECT_FALSE(uf.unite(0, 0));
+  EXPECT_EQ(uf.num_clusters(), 1u);
+}
+
+TEST(UnionFind, OperationsCounterGrows) {
+  UnionFind uf(10);
+  auto before = uf.operations();
+  uf.unite(0, 1);
+  uf.find(5);
+  EXPECT_GT(uf.operations(), before);
+}
+
+TEST(UnionFind, LargeRandomMatchesNaive) {
+  // Compare against a naive label-propagation partition.
+  Prng rng(1);
+  const std::uint32_t n = 300;
+  UnionFind uf(n);
+  std::vector<std::uint32_t> naive(n);
+  for (std::uint32_t i = 0; i < n; ++i) naive[i] = i;
+  auto naive_find = [&](std::uint32_t x) {
+    while (naive[x] != x) x = naive[x];
+    return x;
+  };
+  for (int k = 0; k < 400; ++k) {
+    std::uint32_t a = static_cast<std::uint32_t>(rng.uniform(n));
+    std::uint32_t b = static_cast<std::uint32_t>(rng.uniform(n));
+    uf.unite(a, b);
+    naive[naive_find(a)] = naive_find(b);
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < i + 5 && j < n; ++j) {
+      EXPECT_EQ(uf.same(i, j), naive_find(i) == naive_find(j));
+    }
+  }
+}
+
+TEST(UnionFind, ClusterCountConsistentWithExtract) {
+  Prng rng(2);
+  UnionFind uf(50);
+  for (int k = 0; k < 30; ++k) {
+    uf.unite(static_cast<std::uint32_t>(rng.uniform(50)),
+             static_cast<std::uint32_t>(rng.uniform(50)));
+  }
+  EXPECT_EQ(uf.extract_clusters().size(), uf.num_clusters());
+}
+
+}  // namespace
+}  // namespace estclust::cluster

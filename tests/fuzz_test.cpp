@@ -1,0 +1,240 @@
+// Randomized property tests spanning modules: the fast kernels and data
+// structures are cross-checked against their reference oracles over many
+// seeds.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "align/banded.hpp"
+#include "align/nw.hpp"
+#include "bio/alphabet.hpp"
+#include "bio/dataset.hpp"
+#include "gst/builder.hpp"
+#include "gst/suffix_array.hpp"
+#include "pairgen/generator.hpp"
+#include "quality/metrics.hpp"
+#include "util/prng.hpp"
+
+namespace estclust {
+namespace {
+
+std::string random_dna(Prng& rng, std::size_t len) {
+  std::string s(len, 'A');
+  for (auto& c : s) c = bio::decode_base(static_cast<int>(rng.uniform(4)));
+  return s;
+}
+
+std::string mutate(Prng& rng, const std::string& s, double sub, double ins,
+                   double del) {
+  std::string out;
+  for (char c : s) {
+    if (rng.bernoulli(del)) continue;
+    if (rng.bernoulli(ins)) {
+      out.push_back(bio::decode_base(static_cast<int>(rng.uniform(4))));
+    }
+    if (rng.bernoulli(sub)) {
+      out.push_back(bio::decode_base(
+          (bio::encode_base(c) + 1 + static_cast<int>(rng.uniform(3))) % 4));
+    } else {
+      out.push_back(c);
+    }
+  }
+  if (out.empty()) out = "A";
+  return out;
+}
+
+class AlignFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlignFuzz, BandedExtensionAgreesWithReferenceWideBand) {
+  Prng rng(GetParam());
+  std::string a = random_dna(rng, rng.uniform(50));
+  std::string b = rng.bernoulli(0.5) ? mutate(rng, a, 0.1, 0.05, 0.05)
+                                     : random_dna(rng, rng.uniform(50));
+  align::Scoring sc;
+  auto fast = align::extend_overlap(a, b, sc, a.size() + b.size() + 1);
+  auto ref = align::extend_overlap_reference(a, b, sc);
+  EXPECT_EQ(fast.score, ref.score) << "a=" << a << " b=" << b;
+  EXPECT_EQ(fast.a_len, ref.a_len);
+  EXPECT_EQ(fast.b_len, ref.b_len);
+}
+
+TEST_P(AlignFuzz, NarrowerBandNeverScoresHigher) {
+  Prng rng(GetParam() + 5000);
+  std::string a = random_dna(rng, 10 + rng.uniform(40));
+  std::string b = mutate(rng, a, 0.08, 0.02, 0.02);
+  align::Scoring sc;
+  long prev = std::numeric_limits<long>::min();
+  for (std::size_t band : {2u, 4u, 8u, 16u, 64u}) {
+    long s = align::extend_overlap(a, b, sc, band).score;
+    EXPECT_GE(s, prev) << "band " << band;
+    prev = s;
+  }
+}
+
+TEST_P(AlignFuzz, GlobalScoreBounds) {
+  Prng rng(GetParam() + 9000);
+  std::string a = random_dna(rng, 1 + rng.uniform(40));
+  std::string b = random_dna(rng, 1 + rng.uniform(40));
+  align::Scoring sc;
+  auto g = align::global_align(a, b, sc);
+  // Upper bound: all of the shorter string matches, rest gaps.
+  long upper = sc.ideal(std::min(a.size(), b.size())) +
+               static_cast<long>(
+                   (std::max(a.size(), b.size()) -
+                    std::min(a.size(), b.size()))) *
+                   sc.gap;
+  // Lower bound: delete everything, insert everything.
+  long lower = static_cast<long>(a.size() + b.size()) * sc.gap;
+  EXPECT_LE(g.score, upper);
+  EXPECT_GE(g.score, lower);
+  // Local alignment dominates global; affine-local dominates zero.
+  EXPECT_GE(align::local_align(a, b, sc).score, g.score);
+  EXPECT_GE(align::local_align_affine(a, b, sc).score, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlignFuzz,
+                         testing::Range<std::uint64_t>(1, 40));
+
+class GstFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GstFuzz, RefinementForestMatchesSuffixArrayOracle) {
+  Prng rng(GetParam());
+  // Mix of unrelated and overlapping sequences, occasional duplicates.
+  std::vector<bio::Sequence> seqs;
+  std::string gene = random_dna(rng, 120);
+  const std::size_t n = 3 + rng.uniform(8);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string s;
+    switch (rng.uniform(4)) {
+      case 0:
+        s = random_dna(rng, 10 + rng.uniform(60));
+        break;
+      case 1: {
+        std::size_t start = rng.uniform(80);
+        s = gene.substr(start, 40 + rng.uniform(40));
+        break;
+      }
+      case 2:
+        s = seqs.empty() ? random_dna(rng, 30)
+                         : seqs[rng.uniform(seqs.size())].bases;
+        break;
+      default:
+        s = std::string(10 + rng.uniform(30), 'A');  // low complexity
+        break;
+    }
+    if (s.size() < 5) s += random_dna(rng, 5);
+    seqs.push_back({"s" + std::to_string(i), s});
+  }
+  bio::EstSet ests(std::move(seqs));
+  const std::uint32_t w = 1 + static_cast<std::uint32_t>(rng.uniform(4));
+
+  auto refinement = gst::build_forest_sequential(ests, w);
+  auto oracle = gst::forest_from_suffix_array(
+      ests, gst::build_suffix_array(ests, w), w);
+  ASSERT_EQ(refinement.size(), oracle.size()) << "seed " << GetParam();
+  for (std::size_t i = 0; i < refinement.size(); ++i) {
+    const auto& a = refinement[i];
+    const auto& b = oracle[i];
+    ASSERT_EQ(a.bucket_id, b.bucket_id);
+    ASSERT_EQ(a.nodes.size(), b.nodes.size()) << "bucket " << a.bucket_id;
+    for (std::size_t k = 0; k < a.nodes.size(); ++k) {
+      EXPECT_EQ(a.nodes[k].rightmost, b.nodes[k].rightmost);
+      EXPECT_EQ(a.nodes[k].depth, b.nodes[k].depth);
+      EXPECT_EQ(a.nodes[k].occ_begin, b.nodes[k].occ_begin);
+      EXPECT_EQ(a.nodes[k].occ_end, b.nodes[k].occ_end);
+    }
+    for (std::size_t k = 0; k < a.occs.size(); ++k) {
+      EXPECT_TRUE(a.occs[k] == b.occs[k]);
+    }
+    a.validate(ests);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GstFuzz,
+                         testing::Range<std::uint64_t>(300, 340));
+
+class PairgenFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+std::size_t lcs_len(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = 0;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      cur[j] = (a[i - 1] == b[j - 1]) ? prev[j - 1] + 1 : 0;
+      best = std::max(best, cur[j]);
+    }
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
+TEST_P(PairgenFuzz, GeneratedPairsEqualBruteForceAcrossSeeds) {
+  Prng rng(GetParam());
+  std::string gene = random_dna(rng, 150);
+  std::vector<bio::Sequence> seqs;
+  const std::size_t n = 4 + rng.uniform(6);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string s;
+    if (rng.bernoulli(0.6)) {
+      std::size_t start = rng.uniform(100);
+      s = gene.substr(start, 50);
+      if (rng.bernoulli(0.5)) s = bio::reverse_complement(s);
+    } else {
+      s = random_dna(rng, 50);
+    }
+    seqs.push_back({"e" + std::to_string(i), s});
+  }
+  bio::EstSet ests(std::move(seqs));
+  const std::uint32_t psi = 12 + static_cast<std::uint32_t>(rng.uniform(8));
+  auto forest = gst::build_forest_sequential(ests, 4);
+  pairgen::PairGenerator gen(ests, forest, psi);
+
+  std::set<std::pair<bio::EstId, bio::EstId>> generated;
+  std::vector<pairgen::PromisingPair> batch;
+  while (gen.next_batch(1024, batch) > 0) {
+    for (const auto& p : batch) generated.insert({p.a, p.b});
+    batch.clear();
+  }
+
+  std::set<std::pair<bio::EstId, bio::EstId>> expected;
+  for (bio::EstId i = 0; i < ests.num_ests(); ++i) {
+    for (bio::EstId j = i + 1; j < ests.num_ests(); ++j) {
+      auto ei = ests.str(bio::EstSet::forward_sid(i));
+      if (lcs_len(ei, ests.str(bio::EstSet::forward_sid(j))) >= psi ||
+          lcs_len(ei, ests.str(bio::EstSet::rc_sid(j))) >= psi) {
+        expected.insert({i, j});
+      }
+    }
+  }
+  EXPECT_EQ(generated, expected) << "seed " << GetParam() << " psi " << psi;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairgenFuzz,
+                         testing::Range<std::uint64_t>(600, 625));
+
+class QualityFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QualityFuzz, FastCounterMatchesReference) {
+  Prng rng(GetParam());
+  std::size_t n = 5 + rng.uniform(80);
+  std::vector<std::uint32_t> pred(n), truth(n);
+  for (auto& x : pred) {
+    x = static_cast<std::uint32_t>(rng.uniform(1 + rng.uniform(12)));
+  }
+  for (auto& x : truth) {
+    x = static_cast<std::uint32_t>(rng.uniform(1 + rng.uniform(12)));
+  }
+  auto fast = quality::count_pairs(pred, truth);
+  auto ref = quality::count_pairs_reference(pred, truth);
+  EXPECT_EQ(fast.tp, ref.tp);
+  EXPECT_EQ(fast.fp, ref.fp);
+  EXPECT_EQ(fast.fn, ref.fn);
+  EXPECT_EQ(fast.tn, ref.tn);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QualityFuzz,
+                         testing::Range<std::uint64_t>(700, 720));
+
+}  // namespace
+}  // namespace estclust

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "pace/incremental.hpp"
+#include "pace/sequential.hpp"
+#include "quality/metrics.hpp"
+#include "sim/workload.hpp"
+#include "util/prng.hpp"
+
+namespace estclust::pace {
+namespace {
+
+sim::Workload workload(std::size_t ests, std::uint64_t seed = 77) {
+  sim::SimConfig cfg;
+  cfg.num_genes = 10;
+  cfg.num_ests = ests;
+  cfg.est_len_mean = 220;
+  cfg.est_len_stddev = 40;
+  cfg.est_len_min = 80;
+  cfg.seed = seed;
+  return sim::generate(cfg);
+}
+
+PaceConfig config() {
+  PaceConfig cfg;
+  cfg.gst.window = 6;
+  cfg.psi = 24;
+  cfg.overlap.min_quality = 0.75;
+  cfg.overlap.min_overlap = 40;
+  return cfg;
+}
+
+std::vector<bio::Sequence> slice(const bio::EstSet& ests, std::size_t lo,
+                                 std::size_t hi) {
+  std::vector<bio::Sequence> out;
+  for (std::size_t i = lo; i < hi && i < ests.num_ests(); ++i) {
+    out.push_back(ests.est(static_cast<bio::EstId>(i)));
+  }
+  return out;
+}
+
+TEST(Incremental, SingleBatchEqualsScratch) {
+  auto wl = workload(100);
+  auto scratch = cluster_sequential(wl.ests, config());
+
+  IncrementalClusterer inc(config());
+  inc.add_batch(slice(wl.ests, 0, 100));
+  EXPECT_EQ(inc.labels(), scratch.clusters.labels());
+}
+
+class IncrementalBatchTest : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(IncrementalBatchTest, AnyBatchSplitEqualsScratch) {
+  // The §5 open problem: batches must converge to exactly the clustering
+  // a from-scratch run over the union produces.
+  const std::size_t batch_size = GetParam();
+  auto wl = workload(120);
+  auto scratch = cluster_sequential(wl.ests, config());
+
+  IncrementalClusterer inc(config());
+  for (std::size_t lo = 0; lo < wl.ests.num_ests(); lo += batch_size) {
+    inc.add_batch(slice(wl.ests, lo, lo + batch_size));
+  }
+  ASSERT_EQ(inc.num_ests(), wl.ests.num_ests());
+  EXPECT_EQ(inc.labels(), scratch.clusters.labels())
+      << "batch size " << batch_size;
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, IncrementalBatchTest,
+                         testing::Values(1, 7, 25, 40, 120));
+
+TEST(Incremental, EmptyBatchIsNoop) {
+  IncrementalClusterer inc(config());
+  auto st = inc.add_batch({});
+  EXPECT_EQ(st.new_ests, 0u);
+  EXPECT_EQ(inc.num_ests(), 0u);
+  EXPECT_EQ(inc.num_clusters(), 0u);
+}
+
+TEST(Incremental, LaterBatchesOnlyTouchDirtyBuckets) {
+  auto wl = workload(120);
+  IncrementalClusterer inc(config());
+  inc.add_batch(slice(wl.ests, 0, 100));
+  auto st = inc.add_batch(slice(wl.ests, 100, 120));
+  EXPECT_EQ(st.new_ests, 20u);
+  // A small batch must not rebuild the whole structure.
+  EXPECT_LT(st.dirty_buckets, st.total_buckets);
+  EXPECT_GT(st.dirty_buckets, 0u);
+}
+
+TEST(Incremental, OldOldPairsAreFiltered) {
+  auto wl = workload(100);
+  IncrementalClusterer inc(config());
+  inc.add_batch(slice(wl.ests, 0, 80));
+  auto st = inc.add_batch(slice(wl.ests, 80, 100));
+  // Dirty buckets contain old suffixes too; pairs among them must be
+  // recognized as already-processed work.
+  EXPECT_GT(st.pairs_filtered, 0u);
+}
+
+TEST(Incremental, QualityMatchesScratchOnTruth) {
+  auto wl = workload(150, 99);
+  auto scratch = cluster_sequential(wl.ests, config());
+  IncrementalClusterer inc(config());
+  for (std::size_t lo = 0; lo < 150; lo += 30) {
+    inc.add_batch(slice(wl.ests, lo, lo + 30));
+  }
+  auto pc_inc = quality::count_pairs(inc.labels(), wl.truth);
+  auto pc_scr = quality::count_pairs(scratch.clusters.labels(), wl.truth);
+  EXPECT_DOUBLE_EQ(pc_inc.correlation(), pc_scr.correlation());
+}
+
+TEST(Incremental, ClusterCountMonotonicallyReasonable) {
+  auto wl = workload(90);
+  IncrementalClusterer inc(config());
+  inc.add_batch(slice(wl.ests, 0, 30));
+  std::size_t c1 = inc.num_clusters();
+  inc.add_batch(slice(wl.ests, 30, 90));
+  // More ESTs cannot reduce clusters below 1 or exceed EST count.
+  EXPECT_GE(inc.num_clusters(), 1u);
+  EXPECT_LE(inc.num_clusters(), 90u);
+  EXPECT_LE(c1, 30u);
+}
+
+TEST(UnionFindGrow, AppendsSingletons) {
+  cluster::UnionFind uf(3);
+  uf.unite(0, 1);
+  uf.grow(6);
+  EXPECT_EQ(uf.size(), 6u);
+  EXPECT_EQ(uf.num_clusters(), 5u);  // {0,1},{2},{3},{4},{5}
+  EXPECT_FALSE(uf.same(3, 4));
+  EXPECT_TRUE(uf.same(0, 1));
+  uf.unite(4, 5);
+  EXPECT_EQ(uf.num_clusters(), 4u);
+}
+
+TEST(UnionFindGrow, RejectsShrink) {
+  cluster::UnionFind uf(4);
+  EXPECT_THROW(uf.grow(2), CheckError);
+}
+
+}  // namespace
+}  // namespace estclust::pace

@@ -1,0 +1,208 @@
+// Stress tests of the message-passing runtime: message storms, mixed
+// point-to-point and collective traffic, and virtual-clock invariants.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "mpr/communicator.hpp"
+#include "mpr/runtime.hpp"
+#include "util/prng.hpp"
+
+namespace estclust::mpr {
+namespace {
+
+class StormTest : public testing::TestWithParam<int> {};
+
+TEST_P(StormTest, AllToAllMessageStormDeliversEverything) {
+  const int p = GetParam();
+  const int kPerPeer = 25;
+  Runtime rt(p, CostModel{});
+  std::atomic<std::uint64_t> sent_sum{0}, received_sum{0};
+  rt.run([&](Communicator& comm) {
+    Prng rng(1000 + comm.rank());
+    std::uint64_t my_sent = 0;
+    // Send kPerPeer messages to every other rank with random payloads and
+    // a tag identifying the sender.
+    for (int dest = 0; dest < p; ++dest) {
+      if (dest == comm.rank()) continue;
+      for (int k = 0; k < kPerPeer; ++k) {
+        BufWriter w;
+        std::uint64_t v = rng.next();
+        my_sent += v;
+        w.put(v);
+        comm.send(dest, comm.rank(), w.take());
+      }
+    }
+    // Receive exactly kPerPeer from each peer, any order.
+    std::uint64_t my_recv = 0;
+    for (int src = 0; src < p; ++src) {
+      if (src == comm.rank()) continue;
+      for (int k = 0; k < kPerPeer; ++k) {
+        Message m = comm.recv(src, src);
+        BufReader r(m.payload);
+        my_recv += r.get<std::uint64_t>();
+      }
+    }
+    sent_sum += my_sent;
+    received_sum += my_recv;
+  });
+  EXPECT_EQ(sent_sum.load(), received_sum.load());
+}
+
+TEST_P(StormTest, InterleavedTagsNeverCross) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  Runtime rt(p, CostModel{});
+  rt.run([&](Communicator& comm) {
+    // Every rank sends its neighbour 30 messages alternating two tags,
+    // then receives per-tag; ordering within a tag must be FIFO.
+    const int next = (comm.rank() + 1) % p;
+    const int prev = (comm.rank() + p - 1) % p;
+    for (int i = 0; i < 30; ++i) {
+      BufWriter w;
+      w.put<std::uint32_t>(i);
+      comm.send(next, i % 2, w.take());
+    }
+    for (int tag = 0; tag < 2; ++tag) {
+      std::uint32_t last = 0;
+      bool first = true;
+      for (int i = 0; i < 15; ++i) {
+        Message m = comm.recv(prev, tag);
+        BufReader r(m.payload);
+        std::uint32_t v = r.get<std::uint32_t>();
+        EXPECT_EQ(v % 2, static_cast<std::uint32_t>(tag));
+        if (!first) {
+          EXPECT_GT(v, last);
+        }
+        last = v;
+        first = false;
+      }
+    }
+  });
+}
+
+TEST_P(StormTest, RepeatedCollectivesStaySynchronized) {
+  const int p = GetParam();
+  Runtime rt(p, CostModel{});
+  rt.run([&](Communicator& comm) {
+    std::uint64_t acc = 1;
+    for (int round = 0; round < 20; ++round) {
+      std::uint64_t s = comm.allreduce_sum(acc + comm.rank());
+      std::uint64_t expected =
+          static_cast<std::uint64_t>(p) * acc +
+          static_cast<std::uint64_t>(p) * (p - 1) / 2;
+      ASSERT_EQ(s, expected) << "round " << round;
+      acc = s % 1000 + 1;  // same on all ranks, so next round agrees
+    }
+  });
+}
+
+TEST_P(StormTest, PointToPointAroundBarriers) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  Runtime rt(p, CostModel{});
+  rt.run([&](Communicator& comm) {
+    for (int round = 0; round < 10; ++round) {
+      const int next = (comm.rank() + 1) % p;
+      const int prev = (comm.rank() + p - 1) % p;
+      BufWriter w;
+      w.put<std::uint32_t>(static_cast<std::uint32_t>(round * p + comm.rank()));
+      comm.send(next, 5, w.take());
+      Message m = comm.recv(prev, 5);
+      BufReader r(m.payload);
+      EXPECT_EQ(r.get<std::uint32_t>(),
+                static_cast<std::uint32_t>(round * p + prev));
+      comm.barrier();
+    }
+  });
+}
+
+TEST_P(StormTest, BroadcastRandomBuffers) {
+  const int p = GetParam();
+  Runtime rt(p, CostModel{});
+  rt.run([&](Communicator& comm) {
+    Prng rng(7);  // same stream everywhere: predictable expected content
+    for (int round = 0; round < 5; ++round) {
+      std::size_t len = 1 + rng.uniform(2000);
+      Buffer expected(len);
+      for (auto& b : expected) {
+        b = static_cast<std::uint8_t>(rng.uniform(256));
+      }
+      Buffer got = comm.broadcast(comm.rank() == 0 ? expected : Buffer{});
+      ASSERT_EQ(got, expected) << "round " << round;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, StormTest,
+                         testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(VirtualClockInvariants, TimeNeverDecreases) {
+  Runtime rt(4, CostModel{});
+  rt.run([&](Communicator& comm) {
+    double last = comm.clock().time();
+    auto check = [&] {
+      EXPECT_GE(comm.clock().time(), last);
+      last = comm.clock().time();
+    };
+    comm.barrier();
+    check();
+    comm.allreduce_sum(std::uint64_t{1});
+    check();
+    if (comm.rank() == 0) {
+      comm.send(1, 0, Buffer(100));
+      check();
+    }
+    if (comm.rank() == 1) {
+      comm.recv(0, 0);
+      check();
+    }
+    comm.barrier();
+    check();
+  });
+}
+
+TEST(VirtualClockInvariants, BusyNeverExceedsElapsed) {
+  Runtime rt(3, CostModel{});
+  rt.run([&](Communicator& comm) {
+    comm.charge(1e-6, 100);
+    comm.barrier();
+    EXPECT_LE(comm.clock().busy_time(), comm.clock().time() + 1e-12);
+  });
+}
+
+TEST(VirtualClockInvariants, DeterministicAcrossRealRuns) {
+  // The same communication pattern must produce the same virtual times no
+  // matter how the OS schedules the threads.
+  auto run_once = [] {
+    Runtime rt(6, CostModel{});
+    rt.run([&](Communicator& comm) {
+      for (int i = 0; i < 10; ++i) {
+        comm.charge(1e-6, (comm.rank() + 1) * 10);
+        comm.allreduce_max(static_cast<double>(comm.rank()));
+      }
+    });
+    return rt.elapsed_vtime();
+  };
+  double a = run_once();
+  double b = run_once();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(LargePayloads, MegabyteMessagesSurvive) {
+  Runtime rt(2, CostModel{});
+  rt.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      Buffer big(4 << 20, 0xAB);
+      comm.send(1, 0, std::move(big));
+    } else {
+      Message m = comm.recv(0, 0);
+      EXPECT_EQ(m.payload.size(), std::size_t{4 << 20});
+      EXPECT_EQ(m.payload[12345], 0xAB);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace estclust::mpr

@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "mpr/communicator.hpp"
+#include "mpr/message.hpp"
+#include "mpr/runtime.hpp"
+#include "util/check.hpp"
+
+namespace estclust::mpr {
+namespace {
+
+CostModel test_cm() {
+  CostModel cm;  // defaults are fine; tests only check relative behaviour
+  return cm;
+}
+
+TEST(BufReadWrite, PodRoundTrip) {
+  BufWriter w;
+  w.put<std::uint32_t>(7);
+  w.put<double>(2.5);
+  w.put<std::int64_t>(-9);
+  Buffer b = w.take();
+  BufReader r(b);
+  EXPECT_EQ(r.get<std::uint32_t>(), 7u);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 2.5);
+  EXPECT_EQ(r.get<std::int64_t>(), -9);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BufReadWrite, StringAndVectorRoundTrip) {
+  BufWriter w;
+  w.put_string("hello");
+  w.put_vec<std::uint16_t>({1, 2, 3});
+  Buffer b = w.take();
+  BufReader r(b);
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.get_vec<std::uint16_t>(), (std::vector<std::uint16_t>{1, 2, 3}));
+}
+
+TEST(BufReadWrite, UnderflowThrows) {
+  BufWriter w;
+  w.put<std::uint8_t>(1);
+  Buffer b = w.take();
+  BufReader r(b);
+  EXPECT_THROW(r.get<std::uint64_t>(), CheckError);
+}
+
+TEST(BufReadWrite, EmptyStringAndVector) {
+  BufWriter w;
+  w.put_string("");
+  w.put_vec<std::uint64_t>({});
+  Buffer b = w.take();
+  BufReader r(b);
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_TRUE(r.get_vec<std::uint64_t>().empty());
+}
+
+TEST(Mailbox, FifoWithinMatches) {
+  Mailbox mb;
+  for (int i = 0; i < 3; ++i) {
+    Message m;
+    m.src = 0;
+    m.tag = 5;
+    m.payload = {static_cast<std::uint8_t>(i)};
+    mb.push(std::move(m));
+  }
+  for (int i = 0; i < 3; ++i) {
+    Message m = mb.pop(kAnySource, 5);
+    EXPECT_EQ(m.payload[0], i);
+  }
+}
+
+TEST(Mailbox, TagAndSourceFiltering) {
+  Mailbox mb;
+  Message a;
+  a.src = 1;
+  a.tag = 10;
+  mb.push(std::move(a));
+  Message b;
+  b.src = 2;
+  b.tag = 20;
+  mb.push(std::move(b));
+  EXPECT_TRUE(mb.probe(2, 20));
+  EXPECT_FALSE(mb.probe(2, 10));
+  Message got = mb.pop(2, kAnyTag);
+  EXPECT_EQ(got.tag, 20);
+  EXPECT_EQ(mb.size(), 1u);
+}
+
+TEST(Mailbox, TryPopReturnsNulloptWhenEmpty) {
+  Mailbox mb;
+  EXPECT_FALSE(mb.try_pop(kAnySource, kAnyTag).has_value());
+}
+
+TEST(Mailbox, WildcardTagSkipsInternalMessages) {
+  Mailbox mb;
+  Message internal;
+  internal.src = 0;
+  internal.tag = kInternalTagBase + 3;
+  mb.push(std::move(internal));
+  EXPECT_FALSE(mb.try_pop(kAnySource, kAnyTag).has_value());
+  EXPECT_TRUE(mb.try_pop(kAnySource, kInternalTagBase + 3).has_value());
+}
+
+TEST(Runtime, PingPongDeliversPayload) {
+  Runtime rt(2, test_cm());
+  rt.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      BufWriter w;
+      w.put<std::uint64_t>(123);
+      comm.send(1, 0, w.take());
+      Message m = comm.recv(1, 1);
+      BufReader r(m.payload);
+      EXPECT_EQ(r.get<std::uint64_t>(), 124u);
+    } else {
+      Message m = comm.recv(0, 0);
+      BufReader r(m.payload);
+      BufWriter w;
+      w.put<std::uint64_t>(r.get<std::uint64_t>() + 1);
+      comm.send(0, 1, w.take());
+    }
+  });
+  EXPECT_GT(rt.elapsed_vtime(), 0.0);
+}
+
+TEST(Runtime, RethrowsRankExceptions) {
+  Runtime rt(2, test_cm());
+  EXPECT_THROW(rt.run([](Communicator& comm) {
+                 if (comm.rank() == 1) ESTCLUST_CHECK(false);
+                 // rank 0 returns without communicating
+               }),
+               CheckError);
+}
+
+TEST(Runtime, UserTagRangeEnforced) {
+  Runtime rt(1, test_cm());
+  EXPECT_THROW(rt.run([](Communicator& comm) {
+                 comm.send(0, kInternalTagBase, {});
+               }),
+               CheckError);
+}
+
+class AllreduceTest : public testing::TestWithParam<int> {};
+
+TEST_P(AllreduceTest, SumOverRanks) {
+  const int p = GetParam();
+  Runtime rt(p, test_cm());
+  rt.run([&](Communicator& comm) {
+    auto total = comm.allreduce_sum(
+        static_cast<std::uint64_t>(comm.rank() + 1));
+    EXPECT_EQ(total, static_cast<std::uint64_t>(p) * (p + 1) / 2);
+  });
+}
+
+TEST_P(AllreduceTest, MaxOverRanks) {
+  const int p = GetParam();
+  Runtime rt(p, test_cm());
+  rt.run([&](Communicator& comm) {
+    double m = comm.allreduce_max(static_cast<double>(comm.rank()));
+    EXPECT_DOUBLE_EQ(m, static_cast<double>(p - 1));
+  });
+}
+
+TEST_P(AllreduceTest, VectorSum) {
+  const int p = GetParam();
+  Runtime rt(p, test_cm());
+  rt.run([&](Communicator& comm) {
+    std::vector<std::uint64_t> v = {1, static_cast<std::uint64_t>(comm.rank()),
+                                    0};
+    auto out = comm.allreduce_sum_vec(v);
+    EXPECT_EQ(out[0], static_cast<std::uint64_t>(p));
+    EXPECT_EQ(out[1], static_cast<std::uint64_t>(p) * (p - 1) / 2);
+    EXPECT_EQ(out[2], 0u);
+  });
+}
+
+TEST_P(AllreduceTest, AllgatherIndexedByRank) {
+  const int p = GetParam();
+  Runtime rt(p, test_cm());
+  rt.run([&](Communicator& comm) {
+    auto all = comm.allgather(static_cast<std::uint64_t>(comm.rank() * 10));
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(all[r], static_cast<std::uint64_t>(r) * 10);
+    }
+  });
+}
+
+TEST_P(AllreduceTest, BarrierSynchronizesClocks) {
+  const int p = GetParam();
+  Runtime rt(p, test_cm());
+  rt.run([&](Communicator& comm) {
+    // Rank 0 does a big chunk of virtual work; after the barrier everyone's
+    // clock must be at least that much.
+    if (comm.rank() == 0) comm.clock().advance(1.0);
+    comm.barrier();
+    EXPECT_GE(comm.clock().time(), 1.0);
+  });
+}
+
+TEST_P(AllreduceTest, AllToAllRoutesBuffers) {
+  const int p = GetParam();
+  Runtime rt(p, test_cm());
+  rt.run([&](Communicator& comm) {
+    std::vector<Buffer> send(p);
+    for (int r = 0; r < p; ++r) {
+      BufWriter w;
+      w.put<std::uint32_t>(
+          static_cast<std::uint32_t>(comm.rank() * 1000 + r));
+      send[r] = w.take();
+    }
+    auto got = comm.all_to_all(std::move(send));
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      BufReader rd(got[r]);
+      EXPECT_EQ(rd.get<std::uint32_t>(),
+                static_cast<std::uint32_t>(r * 1000 + comm.rank()));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, AllreduceTest,
+                         testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST(VirtualTime, MessageArrivalRespectsLatencyAndBandwidth) {
+  CostModel cm = test_cm();
+  Runtime rt(2, cm);
+  double observed = 0.0;
+  rt.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      Buffer big(1'000'000, 0);  // 1 MB
+      comm.send(1, 0, std::move(big));
+    } else {
+      Message m = comm.recv(0, 0);
+      observed = m.arrival_vtime;
+    }
+  });
+  // 1 MB at `bandwidth` plus latency and the sender overhead.
+  double expected = cm.send_overhead + cm.latency + 1'000'000 / cm.bandwidth;
+  EXPECT_NEAR(observed, expected, 1e-9);
+}
+
+TEST(VirtualTime, ReceiverClockJumpsToArrival) {
+  CostModel cm = test_cm();
+  Runtime rt(2, cm);
+  rt.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.clock().advance(5.0);  // sender is far in the virtual future
+      comm.send(1, 0, {});
+    } else {
+      Message m = comm.recv(0, 0);
+      EXPECT_GE(comm.clock().time(), 5.0);
+      EXPECT_GE(m.arrival_vtime, 5.0);
+    }
+  });
+}
+
+TEST(VirtualTime, BusyTimeExcludesWaiting) {
+  CostModel cm = test_cm();
+  Runtime rt(2, cm);
+  rt.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.clock().advance(2.0);
+      comm.send(1, 0, {});
+    } else {
+      comm.recv(0, 0);
+      // Receiver did almost no busy work even though its clock advanced.
+      EXPECT_LT(comm.clock().busy_time(), 0.1);
+      EXPECT_GT(comm.clock().time(), 1.9);
+    }
+  });
+}
+
+TEST(VirtualTime, ElapsedIsMaxOverRanks) {
+  Runtime rt(3, test_cm());
+  rt.run([](Communicator& comm) {
+    comm.clock().advance(static_cast<double>(comm.rank()));
+  });
+  EXPECT_NEAR(rt.elapsed_vtime(), 2.0, 1e-12);
+  EXPECT_NEAR(rt.total_busy_vtime(), 3.0, 1e-12);
+}
+
+TEST(VirtualTime, ChargeUsesUnitCost) {
+  Runtime rt(1, test_cm());
+  rt.run([](Communicator& comm) {
+    double before = comm.clock().time();
+    comm.charge(1e-6, 1000);
+    EXPECT_NEAR(comm.clock().time() - before, 1e-3, 1e-12);
+  });
+}
+
+TEST(VirtualTime, CollectiveCostGrowsSublinearlyWithRanks) {
+  // Virtual barrier cost at p=16 should be far less than 16x the p=2 cost
+  // (binomial tree, O(log p)).
+  auto barrier_cost = [&](int p) {
+    Runtime rt(p, test_cm());
+    rt.run([](Communicator& comm) { comm.barrier(); });
+    return rt.elapsed_vtime();
+  };
+  double c2 = barrier_cost(2);
+  double c16 = barrier_cost(16);
+  EXPECT_LT(c16, 8.0 * c2);
+  EXPECT_GT(c16, c2);
+}
+
+TEST(RankStatsTest, CountsMessagesAndBytes) {
+  Runtime rt(2, test_cm());
+  rt.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 0, Buffer(10));
+      comm.send(1, 0, Buffer(20));
+    } else {
+      comm.recv(0, 0);
+      comm.recv(0, 0);
+    }
+  });
+  EXPECT_EQ(rt.stats(0).messages_sent, 2u);
+  EXPECT_EQ(rt.stats(0).bytes_sent, 30u);
+  EXPECT_EQ(rt.stats(1).messages_received, 2u);
+}
+
+TEST(RunRanks, ReturnsElapsedVtime) {
+  double t = run_ranks(4, test_cm(), [](Communicator& comm) {
+    comm.clock().advance(0.5);
+    comm.barrier();
+  });
+  EXPECT_GE(t, 0.5);
+}
+
+TEST(Probe, SeesQueuedMessage) {
+  Runtime rt(2, test_cm());
+  rt.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, {});
+    } else {
+      // Blocking recv after (possibly) probing; probe must never consume.
+      while (!comm.probe(0, 7)) {
+      }
+      EXPECT_TRUE(comm.probe(0, 7));
+      comm.recv(0, 7);
+      EXPECT_FALSE(comm.probe(0, 7));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace estclust::mpr

@@ -1,0 +1,400 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "bio/alphabet.hpp"
+#include "bio/dataset.hpp"
+#include "gst/builder.hpp"
+#include "pairgen/generator.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace estclust::pairgen {
+namespace {
+
+using bio::EstSet;
+using bio::Sequence;
+
+std::string random_dna(Prng& rng, std::size_t len) {
+  std::string s(len, 'A');
+  for (auto& c : s) c = bio::decode_base(static_cast<int>(rng.uniform(4)));
+  return s;
+}
+
+/// Longest common substring length (reference DP).
+std::size_t lcs_len(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = 0;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      cur[j] = (a[i - 1] == b[j - 1]) ? prev[j - 1] + 1 : 0;
+      best = std::max(best, cur[j]);
+    }
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
+/// All *distinct* maximal common substrings of length >= minlen.
+std::set<std::string> maximal_common_substrings(std::string_view a,
+                                                std::string_view b,
+                                                std::size_t minlen) {
+  std::set<std::string> out;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (a[i] != b[j]) continue;
+      // Left-maximal start?
+      if (i > 0 && j > 0 && a[i - 1] == b[j - 1]) continue;
+      std::size_t len = 0;
+      while (i + len < a.size() && j + len < b.size() &&
+             a[i + len] == b[j + len]) {
+        ++len;
+      }
+      if (len >= minlen) out.insert(std::string(a.substr(i, len)));
+    }
+  }
+  return out;
+}
+
+/// Generates ESTs with deliberate overlap structure: windows of a shared
+/// "gene" string, some reverse complemented, plus unrelated noise ESTs.
+EstSet overlap_ests(Prng& rng, std::size_t n_related, std::size_t n_noise,
+                    std::size_t gene_len = 220, std::size_t est_len = 80) {
+  std::string gene = random_dna(rng, gene_len);
+  std::vector<Sequence> seqs;
+  for (std::size_t i = 0; i < n_related; ++i) {
+    std::size_t start = rng.uniform(gene_len - est_len);
+    std::string est = gene.substr(start, est_len);
+    if (rng.bernoulli(0.4)) est = bio::reverse_complement(est);
+    seqs.push_back({"r" + std::to_string(i), est});
+  }
+  for (std::size_t i = 0; i < n_noise; ++i) {
+    seqs.push_back({"n" + std::to_string(i), random_dna(rng, est_len)});
+  }
+  return EstSet(std::move(seqs));
+}
+
+std::vector<PromisingPair> drain(PairGenerator& gen,
+                                 std::size_t batch = 1000000) {
+  std::vector<PromisingPair> out;
+  while (gen.next_batch(batch, out) > 0) {
+  }
+  return out;
+}
+
+TEST(PairGenerator, RequiresPsiAtLeastWindow) {
+  EstSet ests(std::vector<Sequence>{{"a", "ACGTACGTACGT"}});
+  auto forest = gst::build_forest_sequential(ests, 4);
+  EXPECT_THROW(PairGenerator(ests, forest, 3), CheckError);
+}
+
+TEST(PairGenerator, EmitsSharedSubstringPair) {
+  // Two ESTs overlap in a 20-base core.
+  Prng rng(1);
+  std::string core = random_dna(rng, 20);
+  EstSet ests({{"a", random_dna(rng, 30) + core},
+               {"b", core + random_dna(rng, 30)}});
+  auto forest = gst::build_forest_sequential(ests, 4);
+  PairGenerator gen(ests, forest, 10);
+  auto pairs = drain(gen);
+  ASSERT_FALSE(pairs.empty());
+  bool found = false;
+  for (const auto& p : pairs) {
+    if (p.a == 0 && p.b == 1 && !p.b_rc) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PairGenerator, NoPairsWithoutSharedSubstrings) {
+  // Disjoint alphab1et usage guarantees no common 8-mer.
+  EstSet ests({{"a", std::string(40, 'A') + std::string(40, 'C')},
+               {"b", std::string(40, 'G') + std::string(40, 'T')}});
+  // NB: revcomp of b is AAAA..CCCC-like; "b" rc = AAAA(40)CCCC? No:
+  // revcomp("G^40 T^40") = "A^40 C^40", which matches EST a exactly!
+  // That is intentional: the pair must be found in rc orientation.
+  auto forest = gst::build_forest_sequential(ests, 4);
+  PairGenerator gen(ests, forest, 10);
+  auto pairs = drain(gen);
+  ASSERT_FALSE(pairs.empty());
+  for (const auto& p : pairs) {
+    EXPECT_EQ(p.a, 0u);
+    EXPECT_EQ(p.b, 1u);
+    EXPECT_TRUE(p.b_rc);
+  }
+}
+
+TEST(PairGenerator, TrulyDisjointYieldsNothing) {
+  EstSet ests({{"a", std::string(60, 'A')},
+               {"b", std::string(60, 'C')}});
+  // rc(b) = G^60; no common 4-mer with A^60 in any orientation.
+  auto forest = gst::build_forest_sequential(ests, 4);
+  PairGenerator gen(ests, forest, 8);
+  auto pairs = drain(gen);
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(PairGenerator, ReverseComplementOverlapDetected) {
+  Prng rng(2);
+  std::string core = random_dna(rng, 24);
+  EstSet ests({{"a", random_dna(rng, 20) + core + random_dna(rng, 20)},
+               {"b", random_dna(rng, 15) + bio::reverse_complement(core) +
+                         random_dna(rng, 15)}});
+  auto forest = gst::build_forest_sequential(ests, 4);
+  PairGenerator gen(ests, forest, 12);
+  auto pairs = drain(gen);
+  ASSERT_FALSE(pairs.empty());
+  for (const auto& p : pairs) {
+    EXPECT_TRUE(p.b_rc);
+  }
+}
+
+TEST(PairGenerator, AnchorsAreValidMaximalMatches) {
+  Prng rng(3);
+  EstSet ests = overlap_ests(rng, 8, 3);
+  auto forest = gst::build_forest_sequential(ests, 4);
+  PairGenerator gen(ests, forest, 12);
+  auto pairs = drain(gen);
+  ASSERT_FALSE(pairs.empty());
+  for (const auto& p : pairs) {
+    auto a = ests.str(bio::EstSet::forward_sid(p.a));
+    auto b = ests.str(p.b_rc ? bio::EstSet::rc_sid(p.b)
+                             : bio::EstSet::forward_sid(p.b));
+    ASSERT_LE(p.a_pos + p.match_len, a.size());
+    ASSERT_LE(p.b_pos + p.match_len, b.size());
+    // Lemma 1: the anchor is a common substring...
+    EXPECT_EQ(a.substr(p.a_pos, p.match_len), b.substr(p.b_pos, p.match_len));
+    // ...that is left-maximal...
+    if (p.a_pos > 0 && p.b_pos > 0) {
+      EXPECT_NE(a[p.a_pos - 1], b[p.b_pos - 1]);
+    }
+    // ...and right-maximal.
+    if (p.a_pos + p.match_len < a.size() &&
+        p.b_pos + p.match_len < b.size()) {
+      EXPECT_NE(a[p.a_pos + p.match_len], b[p.b_pos + p.match_len]);
+    }
+  }
+}
+
+TEST(PairGenerator, MatchesBruteForcePromisingPairs) {
+  // Lemma 3 both directions at EST granularity: the set of generated
+  // (a, b) pairs equals the set of pairs with LCS >= psi in some
+  // orientation.
+  for (std::uint64_t seed : {10, 11, 12, 13}) {
+    Prng rng(seed);
+    EstSet ests = overlap_ests(rng, 7, 4);
+    const std::uint32_t psi = 14;
+    auto forest = gst::build_forest_sequential(ests, 4);
+    PairGenerator gen(ests, forest, psi);
+    auto pairs = drain(gen);
+
+    std::set<std::pair<bio::EstId, bio::EstId>> generated;
+    for (const auto& p : pairs) generated.insert({p.a, p.b});
+
+    std::set<std::pair<bio::EstId, bio::EstId>> expected;
+    for (bio::EstId i = 0; i < ests.num_ests(); ++i) {
+      for (bio::EstId j = i + 1; j < ests.num_ests(); ++j) {
+        auto ei = ests.str(bio::EstSet::forward_sid(i));
+        auto ej = ests.str(bio::EstSet::forward_sid(j));
+        auto ej_rc = ests.str(bio::EstSet::rc_sid(j));
+        if (lcs_len(ei, ej) >= psi || lcs_len(ei, ej_rc) >= psi) {
+          expected.insert({i, j});
+        }
+      }
+    }
+    EXPECT_EQ(generated, expected) << "seed " << seed;
+  }
+}
+
+TEST(PairGenerator, PairsStreamInDecreasingMatchLength) {
+  Prng rng(20);
+  EstSet ests = overlap_ests(rng, 10, 2);
+  auto forest = gst::build_forest_sequential(ests, 3);
+  PairGenerator gen(ests, forest, 10);
+  auto pairs = drain(gen);
+  ASSERT_FALSE(pairs.empty());
+  for (std::size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_LE(pairs[i].match_len, pairs[i - 1].match_len);
+  }
+}
+
+TEST(PairGenerator, FirstPairHasGloballyLongestMatch) {
+  Prng rng(21);
+  EstSet ests = overlap_ests(rng, 8, 2);
+  const std::uint32_t psi = 10;
+  auto forest = gst::build_forest_sequential(ests, 3);
+  PairGenerator gen(ests, forest, psi);
+  auto pairs = drain(gen);
+  ASSERT_FALSE(pairs.empty());
+
+  std::size_t best = 0;
+  for (bio::EstId i = 0; i < ests.num_ests(); ++i) {
+    for (bio::EstId j = i + 1; j < ests.num_ests(); ++j) {
+      auto ei = ests.str(bio::EstSet::forward_sid(i));
+      best = std::max(best,
+                      lcs_len(ei, ests.str(bio::EstSet::forward_sid(j))));
+      best = std::max(best, lcs_len(ei, ests.str(bio::EstSet::rc_sid(j))));
+    }
+  }
+  EXPECT_EQ(pairs.front().match_len, best);
+}
+
+TEST(PairGenerator, EmissionCountBoundedByDistinctMaximalSubstrings) {
+  // Corollary 2.
+  Prng rng(22);
+  EstSet ests = overlap_ests(rng, 6, 2, 150, 60);
+  const std::uint32_t psi = 12;
+  auto forest = gst::build_forest_sequential(ests, 4);
+  PairGenerator gen(ests, forest, psi);
+  auto pairs = drain(gen);
+
+  std::map<std::tuple<bio::EstId, bio::EstId, bool>, std::size_t> counts;
+  for (const auto& p : pairs) ++counts[{p.a, p.b, p.b_rc}];
+  for (const auto& [key, count] : counts) {
+    auto [a, b, rc] = key;
+    auto sa = ests.str(bio::EstSet::forward_sid(a));
+    auto sb = ests.str(rc ? bio::EstSet::rc_sid(b)
+                          : bio::EstSet::forward_sid(b));
+    auto maximal = maximal_common_substrings(sa, sb, psi);
+    EXPECT_LE(count, maximal.size())
+        << "pair (" << a << "," << b << ",rc=" << rc << ")";
+  }
+}
+
+TEST(PairGenerator, BatchingIsEquivalentToDraining) {
+  Prng rng(23);
+  EstSet ests = overlap_ests(rng, 9, 2);
+  auto forest = gst::build_forest_sequential(ests, 3);
+
+  PairGenerator big(ests, forest, 10);
+  auto all = drain(big);
+
+  PairGenerator small(ests, forest, 10);
+  std::vector<PromisingPair> collected;
+  while (small.next_batch(7, collected) > 0) {
+  }
+  ASSERT_EQ(collected.size(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(collected[i].a, all[i].a);
+    EXPECT_EQ(collected[i].b, all[i].b);
+    EXPECT_EQ(collected[i].b_rc, all[i].b_rc);
+    EXPECT_EQ(collected[i].match_len, all[i].match_len);
+  }
+}
+
+TEST(PairGenerator, NextBatchRespectsLimit) {
+  Prng rng(24);
+  EstSet ests = overlap_ests(rng, 10, 0);
+  auto forest = gst::build_forest_sequential(ests, 3);
+  PairGenerator gen(ests, forest, 10);
+  std::vector<PromisingPair> out;
+  std::size_t got = gen.next_batch(3, out);
+  EXPECT_LE(got, 3u);
+  EXPECT_EQ(out.size(), got);
+}
+
+TEST(PairGenerator, ExhaustedAfterDrain) {
+  Prng rng(25);
+  EstSet ests = overlap_ests(rng, 5, 1);
+  auto forest = gst::build_forest_sequential(ests, 3);
+  PairGenerator gen(ests, forest, 10);
+  EXPECT_FALSE(gen.exhausted());
+  drain(gen);
+  EXPECT_TRUE(gen.exhausted());
+  std::vector<PromisingPair> out;
+  EXPECT_EQ(gen.next_batch(10, out), 0u);
+}
+
+TEST(PairGenerator, NoSelfPairsEverEmitted) {
+  // An EST with an inverted repeat: its forward and rc strings share the
+  // repeat, producing raw (e_i, ē_i) pairs that must be discarded as self
+  // pairs. (A direct repeat would not do: duplicate elimination keeps one
+  // occurrence per string, so a string never pairs with itself.)
+  Prng rng(26);
+  std::string repeat = random_dna(rng, 30);
+  EstSet ests({{"a", repeat + random_dna(rng, 10) +
+                         bio::reverse_complement(repeat)},
+               {"b", random_dna(rng, 70)}});
+  auto forest = gst::build_forest_sequential(ests, 4);
+  PairGenerator gen(ests, forest, 10);
+  auto pairs = drain(gen);
+  for (const auto& p : pairs) EXPECT_NE(p.a, p.b);
+  EXPECT_GT(gen.stats().discarded_self, 0u);
+}
+
+TEST(PairGenerator, OrientationRuleKeepsForwardFirstString) {
+  Prng rng(27);
+  EstSet ests = overlap_ests(rng, 10, 0);
+  auto forest = gst::build_forest_sequential(ests, 3);
+  PairGenerator gen(ests, forest, 10);
+  auto pairs = drain(gen);
+  ASSERT_FALSE(pairs.empty());
+  for (const auto& p : pairs) EXPECT_LT(p.a, p.b);
+  // Roughly half of all raw pairs get discarded by the orientation rule.
+  EXPECT_GT(gen.stats().discarded_orientation, 0u);
+}
+
+TEST(PairGenerator, StatsAddUp) {
+  Prng rng(28);
+  EstSet ests = overlap_ests(rng, 8, 2);
+  auto forest = gst::build_forest_sequential(ests, 3);
+  PairGenerator gen(ests, forest, 10);
+  auto pairs = drain(gen);
+  EXPECT_EQ(gen.stats().pairs_emitted, pairs.size());
+  EXPECT_GT(gen.stats().nodes_processed, 0u);
+  EXPECT_GT(gen.stats().lset_work, 0u);
+}
+
+TEST(PairGenerator, WorkUnitsAreConsumedByTake) {
+  Prng rng(29);
+  EstSet ests = overlap_ests(rng, 6, 1);
+  auto forest = gst::build_forest_sequential(ests, 3);
+  PairGenerator gen(ests, forest, 10);
+  drain(gen);
+  EXPECT_GT(gen.take_work_units(), 0u);
+  EXPECT_EQ(gen.take_work_units(), 0u);  // second take: nothing new
+}
+
+TEST(PairGenerator, LiveLsetCellsBoundedByOccurrences) {
+  Prng rng(30);
+  EstSet ests = overlap_ests(rng, 12, 3);
+  auto forest = gst::build_forest_sequential(ests, 3);
+  std::size_t total_occs = 0;
+  for (const auto& t : forest) total_occs += t.occs.size();
+
+  PairGenerator gen(ests, forest, 10);
+  std::vector<PromisingPair> out;
+  std::uint32_t peak = 0;
+  while (gen.next_batch(50, out) > 0) {
+    peak = std::max(peak, gen.live_lset_cells());
+    out.clear();
+  }
+  EXPECT_LE(peak, total_occs);
+  EXPECT_EQ(gen.live_lset_cells(), 0u);  // everything retired at the end
+}
+
+TEST(PairGenerator, EmptyForest) {
+  EstSet ests(std::vector<Sequence>{{"a", "ACGT"}});
+  std::vector<gst::Tree> forest;  // nothing
+  PairGenerator gen(ests, forest, 8);
+  EXPECT_TRUE(gen.exhausted());
+}
+
+TEST(PairGenerator, IdenticalEstsPairViaLambdaLeaf) {
+  // Two identical ESTs: the whole-string suffix of each is the same string,
+  // coalescing into one leaf whose l_λ has both -> λ×λ product emits them.
+  EstSet ests({{"a", "ACGTACGTACGTACGT"}, {"b", "ACGTACGTACGTACGT"}});
+  auto forest = gst::build_forest_sequential(ests, 4);
+  PairGenerator gen(ests, forest, 16);
+  auto pairs = drain(gen);
+  bool found = false;
+  for (const auto& p : pairs) {
+    if (p.a == 0 && p.b == 1 && !p.b_rc && p.match_len == 16) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace estclust::pairgen

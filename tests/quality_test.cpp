@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "quality/metrics.hpp"
+#include "quality/report.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace estclust::quality {
+namespace {
+
+TEST(PairCounts, PerfectClustering) {
+  std::vector<std::uint32_t> truth = {0, 0, 1, 1, 2};
+  PairCounts pc = count_pairs(truth, truth);
+  EXPECT_EQ(pc.fp, 0u);
+  EXPECT_EQ(pc.fn, 0u);
+  EXPECT_DOUBLE_EQ(pc.overlap_quality(), 100.0);
+  EXPECT_DOUBLE_EQ(pc.over_prediction(), 0.0);
+  EXPECT_DOUBLE_EQ(pc.under_prediction(), 0.0);
+  EXPECT_DOUBLE_EQ(pc.correlation(), 100.0);
+}
+
+TEST(PairCounts, LabelsNeedNotMatchNumerically) {
+  std::vector<std::uint32_t> pred = {7, 7, 9, 9};
+  std::vector<std::uint32_t> truth = {0, 0, 1, 1};
+  PairCounts pc = count_pairs(pred, truth);
+  EXPECT_EQ(pc.fp, 0u);
+  EXPECT_EQ(pc.fn, 0u);
+  EXPECT_EQ(pc.tp, 2u);
+}
+
+TEST(PairCounts, AllSingletonsPredicted) {
+  std::vector<std::uint32_t> pred = {0, 1, 2, 3};
+  std::vector<std::uint32_t> truth = {0, 0, 1, 1};
+  PairCounts pc = count_pairs(pred, truth);
+  EXPECT_EQ(pc.tp, 0u);
+  EXPECT_EQ(pc.fp, 0u);
+  EXPECT_EQ(pc.fn, 2u);
+  EXPECT_DOUBLE_EQ(pc.under_prediction(), 100.0);
+  EXPECT_DOUBLE_EQ(pc.over_prediction(), 0.0);  // no predicted pairs
+}
+
+TEST(PairCounts, EverythingMergedPredicted) {
+  std::vector<std::uint32_t> pred = {5, 5, 5, 5};
+  std::vector<std::uint32_t> truth = {0, 0, 1, 1};
+  PairCounts pc = count_pairs(pred, truth);
+  EXPECT_EQ(pc.tp, 2u);
+  EXPECT_EQ(pc.fp, 4u);
+  EXPECT_EQ(pc.fn, 0u);
+  EXPECT_NEAR(pc.over_prediction(), 100.0 * 4 / 6, 1e-9);
+}
+
+TEST(PairCounts, HandComputedMixedCase) {
+  // Elements 0-4. Truth: {0,1,2} {3,4}. Pred: {0,1} {2,3} {4}.
+  std::vector<std::uint32_t> truth = {0, 0, 0, 1, 1};
+  std::vector<std::uint32_t> pred = {0, 0, 1, 1, 2};
+  PairCounts pc = count_pairs(pred, truth);
+  // Predicted pairs: (0,1) tp, (2,3) fp. Truth pairs: (0,1),(0,2),(1,2),
+  // (3,4) -> fn = 3. Total pairs C(5,2)=10 -> tn = 10-1-1-3 = 5.
+  EXPECT_EQ(pc.tp, 1u);
+  EXPECT_EQ(pc.fp, 1u);
+  EXPECT_EQ(pc.fn, 3u);
+  EXPECT_EQ(pc.tn, 5u);
+  EXPECT_NEAR(pc.overlap_quality(), 20.0, 1e-9);
+}
+
+TEST(PairCounts, FastMatchesReferenceOnRandomPartitions) {
+  Prng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::size_t n = 30 + rng.uniform(40);
+    std::vector<std::uint32_t> pred(n), truth(n);
+    for (auto& x : pred) x = static_cast<std::uint32_t>(rng.uniform(6));
+    for (auto& x : truth) x = static_cast<std::uint32_t>(rng.uniform(5));
+    PairCounts fast = count_pairs(pred, truth);
+    PairCounts ref = count_pairs_reference(pred, truth);
+    EXPECT_EQ(fast.tp, ref.tp);
+    EXPECT_EQ(fast.fp, ref.fp);
+    EXPECT_EQ(fast.fn, ref.fn);
+    EXPECT_EQ(fast.tn, ref.tn);
+  }
+}
+
+TEST(PairCounts, TotalsAlwaysChooseTwo) {
+  Prng rng(4);
+  std::size_t n = 100;
+  std::vector<std::uint32_t> pred(n), truth(n);
+  for (auto& x : pred) x = static_cast<std::uint32_t>(rng.uniform(10));
+  for (auto& x : truth) x = static_cast<std::uint32_t>(rng.uniform(10));
+  PairCounts pc = count_pairs(pred, truth);
+  EXPECT_EQ(pc.total(), n * (n - 1) / 2);
+}
+
+TEST(PairCounts, MismatchedLengthsRejected) {
+  EXPECT_THROW(count_pairs({0, 1}, {0}), CheckError);
+}
+
+TEST(PairCounts, CorrelationSignReflectsQuality) {
+  // Anti-correlated clustering: predict exactly the complement structure.
+  std::vector<std::uint32_t> truth = {0, 0, 1, 1};
+  std::vector<std::uint32_t> pred = {0, 1, 0, 1};
+  PairCounts pc = count_pairs(pred, truth);
+  EXPECT_LT(pc.correlation(), 0.0);
+}
+
+TEST(PairCounts, SingleElementDegenerate) {
+  PairCounts pc = count_pairs({0}, {0});
+  EXPECT_EQ(pc.total(), 0u);
+  EXPECT_DOUBLE_EQ(pc.overlap_quality(), 100.0);
+  EXPECT_DOUBLE_EQ(pc.correlation(), 100.0);
+}
+
+TEST(Report, PerfectClusteringIsCleanEverywhere) {
+  std::vector<std::uint32_t> truth = {0, 0, 1, 1, 2};
+  auto r = build_report(truth, truth);
+  EXPECT_EQ(r.impure_clusters(), 0u);
+  EXPECT_EQ(r.fragmented_truths(), 0u);
+  EXPECT_DOUBLE_EQ(r.weighted_purity(), 1.0);
+  ASSERT_EQ(r.clusters.size(), 3u);
+  EXPECT_EQ(r.clusters[0].size, 2u);  // sorted by size desc
+}
+
+TEST(Report, DetectsImpureCluster) {
+  // Predicted cluster 9 mixes genes 0 and 1 (3:1).
+  std::vector<std::uint32_t> pred = {9, 9, 9, 9, 5};
+  std::vector<std::uint32_t> truth = {0, 0, 0, 1, 1};
+  auto r = build_report(pred, truth);
+  EXPECT_EQ(r.impure_clusters(), 1u);
+  ASSERT_EQ(r.clusters.size(), 2u);
+  EXPECT_EQ(r.clusters[0].label, 9u);
+  EXPECT_EQ(r.clusters[0].truth_clusters, 2u);
+  EXPECT_DOUBLE_EQ(r.clusters[0].purity, 0.75);
+}
+
+TEST(Report, DetectsFragmentedTruth) {
+  // Gene 0's four members land in three predicted clusters.
+  std::vector<std::uint32_t> pred = {1, 1, 2, 3};
+  std::vector<std::uint32_t> truth = {0, 0, 0, 0};
+  auto r = build_report(pred, truth);
+  EXPECT_EQ(r.fragmented_truths(), 1u);
+  ASSERT_EQ(r.truths.size(), 1u);
+  EXPECT_EQ(r.truths[0].fragments, 3u);
+  EXPECT_EQ(r.truths[0].size, 4u);
+}
+
+TEST(Report, WeightedPurityMixesClusterSizes) {
+  // One pure 4-cluster, one half-pure 2-cluster: (4*1 + 2*0.5)/6.
+  std::vector<std::uint32_t> pred = {1, 1, 1, 1, 2, 2};
+  std::vector<std::uint32_t> truth = {0, 0, 0, 0, 1, 2};
+  auto r = build_report(pred, truth);
+  EXPECT_NEAR(r.weighted_purity(), 5.0 / 6.0, 1e-12);
+}
+
+TEST(Report, PairCountsMatchStandaloneMetric) {
+  Prng rng(11);
+  std::vector<std::uint32_t> pred(60), truth(60);
+  for (auto& x : pred) x = static_cast<std::uint32_t>(rng.uniform(7));
+  for (auto& x : truth) x = static_cast<std::uint32_t>(rng.uniform(5));
+  auto r = build_report(pred, truth);
+  auto pc = count_pairs(pred, truth);
+  EXPECT_EQ(r.pairs.tp, pc.tp);
+  EXPECT_EQ(r.pairs.fn, pc.fn);
+}
+
+}  // namespace
+}  // namespace estclust::quality

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "bio/sequence.hpp"
+#include "sim/workload.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace estclust::sim {
+namespace {
+
+SimConfig small_config() {
+  SimConfig cfg;
+  cfg.num_genes = 5;
+  cfg.num_ests = 60;
+  cfg.est_len_mean = 200;
+  cfg.est_len_stddev = 30;
+  cfg.est_len_min = 60;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(Workload, ProducesRequestedCounts) {
+  auto wl = generate(small_config());
+  EXPECT_EQ(wl.ests.num_ests(), 60u);
+  EXPECT_EQ(wl.truth.size(), 60u);
+  EXPECT_EQ(wl.mrnas.size(), 5u);
+}
+
+TEST(Workload, DeterministicForSameSeed) {
+  auto a = generate(small_config());
+  auto b = generate(small_config());
+  ASSERT_EQ(a.ests.num_ests(), b.ests.num_ests());
+  for (std::size_t i = 0; i < a.ests.num_ests(); ++i) {
+    EXPECT_EQ(a.ests.est(i).bases, b.ests.est(i).bases);
+    EXPECT_EQ(a.truth[i], b.truth[i]);
+  }
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  auto a = generate(small_config());
+  SimConfig cfg = small_config();
+  cfg.seed = 100;
+  auto b = generate(cfg);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.ests.num_ests(); ++i) {
+    if (a.ests.est(i).bases != b.ests.est(i).bases) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Workload, TruthIdsAreValidGeneIndices) {
+  auto wl = generate(small_config());
+  for (auto g : wl.truth) EXPECT_LT(g, 5u);
+}
+
+TEST(Workload, EstLengthsRespectMinimumAndTranscripts) {
+  auto wl = generate(small_config());
+  for (std::size_t i = 0; i < wl.ests.num_ests(); ++i) {
+    const auto& est = wl.ests.est(i).bases;
+    // Errors can delete a few bases below the configured minimum, but the
+    // bulk must be near it or above.
+    EXPECT_GE(est.size(), 40u);
+  }
+}
+
+TEST(Workload, ErrorFreeEstIsExactSubstringOfItsTranscript) {
+  SimConfig cfg = small_config();
+  cfg.sub_rate = cfg.ins_rate = cfg.del_rate = 0.0;
+  cfg.rc_prob = 0.0;
+  auto wl = generate(cfg);
+  for (std::size_t i = 0; i < wl.ests.num_ests(); ++i) {
+    const auto& mrna = wl.mrnas[wl.truth[i]];
+    EXPECT_NE(mrna.find(wl.ests.est(i).bases), std::string::npos)
+        << "EST " << i << " not a substring of its transcript";
+  }
+}
+
+TEST(Workload, RcStrandsAreReverseComplementsOfTranscriptWindows) {
+  SimConfig cfg = small_config();
+  cfg.sub_rate = cfg.ins_rate = cfg.del_rate = 0.0;
+  cfg.rc_prob = 1.0;
+  auto wl = generate(cfg);
+  for (std::size_t i = 0; i < wl.ests.num_ests(); ++i) {
+    const auto& mrna = wl.mrnas[wl.truth[i]];
+    auto fwd = bio::reverse_complement(wl.ests.est(i).bases);
+    EXPECT_NE(mrna.find(fwd), std::string::npos);
+  }
+}
+
+TEST(Workload, StrandMixRoughlyBalanced) {
+  SimConfig cfg = small_config();
+  cfg.num_ests = 400;
+  cfg.sub_rate = cfg.ins_rate = cfg.del_rate = 0.0;
+  auto wl = generate(cfg);
+  std::size_t forward = 0;
+  for (std::size_t i = 0; i < wl.ests.num_ests(); ++i) {
+    const auto& mrna = wl.mrnas[wl.truth[i]];
+    if (mrna.find(wl.ests.est(i).bases) != std::string::npos) ++forward;
+  }
+  EXPECT_GT(forward, 120u);
+  EXPECT_LT(forward, 280u);
+}
+
+TEST(Workload, ExpressionSkewConcentratesOnFewGenes) {
+  SimConfig cfg = small_config();
+  cfg.num_genes = 20;
+  cfg.num_ests = 1000;
+  cfg.expression_skew = 0.9;
+  auto wl = generate(cfg);
+  std::vector<std::size_t> counts(20, 0);
+  for (auto g : wl.truth) ++counts[g];
+  std::sort(counts.rbegin(), counts.rend());
+  // Top gene should far outnumber the median gene.
+  EXPECT_GT(counts[0], 3 * std::max<std::size_t>(counts[10], 1));
+}
+
+TEST(Workload, ZeroSkewIsRoughlyUniform) {
+  SimConfig cfg = small_config();
+  cfg.num_genes = 4;
+  cfg.num_ests = 800;
+  cfg.expression_skew = 0.0;
+  auto wl = generate(cfg);
+  std::vector<std::size_t> counts(4, 0);
+  for (auto g : wl.truth) ++counts[g];
+  for (auto c : counts) EXPECT_NEAR(static_cast<double>(c), 200.0, 60.0);
+}
+
+TEST(ApplyErrors, ZeroRatesIsIdentity) {
+  Prng rng(5);
+  std::string s = "ACGTACGTGGCC";
+  EXPECT_EQ(apply_errors(s, 0, 0, 0, rng), s);
+}
+
+TEST(ApplyErrors, SubstitutionChangesLengthNot) {
+  Prng rng(6);
+  std::string s(500, 'A');
+  auto out = apply_errors(s, 0.1, 0, 0, rng);
+  EXPECT_EQ(out.size(), s.size());
+  EXPECT_NE(out, s);
+}
+
+TEST(ApplyErrors, DeletionShortens) {
+  Prng rng(7);
+  std::string s(1000, 'C');
+  auto out = apply_errors(s, 0, 0, 0.1, rng);
+  EXPECT_LT(out.size(), s.size());
+  EXPECT_GT(out.size(), 800u);
+}
+
+TEST(ApplyErrors, InsertionLengthens) {
+  Prng rng(8);
+  std::string s(1000, 'G');
+  auto out = apply_errors(s, 0, 0.1, 0, rng);
+  EXPECT_GT(out.size(), s.size());
+}
+
+TEST(ApplyErrors, NeverReturnsEmpty) {
+  Prng rng(9);
+  auto out = apply_errors("A", 0, 0, 1.0, rng);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(ScaledConfig, TracksTargetSize) {
+  auto cfg = scaled_config(1200);
+  EXPECT_EQ(cfg.num_ests, 1200u);
+  EXPECT_EQ(cfg.num_genes, 100u);
+  auto tiny = scaled_config(10);
+  EXPECT_GE(tiny.num_genes, 2u);
+}
+
+TEST(Workload, IsoformsDisabledByDefault) {
+  auto wl = generate(small_config());
+  for (const auto& iso : wl.isoforms) EXPECT_EQ(iso.size(), 1u);
+  for (auto i : wl.est_isoform) EXPECT_EQ(i, 0);
+}
+
+TEST(Workload, IsoformsSkipOneInternalExon) {
+  SimConfig cfg = small_config();
+  cfg.alt_splice_prob = 1.0;
+  cfg.min_exons = 4;
+  cfg.max_exons = 6;
+  cfg.exon_len_min = 60;
+  cfg.exon_len_max = 100;
+  cfg.est_len_min = 60;
+  auto wl = generate(cfg);
+  bool any = false;
+  for (const auto& iso : wl.isoforms) {
+    ASSERT_LE(iso.size(), 2u);
+    if (iso.size() == 2) {
+      any = true;
+      // The alternative isoform is strictly shorter (one exon removed)
+      // and shares a prefix with the primary (exons before the skip).
+      EXPECT_LT(iso[1].size(), iso[0].size());
+      std::size_t common = 0;
+      while (common < iso[1].size() && iso[0][common] == iso[1][common]) {
+        ++common;
+      }
+      EXPECT_GE(common, 60u);  // at least the first exon
+    }
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(Workload, EstIsoformIndicesValid) {
+  SimConfig cfg = small_config();
+  cfg.alt_splice_prob = 1.0;
+  cfg.min_exons = 4;
+  auto wl = generate(cfg);
+  ASSERT_EQ(wl.est_isoform.size(), wl.ests.num_ests());
+  for (std::size_t i = 0; i < wl.ests.num_ests(); ++i) {
+    EXPECT_LT(wl.est_isoform[i], wl.isoforms[wl.truth[i]].size());
+  }
+}
+
+TEST(Workload, ParalogsShareSequenceWithParentAtConfiguredDivergence) {
+  SimConfig cfg = small_config();
+  cfg.num_genes = 12;
+  cfg.paralog_fraction = 1.0;  // every gene after the first is a paralog
+  cfg.paralog_divergence = 0.1;
+  auto wl = generate(cfg);
+  // At 10% divergence a paralog transcript agrees with some earlier gene
+  // at ~90% of positions over the shared prefix.
+  bool found_similar = false;
+  for (std::size_t g = 1; g < wl.mrnas.size(); ++g) {
+    for (std::size_t h = 0; h < g; ++h) {
+      const auto& a = wl.mrnas[g];
+      const auto& b = wl.mrnas[h];
+      std::size_t len = std::min(a.size(), b.size());
+      if (len < 100) continue;
+      std::size_t same = 0;
+      for (std::size_t i = 0; i < len; ++i) same += a[i] == b[i];
+      double identity = static_cast<double>(same) /
+                        static_cast<double>(len);
+      if (identity > 0.85) found_similar = true;
+    }
+  }
+  EXPECT_TRUE(found_similar);
+}
+
+TEST(Workload, RepeatInsertionLengthensTranscripts) {
+  SimConfig base = small_config();
+  base.min_exons = base.max_exons = 3;
+  base.exon_len_min = base.exon_len_max = 100;
+  SimConfig with_repeats = base;
+  with_repeats.repeat_prob = 1.0;
+  with_repeats.repeat_len = 120;
+  auto plain = generate(base);
+  auto repeated = generate(with_repeats);
+  double mean_plain = 0, mean_rep = 0;
+  for (const auto& m : plain.mrnas) mean_plain += m.size();
+  for (const auto& m : repeated.mrnas) mean_rep += m.size();
+  // Every transcript gained ~120 bases.
+  EXPECT_GT(mean_rep / repeated.mrnas.size(),
+            mean_plain / plain.mrnas.size() + 60);
+}
+
+TEST(Workload, RejectsZeroGenes) {
+  SimConfig cfg = small_config();
+  cfg.num_genes = 0;
+  EXPECT_THROW(generate(cfg), CheckError);
+}
+
+}  // namespace
+}  // namespace estclust::sim
