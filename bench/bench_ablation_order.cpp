@@ -20,11 +20,14 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const double scale = parse_scale(args);
 
-  print_header("Ablation: pair ordering and cluster-aware selection",
-               "Section 3.2's design claims behind Fig 7");
-
-  TablePrinter table({"ESTs", "ordered", "arbitrary", "all-pairs",
-                      "saved vs all-pairs", "same clustering?"});
+  Reporter table("ablation_order",
+                 {"ESTs", "ordered", "arbitrary", "all-pairs",
+                  "saved vs all-pairs", "same clustering?"},
+                 args);
+  if (!table.json_mode()) {
+    print_header("Ablation: pair ordering and cluster-aware selection",
+                 "Section 3.2's design claims behind Fig 7");
+  }
   for (std::size_t base : {250, 500, 1000, 2000}) {
     const std::size_t n = scaled(base, scale);
     auto wl = sim::generate(bench_workload_config(n));
@@ -49,9 +52,11 @@ int main(int argc, char** argv) {
                    same ? "yes" : "NO"});
   }
   table.print(std::cout);
-  std::cout << "\nExpected shape: ordered <= arbitrary << all-pairs, with "
-            << "identical output.\nThe ordered-vs-arbitrary gap is the "
-            << "match-length heuristic; the gap to\nall-pairs is the "
-            << "cluster-aware selection both modes share.\n";
+  if (!table.json_mode()) {
+    std::cout << "\nExpected shape: ordered <= arbitrary << all-pairs, with "
+              << "identical output.\nThe ordered-vs-arbitrary gap is the "
+              << "match-length heuristic; the gap to\nall-pairs is the "
+              << "cluster-aware selection both modes share.\n";
+  }
   return 0;
 }

@@ -68,14 +68,16 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const double scale = parse_scale(args);
 
-  print_header("Ablation: DFS-array GST storage vs pointer nodes",
-               "Section 3.1's space-efficient tree layout ('each node "
-               "contains a single pointer to the rightmost leaf node in "
-               "its subtree')");
-
-  TablePrinter table({"ESTs", "input chars", "DFS-array bytes/char",
-                      "pointer bytes/char", "space ratio",
-                      "traverse speedup"});
+  Reporter table("ablation_storage",
+                 {"ESTs", "input chars", "DFS-array bytes/char",
+                  "pointer bytes/char", "space ratio", "traverse speedup"},
+                 args);
+  if (!table.json_mode()) {
+    print_header("Ablation: DFS-array GST storage vs pointer nodes",
+                 "Section 3.1's space-efficient tree layout ('each node "
+                 "contains a single pointer to the rightmost leaf node in "
+                 "its subtree')");
+  }
   for (std::size_t base : {250, 500, 1000}) {
     const std::size_t n = scaled(base, scale);
     auto wl = sim::generate(bench_workload_config(n));
@@ -117,8 +119,10 @@ int main(int argc, char** argv) {
          TablePrinter::fmt(ptr_time / std::max(dfs_time, 1e-9), 2) + "x"});
   }
   table.print(std::cout);
-  std::cout << "\nExpected shape: the DFS-array layout is several times "
-            << "smaller and traverses\nfaster (contiguous memory), at "
-            << "identical information content.\n";
+  if (!table.json_mode()) {
+    std::cout << "\nExpected shape: the DFS-array layout is several times "
+              << "smaller and traverses\nfaster (contiguous memory), at "
+              << "identical information content.\n";
+  }
   return 0;
 }

@@ -12,9 +12,6 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const double scale = parse_scale(args);
 
-  print_header("Figure 6a: run-time vs number of processors",
-               "Fig 6a (n = 10k, 20k, 40k, 81,414; p up to 128)");
-
   const std::vector<std::size_t> sizes = {
       scaled(250, scale), scaled(500, scale), scaled(1000, scale),
       scaled(2000, scale)};
@@ -22,10 +19,16 @@ int main(int argc, char** argv) {
 
   auto cfg = bench_pace_config();
 
-  TablePrinter a({"p", "n=" + std::to_string(sizes[0]),
-                  "n=" + std::to_string(sizes[1]),
-                  "n=" + std::to_string(sizes[2]),
-                  "n=" + std::to_string(sizes[3])});
+  Reporter a("fig6a",
+             {"p", "n=" + std::to_string(sizes[0]),
+              "n=" + std::to_string(sizes[1]),
+              "n=" + std::to_string(sizes[2]),
+              "n=" + std::to_string(sizes[3])},
+             args);
+  if (!a.json_mode()) {
+    print_header("Figure 6a: run-time vs number of processors",
+                 "Fig 6a (n = 10k, 20k, 40k, 81,414; p up to 128)");
+  }
   // Generate each workload once and reuse across p.
   std::vector<sim::Workload> workloads;
   for (std::size_t n : sizes) {
@@ -43,13 +46,17 @@ int main(int argc, char** argv) {
     a.add_row(row);
   }
   a.print(std::cout);
-  std::cout << "\n(virtual seconds; each column should fall with p, "
-            << "larger n sits higher)\n";
+  if (!a.json_mode()) {
+    std::cout << "\n(virtual seconds; each column should fall with p, "
+              << "larger n sits higher)\n";
+  }
 
-  print_header("Figure 6b: run-time vs data size at fixed p",
-               "Fig 6b (run-time vs number of ESTs, p = 64)");
+  Reporter b("fig6b", {"ESTs", "run-time (virt s)"}, args);
+  if (!b.json_mode()) {
+    print_header("Figure 6b: run-time vs data size at fixed p",
+                 "Fig 6b (run-time vs number of ESTs, p = 64)");
+  }
   const int fixed_p = static_cast<int>(args.get_int("p", 64));
-  TablePrinter b({"ESTs", "run-time (virt s)"});
   std::size_t p_idx = 0;
   while (p_idx + 1 < procs.size() && procs[p_idx] != fixed_p) ++p_idx;
   for (std::size_t si = 0; si < sizes.size(); ++si) {

@@ -15,11 +15,14 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const double scale = parse_scale(args);
 
-  print_header("Figure 7: promising pairs vs number of ESTs",
-               "Fig 7 (pairs generated / processed / accepted vs n)");
-
-  TablePrinter table({"ESTs", "generated", "processed", "accepted",
-                      "processed/generated"});
+  Reporter table("fig7",
+                 {"ESTs", "generated", "processed", "accepted",
+                  "processed/generated"},
+                 args);
+  if (!table.json_mode()) {
+    print_header("Figure 7: promising pairs vs number of ESTs",
+                 "Fig 7 (pairs generated / processed / accepted vs n)");
+  }
   for (std::size_t base : {250, 500, 1000, 1500, 2000}) {
     const std::size_t n = scaled(base, scale);
     auto wl = sim::generate(bench_workload_config(n));
@@ -38,8 +41,10 @@ int main(int argc, char** argv) {
              "%"});
   }
   table.print(std::cout);
-  std::cout << "\nExpected shape: 'processed' a small, shrinking fraction "
-            << "of 'generated'\n(the run-time saving of on-demand ordered "
-            << "generation); accepted <= processed.\n";
+  if (!table.json_mode()) {
+    std::cout << "\nExpected shape: 'processed' a small, shrinking fraction "
+              << "of 'generated'\n(the run-time saving of on-demand ordered "
+              << "generation); accepted <= processed.\n";
+  }
   return 0;
 }

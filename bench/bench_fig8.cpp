@@ -6,6 +6,9 @@
 // staler cluster state, so more redundant alignments slip through) — the
 // sweet spot in the paper is 40-60; (2) the master stays busy well under
 // 2% of the time even at high processor counts.
+//
+// Master-busy numbers are read from the merged MetricsRegistry
+// (pace.master_busy_fraction), the same source the breakdown report uses.
 
 #include "bench/common.hpp"
 
@@ -18,13 +21,16 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("ests", 1000)), scale);
   const int p = static_cast<int>(args.get_int("p", 32));
 
-  print_header("Figure 8: run-time vs batchsize",
-               "Fig 8 (20,000 ESTs on 32 processors, batchsize 4..80)");
-  std::cout << "ESTs: " << n << ", p = " << p << "\n\n";
+  Reporter table("fig8",
+                 {"batchsize", "run-time (virt s)", "pairs aligned"}, args);
+  if (!table.json_mode()) {
+    print_header("Figure 8: run-time vs batchsize",
+                 "Fig 8 (20,000 ESTs on 32 processors, batchsize 4..80)");
+    std::cout << "ESTs: " << n << ", p = " << p << "\n\n";
+  }
 
   auto wl = sim::generate(bench_workload_config(n));
 
-  TablePrinter table({"batchsize", "run-time (virt s)", "pairs aligned"});
   for (std::size_t batch : {1, 2, 4, 10, 20, 40, 60, 80}) {
     auto cfg = bench_pace_config();
     cfg.batchsize = batch;
@@ -35,29 +41,38 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
-  std::cout << "\nMaster utilization vs processor count (the <2% claim of "
-            << "Section 4.2):\n\n";
+  if (!table.json_mode()) {
+    std::cout << "\nMaster utilization vs processor count (the <2% claim of "
+              << "Section 4.2):\n\n";
+  }
   // The busy fraction amortizes with per-slave work, so it falls as the
   // input grows; the paper's <2% was measured at 20,000 ESTs. Two sizes
   // make the trend visible at bench scale.
   const std::size_t n2 = scaled(
       static_cast<std::size_t>(args.get_int("ests2", 3000)), scale);
   auto wl2 = sim::generate(bench_workload_config(n2));
-  TablePrinter busy({"p", "master busy % (n=" + std::to_string(n) + ")",
-                     "master busy % (n=" + std::to_string(n2) + ")"});
+  Reporter busy("fig8_master_busy",
+                {"p", "master busy % (n=" + std::to_string(n) + ")",
+                 "master busy % (n=" + std::to_string(n2) + ")"},
+                args);
   auto cfg = bench_pace_config();
   for (int pp : {8, 16, 32, 64, 128}) {
-    auto res1 = run_parallel(wl.ests, cfg, pp);
-    auto res2 = run_parallel(wl2.ests, cfg, pp);
-    busy.add_row({TablePrinter::fmt(static_cast<std::uint64_t>(pp)),
-                  TablePrinter::fmt(100.0 * res1.stats.master_busy_fraction,
-                                    3),
-                  TablePrinter::fmt(100.0 * res2.stats.master_busy_fraction,
-                                    3)});
+    auto run1 = run_parallel_obs(wl.ests, cfg, pp);
+    auto run2 = run_parallel_obs(wl2.ests, cfg, pp);
+    busy.add_row(
+        {TablePrinter::fmt(static_cast<std::uint64_t>(pp)),
+         TablePrinter::fmt(
+             100.0 * run1.metrics.gauge_value("pace.master_busy_fraction"),
+             3),
+         TablePrinter::fmt(
+             100.0 * run2.metrics.gauge_value("pace.master_busy_fraction"),
+             3)});
   }
   busy.print(std::cout);
-  std::cout << "\nExpected shape: the fraction falls as the input grows "
-            << "(more alignment work per\ninteraction); at the paper's "
-            << "20,000-EST scale it stays well under 2%.\n";
+  if (!busy.json_mode()) {
+    std::cout << "\nExpected shape: the fraction falls as the input grows "
+              << "(more alignment work per\ninteraction); at the paper's "
+              << "20,000-EST scale it stays well under 2%.\n";
+  }
   return 0;
 }

@@ -23,19 +23,22 @@ int main(int argc, char** argv) {
   const std::size_t updates =
       static_cast<std::size_t>(args.get_int("updates", 4));
 
-  print_header("Extension: incremental clustering vs from-scratch",
-               "Section 5's open problem: 'Is there a way to incrementally "
-               "adjust the EST clusters when a new batch of ESTs is "
-               "sequenced?'");
+  Reporter table("incremental",
+                 {"event", "cumulative ESTs", "incremental (s)",
+                  "from-scratch (s)", "speedup", "aligned (inc)",
+                  "aligned (scratch)", "identical?"},
+                 args);
   const std::size_t n = initial + update * updates;
   auto wl = sim::generate(bench_workload_config(n));
   auto cfg = bench_pace_config();
-  std::cout << "Initial library: " << initial << " ESTs; then " << updates
-            << " sequencing batches of " << update << "\n\n";
-
-  TablePrinter table({"event", "cumulative ESTs", "incremental (s)",
-                      "from-scratch (s)", "speedup", "aligned (inc)",
-                      "aligned (scratch)", "identical?"});
+  if (!table.json_mode()) {
+    print_header("Extension: incremental clustering vs from-scratch",
+                 "Section 5's open problem: 'Is there a way to incrementally "
+                 "adjust the EST clusters when a new batch of ESTs is "
+                 "sequenced?'");
+    std::cout << "Initial library: " << initial << " ESTs; then " << updates
+              << " sequencing batches of " << update << "\n\n";
+  }
   pace::IncrementalClusterer inc(cfg);
   std::vector<bio::Sequence> so_far;
   std::size_t next = 0;
@@ -67,9 +70,11 @@ int main(int argc, char** argv) {
     feed(update, "update " + std::to_string(u + 1));
   }
   table.print(std::cout);
-  std::cout << "\nExpected shape: updates cost a fraction of re-clustering "
-            << "the grown library\n(only dirty buckets re-refined, only "
-            << "pairs touching new ESTs aligned); outputs\nidentical at "
-            << "every step.\n";
+  if (!table.json_mode()) {
+    std::cout << "\nExpected shape: updates cost a fraction of re-clustering "
+              << "the grown library\n(only dirty buckets re-refined, only "
+              << "pairs touching new ESTs aligned); outputs\nidentical at "
+              << "every step.\n";
+  }
   return 0;
 }

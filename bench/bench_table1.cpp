@@ -21,21 +21,23 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const double scale = parse_scale(args);
 
-  print_header("Table 1: serial tools vs input size under a memory budget",
-               "Table 1 (TIGR/Phrap/CAP3 run-times and 'X' = out of memory "
-               "on 512 MB)");
-
+  Reporter table("table1",
+                 {"ESTs", "baseline time (s)", "baseline peak (bytes)",
+                  "ours time (s)", "ours space (bytes)",
+                  "ours/baseline speedup"},
+                 args);
   // The budget plays the role of the SP node's 512 MB, scaled to the bench
   // sizes: big enough for the small inputs, too small for the largest.
   const std::size_t budget = scaled(
       static_cast<std::size_t>(args.get_int("budget-bytes", 30000000)),
       scale);
-  std::cout << "candidate-storage budget for the baseline: " << budget
-            << " bytes\n\n";
-
-  TablePrinter table({"ESTs", "baseline time (s)", "baseline peak (bytes)",
-                      "ours time (s)", "ours space (bytes)",
-                      "ours/baseline speedup"});
+  if (!table.json_mode()) {
+    print_header("Table 1: serial tools vs input size under a memory budget",
+                 "Table 1 (TIGR/Phrap/CAP3 run-times and 'X' = out of memory "
+                 "on 512 MB)");
+    std::cout << "candidate-storage budget for the baseline: " << budget
+              << " bytes\n\n";
+  }
 
   for (std::size_t base : {250, 500, 1000, 2000}) {
     const std::size_t n = scaled(base, scale);
@@ -81,7 +83,9 @@ int main(int argc, char** argv) {
                    speedup});
   }
   table.print(std::cout);
-  std::cout << "\n'X' = baseline exceeded the candidate-storage budget "
-            << "(the paper's out-of-memory entries).\n";
+  if (!table.json_mode()) {
+    std::cout << "\n'X' = baseline exceeded the candidate-storage budget "
+              << "(the paper's out-of-memory entries).\n";
+  }
   return 0;
 }

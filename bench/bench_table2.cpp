@@ -17,9 +17,12 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const double scale = parse_scale(args);
 
-  print_header("Table 2: quality assessment, ours vs baseline",
-               "Table 2 (OQ/OV/UN/CC for our software and CAP3 at n = 10k, "
-               "30k, 60k, 81,414; CAP3 'X' at 81,414)");
+  Reporter table("table2", {"n", "system", "OQ", "OV", "UN", "CC"}, args);
+  if (!table.json_mode()) {
+    print_header("Table 2: quality assessment, ours vs baseline",
+                 "Table 2 (OQ/OV/UN/CC for our software and CAP3 at n = 10k, "
+                 "30k, 60k, 81,414; CAP3 'X' at 81,414)");
+  }
 
   // Sizes proportional to the paper's 10,051 / 30,000 / 60,018 / 81,414.
   const std::vector<std::size_t> sizes = {
@@ -31,7 +34,6 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("budget-bytes", 12000000)),
       scale);
 
-  TablePrinter table({"n", "system", "OQ", "OV", "UN", "CC"});
   for (std::size_t n : sizes) {
     // Sparser coverage than the other benches: longer transcripts and
     // fewer reads per gene leave genuine coverage gaps, reproducing the
@@ -69,8 +71,10 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
-  std::cout << "\nExpected shape: systems within a few points of each "
-            << "other; UN > OV (conservative\ncriteria); baseline 'X' at "
-            << "the largest size (memory), like CAP3 at 81,414.\n";
+  if (!table.json_mode()) {
+    std::cout << "\nExpected shape: systems within a few points of each "
+              << "other; UN > OV (conservative\ncriteria); baseline 'X' at "
+              << "the largest size (memory), like CAP3 at 81,414.\n";
+  }
   return 0;
 }

@@ -4,6 +4,10 @@
 // Shape to check: every component shrinks roughly linearly with p; GST
 // construction dominates partitioning and sorting; alignment and GST
 // construction are the two largest contributors.
+//
+// Per-component rows come from the runtime's merged MetricsRegistry (the
+// pace.t_* gauges published by the pipeline), not ad-hoc timers, so this
+// bench doubles as an end-to-end check of the observability plumbing.
 
 #include "bench/common.hpp"
 
@@ -15,29 +19,35 @@ int main(int argc, char** argv) {
   const std::size_t n = scaled(
       static_cast<std::size_t>(args.get_int("ests", 1000)), scale);
 
-  print_header("Table 3: per-component times vs processor count",
-               "Table 3 (partitioning / GST construction / node sorting / "
-               "pairwise alignment / total, 20,000 ESTs, p = 8..128)");
-  std::cout << "ESTs: " << n << "  (virtual seconds, LogP cost model)\n\n";
+  Reporter table("table3",
+                 {"p", "partitioning", "GST build", "node sorting",
+                  "alignment loop", "total"},
+                 args);
+  if (!table.json_mode()) {
+    print_header("Table 3: per-component times vs processor count",
+                 "Table 3 (partitioning / GST construction / node sorting / "
+                 "pairwise alignment / total, 20,000 ESTs, p = 8..128)");
+    std::cout << "ESTs: " << n << "  (virtual seconds, LogP cost model)\n\n";
+  }
 
   auto wl = sim::generate(bench_workload_config(n));
   auto cfg = bench_pace_config();
 
-  TablePrinter table({"p", "partitioning", "GST build", "node sorting",
-                      "alignment loop", "total"});
   for (int p : {8, 16, 32, 64, 128}) {
-    auto res = run_parallel(wl.ests, cfg, p);
-    const auto& st = res.stats;
+    auto run = run_parallel_obs(wl.ests, cfg, p);
+    const auto& m = run.metrics;
     table.add_row({TablePrinter::fmt(static_cast<std::uint64_t>(p)),
-                   TablePrinter::fmt(st.t_partition, 3),
-                   TablePrinter::fmt(st.t_gst, 3),
-                   TablePrinter::fmt(st.t_sort, 3),
-                   TablePrinter::fmt(st.t_align, 3),
-                   TablePrinter::fmt(st.t_total, 3)});
+                   TablePrinter::fmt(m.gauge_value("pace.t_partition"), 3),
+                   TablePrinter::fmt(m.gauge_value("pace.t_gst"), 3),
+                   TablePrinter::fmt(m.gauge_value("pace.t_sort"), 3),
+                   TablePrinter::fmt(m.gauge_value("pace.t_align"), 3),
+                   TablePrinter::fmt(m.gauge_value("pace.t_total"), 3)});
   }
   table.print(std::cout);
-  std::cout << "\nExpected shape: each column shrinks as p grows; GST "
-            << "construction and the\nalignment loop dominate, as in the "
-            << "paper's Table 3.\n";
+  if (!table.json_mode()) {
+    std::cout << "\nExpected shape: each column shrinks as p grows; GST "
+              << "construction and the\nalignment loop dominate, as in the "
+              << "paper's Table 3.\n";
+  }
   return 0;
 }

@@ -20,18 +20,21 @@ int main(int argc, char** argv) {
   const std::size_t n =
       scaled(static_cast<std::size_t>(args.get_int("ests", 1000)), scale);
 
-  print_header("Methodology: choosing the acceptance threshold",
-               "Section 4.1's remark on selecting the quality threshold "
-               "minimizing FP + FN");
+  Reporter table("threshold",
+                 {"min quality", "FP", "FN", "FP+FN", "OQ", "OV", "UN",
+                  "CC"},
+                 args);
   auto wcfg = bench_workload_config(n);
   wcfg.num_genes = std::max<std::size_t>(2, n / 6);
   wcfg.min_exons = 4;
   wcfg.max_exons = 9;
   auto wl = sim::generate(wcfg);
-  std::cout << "ESTs: " << n << " (paralog/repeat-rich workload)\n\n";
-
-  TablePrinter table({"min quality", "FP", "FN", "FP+FN", "OQ", "OV", "UN",
-                      "CC"});
+  if (!table.json_mode()) {
+    print_header("Methodology: choosing the acceptance threshold",
+                 "Section 4.1's remark on selecting the quality threshold "
+                 "minimizing FP + FN");
+    std::cout << "ESTs: " << n << " (paralog/repeat-rich workload)\n\n";
+  }
   for (double q : {0.60, 0.70, 0.75, 0.80, 0.85, 0.90}) {
     auto cfg = bench_pace_config();
     // The sweep isolates the *ratio* threshold, so the orthogonal
@@ -51,8 +54,10 @@ int main(int argc, char** argv) {
                    TablePrinter::fmt(pc.correlation())});
   }
   table.print(std::cout);
-  std::cout << "\nExpected shape: FP falls and FN rises as the threshold "
-            << "tightens; FP+FN is\nminimized near the production default "
-            << "(0.80), which is how the paper chose its\nthreshold.\n";
+  if (!table.json_mode()) {
+    std::cout << "\nExpected shape: FP falls and FN rises as the threshold "
+              << "tightens; FP+FN is\nminimized near the production default "
+              << "(0.80), which is how the paper chose its\nthreshold.\n";
+  }
   return 0;
 }

@@ -22,14 +22,17 @@ int main(int argc, char** argv) {
   const std::size_t n =
       scaled(static_cast<std::size_t>(args.get_int("ests", 1000)), scale);
 
-  print_header("Ablation: bucket window w",
-               "Section 3.1's discussion of choosing w (paper uses w = 8 "
-               "at 81,414 ESTs)");
+  Reporter table("window",
+                 {"w", "buckets used", "largest bucket %", "build char-ops",
+                  "clusters", "pairs aligned"},
+                 args);
+  if (!table.json_mode()) {
+    print_header("Ablation: bucket window w",
+                 "Section 3.1's discussion of choosing w (paper uses w = 8 "
+                 "at 81,414 ESTs)");
+    std::cout << "ESTs: " << n << ", psi = 20\n\n";
+  }
   auto wl = sim::generate(bench_workload_config(n));
-  std::cout << "ESTs: " << n << ", psi = 20\n\n";
-
-  TablePrinter table({"w", "buckets used", "largest bucket %",
-                      "build char-ops", "clusters", "pairs aligned"});
   for (std::uint32_t w : {2u, 4u, 6u, 8u, 10u}) {
     gst::BuildCounters counters;
     auto forest = gst::build_forest_sequential(wl.ests, w, &counters);
@@ -56,9 +59,11 @@ int main(int argc, char** argv) {
          TablePrinter::fmt(res.stats.pairs_processed)});
   }
   table.print(std::cout);
-  std::cout << "\nExpected shape: clusters and aligned pairs identical for "
-            << "every w <= psi; small w\nleaves few, large buckets (poor "
-            << "parallel balance), larger w multiplies buckets\nwithout "
-            << "changing the result.\n";
+  if (!table.json_mode()) {
+    std::cout << "\nExpected shape: clusters and aligned pairs identical for "
+              << "every w <= psi; small w\nleaves few, large buckets (poor "
+              << "parallel balance), larger w multiplies buckets\nwithout "
+              << "changing the result.\n";
+  }
   return 0;
 }

@@ -6,13 +6,16 @@
 // output is self-describing.
 #pragma once
 
+#include <cctype>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "mpr/runtime.hpp"
+#include "obs/metrics.hpp"
 #include "pace/config.hpp"
 #include "pace/parallel.hpp"
 #include "sim/workload.hpp"
@@ -71,21 +74,40 @@ inline sim::SimConfig bench_workload_config(std::size_t num_ests,
   return cfg;
 }
 
-/// Runs the parallel clustering at rank count p and returns rank 0's view.
-inline pace::ParallelResult run_parallel(const bio::EstSet& ests,
-                                         const pace::PaceConfig& cfg,
-                                         int p) {
-  mpr::Runtime rt(p, mpr::CostModel{});
+/// A parallel bench run plus its observability products: the merged
+/// metrics registry (every counter/gauge the pipeline published) and the
+/// per-rank virtual busy/comm/idle split.
+struct BenchRun {
   pace::ParallelResult result;
+  obs::MetricsRegistry metrics;
+  std::vector<obs::RankTime> rank_times;
+};
+
+/// Runs the parallel clustering at rank count p and returns rank 0's view
+/// together with the runtime's merged metrics. Honors cfg.trace.
+inline BenchRun run_parallel_obs(const bio::EstSet& ests,
+                                 const pace::PaceConfig& cfg, int p) {
+  mpr::Runtime rt(p, mpr::CostModel{});
+  if (cfg.trace) rt.enable_tracing(cfg.trace_message_flows);
+  BenchRun run;
   std::mutex mu;
   rt.run([&](mpr::Communicator& comm) {
     auto res = pace::cluster_parallel(comm, ests, cfg);
     if (comm.rank() == 0) {
       std::lock_guard<std::mutex> lock(mu);
-      result = std::move(res);
+      run.result = std::move(res);
     }
   });
-  return result;
+  run.metrics = rt.merged_metrics();
+  run.rank_times = rt.rank_times();
+  return run;
+}
+
+/// Runs the parallel clustering at rank count p and returns rank 0's view.
+inline pace::ParallelResult run_parallel(const bio::EstSet& ests,
+                                         const pace::PaceConfig& cfg,
+                                         int p) {
+  return run_parallel_obs(ests, cfg, p).result;
 }
 
 inline void print_header(const std::string& title,
@@ -93,5 +115,89 @@ inline void print_header(const std::string& title,
   std::cout << "\n=== " << title << " ===\n"
             << "Reproduces: " << paper_ref << "\n\n";
 }
+
+/// Emits bench rows either as a fixed-width table (default) or, with
+/// --json, as one machine-readable JSON object per row on stdout. Keys are
+/// derived from the column headers; numeric cells stay unquoted. In JSON
+/// mode each row is emitted as soon as it is added, so partial output from
+/// an interrupted sweep is still usable.
+class Reporter {
+ public:
+  Reporter(std::string bench_name, std::vector<std::string> headers,
+           const CliArgs& args)
+      : bench_(std::move(bench_name)),
+        headers_(headers),
+        json_(args.has_flag("json")),
+        table_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    if (json_) {
+      std::cout << "{\"bench\":\"" << json_escape(bench_) << "\"";
+      for (std::size_t i = 0; i < cells.size() && i < headers_.size(); ++i) {
+        std::cout << ",\"" << key_of(headers_[i]) << "\":";
+        if (is_numeric(cells[i])) {
+          std::cout << cells[i];
+        } else {
+          std::cout << '"' << json_escape(cells[i]) << '"';
+        }
+      }
+      std::cout << "}\n";
+    }
+    table_.add_row(std::move(cells));
+  }
+
+  /// Prints the accumulated fixed-width table (no-op in --json mode, where
+  /// every row has already been streamed out).
+  void print(std::ostream& os) const {
+    if (!json_) table_.print(os);
+  }
+
+  bool json_mode() const { return json_; }
+
+ private:
+  static std::string key_of(const std::string& header) {
+    std::string key;
+    bool last_sep = true;  // avoid a leading underscore
+    for (char c : header) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        key.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+        last_sep = false;
+      } else if (!last_sep) {
+        key.push_back('_');
+        last_sep = true;
+      }
+    }
+    while (!key.empty() && key.back() == '_') key.pop_back();
+    return key.empty() ? "col" : key;
+  }
+
+  static bool is_numeric(const std::string& s) {
+    if (s.empty()) return false;
+    char* end = nullptr;
+    std::strtod(s.c_str(), &end);
+    return end != nullptr && *end == '\0' && end != s.c_str();
+  }
+
+  static std::string json_escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<std::string> headers_;
+  bool json_;
+  TablePrinter table_;
+};
 
 }  // namespace estclust::bench

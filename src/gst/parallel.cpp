@@ -18,7 +18,9 @@ std::vector<Tree> build_forest_parallel(mpr::Communicator& comm,
   const int owners = p - first_owner_rank;
   const int rank = comm.rank();
   const auto& cm = comm.cost_model();
+  obs::RankTracer* tracer = comm.tracer();
   const double t0 = comm.clock().time();
+  if (tracer) tracer->begin("partitioning", "phase");
 
   // Phase 1: bucket my block's suffixes. Both orientations of an EST live
   // with the EST's owner.
@@ -103,6 +105,10 @@ std::vector<Tree> build_forest_parallel(mpr::Communicator& comm,
               owned.size() * (1 + static_cast<std::uint64_t>(std::log2(
                                       static_cast<double>(owned.size() + 1)))));
   const double t1 = comm.clock().time();
+  if (tracer) {
+    tracer->end("partitioning");
+    tracer->begin("gst_build", "phase");
+  }
 
   // Phase 5: refine owned buckets into subtrees.
   BuildCounters counters;
@@ -120,6 +126,14 @@ std::vector<Tree> build_forest_parallel(mpr::Communicator& comm,
   }
   comm.charge(cm.char_op, counters.chars_scanned);
   const double t2 = comm.clock().time();
+  if (tracer) tracer->end("gst_build");
+
+  auto& metrics = comm.metrics();
+  metrics.counter("gst.suffixes_owned").add(counters.suffixes);
+  metrics.counter("gst.buckets_owned").add(forest.size());
+  metrics.counter("gst.chars_scanned").add(counters.chars_scanned);
+  metrics.gauge("gst.t_partition", obs::MergeOp::kMax).set(t1 - t0);
+  metrics.gauge("gst.t_build", obs::MergeOp::kMax).set(t2 - t1);
 
   if (stats) {
     stats->partition_vtime = t1 - t0;

@@ -41,7 +41,11 @@ struct CostModel {
   }
 };
 
-/// A rank's private virtual clock.
+/// A rank's private virtual clock. Every second of virtual time is
+/// attributed to exactly one of three buckets: busy (modeled local
+/// computation), comm (per-message overheads charged by the communicator)
+/// or idle (spans skipped by sync_to while waiting), so
+/// time() == busy_time() + comm_time() + idle_time() always holds.
 class VirtualClock {
  public:
   double time() const { return t_; }
@@ -52,23 +56,52 @@ class VirtualClock {
     busy_ += seconds;
   }
 
+  /// Advances by `seconds` of communication overhead (send/recv o of the
+  /// LogP model). Kept separate from busy so per-rank breakdowns can show
+  /// compute vs communication vs waiting.
+  void advance_comm(double seconds) {
+    t_ += seconds;
+    comm_ += seconds;
+  }
+
   /// Jumps forward to `t` if `t` is in the future (message arrival /
   /// barrier release). The skipped span counts as idle, not busy.
   void sync_to(double t) {
-    if (t > t_) t_ = t;
+    if (t > t_) {
+      idle_ += t - t_;
+      t_ = t;
+    }
   }
 
   /// Total virtual seconds spent in advance() (busy), as opposed to waiting.
   double busy_time() const { return busy_; }
 
+  /// Virtual seconds of communication overhead (advance_comm).
+  double comm_time() const { return comm_; }
+
+  /// Virtual seconds skipped while waiting in sync_to.
+  double idle_time() const { return idle_; }
+
+  /// busy + comm: everything except waiting (the §4.2 utilization
+  /// numerator).
+  double active_time() const { return busy_ + comm_; }
+
+  /// Read-only pointer to the clock's time field, for binding trace
+  /// recorders without coupling obs to mpr.
+  const double* time_ptr() const { return &t_; }
+
   void reset() {
     t_ = 0.0;
     busy_ = 0.0;
+    comm_ = 0.0;
+    idle_ = 0.0;
   }
 
  private:
   double t_ = 0.0;
   double busy_ = 0.0;
+  double comm_ = 0.0;
+  double idle_ = 0.0;
 };
 
 }  // namespace estclust::mpr

@@ -7,7 +7,12 @@
 
 namespace estclust::mpr {
 
-Communicator::Communicator(Runtime& rt, int rank) : rt_(rt), rank_(rank) {}
+Communicator::Communicator(Runtime& rt, int rank) : rt_(rt), rank_(rank) {
+  if (rt_.tracing()) {
+    tracer_ = &rt_.tracer()->rank(rank_);
+    trace_flows_ = rt_.trace_message_flows();
+  }
+}
 
 int Communicator::size() const { return rt_.size(); }
 
@@ -17,6 +22,8 @@ const CostModel& Communicator::cost_model() const { return rt_.cost_model(); }
 
 RankStats& Communicator::stats() { return rt_.stats(rank_); }
 
+obs::MetricsRegistry& Communicator::metrics() { return rt_.metrics(rank_); }
+
 void Communicator::charge(double unit_cost, std::uint64_t count) {
   clock().advance(unit_cost * static_cast<double>(count));
 }
@@ -25,7 +32,7 @@ void Communicator::send_internal(int dest, int tag, Buffer payload) {
   ESTCLUST_CHECK(dest >= 0 && dest < size());
   const CostModel& cm = cost_model();
   VirtualClock& clk = clock();
-  clk.advance(cm.send_overhead);
+  clk.advance_comm(cm.send_overhead);
   Message m;
   m.src = rank_;
   m.tag = tag;
@@ -33,6 +40,12 @@ void Communicator::send_internal(int dest, int tag, Buffer payload) {
   auto& st = stats();
   ++st.messages_sent;
   st.bytes_sent += payload.size();
+  if (tracer_ && trace_flows_) {
+    // Flow ids are (rank+1) ## per-rank sequence, so they are globally
+    // unique and identical across same-seed runs.
+    m.flow_id = (static_cast<std::uint64_t>(rank_ + 1) << 40) | flow_seq_++;
+    tracer_->flow_out(m.flow_id, dest, payload.size());
+  }
   m.payload = std::move(payload);
   rt_.mailbox(dest).push(std::move(m));
 }
@@ -47,8 +60,11 @@ Message Communicator::recv_internal(int src, int tag) {
   Message m = rt_.mailbox(rank_).pop(src, tag);
   VirtualClock& clk = clock();
   clk.sync_to(m.arrival_vtime);
-  clk.advance(cost_model().recv_overhead);
+  clk.advance_comm(cost_model().recv_overhead);
   ++stats().messages_received;
+  if (tracer_ && trace_flows_) {
+    tracer_->flow_in(m.flow_id, m.src, m.payload.size());
+  }
   return m;
 }
 
@@ -59,8 +75,11 @@ std::optional<Message> Communicator::try_recv(int src, int tag) {
   if (!m) return std::nullopt;
   VirtualClock& clk = clock();
   clk.sync_to(m->arrival_vtime);
-  clk.advance(cost_model().recv_overhead);
+  clk.advance_comm(cost_model().recv_overhead);
   ++stats().messages_received;
+  if (tracer_ && trace_flows_) {
+    tracer_->flow_in(m->flow_id, m->src, m->payload.size());
+  }
   return m;
 }
 
@@ -70,6 +89,7 @@ bool Communicator::probe(int src, int tag) {
 
 template <typename T>
 T Communicator::allreduce_impl(T v, const std::function<T(T, T)>& op) {
+  ESTCLUST_TRACE_SPAN(tracer_, "mpr.allreduce", "comm");
   const int p = size();
   const int reduce_tag = kInternalTagBase + 2 * collective_seq_;
   const int bcast_tag = reduce_tag + 1;
@@ -112,6 +132,7 @@ T Communicator::allreduce_impl(T v, const std::function<T(T, T)>& op) {
 }
 
 void Communicator::barrier() {
+  ESTCLUST_TRACE_SPAN(tracer_, "mpr.barrier", "comm");
   allreduce_impl<std::uint64_t>(
       0, [](std::uint64_t a, std::uint64_t b) { return a | b; });
 }
@@ -137,6 +158,7 @@ std::uint64_t Communicator::allreduce_max(std::uint64_t v) {
 
 std::vector<std::uint64_t> Communicator::allreduce_sum_vec(
     std::vector<std::uint64_t> v) {
+  ESTCLUST_TRACE_SPAN(tracer_, "mpr.allreduce", "comm");
   const int p = size();
   const int reduce_tag = kInternalTagBase + 2 * collective_seq_;
   const int bcast_tag = reduce_tag + 1;
@@ -179,6 +201,7 @@ std::vector<std::uint64_t> Communicator::allreduce_sum_vec(
 }
 
 std::vector<std::uint64_t> Communicator::allgather(std::uint64_t v) {
+  ESTCLUST_TRACE_SPAN(tracer_, "mpr.allgather", "comm");
   const int p = size();
   const int gather_tag = kInternalTagBase + 2 * collective_seq_;
   const int bcast_tag = gather_tag + 1;
@@ -218,6 +241,7 @@ std::vector<std::uint64_t> Communicator::allgather(std::uint64_t v) {
 }
 
 Buffer Communicator::broadcast(Buffer from_root) {
+  ESTCLUST_TRACE_SPAN(tracer_, "mpr.broadcast", "comm");
   const int p = size();
   const int tag = kInternalTagBase + 2 * collective_seq_;
   ++collective_seq_;
@@ -240,6 +264,7 @@ Buffer Communicator::broadcast(Buffer from_root) {
 }
 
 std::vector<Buffer> Communicator::all_to_all(std::vector<Buffer> sendbufs) {
+  ESTCLUST_TRACE_SPAN(tracer_, "mpr.all_to_all", "comm");
   const int p = size();
   ESTCLUST_CHECK(static_cast<int>(sendbufs.size()) == p);
   const int tag = kInternalTagBase + 2 * collective_seq_;

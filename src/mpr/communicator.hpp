@@ -15,6 +15,8 @@
 #include "mpr/clock.hpp"
 #include "mpr/mailbox.hpp"
 #include "mpr/message.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace estclust::mpr {
 
@@ -85,6 +87,15 @@ class Communicator {
 
   RankStats& stats();
 
+  /// This rank's trace sink, or null when the runtime has tracing
+  /// disabled. Pass to ESTCLUST_TRACE_SPAN / record phase events with it;
+  /// recording never advances the virtual clock.
+  obs::RankTracer* tracer() { return tracer_; }
+
+  /// This rank's metrics registry (always available; merged across ranks
+  /// by Runtime::merged_metrics after the run).
+  obs::MetricsRegistry& metrics();
+
  private:
   void send_internal(int dest, int tag, Buffer payload);
   Message recv_internal(int src, int tag);
@@ -96,6 +107,9 @@ class Communicator {
   Runtime& rt_;
   int rank_;
   int collective_seq_ = 0;  // matches across ranks: SPMD collective order
+  obs::RankTracer* tracer_ = nullptr;  // null when tracing is disabled
+  bool trace_flows_ = false;
+  std::uint64_t flow_seq_ = 0;  // per-rank message sequence for flow ids
 };
 
 /// Runs `rank_main` on `nranks` ranks (one thread each) and returns the

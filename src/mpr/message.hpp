@@ -28,6 +28,9 @@ struct Message {
   int tag = -1;
   Buffer payload;
   double arrival_vtime = 0.0;
+  /// Deterministic per-sender id linking the send and receive trace flow
+  /// events of this message (0 when tracing is off).
+  std::uint64_t flow_id = 0;
 };
 
 /// Appends typed values to a Buffer.

@@ -6,15 +6,24 @@
 #include <thread>
 
 #include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace estclust::mpr {
 
 Runtime::Runtime(int nranks, CostModel cm)
-    : cm_(cm), clocks_(nranks), stats_(nranks) {
+    : cm_(cm), clocks_(nranks), stats_(nranks), metrics_(nranks) {
   ESTCLUST_CHECK(nranks > 0);
   mailboxes_.reserve(nranks);
   for (int i = 0; i < nranks; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void Runtime::enable_tracing(bool message_flows) {
+  trace_message_flows_ = message_flows;
+  tracer_ = std::make_unique<obs::TraceRecorder>(size());
+  for (int r = 0; r < size(); ++r) {
+    tracer_->rank(r).bind(r, clocks_[r].time_ptr(), tracer_->epoch());
   }
 }
 
@@ -27,6 +36,7 @@ void Runtime::run(const std::function<void(Communicator&)>& rank_main) {
 
   for (int r = 0; r < p; ++r) {
     threads.emplace_back([&, r] {
+      set_log_rank(r);
       Communicator comm(*this, r);
       try {
         rank_main(comm);
@@ -34,10 +44,28 @@ void Runtime::run(const std::function<void(Communicator&)>& rank_main) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
+      set_log_rank(-1);
     });
   }
   for (auto& t : threads) t.join();
+
+  // Fold the runtime's own communication totals into each rank's registry
+  // so merged_metrics() carries them alongside module metrics.
+  for (int r = 0; r < p; ++r) {
+    metrics_[r].counter("mpr.messages_sent").set(stats_[r].messages_sent);
+    metrics_[r].counter("mpr.bytes_sent").set(stats_[r].bytes_sent);
+    metrics_[r]
+        .counter("mpr.messages_received")
+        .set(stats_[r].messages_received);
+  }
+
   if (first_error) std::rethrow_exception(first_error);
+}
+
+obs::MetricsRegistry Runtime::merged_metrics() const {
+  obs::MetricsRegistry merged;
+  for (const auto& m : metrics_) merged.merge_from(m);
+  return merged;
 }
 
 double Runtime::elapsed_vtime() const {
@@ -48,8 +76,19 @@ double Runtime::elapsed_vtime() const {
 
 double Runtime::total_busy_vtime() const {
   double t = 0.0;
-  for (const auto& c : clocks_) t += c.busy_time();
+  for (const auto& c : clocks_) t += c.active_time();
   return t;
+}
+
+std::vector<obs::RankTime> Runtime::rank_times() const {
+  std::vector<obs::RankTime> out(clocks_.size());
+  for (std::size_t r = 0; r < clocks_.size(); ++r) {
+    out[r].busy = clocks_[r].busy_time();
+    out[r].comm = clocks_[r].comm_time();
+    out[r].idle = clocks_[r].idle_time();
+    out[r].total = clocks_[r].time();
+  }
+  return out;
 }
 
 }  // namespace estclust::mpr

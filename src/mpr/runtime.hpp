@@ -1,4 +1,5 @@
-// Runtime: owns the mailboxes, clocks and threads backing a rank group.
+// Runtime: owns the mailboxes, clocks, threads and observability state
+// backing a rank group.
 #pragma once
 
 #include <functional>
@@ -8,6 +9,9 @@
 #include "mpr/clock.hpp"
 #include "mpr/communicator.hpp"
 #include "mpr/mailbox.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace estclust::mpr {
 
@@ -22,6 +26,24 @@ class Runtime {
   VirtualClock& clock(int rank) { return clocks_[rank]; }
   RankStats& stats(int rank) { return stats_[rank]; }
 
+  /// Attaches a TraceRecorder (one RankTracer per rank, stamped by that
+  /// rank's virtual clock). Call before run(); no-op cost when never
+  /// called. `message_flows` records a flow event pair per point-to-point
+  /// message (the dominant share of trace volume on chatty runs).
+  void enable_tracing(bool message_flows = true);
+  bool tracing() const { return tracer_ != nullptr; }
+  obs::TraceRecorder* tracer() { return tracer_.get(); }
+  const obs::TraceRecorder* tracer() const { return tracer_.get(); }
+  bool trace_message_flows() const { return trace_message_flows_; }
+
+  /// Per-rank metrics registry (written by the rank's thread during run).
+  obs::MetricsRegistry& metrics(int rank) { return metrics_[rank]; }
+
+  /// Cross-rank view: counters summed, gauges by their MergeOp, stats and
+  /// histograms merged. Includes the runtime's own "mpr.*" counters
+  /// (messages/bytes sent, messages received) after run().
+  obs::MetricsRegistry merged_metrics() const;
+
   /// Runs rank_main on every rank (rank 0..n-1), one std::thread each.
   /// Blocks until all ranks return; rethrows the first rank exception.
   void run(const std::function<void(Communicator&)>& rank_main);
@@ -29,14 +51,21 @@ class Runtime {
   /// Max final virtual clock over ranks after run().
   double elapsed_vtime() const;
 
-  /// Sum of per-rank busy virtual time (for utilization metrics).
+  /// Sum of per-rank active (busy + comm) virtual time (for utilization
+  /// metrics).
   double total_busy_vtime() const;
+
+  /// Per-rank busy/comm/idle/total split after run(), indexed by rank.
+  std::vector<obs::RankTime> rank_times() const;
 
  private:
   CostModel cm_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<VirtualClock> clocks_;
   std::vector<RankStats> stats_;
+  std::vector<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::TraceRecorder> tracer_;
+  bool trace_message_flows_ = true;
 };
 
 }  // namespace estclust::mpr

@@ -1,0 +1,181 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace estclust::obs {
+
+namespace {
+
+/// Virtual seconds -> microsecond timeline value with fixed formatting so
+/// traces diff cleanly across runs.
+std::string fmt_us(double vtime_seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", vtime_seconds * 1e6);
+  return buf;
+}
+
+std::string fmt_secs(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", seconds);
+  return buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const TraceRecorder& rec,
+                        const ChromeTraceOptions& opts) {
+  rec.validate();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) os << ",\n";
+    first = false;
+    os << line;
+  };
+
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+       "\"args\":{\"name\":\"estclust\"}}");
+  for (int r = 0; r < rec.nranks(); ++r) {
+    std::string role = r == 0 && rec.nranks() > 1 ? " (master)" : "";
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" +
+         std::to_string(r) + ",\"args\":{\"name\":\"rank " +
+         std::to_string(r) + role + "\"}}");
+  }
+
+  for (int r = 0; r < rec.nranks(); ++r) {
+    const std::string tid = std::to_string(r);
+    for (const auto& e : rec.rank(r).events()) {
+      std::string line = "{";
+      switch (e.kind) {
+        case EventKind::kBegin:
+          line += "\"ph\":\"B\",\"name\":\"" + std::string(e.name) +
+                  "\",\"cat\":\"" + std::string(e.category ? e.category : "")
+                  + "\"";
+          break;
+        case EventKind::kEnd:
+          line += "\"ph\":\"E\",\"name\":\"" + std::string(e.name) + "\"";
+          break;
+        case EventKind::kInstant:
+          line += "\"ph\":\"i\",\"s\":\"t\",\"name\":\"" +
+                  std::string(e.name) + "\",\"cat\":\"" +
+                  std::string(e.category ? e.category : "") + "\"";
+          break;
+        case EventKind::kFlowOut:
+          line += "\"ph\":\"s\",\"name\":\"msg\",\"cat\":\"comm\",\"id\":" +
+                  std::to_string(e.id);
+          break;
+        case EventKind::kFlowIn:
+          line += "\"ph\":\"f\",\"bp\":\"e\",\"name\":\"msg\",\"cat\":"
+                  "\"comm\",\"id\":" +
+                  std::to_string(e.id);
+          break;
+      }
+      line += ",\"pid\":0,\"tid\":" + tid + ",\"ts\":" + fmt_us(e.vtime);
+      const bool has_bytes =
+          e.kind == EventKind::kFlowOut || e.kind == EventKind::kFlowIn;
+      if (has_bytes || e.arg != 0 || opts.include_wall_time) {
+        line += ",\"args\":{";
+        bool first_arg = true;
+        auto arg = [&](const std::string& k, const std::string& v) {
+          if (!first_arg) line += ",";
+          first_arg = false;
+          line += "\"" + k + "\":" + v;
+        };
+        if (has_bytes) {
+          arg("bytes", std::to_string(e.arg));
+          arg("peer", std::to_string(e.peer));
+        } else if (e.arg != 0) {
+          arg("value", std::to_string(e.arg));
+        }
+        if (opts.include_wall_time) arg("wall_us", fmt_us(e.wtime));
+        line += "}";
+      }
+      line += "}";
+      emit(line);
+    }
+  }
+  os << "\n]}\n";
+}
+
+std::map<std::string, PhaseAgg> aggregate_phases(const TraceRecorder& rec) {
+  rec.validate();
+  std::map<std::string, PhaseAgg> agg;
+  for (int r = 0; r < rec.nranks(); ++r) {
+    std::map<std::string, double> rank_sum;
+    std::map<std::string, std::uint64_t> rank_count;
+    std::vector<const TraceEvent*> stack;
+    for (const auto& e : rec.rank(r).events()) {
+      if (e.kind == EventKind::kBegin) {
+        stack.push_back(&e);
+      } else if (e.kind == EventKind::kEnd) {
+        const TraceEvent* b = stack.back();
+        stack.pop_back();
+        rank_sum[b->name] += e.vtime - b->vtime;
+        ++rank_count[b->name];
+      }
+    }
+    for (const auto& [name, sum] : rank_sum) {
+      PhaseAgg& a = agg[name];
+      a.spans += rank_count[name];
+      a.total_vtime += sum;
+      a.max_rank_vtime = std::max(a.max_rank_vtime, sum);
+      ++a.ranks;
+    }
+  }
+  return agg;
+}
+
+void write_breakdown_report(std::ostream& os, const TraceRecorder& rec,
+                            const std::vector<RankTime>& rank_times) {
+  ESTCLUST_CHECK(static_cast<int>(rank_times.size()) == rec.nranks());
+  double elapsed = 0.0;
+  for (const auto& rt : rank_times) elapsed = std::max(elapsed, rt.total);
+  const double denom = std::max(elapsed, 1e-12);
+
+  os << "=== breakdown: per-rank virtual time ===\n";
+  TablePrinter ranks({"rank", "busy (s)", "comm (s)", "idle (s)",
+                      "total (s)", "busy %"});
+  for (std::size_t r = 0; r < rank_times.size(); ++r) {
+    const RankTime& t = rank_times[r];
+    ranks.add_row({TablePrinter::fmt(static_cast<std::uint64_t>(r)),
+                   fmt_secs(t.busy), fmt_secs(t.comm), fmt_secs(t.idle),
+                   fmt_secs(t.total),
+                   TablePrinter::fmt(100.0 * (t.busy + t.comm) / denom, 2)});
+  }
+  ranks.print(os);
+
+  os << "\n=== breakdown: per-phase inclusive virtual time ===\n";
+  auto agg = aggregate_phases(rec);
+  TablePrinter phases({"phase", "spans", "ranks", "total (s)",
+                       "max-rank (s)", "% of run"});
+  for (const auto& [name, a] : agg) {
+    phases.add_row({name, TablePrinter::fmt(a.spans),
+                    TablePrinter::fmt(static_cast<std::uint64_t>(a.ranks)),
+                    fmt_secs(a.total_vtime), fmt_secs(a.max_rank_vtime),
+                    TablePrinter::fmt(100.0 * a.max_rank_vtime / denom, 2)});
+  }
+  phases.print(os);
+
+  // §4.2 master utilization, measured from spans: the "master_*" spans on
+  // rank 0 cover only genuine processing (they open after a report has
+  // been received, never around a blocking receive or collective), so
+  // their inclusive sum over the run is the master's busy time.
+  if (rec.nranks() > 1) {
+    double master_span_time = 0.0;
+    for (const auto& [name, a] : agg) {
+      if (name.rfind("master", 0) == 0) {
+        master_span_time += a.total_vtime;
+      }
+    }
+    os << "\nmaster busy (from rank 0 spans): "
+       << TablePrinter::fmt(100.0 * master_span_time / denom, 3)
+       << "% of " << fmt_secs(elapsed) << " virtual s\n";
+  }
+}
+
+}  // namespace estclust::obs

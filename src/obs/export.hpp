@@ -1,0 +1,57 @@
+// Trace exporters: Chrome trace-event JSON and the per-phase breakdown
+// report (the Table 3 / §4.2 view of a run).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace estclust::obs {
+
+/// Per-rank virtual-time split, supplied by the runtime (obs does not
+/// depend on mpr). total = busy + comm + idle for a clock that started
+/// at zero.
+struct RankTime {
+  double busy = 0.0;  ///< modeled local computation
+  double comm = 0.0;  ///< send/recv overheads charged by the communicator
+  double idle = 0.0;  ///< waiting (clock jumps on message arrival/barrier)
+  double total = 0.0;
+};
+
+struct ChromeTraceOptions {
+  /// Adds the wall-clock timestamp of every event as an arg. Off by
+  /// default so traces are byte-identical across same-seed runs.
+  bool include_wall_time = false;
+};
+
+/// Writes the whole recorder as Chrome trace-event JSON (load in
+/// chrome://tracing or https://ui.perfetto.dev). The timeline unit is the
+/// *virtual* microsecond; ranks appear as threads. Validates span nesting
+/// first. Deterministic: events are emitted rank by rank in record order.
+void write_chrome_trace(std::ostream& os, const TraceRecorder& rec,
+                        const ChromeTraceOptions& opts = {});
+
+/// Inclusive per-phase aggregation of one span name.
+struct PhaseAgg {
+  std::uint64_t spans = 0;      ///< span count across ranks
+  double total_vtime = 0.0;     ///< sum of inclusive durations, all ranks
+  double max_rank_vtime = 0.0;  ///< max over ranks of per-rank inclusive sum
+  int ranks = 0;                ///< ranks with at least one such span
+};
+
+/// Aggregates all spans by name. Nested spans count toward their own name
+/// only (durations are inclusive of children).
+std::map<std::string, PhaseAgg> aggregate_phases(const TraceRecorder& rec);
+
+/// Fixed-width report: per-rank busy/comm/idle virtual seconds, per-phase
+/// inclusive times, and the master's busy fraction computed from rank 0's
+/// top-level spans (§4.2). `rank_times` is indexed by rank and must match
+/// the recorder's rank count.
+void write_breakdown_report(std::ostream& os, const TraceRecorder& rec,
+                            const std::vector<RankTime>& rank_times);
+
+}  // namespace estclust::obs

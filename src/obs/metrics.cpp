@@ -1,0 +1,156 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace estclust::obs {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, MergeOp op) {
+  auto [it, inserted] = gauges_.try_emplace(name);
+  if (inserted) {
+    it->second.op_ = op;
+  } else {
+    ESTCLUST_CHECK_MSG(it->second.op_ == op,
+                       "gauge '" << name << "' re-registered with a "
+                                 << "different MergeOp");
+  }
+  it->second.set_once_ = true;
+  return it->second;
+}
+
+RunningStats& MetricsRegistry::stats(const std::string& name) {
+  return stats_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                      double hi, std::size_t bins) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(lo, hi, bins)).first;
+  }
+  return it->second;
+}
+
+bool MetricsRegistry::has_counter(const std::string& name) const {
+  return counters_.count(name) > 0;
+}
+
+bool MetricsRegistry::has_gauge(const std::string& name) const {
+  return gauges_.count(name) > 0;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+const RunningStats* MetricsRegistry::find_stats(
+    const std::string& name) const {
+  auto it = stats_.find(name);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].add(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    if (!g.set_once_) continue;
+    auto [it, inserted] = gauges_.try_emplace(name);
+    Gauge& mine = it->second;
+    if (inserted || !mine.set_once_) {
+      mine = g;
+      continue;
+    }
+    ESTCLUST_CHECK_MSG(mine.op_ == g.op_,
+                       "gauge '" << name << "' merged with different ops");
+    switch (mine.op_) {
+      case MergeOp::kSum:
+        mine.v_ += g.v_;
+        break;
+      case MergeOp::kMax:
+        mine.v_ = std::max(mine.v_, g.v_);
+        break;
+      case MergeOp::kMin:
+        mine.v_ = std::min(mine.v_, g.v_);
+        break;
+    }
+  }
+  for (const auto& [name, s] : other.stats_) {
+    stats_[name].merge(s);
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second.merge(h);
+    }
+  }
+}
+
+namespace {
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os << std::setprecision(9) << v;
+  return os.str();
+}
+
+}  // namespace
+
+void MetricsRegistry::write_report(std::ostream& os) const {
+  TablePrinter t({"metric", "value"});
+  for (const auto& [name, c] : counters_) {
+    t.add_row({name, TablePrinter::fmt(c.value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    t.add_row({name, fmt_double(g.value())});
+  }
+  for (const auto& [name, s] : stats_) {
+    t.add_row({name + ".count", TablePrinter::fmt(
+                                    static_cast<std::uint64_t>(s.count()))});
+    t.add_row({name + ".mean", fmt_double(s.mean())});
+    t.add_row({name + ".max", fmt_double(s.max())});
+  }
+  for (const auto& [name, h] : histograms_) {
+    t.add_row({name + ".total",
+               TablePrinter::fmt(static_cast<std::uint64_t>(h.total()))});
+  }
+  t.print(os);
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << '{';
+  bool first = true;
+  auto key = [&](const std::string& name) -> std::ostream& {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":";
+    return os;
+  };
+  for (const auto& [name, c] : counters_) key(name) << c.value();
+  for (const auto& [name, g] : gauges_) key(name) << fmt_double(g.value());
+  for (const auto& [name, s] : stats_) {
+    key(name + ".count") << s.count();
+    key(name + ".mean") << fmt_double(s.mean());
+    key(name + ".max") << fmt_double(s.max());
+  }
+  for (const auto& [name, h] : histograms_) key(name + ".total") << h.total();
+  os << "}\n";
+}
+
+}  // namespace estclust::obs

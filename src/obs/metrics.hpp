@@ -1,0 +1,93 @@
+// MetricsRegistry: named counters, gauges, streaming stats and histograms.
+//
+// One registry per rank (written only by the rank's thread — no locking),
+// merged after the run into a single view: counters sum, gauges combine by
+// their declared MergeOp (phase times are max-reduced, mirroring the
+// paper's "max over ranks" reporting), stats and histograms merge
+// pointwise. Modules register metrics by name instead of keeping ad-hoc
+// counter structs, so benches and the CLI read one namespace:
+//
+//   comm.metrics().counter("pace.pairs_accepted").add(1);
+//   comm.metrics().gauge("pace.t_gst", MergeOp::kMax).set(t);
+//
+// Names are dotted paths ("module.metric"); iteration order is the sorted
+// name order, so every report is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace estclust::obs {
+
+enum class MergeOp : std::uint8_t { kSum, kMax, kMin };
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { v_ += delta; }
+  void set(std::uint64_t v) { v_ = v; }
+  std::uint64_t value() const { return v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  double value() const { return v_; }
+
+ private:
+  friend class MetricsRegistry;
+  double v_ = 0.0;
+  MergeOp op_ = MergeOp::kMax;
+  bool set_once_ = false;  ///< merged registries treat unset gauges as absent
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns (registering on first use) the named metric. References stay
+  /// valid for the registry's lifetime; hold them across hot loops.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name, MergeOp op = MergeOp::kMax);
+  RunningStats& stats(const std::string& name);
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       std::size_t bins);
+
+  bool has_counter(const std::string& name) const;
+  bool has_gauge(const std::string& name) const;
+  /// Value lookups for report/bench code; 0 when absent.
+  std::uint64_t counter_value(const std::string& name) const;
+  double gauge_value(const std::string& name) const;
+  const RunningStats* find_stats(const std::string& name) const;
+
+  /// Folds `other` into this registry (counters sum, gauges by MergeOp,
+  /// stats/histograms pointwise). MergeOp / histogram shapes must agree
+  /// for metrics present on both sides.
+  void merge_from(const MetricsRegistry& other);
+
+  /// Fixed-width name/value table, sorted by name.
+  void write_report(std::ostream& os) const;
+  /// One JSON object: {"name": value, ...} (counters and gauges; stats
+  /// expand to name.mean/.max/.count).
+  void write_json(std::ostream& os) const;
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + stats_.size() +
+           histograms_.size();
+  }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, RunningStats> stats_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace estclust::obs

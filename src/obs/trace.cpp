@@ -1,0 +1,44 @@
+#include "obs/trace.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace estclust::obs {
+
+TraceRecorder::TraceRecorder(int nranks)
+    : epoch_(std::chrono::steady_clock::now()), tracers_(nranks) {
+  ESTCLUST_CHECK(nranks > 0);
+}
+
+std::size_t TraceRecorder::total_events() const {
+  std::size_t n = 0;
+  for (const auto& t : tracers_) n += t.events().size();
+  return n;
+}
+
+void TraceRecorder::validate() const {
+  for (const auto& t : tracers_) {
+    std::vector<const char*> stack;
+    for (const auto& e : t.events()) {
+      if (e.kind == EventKind::kBegin) {
+        stack.push_back(e.name);
+      } else if (e.kind == EventKind::kEnd) {
+        ESTCLUST_CHECK_MSG(!stack.empty(), "rank " << t.rank()
+                                                   << ": phase_end '"
+                                                   << e.name
+                                                   << "' with no open span");
+        ESTCLUST_CHECK_MSG(std::strcmp(stack.back(), e.name) == 0,
+                           "rank " << t.rank() << ": phase_end '" << e.name
+                                   << "' does not match open span '"
+                                   << stack.back() << "'");
+        stack.pop_back();
+      }
+    }
+    ESTCLUST_CHECK_MSG(stack.empty(), "rank " << t.rank() << ": span '"
+                                              << stack.back()
+                                              << "' never closed");
+  }
+}
+
+}  // namespace estclust::obs

@@ -27,6 +27,15 @@ struct PaceConfig {
   /// slave would otherwise wait for the master).
   std::size_t pairbuf_capacity = 2048;
 
+  /// Observability. `trace` asks the drivers (tools/estclust, the bench
+  /// harness) to attach a TraceRecorder to the runtime before the run;
+  /// the pipeline itself records spans whenever the runtime has one.
+  /// `trace_message_flows` additionally records a flow-event pair per
+  /// point-to-point message (the bulk of trace volume on chatty runs).
+  /// Neither affects virtual time or the clustering.
+  bool trace = false;
+  bool trace_message_flows = true;
+
   void validate() const;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace estclust::pace {
@@ -122,9 +123,15 @@ void Master::drain_wait_queue() {
 }
 
 void Master::run() {
+  obs::RankTracer* tracer = comm_.tracer();
   // Every slave owes an unsolicited initial report. Service reports in
   // deterministic round-robin order; the wait-queue keeps idle passive
   // slaves out of the rotation until work appears for them.
+  //
+  // The "master_service" spans open only after a report has arrived and
+  // close before the next blocking receive, so their total is the
+  // master's genuine busy time (the §4.2 utilization numerator in the
+  // breakdown report) — never the waiting.
   int cursor = 1;
   for (;;) {
     if (all_waiting()) {
@@ -140,10 +147,13 @@ void Master::run() {
     cursor = cursor % num_slaves_ + 1;
 
     mpr::Message m = comm_.recv(slave, kTagReport);
-    ReportMsg report = decode_report(m.payload);
-    process_report(slave, report);
-    reply(slave);
-    drain_wait_queue();
+    {
+      ESTCLUST_TRACE_SPAN(tracer, "master_service", "phase");
+      ReportMsg report = decode_report(m.payload);
+      process_report(slave, report);
+      reply(slave);
+      drain_wait_queue();
+    }
   }
 
   // All slaves are parked and the work buffer is drained. Slaves parked on
@@ -154,6 +164,7 @@ void Master::run() {
     ESTCLUST_CHECK(state_[s] == SlaveState::kWaiting);
     comm_.send(s, kTagAssign, encode_assign(AssignMsg{}));
     mpr::Message m = comm_.recv(s, kTagReport);
+    ESTCLUST_TRACE_SPAN(tracer, "master_flush", "phase");
     ReportMsg report = decode_report(m.payload);
     ESTCLUST_CHECK_MSG(report.pairs.empty(),
                        "parked slave produced pairs during final flush");
@@ -163,6 +174,15 @@ void Master::run() {
     comm_.send(s, kTagStop, {});
     state_[s] = SlaveState::kStopped;
   }
+
+  // Publish the master's counters onto the runtime's registry; merged
+  // across ranks these join the slave-side counts under one namespace.
+  auto& metrics = comm_.metrics();
+  metrics.counter("pace.pairs_accepted").add(counters_.pairs_accepted);
+  metrics.counter("pace.pairs_skipped").add(counters_.pairs_skipped);
+  metrics.counter("pace.pairs_enqueued").add(counters_.pairs_enqueued);
+  metrics.counter("pace.merges").add(counters_.merges);
+  metrics.counter("pace.master_interactions").add(counters_.interactions);
 }
 
 }  // namespace estclust::pace

@@ -5,6 +5,7 @@
 
 #include "cluster/union_find.hpp"
 #include "gst/parallel.hpp"
+#include "obs/trace.hpp"
 #include "pace/aligner.hpp"
 #include "pace/master.hpp"
 #include "pace/slave.hpp"
@@ -14,6 +15,22 @@
 namespace estclust::pace {
 
 namespace {
+
+/// Publishes the aggregated per-phase times (Table 3's columns) onto the
+/// registry. Gauges are max-merged, so per-rank raw values (set by the
+/// slaves) and the allreduced aggregates (set here) fold to one number.
+void publish_phase_gauges(mpr::Communicator& comm, const PaceStats& st) {
+  auto& m = comm.metrics();
+  m.gauge("pace.t_partition", obs::MergeOp::kMax).set(st.t_partition);
+  m.gauge("pace.t_gst", obs::MergeOp::kMax).set(st.t_gst);
+  m.gauge("pace.t_sort", obs::MergeOp::kMax).set(st.t_sort);
+  m.gauge("pace.t_align", obs::MergeOp::kMax).set(st.t_align);
+  m.gauge("pace.t_total", obs::MergeOp::kMax).set(st.t_total);
+  m.gauge("pace.master_busy_fraction", obs::MergeOp::kMax)
+      .set(st.master_busy_fraction);
+  m.gauge("pace.num_clusters", obs::MergeOp::kMax)
+      .set(static_cast<double>(st.num_clusters));
+}
 
 /// p = 1: the full pipeline on one rank with identical charging, so the
 /// single-processor point of the scaling curves is measured by the same
@@ -30,7 +47,9 @@ ParallelResult cluster_single_rank(mpr::Communicator& comm,
   st.t_partition = build_stats.partition_vtime;
   st.t_gst = build_stats.build_vtime;
 
+  obs::RankTracer* tracer = comm.tracer();
   double t = comm.clock().time();
+  if (tracer) tracer->begin("node_sorting", "phase");
   pairgen::PairGenerator gen(ests, forest, cfg.psi);
   std::uint64_t k = 0;
   for (const auto& tr : forest) k += tr.size();
@@ -38,8 +57,10 @@ ParallelResult cluster_single_rank(mpr::Communicator& comm,
               k * (1 + static_cast<std::uint64_t>(
                            std::log2(static_cast<double>(k + 1)))));
   st.t_sort = comm.clock().time() - t;
+  if (tracer) tracer->end("node_sorting");
 
   t = comm.clock().time();
+  if (tracer) tracer->begin("alignment", "phase");
   cluster::UnionFind uf(ests.num_ests());
   std::uint64_t uf_charged = 0;
   std::vector<pairgen::PromisingPair> batch;
@@ -71,11 +92,21 @@ ParallelResult cluster_single_rank(mpr::Communicator& comm,
     batch.clear();
   }
   st.t_align = comm.clock().time() - t;
+  if (tracer) tracer->end("alignment");
 
   st.pairs_generated = gen.stats().pairs_emitted;
   st.num_clusters = uf.num_clusters();
   st.t_total = comm.clock().time();
   res.labels = uf.labels();
+
+  auto& metrics = comm.metrics();
+  metrics.counter("pace.pairs_generated").add(st.pairs_generated);
+  metrics.counter("pace.pairs_aligned").add(st.pairs_processed);
+  metrics.counter("pace.pairs_accepted").add(st.pairs_accepted);
+  metrics.counter("pace.pairs_skipped").add(st.pairs_skipped);
+  metrics.counter("pace.merges").add(st.merges);
+  metrics.counter("pace.dp_cells").add(st.dp_cells);
+  publish_phase_gauges(comm, st);
   return res;
 }
 
@@ -111,10 +142,12 @@ ParallelResult cluster_parallel(mpr::Communicator& comm,
   MasterCounters master_counters;
   double master_busy = 0.0;
   if (comm.rank() == 0) {
-    const double busy_before = comm.clock().busy_time();
+    // Active = busy + comm: the master's work is mostly protocol handling,
+    // so its message overheads belong in the utilization numerator.
+    const double busy_before = comm.clock().active_time();
     Master master(comm, ests, effective);
     master.run();
-    master_busy = comm.clock().busy_time() - busy_before;
+    master_busy = comm.clock().active_time() - busy_before;
     master_counters = master.counters();
     labels = master.clusters().labels();
     st.num_clusters = master.clusters().num_clusters();
@@ -138,6 +171,7 @@ ParallelResult cluster_parallel(mpr::Communicator& comm,
   st.t_total = comm.allreduce_max(comm.clock().time());
   st.master_busy_fraction =
       comm.allreduce_max(master_busy) / std::max(st.t_total, 1e-12);
+  if (comm.rank() == 0) publish_phase_gauges(comm, st);
 
   // Share the clustering with every rank.
   mpr::BufWriter w;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "pace/aligner.hpp"
 #include "util/check.hpp"
 
@@ -12,6 +13,7 @@ Slave::Slave(mpr::Communicator& comm, const bio::EstSet& ests,
     : comm_(comm), ests_(ests), cfg_(cfg), generator_(ests, forest, cfg.psi) {
   // The generator's constructor sorted the local nodes by string-depth;
   // charge it to this rank's clock (Table 3's "Sorting Nodes" column).
+  ESTCLUST_TRACE_SPAN(comm_.tracer(), "node_sorting", "phase");
   std::uint64_t k = 0;
   for (const auto& t : forest) k += t.size();
   const double before = comm_.clock().time();
@@ -27,6 +29,7 @@ bool Slave::out_of_pairs() const {
 
 void Slave::top_up_pairbuf(std::size_t target) {
   if (pairbuf_.size() >= target || generator_.exhausted()) return;
+  ESTCLUST_TRACE_SPAN(comm_.tracer(), "pairgen", "phase");
   std::vector<pairgen::PromisingPair> tmp;
   generator_.next_batch(target - pairbuf_.size(), tmp);
   for (const auto& p : tmp) pairbuf_.push_back(p);
@@ -46,6 +49,7 @@ std::vector<pairgen::PromisingPair> Slave::take_pairs(std::size_t count) {
 
 std::vector<WireResult> Slave::align_all(
     const std::vector<pairgen::PromisingPair>& work) {
+  ESTCLUST_TRACE_SPAN(comm_.tracer(), "alignment", "phase");
   std::vector<WireResult> results;
   results.reserve(work.size());
   for (const auto& p : work) {
@@ -70,6 +74,9 @@ std::vector<WireResult> Slave::align_all(
 }
 
 SlaveCounters Slave::run() {
+  // Inclusive loop span (covers waiting too); the nested "alignment" /
+  // "pairgen" spans carry the busy breakdown.
+  ESTCLUST_TRACE_SPAN(comm_.tracer(), "slave_loop", "phase");
   const double loop_start = comm_.clock().time();
 
   // Startup (§3.3): generate batchsize pairs split into three equal
@@ -123,6 +130,14 @@ SlaveCounters Slave::run() {
 
   counters_.pairs_generated = generator_.stats().pairs_emitted;
   counters_.loop_vtime = comm_.clock().time() - loop_start;
+
+  auto& metrics = comm_.metrics();
+  metrics.counter("pace.pairs_generated").add(counters_.pairs_generated);
+  metrics.counter("pace.pairs_aligned").add(counters_.pairs_aligned);
+  metrics.counter("pace.dp_cells").add(counters_.dp_cells);
+  metrics.gauge("pace.t_sort", obs::MergeOp::kMax).set(counters_.sort_vtime);
+  metrics.gauge("pace.t_align", obs::MergeOp::kMax)
+      .set(counters_.loop_vtime);
   return counters_;
 }
 

@@ -6,8 +6,9 @@
 namespace estclust {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mutex;
+thread_local int t_rank = -1;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -25,17 +26,21 @@ const char* level_name(LogLevel level) {
 }  // namespace
 
 void set_log_level(LogLevel level) {
-  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  g_level.store(level, std::memory_order_relaxed);
 }
 
-LogLevel log_level() {
-  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
-}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_rank(int rank) { t_rank = rank; }
+
+int log_rank() { return t_rank; }
 
 namespace detail {
 void log_line(LogLevel level, const std::string& line) {
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[estclust " << level_name(level) << "] " << line << '\n';
+  std::cerr << "[estclust " << level_name(level);
+  if (t_rank >= 0) std::cerr << " r" << t_rank;
+  std::cerr << "] " << line << '\n';
 }
 }  // namespace detail
 

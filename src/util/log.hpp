@@ -13,6 +13,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Tags subsequent log lines from this thread with a rank id ("r3");
+/// set by mpr::Runtime for the duration of a rank thread. -1 clears the
+/// tag (lines print untagged, as outside a parallel region).
+void set_log_rank(int rank);
+int log_rank();
+
 namespace detail {
 void log_line(LogLevel level, const std::string& line);
 }

@@ -21,6 +21,23 @@ void RunningStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double RunningStats::variance() const {
   if (n_ < 2) return 0.0;
   return m2_ / static_cast<double>(n_ - 1);
@@ -61,6 +78,16 @@ void Histogram::add(double x) {
   }
   ++counts_[bin];
   ++total_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  ESTCLUST_CHECK_MSG(lo_ == other.lo_ && hi_ == other.hi_ &&
+                         counts_.size() == other.counts_.size(),
+                     "merging histograms with different shapes");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
 }
 
 double Histogram::bucket_lo(std::size_t i) const {

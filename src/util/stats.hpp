@@ -11,6 +11,10 @@ class RunningStats {
  public:
   void add(double x);
 
+  /// Folds another stream into this one (Chan et al. parallel Welford):
+  /// the result equals adding both streams' samples to one accumulator.
+  void merge(const RunningStats& other);
+
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double variance() const;  ///< Sample variance (n-1 denominator).
@@ -40,6 +44,13 @@ class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
   void add(double x);
+
+  /// Bin-wise accumulation of another histogram with identical [lo, hi)
+  /// and bin count (checked).
+  void merge(const Histogram& other);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
   const std::vector<std::size_t>& counts() const { return counts_; }
   std::size_t total() const { return total_; }
   double bucket_lo(std::size_t i) const;

@@ -1,0 +1,326 @@
+// Tests for the observability layer: span validation, deterministic
+// virtual timestamps, Chrome-JSON well-formedness, metrics merging, and
+// the guarantee that tracing never changes the modeled run.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "mpr/runtime.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "pace/parallel.hpp"
+#include "sim/workload.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace estclust;
+
+sim::Workload small_workload() {
+  sim::SimConfig cfg = sim::scaled_config(80, 20020811);
+  return sim::generate(cfg);
+}
+
+pace::PaceConfig small_pace_config() {
+  pace::PaceConfig cfg;
+  cfg.gst.window = 6;
+  return cfg;
+}
+
+struct TracedRun {
+  std::vector<std::uint32_t> labels;
+  pace::PaceStats stats;
+  double elapsed_vtime = 0.0;
+};
+
+TracedRun run_pace(const bio::EstSet& ests, const pace::PaceConfig& cfg,
+                   int p, bool traced, mpr::Runtime* keep = nullptr) {
+  mpr::Runtime local(p, mpr::CostModel{});
+  mpr::Runtime& rt = keep ? *keep : local;
+  if (traced) rt.enable_tracing(true);
+  TracedRun out;
+  std::mutex mu;
+  rt.run([&](mpr::Communicator& comm) {
+    auto res = pace::cluster_parallel(comm, ests, cfg);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      out.labels = std::move(res.labels);
+      out.stats = res.stats;
+    }
+  });
+  out.elapsed_vtime = rt.elapsed_vtime();
+  return out;
+}
+
+TEST(TraceRecorderTest, ValidatesMatchedSpans) {
+  obs::TraceRecorder rec(2);
+  double clock = 0.0;
+  rec.rank(0).bind(0, &clock, rec.epoch());
+  rec.rank(0).begin("outer", "phase");
+  clock = 1.0;
+  rec.rank(0).begin("inner", "phase");
+  clock = 2.0;
+  rec.rank(0).end("inner");
+  rec.rank(0).end("outer");
+  EXPECT_NO_THROW(rec.validate());
+  EXPECT_EQ(rec.total_events(), 4u);
+}
+
+TEST(TraceRecorderTest, DetectsMismatchedSpanName) {
+  obs::TraceRecorder rec(1);
+  double clock = 0.0;
+  rec.rank(0).bind(0, &clock, rec.epoch());
+  rec.rank(0).begin("outer", "phase");
+  rec.rank(0).end("wrong");
+  EXPECT_THROW(rec.validate(), CheckError);
+}
+
+TEST(TraceRecorderTest, DetectsUnclosedSpan) {
+  obs::TraceRecorder rec(1);
+  double clock = 0.0;
+  rec.rank(0).bind(0, &clock, rec.epoch());
+  rec.rank(0).begin("outer", "phase");
+  EXPECT_THROW(rec.validate(), CheckError);
+}
+
+TEST(TraceRecorderTest, DetectsEndWithoutBegin) {
+  obs::TraceRecorder rec(1);
+  double clock = 0.0;
+  rec.rank(0).bind(0, &clock, rec.epoch());
+  rec.rank(0).end("phantom");
+  EXPECT_THROW(rec.validate(), CheckError);
+}
+
+TEST(TraceRecorderTest, ScopedSpanIsNullSafe) {
+  obs::ScopedSpan span(nullptr, "nothing", "phase");
+  ESTCLUST_TRACE_SPAN(nullptr, "nothing_either", "phase");
+  ESTCLUST_TRACE_INSTANT(nullptr, "still_nothing", "phase", 0);
+}
+
+TEST(VirtualClockTest, SplitsBusyCommIdle) {
+  mpr::VirtualClock clk;
+  clk.advance(2.0);
+  clk.advance_comm(0.5);
+  clk.sync_to(4.0);     // 1.5 s idle jump
+  clk.sync_to(3.0);     // in the past: no-op
+  clk.advance(1.0);
+  EXPECT_DOUBLE_EQ(clk.busy_time(), 3.0);
+  EXPECT_DOUBLE_EQ(clk.comm_time(), 0.5);
+  EXPECT_DOUBLE_EQ(clk.idle_time(), 1.5);
+  EXPECT_DOUBLE_EQ(clk.active_time(), 3.5);
+  EXPECT_DOUBLE_EQ(clk.time(),
+                   clk.busy_time() + clk.comm_time() + clk.idle_time());
+}
+
+TEST(MetricsRegistryTest, CountersSumOnMerge) {
+  obs::MetricsRegistry a, b;
+  a.counter("pairs").add(3);
+  b.counter("pairs").add(4);
+  b.counter("only_b").add(1);
+  a.merge_from(b);
+  EXPECT_EQ(a.counter_value("pairs"), 7u);
+  EXPECT_EQ(a.counter_value("only_b"), 1u);
+  EXPECT_EQ(a.counter_value("absent"), 0u);
+}
+
+TEST(MetricsRegistryTest, GaugesMergeByOp) {
+  obs::MetricsRegistry a, b;
+  a.gauge("t_max", obs::MergeOp::kMax).set(1.0);
+  b.gauge("t_max", obs::MergeOp::kMax).set(2.5);
+  a.gauge("t_min", obs::MergeOp::kMin).set(1.0);
+  b.gauge("t_min", obs::MergeOp::kMin).set(0.25);
+  a.gauge("t_sum", obs::MergeOp::kSum).set(1.0);
+  b.gauge("t_sum", obs::MergeOp::kSum).set(2.0);
+  a.merge_from(b);
+  EXPECT_DOUBLE_EQ(a.gauge_value("t_max"), 2.5);
+  EXPECT_DOUBLE_EQ(a.gauge_value("t_min"), 0.25);
+  EXPECT_DOUBLE_EQ(a.gauge_value("t_sum"), 3.0);
+}
+
+TEST(MetricsRegistryTest, StatsAndHistogramsMerge) {
+  obs::MetricsRegistry a, b;
+  a.stats("len").add(1.0);
+  a.stats("len").add(3.0);
+  b.stats("len").add(5.0);
+  a.histogram("h", 0.0, 10.0, 5).add(1.0);
+  b.histogram("h", 0.0, 10.0, 5).add(9.0);
+  a.merge_from(b);
+  const RunningStats* s = a.find_stats("len");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count(), 3u);
+  EXPECT_DOUBLE_EQ(s->mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s->max(), 5.0);
+}
+
+TEST(MetricsRegistryTest, ReportAndJsonAreDeterministic) {
+  obs::MetricsRegistry m;
+  m.counter("z.last").add(2);
+  m.counter("a.first").add(1);
+  m.gauge("m.gauge").set(0.5);
+  std::ostringstream r1, r2, j;
+  m.write_report(r1);
+  m.write_report(r2);
+  m.write_json(j);
+  EXPECT_EQ(r1.str(), r2.str());
+  // Sorted name order: a.first before z.last in both formats.
+  EXPECT_LT(r1.str().find("a.first"), r1.str().find("z.last"));
+  EXPECT_LT(j.str().find("a.first"), j.str().find("z.last"));
+  EXPECT_EQ(j.str().front(), '{');
+}
+
+// A traced parallel run produces identical virtual timestamps every time:
+// the trace is a function of the input, not the schedule.
+TEST(ObsPipelineTest, DeterministicVirtualTimestamps) {
+  auto wl = small_workload();
+  auto cfg = small_pace_config();
+  const int p = 3;
+
+  mpr::Runtime rt1(p, mpr::CostModel{});
+  mpr::Runtime rt2(p, mpr::CostModel{});
+  auto run1 = run_pace(wl.ests, cfg, p, true, &rt1);
+  auto run2 = run_pace(wl.ests, cfg, p, true, &rt2);
+
+  ASSERT_NE(rt1.tracer(), nullptr);
+  ASSERT_NE(rt2.tracer(), nullptr);
+  rt1.tracer()->validate();
+  EXPECT_EQ(run1.labels, run2.labels);
+  EXPECT_EQ(run1.elapsed_vtime, run2.elapsed_vtime);
+  ASSERT_EQ(rt1.tracer()->total_events(), rt2.tracer()->total_events());
+  for (int r = 0; r < p; ++r) {
+    const auto& e1 = rt1.tracer()->rank(r).events();
+    const auto& e2 = rt2.tracer()->rank(r).events();
+    ASSERT_EQ(e1.size(), e2.size()) << "rank " << r;
+    for (std::size_t i = 0; i < e1.size(); ++i) {
+      EXPECT_EQ(e1[i].kind, e2[i].kind) << "rank " << r << " event " << i;
+      EXPECT_STREQ(e1[i].name, e2[i].name) << "rank " << r << " event " << i;
+      EXPECT_EQ(e1[i].vtime, e2[i].vtime) << "rank " << r << " event " << i;
+      EXPECT_EQ(e1[i].id, e2[i].id) << "rank " << r << " event " << i;
+    }
+  }
+
+  // Byte-identical Chrome export (wall time excluded by default).
+  std::ostringstream j1, j2;
+  obs::write_chrome_trace(j1, *rt1.tracer());
+  obs::write_chrome_trace(j2, *rt2.tracer());
+  EXPECT_EQ(j1.str(), j2.str());
+}
+
+TEST(ObsPipelineTest, ChromeTraceWellFormed) {
+  auto wl = small_workload();
+  auto cfg = small_pace_config();
+  const int p = 3;
+  mpr::Runtime rt(p, mpr::CostModel{});
+  run_pace(wl.ests, cfg, p, true, &rt);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, *rt.tracer());
+  const std::string json = os.str();
+
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  // Flow events recorded on both sides.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // Wall time stays out of the default export (determinism).
+  EXPECT_EQ(json.find("wall_us"), std::string::npos);
+
+  // Per rank: every begin has an end and vtimes never decrease.
+  for (int r = 0; r < p; ++r) {
+    const auto& events = rt.tracer()->rank(r).events();
+    int depth = 0;
+    double last = 0.0;
+    for (const auto& e : events) {
+      if (e.kind == obs::EventKind::kBegin) ++depth;
+      if (e.kind == obs::EventKind::kEnd) --depth;
+      ASSERT_GE(depth, 0);
+      EXPECT_GE(e.vtime, last);
+      last = e.vtime;
+    }
+    EXPECT_EQ(depth, 0) << "rank " << r;
+  }
+}
+
+TEST(ObsPipelineTest, BreakdownReportCoversPipelinePhases) {
+  auto wl = small_workload();
+  auto cfg = small_pace_config();
+  const int p = 3;
+  mpr::Runtime rt(p, mpr::CostModel{});
+  run_pace(wl.ests, cfg, p, true, &rt);
+
+  auto agg = obs::aggregate_phases(*rt.tracer());
+  EXPECT_GE(agg.size(), 5u);
+  for (const char* phase : {"partitioning", "gst_build", "node_sorting",
+                            "pairgen", "alignment", "master_service"}) {
+    EXPECT_TRUE(agg.count(phase)) << phase;
+  }
+
+  std::ostringstream os;
+  obs::write_breakdown_report(os, *rt.tracer(), rt.rank_times());
+  const std::string report = os.str();
+  for (const char* phase : {"partitioning", "gst_build", "node_sorting",
+                            "alignment", "master busy"}) {
+    EXPECT_NE(report.find(phase), std::string::npos) << phase;
+  }
+}
+
+// Registry round-trip: the counters published by the pipeline agree with
+// the aggregated PaceStats rank 0 reports.
+TEST(ObsPipelineTest, RegistryMatchesPaceStats) {
+  auto wl = small_workload();
+  auto cfg = small_pace_config();
+  const int p = 3;
+  mpr::Runtime rt(p, mpr::CostModel{});
+  auto run = run_pace(wl.ests, cfg, p, false, &rt);
+
+  auto merged = rt.merged_metrics();
+  EXPECT_EQ(merged.counter_value("pace.pairs_generated"),
+            run.stats.pairs_generated);
+  EXPECT_EQ(merged.counter_value("pace.pairs_aligned"),
+            run.stats.pairs_processed);
+  EXPECT_EQ(merged.counter_value("pace.pairs_accepted"),
+            run.stats.pairs_accepted);
+  EXPECT_DOUBLE_EQ(merged.gauge_value("pace.t_total"), run.stats.t_total);
+  EXPECT_GT(merged.counter_value("gst.suffixes_owned"), 0u);
+  EXPECT_GT(merged.counter_value("mpr.messages_sent"), 0u);
+  EXPECT_GT(merged.counter_value("mpr.bytes_sent"), 0u);
+}
+
+// Tracing must be free in virtual time: same clusters, same modeled
+// runtime, whether or not a recorder is attached.
+TEST(ObsPipelineTest, TracingDoesNotPerturbTheRun) {
+  auto wl = small_workload();
+  auto cfg = small_pace_config();
+  const int p = 3;
+  auto traced = run_pace(wl.ests, cfg, p, true);
+  auto untraced = run_pace(wl.ests, cfg, p, false);
+  EXPECT_EQ(traced.labels, untraced.labels);
+  EXPECT_EQ(traced.elapsed_vtime, untraced.elapsed_vtime);
+  EXPECT_EQ(traced.stats.pairs_generated, untraced.stats.pairs_generated);
+  EXPECT_EQ(traced.stats.pairs_processed, untraced.stats.pairs_processed);
+}
+
+TEST(ObsPipelineTest, RankTimesSplitAddsUp) {
+  auto wl = small_workload();
+  auto cfg = small_pace_config();
+  const int p = 3;
+  mpr::Runtime rt(p, mpr::CostModel{});
+  run_pace(wl.ests, cfg, p, false, &rt);
+  auto times = rt.rank_times();
+  ASSERT_EQ(times.size(), static_cast<std::size_t>(p));
+  for (const auto& t : times) {
+    EXPECT_NEAR(t.total, t.busy + t.comm + t.idle, 1e-9);
+    EXPECT_GE(t.busy, 0.0);
+    EXPECT_GE(t.comm, 0.0);
+    EXPECT_GE(t.idle, 0.0);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Structural validator for estclust Chrome trace output.
+
+Usage: check_trace.py trace.json [breakdown.txt]
+
+Checks that the trace is well-formed Chrome trace-event JSON:
+  * every B (span begin) has a matching E on the same (pid, tid),
+    properly nested;
+  * per-thread timestamps are monotonically non-decreasing;
+  * flow start/finish (s/f) events come in id-matched pairs;
+  * the trace covers >= 2 ranks and >= 5 distinct phase span names.
+
+When a breakdown report is given, also checks it mentions the
+per-component phase names used by Table 3 of the paper.
+"""
+
+import json
+import sys
+
+REQUIRED_PHASES = 5
+REQUIRED_RANKS = 2
+# Components of the paper's Table 3 runtime breakdown, as instrumented.
+BREAKDOWN_COMPONENTS = ["partitioning", "gst_build", "node_sorting",
+                        "alignment"]
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_trace(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+
+    if "traceEvents" not in doc:
+        fail("missing traceEvents key")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents is empty or not a list")
+
+    stacks = {}      # (pid, tid) -> [span names]
+    last_ts = {}     # (pid, tid) -> last timestamp
+    span_names = set()
+    ranks = set()
+    flows_out = {}   # id -> count
+    flows_in = {}
+
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        for key in ("pid", "tid", "ts"):
+            if key not in ev:
+                fail(f"event missing '{key}': {ev}")
+        tid = (ev["pid"], ev["tid"])
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)):
+            fail(f"non-numeric ts: {ev}")
+        if tid in last_ts and ts < last_ts[tid]:
+            fail(f"timestamps go backwards on tid {tid}: "
+                 f"{last_ts[tid]} -> {ts}")
+        last_ts[tid] = ts
+        ranks.add(ev["tid"])
+
+        if ph == "B":
+            if "name" not in ev:
+                fail(f"B event without name: {ev}")
+            stacks.setdefault(tid, []).append(ev["name"])
+            span_names.add(ev["name"])
+        elif ph == "E":
+            stack = stacks.get(tid, [])
+            if not stack:
+                fail(f"E event with empty span stack on tid {tid}")
+            stack.pop()
+        elif ph == "s":
+            flows_out[ev.get("id")] = flows_out.get(ev.get("id"), 0) + 1
+        elif ph == "f":
+            flows_in[ev.get("id")] = flows_in.get(ev.get("id"), 0) + 1
+        elif ph not in ("i", "I"):
+            fail(f"unexpected event phase '{ph}': {ev}")
+
+    for tid, stack in stacks.items():
+        if stack:
+            fail(f"unclosed spans on tid {tid}: {stack}")
+    for fid, n in flows_in.items():
+        if fid not in flows_out:
+            fail(f"flow finish without start: id {fid}")
+        if n != flows_out[fid]:
+            fail(f"flow id {fid}: {flows_out[fid]} starts, {n} finishes")
+
+    if len(ranks) < REQUIRED_RANKS:
+        fail(f"trace covers {len(ranks)} rank(s), need >= {REQUIRED_RANKS}")
+    if len(span_names) < REQUIRED_PHASES:
+        fail(f"only {len(span_names)} distinct span names "
+             f"({sorted(span_names)}), need >= {REQUIRED_PHASES}")
+
+    print(f"check_trace: trace OK: {len(events)} events, "
+          f"{len(ranks)} ranks, {len(span_names)} span names: "
+          f"{sorted(span_names)}")
+
+
+def validate_breakdown(path):
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    missing = [c for c in BREAKDOWN_COMPONENTS if c not in text]
+    if missing:
+        fail(f"breakdown report missing components: {missing}")
+    print(f"check_trace: breakdown OK: all of {BREAKDOWN_COMPONENTS} present")
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_trace.py trace.json [breakdown.txt]")
+    validate_trace(sys.argv[1])
+    if len(sys.argv) > 2:
+        validate_breakdown(sys.argv[2])
+    print("check_trace: PASS")
+
+
+if __name__ == "__main__":
+    main()

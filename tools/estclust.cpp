@@ -5,6 +5,9 @@
 //   estclust cluster  --in lib.fa --out clusters.txt [--psi 20]
 //                     [--window 8] [--min-quality 0.8] [--min-overlap 40]
 //                     [--ranks P]          (P > 1: simulated parallel run)
+//                     [--trace trace.json] (Chrome/Perfetto virtual-time trace)
+//                     [--breakdown rep.txt] [--metrics]  (per-phase report /
+//                      registry dump; both imply the virtual-time runtime)
 //   estclust eval     --clusters clusters.txt --truth truth.txt
 //   estclust splice   --in lib.fa [--psi 20] [--min-gap 25]
 //
@@ -24,6 +27,8 @@
 #include "bio/fasta.hpp"
 #include "gst/builder.hpp"
 #include "mpr/runtime.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "pace/parallel.hpp"
 #include "pace/sequential.hpp"
 #include "quality/report.hpp"
@@ -42,6 +47,8 @@ int usage() {
          "           --out lib.fa [--truth truth.txt]\n"
          "  cluster  --in lib.fa --out clusters.txt [--psi 20] [--window 8]\n"
          "           [--min-quality 0.8] [--min-overlap 40] [--ranks P]\n"
+         "           [--trace trace.json] [--breakdown report.txt]\n"
+         "           [--metrics]\n"
          "  eval     --clusters clusters.txt --truth truth.txt --in lib.fa\n"
          "  splice   --in lib.fa [--psi 20] [--min-gap 25]\n"
          "  assemble --in lib.fa --out contigs.fa [cluster options]\n";
@@ -90,10 +97,19 @@ int cmd_cluster(const CliArgs& args) {
   bio::EstSet ests(bio::read_fasta_file(*in));
   auto cfg = cluster_config(args);
 
+  const auto trace_path = args.get("trace");
+  const auto breakdown_path = args.get("breakdown");
+  const bool want_metrics = args.has_flag("metrics");
+  cfg.trace = trace_path.has_value() || breakdown_path.has_value();
+
   std::vector<std::uint32_t> labels;
-  const int ranks = static_cast<int>(args.get_int("ranks", 1));
+  int ranks = static_cast<int>(args.get_int("ranks", 1));
+  // Observability rides on the virtual-time runtime; a traced single-rank
+  // request still routes through it (with p = 2: one master, one slave).
+  if (ranks < 2 && (cfg.trace || want_metrics)) ranks = 2;
   if (ranks > 1) {
     mpr::Runtime rt(ranks, mpr::CostModel{});
+    if (cfg.trace) rt.enable_tracing(cfg.trace_message_flows);
     std::mutex mu;
     rt.run([&](mpr::Communicator& comm) {
       auto res = pace::cluster_parallel(comm, ests, cfg);
@@ -107,6 +123,23 @@ int cmd_cluster(const CliArgs& args) {
                   << res.stats.t_total << " virt s\n";
       }
     });
+    if (trace_path) {
+      std::ofstream ts(*trace_path);
+      ESTCLUST_CHECK_MSG(ts.good(), "cannot open " << *trace_path);
+      obs::write_chrome_trace(ts, *rt.tracer());
+      std::cout << "trace (" << rt.tracer()->total_events()
+                << " events) written to " << *trace_path << "\n";
+    }
+    if (breakdown_path) {
+      std::ofstream bs(*breakdown_path);
+      ESTCLUST_CHECK_MSG(bs.good(), "cannot open " << *breakdown_path);
+      obs::write_breakdown_report(bs, *rt.tracer(), rt.rank_times());
+      std::cout << "phase breakdown written to " << *breakdown_path << "\n";
+    }
+    if (want_metrics) {
+      auto merged = rt.merged_metrics();
+      merged.write_report(std::cout);
+    }
   } else {
     auto res = pace::cluster_sequential(ests, cfg);
     labels = res.clusters.labels();
