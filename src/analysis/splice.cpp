@@ -59,6 +59,10 @@ double identity_of(const std::string& ops, std::size_t begin,
 bool examine_pair(const bio::EstSet& ests, bio::EstId a, bio::EstId b,
                   bool b_rc, const SpliceParams& params,
                   SpliceCandidate& out) {
+  ESTCLUST_CHECK_MSG(a < ests.num_ests() && b < ests.num_ests() && a != b,
+                     "splice: examine_pair needs two distinct in-range ESTs");
+  ESTCLUST_CHECK_MSG(params.min_gap > 0 && params.min_flank > 0,
+                     "splice: min_gap and min_flank must be positive");
   auto sa = ests.str(bio::EstSet::forward_sid(a));
   auto sb = ests.str(b_rc ? bio::EstSet::rc_sid(b)
                           : bio::EstSet::forward_sid(b));

@@ -11,6 +11,14 @@
 namespace estclust::assembly {
 
 Contig build_contig(const bio::EstSet& ests, Layout layout) {
+  ESTCLUST_CHECK_MSG(layout.placements.empty() || layout.length > 0,
+                     "assembly: a non-empty layout must have positive length");
+  for (const auto& p : layout.placements) {
+    ESTCLUST_CHECK_MSG(p.est < ests.num_ests(),
+                       "assembly: placement references EST "
+                           << p.est << " outside the set of "
+                           << ests.num_ests());
+  }
   Contig contig;
   const std::size_t len = layout.length;
   // 4 vote counters per column.

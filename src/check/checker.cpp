@@ -1,0 +1,381 @@
+#include "check/checker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace estclust::check {
+
+namespace {
+
+std::string fmt_tag(int tag) {
+  if (tag == mpr::kAnyTag) return "any";
+  if (tag >= mpr::kInternalTagBase) {
+    return "internal+" + std::to_string(tag - mpr::kInternalTagBase);
+  }
+  return std::to_string(tag);
+}
+
+std::string fmt_src(int src) {
+  return src == mpr::kAnySource ? "any" : std::to_string(src);
+}
+
+}  // namespace
+
+bool parse_check_mode(const std::string& s, mpr::CheckMode* out) {
+  if (s == "off") {
+    *out = mpr::CheckMode::kOff;
+  } else if (s == "warn") {
+    *out = mpr::CheckMode::kWarn;
+  } else if (s == "strict") {
+    *out = mpr::CheckMode::kStrict;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Checker::Checker(mpr::Runtime& rt, mpr::CheckMode mode)
+    : rt_(rt), mode_(mode), ranks_(rt.size()) {
+  ESTCLUST_CHECK_MSG(mode != mpr::CheckMode::kOff,
+                     "kOff means: do not install a checker");
+}
+
+void Checker::begin_run(int nranks) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ranks_ = std::vector<RankRecord>(static_cast<std::size_t>(nranks));
+  failed_.store(false, std::memory_order_release);
+  failure_report_.clear();
+}
+
+void Checker::rank_started(int rank) {
+  ranks_[rank].owner.store(std::this_thread::get_id(),
+                           std::memory_order_release);
+}
+
+void Checker::rank_finished(int rank, std::uint64_t collectives,
+                            bool crashed) {
+  std::lock_guard<std::mutex> lk(mu_);
+  RankRecord& rec = ranks_[rank];
+  rec.state = RankState::kFinished;
+  rec.collectives = collectives;
+  rec.crashed = crashed;
+  // A rank leaving can expose a deadlock: everyone else may already be
+  // blocked waiting for traffic only this rank could have sent.
+  detect_locked();
+}
+
+mpr::Message Checker::blocking_pop(mpr::Mailbox& mb, int rank, int src,
+                                   int tag, std::string op) {
+  // All checked waits serialize on mu_ so the wait-for graph, the mailbox
+  // probes and the state transitions are mutually consistent: a rank is
+  // marked blocked only while it verifiably has no matching message, and
+  // the quiescence test below can never fire while any rank still owns an
+  // in-flight operation.
+  std::unique_lock<std::mutex> lk(mu_);
+  RankRecord& rec = ranks_[rank];
+  if (rec.owner.load(std::memory_order_relaxed) !=
+      std::this_thread::get_id()) {
+    findings_.push_back("race: rank " + std::to_string(rank) +
+                        " blocking receive issued from a foreign thread");
+    if (mode_ == mpr::CheckMode::kStrict) throw CheckError(findings_.back());
+  }
+  rec.op = std::move(op);
+  rec.await_src = src;
+  rec.await_tag = tag;
+  for (;;) {
+    if (failed_.load(std::memory_order_acquire)) {
+      throw mpr::CheckAbort(
+          "mpr check: blocking receive on rank " + std::to_string(rank) +
+          " cancelled (failure diagnosed on another rank)");
+    }
+    if (auto m = mb.try_pop(src, tag)) {
+      rec.state = RankState::kRunning;
+      return std::move(*m);
+    }
+    rec.state = RankState::kBlocked;
+    detect_locked();
+    if (failed_.load(std::memory_order_acquire)) continue;
+    cv_.wait(lk);
+  }
+}
+
+void Checker::message_pushed(int /*dest*/) {
+  // Empty critical section: a waiter that saw no match while holding mu_
+  // has either reached cv_.wait (will get this notify) or not yet
+  // released mu_ (we serialize behind it) — no missed wakeups.
+  { std::lock_guard<std::mutex> lk(mu_); }
+  cv_.notify_all();
+}
+
+void Checker::on_send(int rank, int /*dest*/, int tag, std::size_t /*bytes*/) {
+  ++ranks_[rank].sent_by_tag[tag];
+}
+
+void Checker::on_receive(int rank, int /*src*/, int tag,
+                         std::size_t /*bytes*/) {
+  ++ranks_[rank].recv_by_tag[tag];
+}
+
+void Checker::guard_access(int rank, const char* what) {
+  if (ranks_[rank].owner.load(std::memory_order_acquire) ==
+      std::this_thread::get_id()) {
+    return;
+  }
+  report_finding("race: rank " + std::to_string(rank) + " " + what +
+                 " accessed from a foreign thread (per-rank state is "
+                 "single-consumer by design)");
+}
+
+void Checker::audit_clock(int rank, const mpr::VirtualClock& clk) {
+  const double total = clk.time();
+  const double split = clk.busy_time() + clk.comm_time() + clk.idle_time();
+  if (std::abs(total - split) <= 1e-9 + 1e-9 * std::abs(total)) return;
+  std::ostringstream os;
+  os << "clock accounting broken on rank " << rank << ": busy+comm+idle = "
+     << split << " but total = " << total;
+  report_finding(os.str());
+}
+
+void Checker::report_finding(const std::string& what) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    findings_.push_back(what);
+  }
+  if (mode_ == mpr::CheckMode::kStrict) throw CheckError("mpr check: " + what);
+  ESTCLUST_LOG_WARN << "mpr check: " << what;
+}
+
+std::vector<std::string> Checker::findings() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return findings_;
+}
+
+void Checker::detect_locked() {
+  if (failed_.load(std::memory_order_acquire)) return;
+  bool any_blocked = false;
+  for (const auto& r : ranks_) {
+    if (r.state == RankState::kRunning) return;
+    any_blocked |= r.state == RankState::kBlocked;
+  }
+  if (!any_blocked) return;
+  // Quiescent. A blocked rank whose wait is already satisfiable will wake
+  // and run, so the system is only dead if no queued message matches.
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    const auto& rec = ranks_[r];
+    if (rec.state == RankState::kBlocked &&
+        rt_.mailbox(static_cast<int>(r)).probe(rec.await_src,
+                                               rec.await_tag)) {
+      return;
+    }
+  }
+  failure_report_ = build_deadlock_report_locked();
+  failed_.store(true, std::memory_order_release);
+  cv_.notify_all();
+}
+
+std::string Checker::build_deadlock_report_locked() const {
+  const int p = static_cast<int>(ranks_.size());
+  std::ostringstream os;
+  os << "mpr deadlock detected: every rank is blocked or finished and no "
+        "queued message matches a pending receive\n";
+  for (int r = 0; r < p; ++r) {
+    const auto& rec = ranks_[r];
+    os << "  rank " << r << ": ";
+    if (rec.state == RankState::kFinished) {
+      os << (rec.crashed ? "FINISHED (exception)" : "FINISHED");
+    } else {
+      os << "BLOCKED in " << rec.op << " awaiting src="
+         << fmt_src(rec.await_src) << " tag=" << fmt_tag(rec.await_tag);
+    }
+    auto pend = rt_.mailbox(r).pending();
+    if (pend.empty()) {
+      os << "; mailbox empty";
+    } else {
+      os << "; mailbox: " << pend.size() << " queued";
+      const std::size_t show = std::min<std::size_t>(pend.size(), 8);
+      for (std::size_t i = 0; i < show; ++i) {
+        os << (i == 0 ? " [" : ", ") << "src=" << pend[i].src
+           << " tag=" << fmt_tag(pend[i].tag) << " " << pend[i].bytes << "B";
+      }
+      os << (pend.size() > show ? ", ...]" : "]");
+    }
+    os << '\n';
+  }
+
+  // Wait-for cycle: edge r -> s when r's receive can only be satisfied by
+  // s (wildcard receives wait on every unfinished rank). Iterative DFS;
+  // blocked ranks only — finished ranks are sinks.
+  std::vector<int> color(p, 0);  // 0 white, 1 on stack, 2 done
+  auto edges = [&](int r) {
+    std::vector<int> out;
+    const auto& rec = ranks_[r];
+    if (rec.state != RankState::kBlocked) return out;
+    if (rec.await_src != mpr::kAnySource) {
+      out.push_back(rec.await_src);
+    } else {
+      for (int s = 0; s < p; ++s) {
+        if (s != r && ranks_[s].state != RankState::kFinished) {
+          out.push_back(s);
+        }
+      }
+    }
+    return out;
+  };
+  std::vector<int> cycle;
+  for (int start = 0; start < p && cycle.empty(); ++start) {
+    if (color[start] != 0 || ranks_[start].state != RankState::kBlocked) {
+      continue;
+    }
+    std::vector<std::pair<int, std::size_t>> stack{{start, 0}};
+    color[start] = 1;
+    while (!stack.empty() && cycle.empty()) {
+      auto& [node, idx] = stack.back();
+      auto out = edges(node);
+      if (idx >= out.size()) {
+        color[node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      int next = out[idx++];
+      if (color[next] == 1) {
+        // Found a back edge: walk the stack to extract the cycle.
+        cycle.push_back(next);
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+          cycle.push_back(it->first);
+          if (it->first == next) break;
+        }
+        std::reverse(cycle.begin(), cycle.end());
+      } else if (color[next] == 0) {
+        color[next] = 1;
+        stack.push_back({next, 0});
+      }
+    }
+  }
+  if (cycle.empty()) {
+    os << "wait-for cycle: none (stalled on terminated ranks or "
+          "mismatched traffic)";
+  } else {
+    os << "wait-for cycle:";
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      os << (i == 0 ? " " : " -> ") << cycle[i];
+    }
+  }
+  return os.str();
+}
+
+void Checker::finalize() {
+  if (failed_.load(std::memory_order_acquire)) {
+    throw CheckError(failure_report_);
+  }
+  const int p = rt_.size();
+  std::vector<std::string> audit;
+
+  // Unreceived messages left in mailboxes.
+  for (int r = 0; r < p; ++r) {
+    auto pend = rt_.mailbox(r).pending();
+    if (pend.empty()) continue;
+    std::ostringstream os;
+    os << "hygiene: rank " << r << " mailbox holds " << pend.size()
+       << " unreceived message(s):";
+    const std::size_t show = std::min<std::size_t>(pend.size(), 8);
+    for (std::size_t i = 0; i < show; ++i) {
+      os << " [src=" << pend[i].src << " tag=" << fmt_tag(pend[i].tag)
+         << " " << pend[i].bytes << "B]";
+    }
+    if (pend.size() > show) os << " ...";
+    audit.push_back(os.str());
+  }
+
+  // Per-tag send/receive balance (sent > received means lost traffic;
+  // the converse cannot happen).
+  std::map<int, std::uint64_t> sent, received;
+  bool any_crashed = false;
+  for (const auto& rec : ranks_) {
+    for (const auto& [tag, n] : rec.sent_by_tag) sent[tag] += n;
+    for (const auto& [tag, n] : rec.recv_by_tag) received[tag] += n;
+    any_crashed |= rec.crashed;
+  }
+  for (const auto& [tag, n] : sent) {
+    const std::uint64_t got = received.count(tag) ? received[tag] : 0;
+    if (got < n) {
+      audit.push_back("hygiene: tag " + fmt_tag(tag) + ": " +
+                      std::to_string(n) + " sent but only " +
+                      std::to_string(got) + " received");
+    }
+  }
+
+  // Collective participation balance (skipped when a rank crashed — its
+  // shortfall is a symptom, not the cause).
+  if (!any_crashed && p > 1) {
+    std::uint64_t lo = ranks_[0].collectives, hi = ranks_[0].collectives;
+    for (const auto& rec : ranks_) {
+      lo = std::min(lo, rec.collectives);
+      hi = std::max(hi, rec.collectives);
+    }
+    if (lo != hi) {
+      std::ostringstream os;
+      os << "hygiene: unbalanced collective participation:";
+      for (int r = 0; r < p; ++r) {
+        os << " rank" << r << "=" << ranks_[r].collectives;
+      }
+      audit.push_back(os.str());
+    }
+  }
+
+  // Clock accounting: the split invariant on every rank, plus a lower
+  // bound from the hot-loop counters — dp cells and scanned characters
+  // must have been charged to some clock's busy time.
+  const auto& cm = rt_.cost_model();
+  double busy_total = 0.0, expected_total = 0.0;
+  for (int r = 0; r < p; ++r) {
+    const auto& clk = rt_.clock(r);
+    const double total = clk.time();
+    const double split =
+        clk.busy_time() + clk.comm_time() + clk.idle_time();
+    if (std::abs(total - split) > 1e-9 + 1e-9 * std::abs(total)) {
+      std::ostringstream os;
+      os << "clock accounting broken on rank " << r
+         << ": busy+comm+idle = " << split << " but total = " << total;
+      audit.push_back(os.str());
+    }
+    busy_total += clk.busy_time();
+    auto& m = rt_.metrics(r);
+    expected_total +=
+        static_cast<double>(m.counter_value("pace.dp_cells")) * cm.dp_cell +
+        static_cast<double>(m.counter_value("gst.chars_scanned")) *
+            cm.char_op;
+  }
+  if (expected_total > busy_total * (1.0 + 1e-9) + 1e-9) {
+    std::ostringstream os;
+    os << "clock accounting: unaccounted hot-loop work: counters imply >= "
+       << expected_total << " s of busy time but clocks recorded only "
+       << busy_total << " s (missing charge() calls?)";
+    audit.push_back(os.str());
+  }
+
+  if (audit.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    findings_.insert(findings_.end(), audit.begin(), audit.end());
+  }
+  if (mode_ == mpr::CheckMode::kStrict) {
+    std::ostringstream os;
+    os << "mpr check finalize: " << audit.size() << " finding(s):";
+    for (const auto& a : audit) os << "\n  " << a;
+    throw CheckError(os.str());
+  }
+  for (const auto& a : audit) ESTCLUST_LOG_WARN << "mpr check: " << a;
+}
+
+Checker* enable_checking(mpr::Runtime& rt, mpr::CheckMode mode) {
+  if (mode == mpr::CheckMode::kOff) return nullptr;
+  auto checker = std::make_shared<Checker>(rt, mode);
+  Checker* raw = checker.get();
+  rt.set_check_sink(std::move(checker));
+  return raw;
+}
+
+}  // namespace estclust::check

@@ -39,7 +39,10 @@ std::vector<Tree> build_forest_parallel(mpr::Communicator& comm,
   std::vector<std::uint64_t> hist(nbuckets, 0);
   for (const auto& bs : mine) ++hist[bs.bucket];
   comm.charge(cm.char_op, mine.size());
-  hist = comm.allreduce_sum_vec(std::move(hist));
+  {
+    mpr::CheckOpScope check_scope(comm, "gst.bucket_histogram");
+    hist = comm.allreduce_sum_vec(std::move(hist));
+  }
 
   // Phase 3: deterministic greedy bucket -> rank assignment, computed
   // identically on every rank from the shared histogram.
@@ -81,7 +84,11 @@ std::vector<Tree> build_forest_parallel(mpr::Communicator& comm,
   std::vector<mpr::Buffer> sendbufs(p);
   for (int r = 0; r < p; ++r) sendbufs[r] = packs[r].take();
   packs.clear();
-  std::vector<mpr::Buffer> recvbufs = comm.all_to_all(std::move(sendbufs));
+  std::vector<mpr::Buffer> recvbufs;
+  {
+    mpr::CheckOpScope check_scope(comm, "gst.suffix_route");
+    recvbufs = comm.all_to_all(std::move(sendbufs));
+  }
 
   std::vector<BucketedSuffix> owned;
   for (const auto& buf : recvbufs) {

@@ -1,0 +1,80 @@
+// Hook interface between the message-passing runtime and the correctness
+// checker (src/check/).
+//
+// The runtime never depends on the checker library: Runtime holds a
+// CheckSink pointer (null by default) and every hook call is guarded by a
+// null check, so with checking off the send/recv paths are byte-for-byte
+// the ones the seed shipped. src/check/ implements the interface and
+// installs itself via check::enable(Runtime&, CheckMode).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mpr/message.hpp"
+#include "util/check.hpp"
+
+namespace estclust::mpr {
+
+class Mailbox;
+class VirtualClock;
+
+/// How strictly the runtime-verification layer reacts to findings.
+///  - kOff:    no checker installed; zero overhead, bit-identical results.
+///  - kWarn:   findings are logged and collected; only unrecoverable
+///             conditions (deadlock) abort the run.
+///  - kStrict: every finding aborts the run with a CheckError report.
+enum class CheckMode { kOff, kWarn, kStrict };
+
+/// Thrown by the checker into ranks whose blocking receive was cancelled
+/// because another rank already diagnosed a failure (e.g. a deadlock).
+/// The runtime treats it as a secondary error: the full report is thrown
+/// from Runtime::run instead.
+class CheckAbort : public CheckError {
+ public:
+  using CheckError::CheckError;
+};
+
+class CheckSink {
+ public:
+  virtual ~CheckSink() = default;
+
+  /// Called once per Runtime::run, before any rank thread starts.
+  virtual void begin_run(int nranks) = 0;
+
+  /// Called on the rank's own thread before its Communicator exists;
+  /// records the owner thread for the race guards.
+  virtual void rank_started(int rank) = 0;
+
+  /// Called on the rank's own thread after rank_main returns or throws.
+  virtual void rank_finished(int rank, std::uint64_t collectives,
+                             bool crashed) = 0;
+
+  /// Blocking receive with deadlock detection. Replaces Mailbox::pop for
+  /// every blocking receive while checking is enabled. `op` names the
+  /// operation for wait-for-graph reports ("recv", "mpr.barrier", ...).
+  virtual Message blocking_pop(Mailbox& mb, int rank, int src, int tag,
+                               std::string op) = 0;
+
+  /// Called after a message was pushed into `dest`'s mailbox; wakes
+  /// checked waiters.
+  virtual void message_pushed(int dest) = 0;
+
+  /// Hygiene accounting (per-rank, called from the owning thread only).
+  virtual void on_send(int rank, int dest, int tag, std::size_t bytes) = 0;
+  virtual void on_receive(int rank, int src, int tag, std::size_t bytes) = 0;
+
+  /// Lockset-style race guard: `rank`'s mailbox-consumer operations and
+  /// metrics registry may only be touched from the rank's own thread.
+  virtual void guard_access(int rank, const char* what) = 0;
+
+  /// Enforces busy + comm + idle == total on the rank's clock.
+  virtual void audit_clock(int rank, const VirtualClock& clk) = 0;
+
+  /// Post-join audits (message hygiene, clock accounting, collective
+  /// balance). Throws CheckError in strict mode when findings exist, and
+  /// always throws the deadlock report when a deadlock was diagnosed.
+  virtual void finalize() = 0;
+};
+
+}  // namespace estclust::mpr

@@ -12,6 +12,18 @@ Communicator::Communicator(Runtime& rt, int rank) : rt_(rt), rank_(rank) {
     tracer_ = &rt_.tracer()->rank(rank_);
     trace_flows_ = rt_.trace_message_flows();
   }
+  check_ = rt_.check_sink();
+}
+
+std::string Communicator::check_op_label() const {
+  const int depth = std::min(check_op_depth_, kMaxCheckOpDepth);
+  if (depth == 0) return "recv";
+  std::string label = check_ops_[0];
+  for (int i = 1; i < depth; ++i) {
+    label += '/';
+    label += check_ops_[i];
+  }
+  return label;
 }
 
 int Communicator::size() const { return rt_.size(); }
@@ -22,7 +34,10 @@ const CostModel& Communicator::cost_model() const { return rt_.cost_model(); }
 
 RankStats& Communicator::stats() { return rt_.stats(rank_); }
 
-obs::MetricsRegistry& Communicator::metrics() { return rt_.metrics(rank_); }
+obs::MetricsRegistry& Communicator::metrics() {
+  if (check_) check_->guard_access(rank_, "metrics");
+  return rt_.metrics(rank_);
+}
 
 void Communicator::charge(double unit_cost, std::uint64_t count) {
   clock().advance(unit_cost * static_cast<double>(count));
@@ -47,7 +62,12 @@ void Communicator::send_internal(int dest, int tag, Buffer payload) {
     tracer_->flow_out(m.flow_id, dest, payload.size());
   }
   m.payload = std::move(payload);
+  const std::size_t bytes = m.payload.size();
   rt_.mailbox(dest).push(std::move(m));
+  if (check_) {
+    check_->on_send(rank_, dest, tag, bytes);
+    check_->message_pushed(dest);
+  }
 }
 
 void Communicator::send(int dest, int tag, Buffer payload) {
@@ -57,11 +77,17 @@ void Communicator::send(int dest, int tag, Buffer payload) {
 }
 
 Message Communicator::recv_internal(int src, int tag) {
-  Message m = rt_.mailbox(rank_).pop(src, tag);
+  Message m = check_ ? check_->blocking_pop(rt_.mailbox(rank_), rank_, src,
+                                            tag, check_op_label())
+                     : rt_.mailbox(rank_).pop(src, tag);
   VirtualClock& clk = clock();
   clk.sync_to(m.arrival_vtime);
   clk.advance_comm(cost_model().recv_overhead);
   ++stats().messages_received;
+  if (check_) {
+    check_->on_receive(rank_, m.src, m.tag, m.payload.size());
+    check_->audit_clock(rank_, clk);
+  }
   if (tracer_ && trace_flows_) {
     tracer_->flow_in(m.flow_id, m.src, m.payload.size());
   }
@@ -71,12 +97,17 @@ Message Communicator::recv_internal(int src, int tag) {
 Message Communicator::recv(int src, int tag) { return recv_internal(src, tag); }
 
 std::optional<Message> Communicator::try_recv(int src, int tag) {
+  if (check_) check_->guard_access(rank_, "mailbox.try_recv");
   auto m = rt_.mailbox(rank_).try_pop(src, tag);
   if (!m) return std::nullopt;
   VirtualClock& clk = clock();
   clk.sync_to(m->arrival_vtime);
   clk.advance_comm(cost_model().recv_overhead);
   ++stats().messages_received;
+  if (check_) {
+    check_->on_receive(rank_, m->src, m->tag, m->payload.size());
+    check_->audit_clock(rank_, clk);
+  }
   if (tracer_ && trace_flows_) {
     tracer_->flow_in(m->flow_id, m->src, m->payload.size());
   }
@@ -84,12 +115,14 @@ std::optional<Message> Communicator::try_recv(int src, int tag) {
 }
 
 bool Communicator::probe(int src, int tag) {
+  if (check_) check_->guard_access(rank_, "mailbox.probe");
   return rt_.mailbox(rank_).probe(src, tag);
 }
 
 template <typename T>
 T Communicator::allreduce_impl(T v, const std::function<T(T, T)>& op) {
   ESTCLUST_TRACE_SPAN(tracer_, "mpr.allreduce", "comm");
+  CheckOpScope check_scope(*this, "mpr.allreduce");
   const int p = size();
   const int reduce_tag = kInternalTagBase + 2 * collective_seq_;
   const int bcast_tag = reduce_tag + 1;
@@ -133,6 +166,7 @@ T Communicator::allreduce_impl(T v, const std::function<T(T, T)>& op) {
 
 void Communicator::barrier() {
   ESTCLUST_TRACE_SPAN(tracer_, "mpr.barrier", "comm");
+  CheckOpScope check_scope(*this, "mpr.barrier");
   allreduce_impl<std::uint64_t>(
       0, [](std::uint64_t a, std::uint64_t b) { return a | b; });
 }
@@ -159,6 +193,7 @@ std::uint64_t Communicator::allreduce_max(std::uint64_t v) {
 std::vector<std::uint64_t> Communicator::allreduce_sum_vec(
     std::vector<std::uint64_t> v) {
   ESTCLUST_TRACE_SPAN(tracer_, "mpr.allreduce", "comm");
+  CheckOpScope check_scope(*this, "mpr.allreduce_vec");
   const int p = size();
   const int reduce_tag = kInternalTagBase + 2 * collective_seq_;
   const int bcast_tag = reduce_tag + 1;
@@ -202,6 +237,7 @@ std::vector<std::uint64_t> Communicator::allreduce_sum_vec(
 
 std::vector<std::uint64_t> Communicator::allgather(std::uint64_t v) {
   ESTCLUST_TRACE_SPAN(tracer_, "mpr.allgather", "comm");
+  CheckOpScope check_scope(*this, "mpr.allgather");
   const int p = size();
   const int gather_tag = kInternalTagBase + 2 * collective_seq_;
   const int bcast_tag = gather_tag + 1;
@@ -242,6 +278,7 @@ std::vector<std::uint64_t> Communicator::allgather(std::uint64_t v) {
 
 Buffer Communicator::broadcast(Buffer from_root) {
   ESTCLUST_TRACE_SPAN(tracer_, "mpr.broadcast", "comm");
+  CheckOpScope check_scope(*this, "mpr.broadcast");
   const int p = size();
   const int tag = kInternalTagBase + 2 * collective_seq_;
   ++collective_seq_;
@@ -265,6 +302,7 @@ Buffer Communicator::broadcast(Buffer from_root) {
 
 std::vector<Buffer> Communicator::all_to_all(std::vector<Buffer> sendbufs) {
   ESTCLUST_TRACE_SPAN(tracer_, "mpr.all_to_all", "comm");
+  CheckOpScope check_scope(*this, "mpr.all_to_all");
   const int p = size();
   ESTCLUST_CHECK(static_cast<int>(sendbufs.size()) == p);
   const int tag = kInternalTagBase + 2 * collective_seq_;

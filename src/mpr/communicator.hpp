@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "mpr/check_sink.hpp"
 #include "mpr/clock.hpp"
 #include "mpr/mailbox.hpp"
 #include "mpr/message.hpp"
@@ -96,13 +97,25 @@ class Communicator {
   /// by Runtime::merged_metrics after the run).
   obs::MetricsRegistry& metrics();
 
+  /// Number of collectives this rank has entered (SPMD programs must agree
+  /// across ranks; the checker audits the balance at finalize).
+  std::uint64_t collective_count() const {
+    return static_cast<std::uint64_t>(collective_seq_);
+  }
+
  private:
   void send_internal(int dest, int tag, Buffer payload);
   Message recv_internal(int src, int tag);
 
+  /// Joins the active CheckOpScope labels ("outer/inner") for the
+  /// checker's wait-for-graph reports; "recv" when no scope is active.
+  std::string check_op_label() const;
+
   /// Binomial-tree reduce-to-0 + broadcast of a fixed-size payload.
   template <typename T>
   T allreduce_impl(T v, const std::function<T(T, T)>& op);
+
+  friend class CheckOpScope;
 
   Runtime& rt_;
   int rank_;
@@ -110,6 +123,34 @@ class Communicator {
   obs::RankTracer* tracer_ = nullptr;  // null when tracing is disabled
   bool trace_flows_ = false;
   std::uint64_t flow_seq_ = 0;  // per-rank message sequence for flow ids
+  CheckSink* check_ = nullptr;  // null when checking is disabled
+
+  static constexpr int kMaxCheckOpDepth = 4;
+  const char* check_ops_[kMaxCheckOpDepth] = {};
+  int check_op_depth_ = 0;
+};
+
+/// Labels the enclosed communication for checker reports: a rank blocked
+/// inside the scope shows up as "label/..." in the wait-for graph instead
+/// of a bare "recv". Nests (outermost label first); the runtime's own
+/// collectives push their "mpr.*" names so "pace.master.await_report" and
+/// "gst.suffix_route/mpr.all_to_all" read as call paths. Two pointer
+/// writes when checking is off.
+class CheckOpScope {
+ public:
+  CheckOpScope(Communicator& comm, const char* label) : comm_(comm) {
+    if (comm_.check_op_depth_ < Communicator::kMaxCheckOpDepth) {
+      comm_.check_ops_[comm_.check_op_depth_] = label;
+    }
+    ++comm_.check_op_depth_;
+  }
+  ~CheckOpScope() { --comm_.check_op_depth_; }
+
+  CheckOpScope(const CheckOpScope&) = delete;
+  CheckOpScope& operator=(const CheckOpScope&) = delete;
+
+ private:
+  Communicator& comm_;
 };
 
 /// Runs `rank_main` on `nranks` ranks (one thread each) and returns the

@@ -53,4 +53,14 @@ std::size_t Mailbox::size() {
   return queue_.size();
 }
 
+std::vector<PendingMessage> Mailbox::pending() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PendingMessage> out;
+  out.reserve(queue_.size());
+  for (const auto& m : queue_) {
+    out.push_back({m.src, m.tag, m.payload.size()});
+  }
+  return out;
+}
+
 }  // namespace estclust::mpr

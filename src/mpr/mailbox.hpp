@@ -5,6 +5,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "mpr/message.hpp"
 
@@ -17,6 +18,13 @@ namespace estclust::mpr {
 inline constexpr int kInternalTagBase = 1 << 24;
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
+
+/// Lightweight description of a queued message (for checker reports).
+struct PendingMessage {
+  int src;
+  int tag;
+  std::size_t bytes;
+};
 
 /// Multi-producer single-consumer mailbox with (src, tag) matching.
 /// Messages that don't match a pending receive stay queued in FIFO order.
@@ -36,6 +44,10 @@ class Mailbox {
   bool probe(int src, int tag);
 
   std::size_t size();
+
+  /// Snapshot of the queued messages in FIFO order (src, tag, payload
+  /// size). Used by the checker for deadlock and finalize-hygiene reports.
+  std::vector<PendingMessage> pending();
 
  private:
   static bool matches(const Message& m, int src, int tag);

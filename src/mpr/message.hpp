@@ -33,17 +33,31 @@ struct Message {
   std::uint64_t flow_id = 0;
 };
 
-/// Appends typed values to a Buffer.
+/// Hard ceiling on a single wire payload (2 GiB). Far above anything the
+/// protocol ships; its purpose is to catch runaway serialization (and let
+/// tests exercise the overflow path with a smaller explicit cap).
+inline constexpr std::size_t kMaxWireBytes = std::size_t{1} << 31;
+
+/// Appends typed values to a Buffer. Bounded: every put checks the
+/// writer's byte cap (mirroring BufReader's underflow discipline), so a
+/// runaway or size-miscomputed message fails at the write site instead of
+/// as an opaque allocation failure at the receiver.
 class BufWriter {
  public:
+  BufWriter() = default;
+  /// A writer with a custom cap, for fixed-size protocol messages.
+  explicit BufWriter(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void put(const T& v) {
+    check_room(sizeof(T));
     const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
     buf_.insert(buf_.end(), p, p + sizeof(T));
   }
 
   void put_string(std::string_view s) {
+    check_room(sizeof(std::uint64_t) + s.size());
     put<std::uint64_t>(s.size());
     const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
     buf_.insert(buf_.end(), p, p + s.size());
@@ -52,6 +66,11 @@ class BufWriter {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void put_vec(const std::vector<T>& v) {
+    ESTCLUST_CHECK_MSG(v.size() <= max_bytes_ / sizeof(T),
+                       "BufWriter overflow: vector of " << v.size()
+                           << " elements exceeds the " << max_bytes_
+                           << "-byte payload cap");
+    check_room(sizeof(std::uint64_t) + v.size() * sizeof(T));
     put<std::uint64_t>(v.size());
     const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
     buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
@@ -59,9 +78,18 @@ class BufWriter {
 
   Buffer take() { return std::move(buf_); }
   std::size_t size() const { return buf_.size(); }
+  std::size_t max_bytes() const { return max_bytes_; }
 
  private:
+  void check_room(std::size_t add) {
+    ESTCLUST_CHECK_MSG(add <= max_bytes_ - buf_.size(),
+                       "BufWriter overflow: " << buf_.size() << " + " << add
+                           << " bytes exceeds the " << max_bytes_
+                           << "-byte payload cap");
+  }
+
   Buffer buf_;
+  std::size_t max_bytes_ = kMaxWireBytes;
 };
 
 /// Reads typed values back out of a Buffer in write order.
@@ -83,9 +111,12 @@ class BufReader {
 
   std::string get_string() {
     auto len = get<std::uint64_t>();
-    ESTCLUST_CHECK_MSG(pos_ + len <= data_.size(), "BufReader underflow");
-    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
-    pos_ += len;
+    // Compare against remaining() so a hostile/corrupt 64-bit length can
+    // never overflow the arithmetic before the bound is applied.
+    ESTCLUST_CHECK_MSG(len <= remaining(), "BufReader underflow");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_),
+                  static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
     return s;
   }
 
@@ -93,11 +124,13 @@ class BufReader {
     requires std::is_trivially_copyable_v<T>
   std::vector<T> get_vec() {
     auto len = get<std::uint64_t>();
-    ESTCLUST_CHECK_MSG(pos_ + len * sizeof(T) <= data_.size(),
-                       "BufReader underflow");
-    std::vector<T> v(len);
-    std::memcpy(v.data(), data_.data() + pos_, len * sizeof(T));
-    pos_ += len * sizeof(T);
+    ESTCLUST_CHECK_MSG(len <= remaining() / sizeof(T),
+                       "BufReader underflow: vector length " << len
+                           << " exceeds the " << remaining()
+                           << " bytes remaining");
+    std::vector<T> v(static_cast<std::size_t>(len));
+    std::memcpy(v.data(), data_.data() + pos_, v.size() * sizeof(T));
+    pos_ += v.size() * sizeof(T);
     return v;
   }
 

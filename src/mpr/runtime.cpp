@@ -34,16 +34,27 @@ void Runtime::run(const std::function<void(Communicator&)>& rank_main) {
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
+  if (check_) check_->begin_run(p);
   for (int r = 0; r < p; ++r) {
     threads.emplace_back([&, r] {
       set_log_rank(r);
+      if (check_) check_->rank_started(r);
       Communicator comm(*this, r);
+      bool crashed = false;
       try {
         rank_main(comm);
+      } catch (const CheckAbort&) {
+        // Secondary abort: another rank already diagnosed the failure and
+        // cancelled this rank's blocking receive. The primary report is
+        // thrown from finalize() below, so this one carries no new
+        // information and is dropped.
+        crashed = true;
       } catch (...) {
+        crashed = true;
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
+      if (check_) check_->rank_finished(r, comm.collective_count(), crashed);
       set_log_rank(-1);
     });
   }
@@ -59,7 +70,11 @@ void Runtime::run(const std::function<void(Communicator&)>& rank_main) {
         .set(stats_[r].messages_received);
   }
 
+  // A genuine rank exception is the root cause (ranks blocked on the dead
+  // rank abort via CheckAbort and were dropped above); otherwise let the
+  // checker throw its deadlock report / strict-mode audit findings.
   if (first_error) std::rethrow_exception(first_error);
+  if (check_) check_->finalize();
 }
 
 obs::MetricsRegistry Runtime::merged_metrics() const {

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "mpr/check_sink.hpp"
 #include "mpr/clock.hpp"
 #include "mpr/communicator.hpp"
 #include "mpr/mailbox.hpp"
@@ -35,6 +36,15 @@ class Runtime {
   obs::TraceRecorder* tracer() { return tracer_.get(); }
   const obs::TraceRecorder* tracer() const { return tracer_.get(); }
   bool trace_message_flows() const { return trace_message_flows_; }
+
+  /// Installs a correctness checker (see src/check/). All blocking
+  /// receives then route through the sink's deadlock detector, and
+  /// Runtime::run finishes with the sink's finalize audits. Call before
+  /// run(); with no sink installed every hook is a skipped null check.
+  void set_check_sink(std::shared_ptr<CheckSink> sink) {
+    check_ = std::move(sink);
+  }
+  CheckSink* check_sink() { return check_.get(); }
 
   /// Per-rank metrics registry (written by the rank's thread during run).
   obs::MetricsRegistry& metrics(int rank) { return metrics_[rank]; }
@@ -66,6 +76,7 @@ class Runtime {
   std::vector<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::TraceRecorder> tracer_;
   bool trace_message_flows_ = true;
+  std::shared_ptr<CheckSink> check_;
 };
 
 }  // namespace estclust::mpr

@@ -146,7 +146,10 @@ void Master::run() {
     const int slave = cursor;
     cursor = cursor % num_slaves_ + 1;
 
-    mpr::Message m = comm_.recv(slave, kTagReport);
+    mpr::Message m = [&] {
+      mpr::CheckOpScope check_scope(comm_, "pace.master.await_report");
+      return comm_.recv(slave, kTagReport);
+    }();
     {
       ESTCLUST_TRACE_SPAN(tracer, "master_service", "phase");
       ReportMsg report = decode_report(m.payload);
@@ -163,7 +166,10 @@ void Master::run() {
   for (int s = 1; s <= num_slaves_; ++s) {
     ESTCLUST_CHECK(state_[s] == SlaveState::kWaiting);
     comm_.send(s, kTagAssign, encode_assign(AssignMsg{}));
-    mpr::Message m = comm_.recv(s, kTagReport);
+    mpr::Message m = [&] {
+      mpr::CheckOpScope check_scope(comm_, "pace.master.await_flush");
+      return comm_.recv(s, kTagReport);
+    }();
     ESTCLUST_TRACE_SPAN(tracer, "master_flush", "phase");
     ReportMsg report = decode_report(m.payload);
     ESTCLUST_CHECK_MSG(report.pairs.empty(),

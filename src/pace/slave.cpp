@@ -106,7 +106,10 @@ SlaveCounters Slave::run() {
     // before the blocking receive, so the overlap is deterministic.
     top_up_pairbuf(cfg_.pairbuf_capacity);
 
-    mpr::Message m = comm_.recv(0);
+    mpr::Message m = [&] {
+      mpr::CheckOpScope check_scope(comm_, "pace.slave.await_assign");
+      return comm_.recv(0);
+    }();
     if (m.tag == kTagStop) {
       ESTCLUST_CHECK_MSG(results.empty(),
                          "STOP arrived with unreported results");

@@ -1,0 +1,286 @@
+// Tests for the runtime-verification layer (src/check/): injected
+// deadlocks must be detected with a wait-for-graph report instead of
+// hanging, the finalize audits must flag hygiene violations, and checking
+// must never perturb the virtual-time results.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+
+#include "check/checker.hpp"
+#include "mpr/communicator.hpp"
+#include "mpr/runtime.hpp"
+
+namespace estclust::check {
+namespace {
+
+using mpr::Buffer;
+using mpr::BufReader;
+using mpr::BufWriter;
+using mpr::CheckMode;
+using mpr::Communicator;
+using mpr::CostModel;
+using mpr::Runtime;
+
+/// Runs rank_main under a strict checker and returns the CheckError
+/// message (failing the test if no CheckError is thrown).
+std::string run_expect_check_error(
+    int nranks, const std::function<void(Communicator&)>& rank_main,
+    CheckMode mode = CheckMode::kStrict) {
+  Runtime rt(nranks, CostModel{});
+  enable_checking(rt, mode);
+  try {
+    rt.run(rank_main);
+  } catch (const CheckError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a CheckError";
+  return "";
+}
+
+TEST(DeadlockDetection, RecvWithNoSenderIsDetectedNotHung) {
+  const std::string report = run_expect_check_error(2, [](Communicator& c) {
+    if (c.rank() == 0) c.recv(1, 7);  // rank 1 exits without sending
+  });
+  EXPECT_NE(report.find("deadlock"), std::string::npos) << report;
+  EXPECT_NE(report.find("rank 0: BLOCKED"), std::string::npos) << report;
+  EXPECT_NE(report.find("src=1 tag=7"), std::string::npos) << report;
+  EXPECT_NE(report.find("rank 1: FINISHED"), std::string::npos) << report;
+}
+
+TEST(DeadlockDetection, BarrierWithMissingRankReportsTheBarrier) {
+  const std::string report = run_expect_check_error(3, [](Communicator& c) {
+    if (c.rank() != 2) c.barrier();  // rank 2 never joins the barrier
+  });
+  EXPECT_NE(report.find("deadlock"), std::string::npos) << report;
+  EXPECT_NE(report.find("mpr.barrier"), std::string::npos) << report;
+  EXPECT_NE(report.find("rank 2: FINISHED"), std::string::npos) << report;
+  // The stalled receive names the missing rank and the internal tag.
+  EXPECT_NE(report.find("src=2 tag=internal+0"), std::string::npos) << report;
+}
+
+TEST(DeadlockDetection, CyclicPairwiseRecvReportsTheCycle) {
+  const std::string report = run_expect_check_error(3, [](Communicator& c) {
+    // 0 waits on 1, 1 waits on 2, 2 waits on 0: a pure wait-for cycle.
+    c.recv((c.rank() + 1) % 3, 0);
+  });
+  EXPECT_NE(report.find("wait-for cycle:"), std::string::npos) << report;
+  // All three ranks are on the cycle, whichever rotation gets printed.
+  EXPECT_NE(report.find("->"), std::string::npos) << report;
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_NE(report.find("rank " + std::to_string(r) + ": BLOCKED"),
+              std::string::npos)
+        << report;
+  }
+}
+
+TEST(DeadlockDetection, TagMismatchShowsPendingMailboxContents) {
+  const std::string report = run_expect_check_error(2, [](Communicator& c) {
+    if (c.rank() == 1) {
+      c.send(0, 6, Buffer(16));  // wrong tag: receiver wants 5
+    } else {
+      c.recv(1, 5);
+    }
+  });
+  EXPECT_NE(report.find("rank 0: BLOCKED"), std::string::npos) << report;
+  EXPECT_NE(report.find("src=1 tag=5"), std::string::npos) << report;
+  // The undeliverable message is listed with the report.
+  EXPECT_NE(report.find("src=1 tag=6 16B"), std::string::npos) << report;
+}
+
+TEST(DeadlockDetection, MasterSlaveLostReplyNamesTheProtocolStep) {
+  // A miniature of the pace protocol bug class: the "master" collects one
+  // report then forgets to reply, leaving the slave waiting forever on a
+  // labeled receive.
+  const std::string report = run_expect_check_error(2, [](Communicator& c) {
+    if (c.rank() == 1) {
+      c.send(0, 1, Buffer(8));
+      mpr::CheckOpScope scope(c, "pace.slave.await_assign");
+      c.recv(0, 2);
+    } else {
+      c.recv(1, 1);  // takes the report, never assigns
+    }
+  });
+  EXPECT_NE(report.find("pace.slave.await_assign"), std::string::npos)
+      << report;
+}
+
+TEST(DeadlockDetection, WarnModeStillAbortsDeadlocks) {
+  // Deadlock is unrecoverable: even warn mode must abort with the report
+  // rather than hang.
+  const std::string report = run_expect_check_error(
+      2, [](Communicator& c) { c.recv((c.rank() + 1) % 2, 0); },
+      CheckMode::kWarn);
+  EXPECT_NE(report.find("deadlock"), std::string::npos) << report;
+}
+
+TEST(DeadlockDetection, HealthyTrafficDoesNotTriggerFalsePositives) {
+  // Heavy mixed traffic with transient blocking: ranks block and wake
+  // repeatedly; the detector must stay quiet.
+  Runtime rt(4, CostModel{});
+  Checker* checker = enable_checking(rt, CheckMode::kStrict);
+  rt.run([](Communicator& c) {
+    for (int round = 0; round < 50; ++round) {
+      const int next = (c.rank() + 1) % c.size();
+      const int prev = (c.rank() + c.size() - 1) % c.size();
+      BufWriter w;
+      w.put<std::uint32_t>(round);
+      c.send(next, 3, w.take());
+      mpr::Message m = c.recv(prev, 3);
+      BufReader r(m.payload);
+      EXPECT_EQ(r.get<std::uint32_t>(), static_cast<std::uint32_t>(round));
+      if (round % 10 == 0) c.barrier();
+    }
+  });
+  EXPECT_FALSE(checker->failed());
+  EXPECT_TRUE(checker->findings().empty());
+}
+
+TEST(HygieneAudit, UnreceivedMessageAtFinalizeIsFlagged) {
+  const std::string report = run_expect_check_error(2, [](Communicator& c) {
+    if (c.rank() == 0) c.send(1, 9, Buffer(32));
+    // Rank 1 exits without receiving: the run completes, finalize flags it.
+  });
+  EXPECT_NE(report.find("unreceived"), std::string::npos) << report;
+  EXPECT_NE(report.find("tag=9"), std::string::npos) << report;
+  EXPECT_NE(report.find("tag 9: 1 sent but only 0 received"),
+            std::string::npos)
+      << report;
+}
+
+TEST(HygieneAudit, UnbalancedCollectiveParticipationIsFlagged) {
+  // Rank 0 broadcasts (a send-only role for the root when p=2 and the
+  // other rank never joins): the run completes but finalize must flag the
+  // collective imbalance and the orphaned internal-tag message.
+  const std::string report = run_expect_check_error(2, [](Communicator& c) {
+    if (c.rank() == 0) c.broadcast(Buffer(8));
+  });
+  EXPECT_NE(report.find("unbalanced collective participation"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("rank0=1 rank1=0"), std::string::npos) << report;
+}
+
+TEST(HygieneAudit, WarnModeCollectsFindingsWithoutThrowing) {
+  Runtime rt(2, CostModel{});
+  Checker* checker = enable_checking(rt, CheckMode::kWarn);
+  rt.run([](Communicator& c) {
+    if (c.rank() == 0) c.send(1, 4, Buffer(8));
+  });
+  ASSERT_FALSE(checker->failed());
+  const auto findings = checker->findings();
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].find("unreceived"), std::string::npos);
+}
+
+TEST(HygieneAudit, CleanRunHasNoFindings) {
+  Runtime rt(3, CostModel{});
+  Checker* checker = enable_checking(rt, CheckMode::kStrict);
+  rt.run([](Communicator& c) {
+    c.barrier();
+    c.allreduce_sum(std::uint64_t{1});
+    if (c.rank() == 0) c.send(1, 0, Buffer(4));
+    if (c.rank() == 1) c.recv(0, 0);
+    c.barrier();
+  });
+  EXPECT_TRUE(checker->findings().empty());
+}
+
+TEST(ClockAudit, ChargedWorkSatisfiesTheSplitInvariant) {
+  Runtime rt(2, CostModel{});
+  Checker* checker = enable_checking(rt, CheckMode::kStrict);
+  rt.run([](Communicator& c) {
+    c.charge(1e-6, 1000);
+    c.barrier();
+    c.charge(2e-6, 500);
+    c.barrier();
+  });
+  EXPECT_TRUE(checker->findings().empty());
+}
+
+TEST(RaceGuard, ForeignThreadMetricsAccessIsCaught) {
+  Runtime rt(2, CostModel{});
+  enable_checking(rt, CheckMode::kStrict);
+  std::string caught;
+  rt.run([&](Communicator& c) {
+    c.barrier();
+    if (c.rank() == 0) {
+      // A helper thread reaching into the rank's registry is exactly the
+      // single-consumer violation the lockset guard exists for.
+      std::promise<std::string> p;
+      std::thread intruder([&] {
+        try {
+          c.metrics();
+          p.set_value("");
+        } catch (const CheckError& e) {
+          p.set_value(e.what());
+        }
+      });
+      caught = p.get_future().get();
+      intruder.join();
+    }
+    c.barrier();
+  });
+  EXPECT_NE(caught.find("foreign thread"), std::string::npos) << caught;
+}
+
+TEST(Determinism, CheckedRunMatchesUncheckedVirtualTimes) {
+  // The checker must never touch a clock: virtual run-times (and thus all
+  // modeled results) are bit-identical with checking on and off.
+  auto run_once = [](CheckMode mode) {
+    Runtime rt(5, CostModel{});
+    if (mode != CheckMode::kOff) enable_checking(rt, mode);
+    rt.run([](Communicator& c) {
+      for (int i = 0; i < 8; ++i) {
+        c.charge(1e-6, (c.rank() + 1) * 7);
+        BufWriter w;
+        w.put<std::uint64_t>(i);
+        c.send((c.rank() + 1) % c.size(), 2, w.take());
+        c.recv((c.rank() + c.size() - 1) % c.size(), 2);
+        c.allreduce_max(static_cast<double>(c.rank() + i));
+      }
+    });
+    return rt.elapsed_vtime();
+  };
+  const double off = run_once(CheckMode::kOff);
+  EXPECT_EQ(off, run_once(CheckMode::kWarn));
+  EXPECT_EQ(off, run_once(CheckMode::kStrict));
+}
+
+TEST(CheckModeParsing, AcceptsTheThreeModesRejectsJunk) {
+  CheckMode m = CheckMode::kOff;
+  EXPECT_TRUE(parse_check_mode("strict", &m));
+  EXPECT_EQ(m, CheckMode::kStrict);
+  EXPECT_TRUE(parse_check_mode("warn", &m));
+  EXPECT_EQ(m, CheckMode::kWarn);
+  EXPECT_TRUE(parse_check_mode("off", &m));
+  EXPECT_EQ(m, CheckMode::kOff);
+  EXPECT_FALSE(parse_check_mode("loose", &m));
+}
+
+TEST(BufferSafety, BufWriterRejectsWritesPastItsCap) {
+  BufWriter w(64);
+  w.put_vec(std::vector<std::uint64_t>(7));  // 8 + 56 = 64 bytes: exactly fits
+  EXPECT_EQ(w.size(), 64u);
+  BufWriter w2(64);
+  EXPECT_THROW(w2.put_vec(std::vector<std::uint64_t>(8)), CheckError);
+  BufWriter w3(8);
+  w3.put<std::uint64_t>(1);
+  EXPECT_THROW(w3.put<std::uint8_t>(0), CheckError);
+  EXPECT_THROW(BufWriter(4).put_string("hello"), CheckError);
+}
+
+TEST(BufferSafety, BufReaderRejectsHostileVectorLengths) {
+  // A corrupt 2^61 length used to overflow len * sizeof(T) and slip past
+  // the bound; it must fail the check, not reach the allocator.
+  BufWriter w;
+  w.put<std::uint64_t>(std::uint64_t{1} << 61);
+  Buffer b = w.take();
+  BufReader r(b);
+  EXPECT_THROW(r.get_vec<std::uint64_t>(), CheckError);
+  BufReader r2(b);
+  EXPECT_THROW(r2.get_string(), CheckError);
+}
+
+}  // namespace
+}  // namespace estclust::check

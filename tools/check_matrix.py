@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Runs the full verification matrix: configure, build and ctest for each
+CMake preset (default, sanitize, tsan), in sequence, with a summary table.
+
+Usage, from the repository root:
+
+    python3 tools/check_matrix.py                 # all three presets
+    python3 tools/check_matrix.py --presets tsan  # just ThreadSanitizer
+    python3 tools/check_matrix.py --label tsan -R 'mpr_stress|pace_stress'
+
+Each preset builds into its own directory (build/, build-sanitize/,
+build-tsan/), so the matrix never invalidates an existing tree. Exits
+non-zero if any stage of any preset fails, after running the rest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+PRESETS = ("default", "sanitize", "tsan")
+
+
+def run_stage(label: str, cmd: list[str]) -> bool:
+    print(f"--- {label}: {' '.join(cmd)}", flush=True)
+    return subprocess.run(cmd, cwd=ROOT).returncode == 0
+
+
+def run_preset(preset: str, jobs: int, test_filter: str | None) -> dict:
+    t0 = time.monotonic()
+    stages = {
+        "configure": ["cmake", "--preset", preset],
+        "build": ["cmake", "--build", "--preset", preset, "-j", str(jobs)],
+        "test": ["ctest", "--preset", preset, "-j", str(jobs)],
+    }
+    if test_filter:
+        stages["test"] += ["-R", test_filter]
+    failed = ""
+    for name, cmd in stages.items():
+        if not run_stage(f"{preset}/{name}", cmd):
+            failed = name
+            break
+    return {
+        "preset": preset,
+        "failed_stage": failed,
+        "seconds": time.monotonic() - t0,
+    }
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--presets", nargs="+", default=list(PRESETS),
+                    choices=PRESETS, metavar="PRESET",
+                    help="subset of presets to run (default: all)")
+    ap.add_argument("-j", "--jobs", type=int, default=0,
+                    help="parallel jobs (default: all cores)")
+    ap.add_argument("-R", "--tests-regex", default=None,
+                    help="forwarded to ctest -R (run matching tests only)")
+    args = ap.parse_args()
+    jobs = args.jobs or os.cpu_count() or 2
+
+    results = [run_preset(p, jobs, args.tests_regex) for p in args.presets]
+
+    print("\n=== check matrix ===")
+    ok = True
+    for r in results:
+        status = "OK" if not r["failed_stage"] else f"FAIL ({r['failed_stage']})"
+        ok &= not r["failed_stage"]
+        print(f"  {r['preset']:<10} {status:<18} {r['seconds']:7.1f}s")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@
 #include "analysis/splice.hpp"
 #include "assembly/consensus.hpp"
 #include "bio/fasta.hpp"
+#include "check/checker.hpp"
 #include "gst/builder.hpp"
 #include "mpr/runtime.hpp"
 #include "obs/export.hpp"
@@ -48,7 +49,7 @@ int usage() {
          "  cluster  --in lib.fa --out clusters.txt [--psi 20] [--window 8]\n"
          "           [--min-quality 0.8] [--min-overlap 40] [--ranks P]\n"
          "           [--trace trace.json] [--breakdown report.txt]\n"
-         "           [--metrics]\n"
+         "           [--metrics] [--check off|warn|strict]\n"
          "  eval     --clusters clusters.txt --truth truth.txt --in lib.fa\n"
          "  splice   --in lib.fa [--psi 20] [--min-gap 25]\n"
          "  assemble --in lib.fa --out contigs.fa [cluster options]\n";
@@ -102,14 +103,25 @@ int cmd_cluster(const CliArgs& args) {
   const bool want_metrics = args.has_flag("metrics");
   cfg.trace = trace_path.has_value() || breakdown_path.has_value();
 
+  mpr::CheckMode check_mode = mpr::CheckMode::kOff;
+  const std::string check_arg = args.get_string("check", "off");
+  ESTCLUST_CHECK_MSG(check::parse_check_mode(check_arg, &check_mode),
+                     "--check must be off, warn or strict (got '"
+                         << check_arg << "')");
+
   std::vector<std::uint32_t> labels;
   int ranks = static_cast<int>(args.get_int("ranks", 1));
-  // Observability rides on the virtual-time runtime; a traced single-rank
-  // request still routes through it (with p = 2: one master, one slave).
-  if (ranks < 2 && (cfg.trace || want_metrics)) ranks = 2;
+  // Observability and checking ride on the virtual-time runtime; a traced
+  // or checked single-rank request still routes through it (with p = 2:
+  // one master, one slave).
+  if (ranks < 2 &&
+      (cfg.trace || want_metrics || check_mode != mpr::CheckMode::kOff)) {
+    ranks = 2;
+  }
   if (ranks > 1) {
     mpr::Runtime rt(ranks, mpr::CostModel{});
     if (cfg.trace) rt.enable_tracing(cfg.trace_message_flows);
+    check::Checker* checker = check::enable_checking(rt, check_mode);
     std::mutex mu;
     rt.run([&](mpr::Communicator& comm) {
       auto res = pace::cluster_parallel(comm, ests, cfg);
@@ -139,6 +151,15 @@ int cmd_cluster(const CliArgs& args) {
     if (want_metrics) {
       auto merged = rt.merged_metrics();
       merged.write_report(std::cout);
+    }
+    if (checker) {
+      const auto findings = checker->findings();
+      if (findings.empty()) {
+        std::cout << "check (" << check_arg << "): clean\n";
+      } else {
+        std::cout << "check (" << check_arg << "): " << findings.size()
+                  << " finding(s) logged\n";
+      }
     }
   } else {
     auto res = pace::cluster_sequential(ests, cfg);
