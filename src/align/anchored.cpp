@@ -1,9 +1,10 @@
+// Overlap classification names and the legacy (arena-less) anchored entry
+// point; the DP itself lives in kernel.cpp.
 #include "align/anchored.hpp"
 
 #include <algorithm>
-#include <string>
 
-#include "util/check.hpp"
+#include "align/kernel.hpp"
 
 namespace estclust::align {
 
@@ -25,61 +26,11 @@ const char* to_string(OverlapKind kind) {
 
 OverlapResult align_anchored(std::string_view a, std::string_view b,
                              const Anchor& anchor, const OverlapParams& p) {
-  ESTCLUST_CHECK(anchor.a_pos + anchor.len <= a.size());
-  ESTCLUST_CHECK(anchor.b_pos + anchor.len <= b.size());
-  ESTCLUST_DCHECK(a.substr(anchor.a_pos, anchor.len) ==
-                  b.substr(anchor.b_pos, anchor.len));
-
-  // Rightward: suffixes after the anchor.
-  ExtensionResult right =
-      extend_overlap(a.substr(anchor.a_pos + anchor.len),
-                     b.substr(anchor.b_pos + anchor.len), p.scoring, p.band);
-
-  // Leftward: prefixes before the anchor, reversed so the extension again
-  // starts at offset 0.
-  std::string la(a.substr(0, anchor.a_pos));
-  std::string lb(b.substr(0, anchor.b_pos));
-  std::reverse(la.begin(), la.end());
-  std::reverse(lb.begin(), lb.end());
-  ExtensionResult left = extend_overlap(la, lb, p.scoring, p.band);
-
-  OverlapResult res;
-  res.cells = left.cells + right.cells;
-  res.score = p.scoring.ideal(anchor.len) + left.score + right.score;
-  res.a_begin = anchor.a_pos - left.a_len;
-  res.b_begin = anchor.b_pos - left.b_len;
-  res.a_end = anchor.a_pos + anchor.len + right.a_len;
-  res.b_end = anchor.b_pos + anchor.len + right.b_len;
-
-  double ideal_len =
-      (static_cast<double>(res.a_span()) + static_cast<double>(res.b_span())) /
-      2.0;
-  if (ideal_len > 0.0) {
-    res.quality = static_cast<double>(res.score) /
-                  (static_cast<double>(p.scoring.match) * ideal_len);
-    res.quality = std::clamp(res.quality, -1.0, 1.0);
-  }
-
-  const bool a_start = res.a_begin == 0;
-  const bool b_start = res.b_begin == 0;
-  const bool a_end = res.a_end == a.size();
-  const bool b_end = res.b_end == b.size();
-  if (a_start && a_end) {
-    res.kind = OverlapKind::kAContainedInB;
-  } else if (b_start && b_end) {
-    res.kind = OverlapKind::kBContainedInA;
-  } else if (b_start && a_end) {
-    // Alignment runs to the end of a and the start of b: a precedes b.
-    res.kind = OverlapKind::kABDovetail;
-  } else if (a_start && b_end) {
-    res.kind = OverlapKind::kBADovetail;
-  } else {
-    res.kind = OverlapKind::kNone;
-  }
-  return res;
+  return align_anchored(a, b, anchor, p, tls_arena());
 }
 
 bool accept_overlap(const OverlapResult& r, const OverlapParams& p) {
+  if (r.truncated) return false;  // rejection was already certain mid-DP
   if (r.kind == OverlapKind::kNone) return false;
   if (r.quality < p.min_quality) return false;
   return std::min(r.a_span(), r.b_span()) >= p.min_overlap;

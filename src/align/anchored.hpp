@@ -43,6 +43,10 @@ struct OverlapResult {
   std::size_t a_begin = 0, a_end = 0;  ///< aligned span in a
   std::size_t b_begin = 0, b_end = 0;  ///< aligned span in b
   std::uint64_t cells = 0;             ///< DP cells computed
+  /// Set by align_anchored_bounded (kernel.hpp) when an extension was cut
+  /// short because rejection was already certain. A truncated result is
+  /// never accepted; score/quality/span fields are partial.
+  bool truncated = false;
 
   std::size_t a_span() const { return a_end - a_begin; }
   std::size_t b_span() const { return b_end - b_begin; }

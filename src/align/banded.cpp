@@ -1,10 +1,12 @@
+// Legacy entry points: thin wrappers over the arena-based blocked kernel
+// in kernel.cpp, plus the O(mn) reference used for validation.
 #include "align/banded.hpp"
 
 #include <algorithm>
 #include <limits>
 #include <vector>
 
-#include "util/check.hpp"
+#include "align/kernel.hpp"
 
 namespace estclust::align {
 
@@ -14,77 +16,7 @@ constexpr long kNegInf = std::numeric_limits<long>::min() / 4;
 
 ExtensionResult extend_overlap(std::string_view a, std::string_view b,
                                const Scoring& sc, std::size_t band) {
-  const std::size_t m = a.size(), n = b.size();
-  ExtensionResult best;
-  best.score = kNegInf;
-
-  // Degenerate: nothing to extend on one side — the (0,0) cell is already a
-  // boundary cell with score 0.
-  if (m == 0 || n == 0) {
-    best.score = 0;
-    best.a_len = 0;
-    best.b_len = 0;
-    best.a_exhausted = (m == 0);
-    best.b_exhausted = (n == 0);
-    return best;
-  }
-
-  // Row i covers j in [i - band, i + band] clipped to [0, n]. Rows are
-  // stored in a (2*band + 1)-wide window indexed by (j - i + band).
-  const std::size_t width = 2 * band + 1;
-  std::vector<long> prev(width, kNegInf), cur(width, kNegInf);
-  std::uint64_t cells = 0;
-
-  auto consider = [&](long score, std::size_t i, std::size_t j) {
-    // Boundary (semi-global) cells: all of a or all of b consumed.
-    if (i != m && j != n) return;
-    if (score > best.score ||
-        (score == best.score && i + j > best.a_len + best.b_len)) {
-      best.score = score;
-      best.a_len = i;
-      best.b_len = j;
-      best.a_exhausted = (i == m);
-      best.b_exhausted = (j == n);
-    }
-  };
-
-  // Row 0: H[0][j] = j * gap for j <= band.
-  for (std::size_t j = 0; j <= std::min(n, band); ++j) {
-    prev[j - 0 + band] = static_cast<long>(j) * sc.gap;
-    consider(prev[j + band], 0, j);
-  }
-
-  for (std::size_t i = 1; i <= m; ++i) {
-    std::fill(cur.begin(), cur.end(), kNegInf);
-    const std::size_t jlo = (i > band) ? i - band : 0;
-    const std::size_t jhi = std::min(n, i + band);
-    if (jlo > n) break;  // band has left the rectangle
-    for (std::size_t j = jlo; j <= jhi; ++j) {
-      const std::size_t k = j - i + band;  // in [0, width)
-      long v = kNegInf;
-      // Diagonal from (i-1, j-1): window offset k in the previous row.
-      if (j > 0 && prev[k] != kNegInf) {
-        v = prev[k] + (a[i - 1] == b[j - 1] ? sc.match : sc.mismatch);
-      }
-      // Up from (i-1, j): offset k+1 in the previous row.
-      if (k + 1 < width && prev[k + 1] != kNegInf) {
-        v = std::max(v, prev[k + 1] + sc.gap);
-      }
-      // Left from (i, j-1): offset k-1 in the current row.
-      if (k > 0 && cur[k - 1] != kNegInf) {
-        v = std::max(v, cur[k - 1] + sc.gap);
-      }
-      cur[k] = v;
-      ++cells;
-      if (v != kNegInf) consider(v, i, j);
-    }
-    std::swap(prev, cur);
-  }
-
-  best.cells = cells;
-  ESTCLUST_CHECK_MSG(best.score != kNegInf,
-                     "banded extension found no boundary cell");
-  return best;
+  return extend_overlap(a, b, sc, band, tls_arena());
 }
 
 ExtensionResult extend_overlap_reference(std::string_view a,
@@ -131,43 +63,7 @@ ExtensionResult extend_overlap_reference(std::string_view a,
 long banded_global_score(std::string_view a, std::string_view b,
                          const Scoring& sc, std::size_t band,
                          std::uint64_t* cells_out) {
-  const std::size_t m = a.size(), n = b.size();
-  const std::size_t diff = m > n ? m - n : n - m;
-  if (diff > band) {
-    if (cells_out) *cells_out = 0;
-    return kNegInf;
-  }
-  const std::size_t width = 2 * band + 1;
-  std::vector<long> prev(width, kNegInf), cur(width, kNegInf);
-  std::uint64_t cells = 0;
-
-  for (std::size_t j = 0; j <= std::min(n, band); ++j) {
-    prev[j + band] = static_cast<long>(j) * sc.gap;
-  }
-  for (std::size_t i = 1; i <= m; ++i) {
-    std::fill(cur.begin(), cur.end(), kNegInf);
-    const std::size_t jlo = (i > band) ? i - band : 0;
-    const std::size_t jhi = std::min(n, i + band);
-    for (std::size_t j = jlo; j <= jhi; ++j) {
-      const std::size_t k = j - i + band;
-      long v = kNegInf;
-      if (j > 0 && prev[k] != kNegInf) {
-        v = prev[k] + (a[i - 1] == b[j - 1] ? sc.match : sc.mismatch);
-      }
-      if (k + 1 < width && prev[k + 1] != kNegInf) {
-        v = std::max(v, prev[k + 1] + sc.gap);
-      }
-      if (k > 0 && cur[k - 1] != kNegInf) {
-        v = std::max(v, cur[k - 1] + sc.gap);
-      }
-      cur[k] = v;
-      ++cells;
-    }
-    std::swap(prev, cur);
-  }
-  if (cells_out) *cells_out = cells;
-  // |n - m| <= band was checked above, so this index is inside the window.
-  return prev[n - m + band];
+  return banded_global_score(a, b, sc, band, tls_arena(), cells_out);
 }
 
 }  // namespace estclust::align

@@ -18,6 +18,10 @@ struct ExtensionResult {
   bool a_exhausted = false;  ///< extension reached the end of a
   bool b_exhausted = false;  ///< extension reached the end of b
   std::uint64_t cells = 0;   ///< DP cells computed
+  /// The kernel stopped early under a give-up bound (see kernel.hpp): the
+  /// reported score is a partial best and every completion provably scores
+  /// below the bound. Always false without a bound.
+  bool capped = false;
 };
 
 /// Best extension of `a` against `b` where the alignment starts at (0,0)

@@ -1,0 +1,97 @@
+// The production banded-DP kernel behind the §3.3 hot path.
+//
+// The legacy entry points in banded.hpp / anchored.hpp remain the public
+// API; they are thin wrappers over this kernel. What the kernel adds:
+//
+//  * AlignArena — all scratch state (the two band rows and the reversed
+//    prefixes used by leftward extension) lives in one reusable arena, so a
+//    slave performs zero heap allocations per pair once warmed up.
+//
+//  * A blocked band sweep — the (2*band + 1)-wide window is the only memory
+//    the row loop touches. Instead of clearing the whole window every row,
+//    the sweep writes the row's live cell range plus one sentinel on each
+//    side (the window boundary moves by at most one cell per row), so the
+//    inner loop is a single contiguous pass per row.
+//
+//  * An optional give-up bound — when the caller can prove that any
+//    extension scoring below `give_up` leads to a rejected overlap, the
+//    kernel abandons the sweep as soon as no cell in the current row can
+//    reach `give_up` any more (upper bound: current cell value plus a full
+//    run of matches to the nearer string end). Results are then marked
+//    `capped`; a capped extension certainly belongs to a rejected pair, so
+//    acceptance verdicts — and therefore clusters — are unchanged.
+//    Without a bound (kNoGiveUp) the kernel is bit-identical to the
+//    pre-arena implementation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "align/anchored.hpp"
+#include "align/banded.hpp"
+#include "align/scoring.hpp"
+
+namespace estclust::align {
+
+/// Reusable scratch space for the banded kernel. One per slave (or one
+/// thread_local per compatibility caller); never shared across threads.
+struct AlignArena {
+  std::vector<long> prev, cur;  ///< band rows, (2*band + 1) wide
+  std::string rev_a, rev_b;     ///< reversed prefixes for leftward extension
+
+  /// Grows the band rows to at least `width` cells. Contents are not
+  /// preserved; the kernel re-seeds both rows on entry.
+  void ensure_width(std::size_t width) {
+    if (prev.size() < width) {
+      prev.resize(width);
+      cur.resize(width);
+    }
+  }
+};
+
+/// Sentinel: no give-up bound, compute the exact extension.
+inline constexpr long kNoGiveUp = std::numeric_limits<long>::min();
+
+/// The shared per-thread arena behind the legacy (arena-less) entry points
+/// in banded.hpp / anchored.hpp. Hot-path callers hold their own arena.
+AlignArena& tls_arena();
+
+/// Banded overlap extension (same semantics as banded.hpp's
+/// extend_overlap) computed in `arena`. With `give_up` == kNoGiveUp the
+/// result is bit-identical to the reference banded sweep. With a bound,
+/// the kernel may stop early and return `capped = true`; this happens only
+/// when every completion of the extension scores below `give_up`.
+ExtensionResult extend_overlap(std::string_view a, std::string_view b,
+                               const Scoring& sc, std::size_t band,
+                               AlignArena& arena, long give_up = kNoGiveUp);
+
+/// Banded global score (same semantics as banded.hpp's
+/// banded_global_score) computed in `arena`.
+long banded_global_score(std::string_view a, std::string_view b,
+                         const Scoring& sc, std::size_t band,
+                         AlignArena& arena,
+                         std::uint64_t* cells_out = nullptr);
+
+/// Anchored alignment computed in `arena` (no per-call allocation).
+/// Identical results to align_anchored(a, b, anchor, p).
+OverlapResult align_anchored(std::string_view a, std::string_view b,
+                             const Anchor& anchor, const OverlapParams& p,
+                             AlignArena& arena);
+
+/// Anchored alignment with sound early exit. If the full result would be
+/// accepted by accept_overlap(r, p), this returns exactly that full
+/// result. If rejection becomes certain mid-extension (no completion can
+/// reach the minimum accepting score q * match * min_overlap), it stops
+/// and returns a result with `truncated = true`, which accept_overlap
+/// always rejects. Acceptance verdicts are therefore identical to the
+/// exact path; only the DP cell count (and score/span fields of rejected
+/// pairs) may differ.
+OverlapResult align_anchored_bounded(std::string_view a, std::string_view b,
+                                     const Anchor& anchor,
+                                     const OverlapParams& p,
+                                     AlignArena& arena);
+
+}  // namespace estclust::align

@@ -76,6 +76,13 @@ class BufWriter {
     buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
   }
 
+  /// Pre-sizes the backing buffer for `bytes` more payload, so a message
+  /// whose exact size is known up front (the coalesced pace protocol
+  /// messages compute theirs) serializes with a single allocation.
+  void reserve(std::size_t bytes) {
+    buf_.reserve(buf_.size() + std::min(bytes, max_bytes_));
+  }
+
   Buffer take() { return std::move(buf_); }
   std::size_t size() const { return buf_.size(); }
   std::size_t max_bytes() const { return max_bytes_; }

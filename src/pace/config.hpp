@@ -20,6 +20,23 @@ struct PaceConfig {
   /// Pairs dispatched to a slave per interaction (paper: 40-60 optimal).
   std::size_t batchsize = 60;
 
+  /// Alignment hot path (kernel.hpp / memo.hpp). `bounded_align` lets the
+  /// DP kernel stop as soon as rejection is certain; `memo` caches verdicts
+  /// per EST pair so re-generated pairs skip the DP when serving the cache
+  /// cannot change the clustering. Both are verdict-exact: clusters are
+  /// identical with any combination of these flags.
+  bool bounded_align = true;
+  bool memo = true;
+  std::size_t memo_capacity = 1 << 12;  ///< cap on cached rejected entries
+
+  /// Adaptive batching: the master scales a slave's next work grant and
+  /// pair request by a per-slave multiplier in [1, batch_growth_limit],
+  /// growing it while observed redundancy (skipped pairs + memo hits) is
+  /// low and shrinking it when redundancy is high. Fewer interactions means
+  /// fewer messages under the virtual-time model.
+  bool adaptive_batch = true;
+  std::size_t batch_growth_limit = 2;
+
   /// Capacity of the master's WORKBUF in pairs.
   std::size_t workbuf_capacity = 1 << 14;
 

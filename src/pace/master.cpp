@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 
@@ -16,7 +17,8 @@ Master::Master(mpr::Communicator& comm, const bio::EstSet& ests,
       state_(comm.size(), SlaveState::kExpectingReport),
       passive_(comm.size(), false),
       last_reported_(comm.size(), 0),
-      last_admitted_(comm.size(), 0) {
+      last_admitted_(comm.size(), 0),
+      multiplier_(comm.size(), 1) {
   ESTCLUST_CHECK_MSG(num_slaves_ >= 1, "master requires at least one slave");
 }
 
@@ -58,10 +60,34 @@ void Master::process_report(int slave, const ReportMsg& msg) {
   last_admitted_[slave] = admitted;
   passive_[slave] = msg.out_of_pairs;
 
+  // Adaptive batching: while a slave's recent traffic shows little
+  // redundancy (few pairs filtered here, few memo hits there), larger
+  // grants are safe — the staleness cost of acting on old cluster state is
+  // evidently low — and each interaction saved is two messages saved.
+  // High redundancy walks the multiplier back toward the paper's
+  // batchsize.
+  if (cfg_.adaptive_batch) {
+    const std::uint64_t skipped = msg.pairs.size() - admitted;
+    const std::uint64_t redundant = skipped + msg.memo_hits;
+    const std::uint64_t denom = msg.pairs.size() + msg.memo_lookups;
+    std::size_t& mul = multiplier_[slave];
+    if (denom > 0) {
+      if (redundant * 4 <= denom) {  // < 25% redundant: double the grant
+        mul = std::min(mul * 2, cfg_.batch_growth_limit);
+      } else if (redundant * 2 >= denom) {  // > 50% redundant: walk back
+        mul = mul > 1 ? mul / 2 : 1;
+      }
+    }
+  }
+
   // Charge union-find work incurred since the last report.
   std::uint64_t ops = clusters_.operations();
   comm_.charge(comm_.cost_model().uf_op, ops - uf_ops_charged_);
   uf_ops_charged_ = ops;
+}
+
+std::size_t Master::effective_batch(int slave) const {
+  return cfg_.batchsize * multiplier_[slave];
 }
 
 std::uint64_t Master::compute_request(int slave) const {
@@ -79,14 +105,15 @@ std::uint64_t Master::compute_request(int slave) const {
           ? cfg_.workbuf_capacity - workbuf_.size()
           : 0);
   const double e = std::min(
-      delta_ratio * delta_factor * static_cast<double>(cfg_.batchsize),
+      delta_ratio * delta_factor *
+          static_cast<double>(effective_batch(slave)),
       nfree / static_cast<double>(num_slaves_));
   return static_cast<std::uint64_t>(std::max(0.0, e));
 }
 
-std::vector<pairgen::PromisingPair> Master::take_work() {
+std::vector<pairgen::PromisingPair> Master::take_work(int slave) {
   std::vector<pairgen::PromisingPair> work;
-  const std::size_t w = std::min(cfg_.batchsize, workbuf_.size());
+  const std::size_t w = std::min(effective_batch(slave), workbuf_.size());
   work.reserve(w);
   for (std::size_t i = 0; i < w; ++i) {
     work.push_back(workbuf_.front());
@@ -97,7 +124,7 @@ std::vector<pairgen::PromisingPair> Master::take_work() {
 
 void Master::reply(int slave) {
   AssignMsg assign;
-  assign.work = take_work();
+  assign.work = take_work(slave);
   assign.request = compute_request(slave);
   if (assign.work.empty() && assign.request == 0) {
     // Nothing to do and nothing to ask for: park the slave (§3.3 wait
@@ -115,7 +142,7 @@ void Master::drain_wait_queue() {
     int slave = wait_queue_.front();
     wait_queue_.pop_front();
     AssignMsg assign;
-    assign.work = take_work();
+    assign.work = take_work(slave);
     assign.request = compute_request(slave);
     comm_.send(slave, kTagAssign, encode_assign(assign));
     state_[slave] = SlaveState::kExpectingReport;
@@ -162,10 +189,13 @@ void Master::run() {
   // All slaves are parked and the work buffer is drained. Slaves parked on
   // the wait-queue still hold the results of their final alignments (a
   // report is only sent in response to an assignment), so flush each with
-  // an empty assignment before stopping it.
+  // a final assignment whose stop flag retires the slave — one coalesced
+  // ASSIGN/REPORT exchange per slave instead of flush + separate STOP.
   for (int s = 1; s <= num_slaves_; ++s) {
     ESTCLUST_CHECK(state_[s] == SlaveState::kWaiting);
-    comm_.send(s, kTagAssign, encode_assign(AssignMsg{}));
+    AssignMsg final_assign;
+    final_assign.stop = 1;
+    comm_.send(s, kTagAssign, encode_assign(final_assign));
     mpr::Message m = [&] {
       mpr::CheckOpScope check_scope(comm_, "pace.master.await_flush");
       return comm_.recv(s, kTagReport);
@@ -175,9 +205,6 @@ void Master::run() {
     ESTCLUST_CHECK_MSG(report.pairs.empty(),
                        "parked slave produced pairs during final flush");
     process_report(s, report);
-  }
-  for (int s = 1; s <= num_slaves_; ++s) {
-    comm_.send(s, kTagStop, {});
     state_[s] = SlaveState::kStopped;
   }
 
@@ -189,6 +216,12 @@ void Master::run() {
   metrics.counter("pace.pairs_enqueued").add(counters_.pairs_enqueued);
   metrics.counter("pace.merges").add(counters_.merges);
   metrics.counter("pace.master_interactions").add(counters_.interactions);
+  std::size_t max_mul = 1;
+  for (int s = 1; s <= num_slaves_; ++s) {
+    max_mul = std::max(max_mul, multiplier_[s]);
+  }
+  metrics.gauge("pace.batch_multiplier_max", obs::MergeOp::kMax)
+      .set(static_cast<double>(max_mul));
 }
 
 }  // namespace estclust::pace

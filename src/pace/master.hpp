@@ -51,8 +51,11 @@ class Master {
   void reply(int slave);
   void drain_wait_queue();
   std::uint64_t compute_request(int slave) const;
-  std::vector<pairgen::PromisingPair> take_work();
+  std::vector<pairgen::PromisingPair> take_work(int slave);
   bool all_waiting() const;
+  /// This slave's current grant/request unit: batchsize scaled by the
+  /// adaptive per-slave multiplier.
+  std::size_t effective_batch(int slave) const;
 
   mpr::Communicator& comm_;
   const PaceConfig& cfg_;
@@ -67,6 +70,10 @@ class Master {
   // Per-slave P and P' of the latest report, for the Δ = P/P' factor.
   std::vector<std::uint64_t> last_reported_;
   std::vector<std::uint64_t> last_admitted_;
+  // Adaptive batching (config.hpp): per-slave batch multiplier in
+  // [1, batch_growth_limit], steered by the redundancy observed in each
+  // report (skipped pairs + memo hits vs pairs + lookups).
+  std::vector<std::size_t> multiplier_;
   std::uint64_t uf_ops_charged_ = 0;
   std::vector<AcceptedOverlap> overlaps_;
 };

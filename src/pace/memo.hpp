@@ -1,0 +1,134 @@
+// Per-slave alignment memo cache.
+//
+// The pair generators emit one pair per maximal common substring, so the
+// same EST pair (a, b) reappears whenever two ESTs share several maximal
+// matches (paralogs, repeats, long overlaps split by errors) and, in the
+// parallel run, when different slaves generate it from their local trees.
+// Each reappearance normally costs a full anchored banded DP. The memo
+// remembers the latest verdict per EST pair and serves a hit when doing so
+// provably cannot change the clustering:
+//
+//  * the cached verdict is ACCEPTED — re-uniting an already-united pair is
+//    idempotent, so any accepted verdict for (a, b) yields the same
+//    partition regardless of which anchor produced it; or
+//  * the new pair carries exactly the cached orientation, anchor-diagonal
+//    window and anchor — same inputs, same output.
+//
+// A REJECTED verdict is never served for a different anchor: a later
+// anchor on another diagonal may well align (and must, for clusters to
+// match the memo-less run). Rejected entries are evicted FIFO under a
+// capacity bound; accepted entries are pinned (they are the partition-
+// bearing facts and there are at most merges + redundancy of them).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "align/anchored.hpp"
+#include "pairgen/generator.hpp"
+
+namespace estclust::pace {
+
+/// Hit/miss/evict counters, published under pace.memo_* by the drivers.
+struct MemoStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
+
+class AlignMemo {
+ public:
+  /// capacity == 0 disables the memo entirely (lookups miss, inserts drop).
+  explicit AlignMemo(std::size_t capacity) : capacity_(capacity) {}
+
+  bool enabled() const { return capacity_ > 0; }
+  const MemoStats& stats() const { return stats_; }
+
+  struct Entry {
+    align::OverlapResult result;
+    bool accepted = false;
+    bool b_rc = false;
+    std::int64_t window = 0;  ///< anchor diagonal / (2 * band + 1)
+    align::Anchor anchor;
+  };
+
+  /// Returns the cached entry when serving it cannot change the
+  /// clustering (see file comment), else nullptr.
+  const Entry* lookup(const pairgen::PromisingPair& p, std::int64_t window) {
+    if (!enabled()) return nullptr;
+    ++stats_.lookups;
+    auto it = entries_.find(key_of(p));
+    if (it == entries_.end()) return nullptr;
+    const Entry& e = it->second;
+    const bool same_anchor = e.b_rc == p.b_rc && e.window == window &&
+                             e.anchor.a_pos == p.a_pos &&
+                             e.anchor.b_pos == p.b_pos &&
+                             e.anchor.len == p.match_len;
+    if (!e.accepted && !same_anchor) return nullptr;
+    ++stats_.hits;
+    return &e;
+  }
+
+  /// Records the verdict for this pair. An accepted entry is never
+  /// displaced by a rejected one (the accepted verdict is strictly more
+  /// reusable).
+  void insert(const pairgen::PromisingPair& p, std::int64_t window,
+              const align::OverlapResult& result, bool accepted) {
+    if (!enabled()) return;
+    const std::uint64_t key = key_of(p);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (it->second.accepted && !accepted) return;
+      it->second = make_entry(p, window, result, accepted);
+      ++stats_.insertions;
+      return;
+    }
+    if (!accepted && rejected_fifo_.size() >= capacity_) evict_one();
+    entries_.emplace(key, make_entry(p, window, result, accepted));
+    if (!accepted) rejected_fifo_.push_back(key);
+    ++stats_.insertions;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  static std::uint64_t key_of(const pairgen::PromisingPair& p) {
+    return (static_cast<std::uint64_t>(p.a) << 32) |
+           static_cast<std::uint64_t>(p.b);
+  }
+
+  static Entry make_entry(const pairgen::PromisingPair& p,
+                          std::int64_t window,
+                          const align::OverlapResult& result, bool accepted) {
+    Entry e;
+    e.result = result;
+    e.accepted = accepted;
+    e.b_rc = p.b_rc;
+    e.window = window;
+    e.anchor = {p.a_pos, p.b_pos, p.match_len};
+    return e;
+  }
+
+  void evict_one() {
+    // FIFO over rejected keys; entries promoted to accepted since their
+    // enqueue are skipped (they are pinned).
+    while (!rejected_fifo_.empty()) {
+      const std::uint64_t key = rejected_fifo_.front();
+      rejected_fifo_.pop_front();
+      auto it = entries_.find(key);
+      if (it == entries_.end() || it->second.accepted) continue;
+      entries_.erase(it);
+      ++stats_.evictions;
+      return;
+    }
+  }
+
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::deque<std::uint64_t> rejected_fifo_;
+  MemoStats stats_;
+};
+
+}  // namespace estclust::pace

@@ -2,11 +2,25 @@
 
 namespace estclust::pace {
 
+namespace {
+
+// Exact wire size of a vector field: 8-byte length prefix plus payload.
+template <typename T>
+std::size_t vec_bytes(const std::vector<T>& v) {
+  return sizeof(std::uint64_t) + v.size() * sizeof(T);
+}
+
+}  // namespace
+
 mpr::Buffer encode_report(const ReportMsg& m) {
   mpr::BufWriter w;
+  w.reserve(vec_bytes(m.results) + vec_bytes(m.pairs) + sizeof(std::uint8_t) +
+            2 * sizeof(std::uint64_t));
   w.put_vec(m.results);
   w.put_vec(m.pairs);
   w.put<std::uint8_t>(m.out_of_pairs ? 1 : 0);
+  w.put<std::uint64_t>(m.memo_lookups);
+  w.put<std::uint64_t>(m.memo_hits);
   return w.take();
 }
 
@@ -16,13 +30,18 @@ ReportMsg decode_report(const mpr::Buffer& b) {
   m.results = r.get_vec<WireResult>();
   m.pairs = r.get_vec<pairgen::PromisingPair>();
   m.out_of_pairs = r.get<std::uint8_t>() != 0;
+  m.memo_lookups = r.get<std::uint64_t>();
+  m.memo_hits = r.get<std::uint64_t>();
   return m;
 }
 
 mpr::Buffer encode_assign(const AssignMsg& m) {
   mpr::BufWriter w;
+  w.reserve(vec_bytes(m.work) + sizeof(std::uint64_t) +
+            sizeof(std::uint8_t));
   w.put_vec(m.work);
   w.put<std::uint64_t>(m.request);
+  w.put<std::uint8_t>(m.stop);
   return w.take();
 }
 
@@ -31,6 +50,7 @@ AssignMsg decode_assign(const mpr::Buffer& b) {
   AssignMsg m;
   m.work = r.get_vec<pairgen::PromisingPair>();
   m.request = r.get<std::uint64_t>();
+  m.stop = r.get<std::uint8_t>();
   return m;
 }
 

@@ -1,8 +1,11 @@
 // Wire formats of the master/slave protocol (§3.3).
 //
 // One interaction is: slave -> master REPORT {R results, P promising
-// pairs, out-of-pairs flag}; master -> slave ASSIGN {W pairs to align, E
-// pairs to bring next time}. STOP ends a slave's loop after a final flush.
+// pairs, out-of-pairs flag, memo-cache counters}; master -> slave ASSIGN
+// {W pairs to align, E pairs to bring next time, stop flag}. Everything a
+// peer owes rides one coalesced, explicitly-serialized message per
+// direction — there is no separate STOP message: the final ASSIGN carries
+// stop = 1 and the slave answers with its final (possibly empty) REPORT.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +19,6 @@ namespace estclust::pace {
 
 inline constexpr int kTagReport = 1;
 inline constexpr int kTagAssign = 2;
-inline constexpr int kTagStop = 3;
 
 /// Result of one pairwise alignment, as shipped to the master. The master
 /// only needs the identity of the pair and the verdict; score/quality ride
@@ -39,11 +41,19 @@ struct ReportMsg {
   std::vector<WireResult> results;           ///< R
   std::vector<pairgen::PromisingPair> pairs; ///< P
   bool out_of_pairs = false;
+  // Memo-cache activity since the previous report; the master's adaptive
+  // batching reads these as its redundancy signal.
+  std::uint64_t memo_lookups = 0;
+  std::uint64_t memo_hits = 0;
 };
 
 struct AssignMsg {
   std::vector<pairgen::PromisingPair> work;  ///< W
   std::uint64_t request = 0;                 ///< E
+  /// Final assignment: the slave reports once more (flushing any pending
+  /// results) and exits its loop. Folding STOP into the last ASSIGN saves
+  /// one message per slave per run.
+  std::uint8_t stop = 0;
 };
 
 mpr::Buffer encode_report(const ReportMsg& m);

@@ -63,6 +63,7 @@ ParallelResult cluster_single_rank(mpr::Communicator& comm,
   if (tracer) tracer->begin("alignment", "phase");
   cluster::UnionFind uf(ests.num_ests());
   std::uint64_t uf_charged = 0;
+  PairAligner aligner(ests, cfg);
   std::vector<pairgen::PromisingPair> batch;
   while (gen.next_batch(cfg.batchsize, batch) > 0) {
     comm.charge(cm.pair_op, gen.take_work_units());
@@ -71,7 +72,7 @@ ParallelResult cluster_single_rank(mpr::Communicator& comm,
         ++st.pairs_skipped;
         continue;
       }
-      PairEvaluation ev = evaluate_pair(ests, p, cfg.overlap);
+      PairEvaluation ev = aligner.evaluate(p);
       comm.charge(cm.dp_cell, ev.overlap.cells);
       ++st.pairs_processed;
       st.dp_cells += ev.overlap.cells;
@@ -106,6 +107,11 @@ ParallelResult cluster_single_rank(mpr::Communicator& comm,
   metrics.counter("pace.pairs_skipped").add(st.pairs_skipped);
   metrics.counter("pace.merges").add(st.merges);
   metrics.counter("pace.dp_cells").add(st.dp_cells);
+  const MemoStats& memo = aligner.memo_stats();
+  metrics.counter("pace.memo_lookups").add(memo.lookups);
+  metrics.counter("pace.memo_hits").add(memo.hits);
+  metrics.counter("pace.memo_insertions").add(memo.insertions);
+  metrics.counter("pace.memo_evictions").add(memo.evictions);
   publish_phase_gauges(comm, st);
   return res;
 }

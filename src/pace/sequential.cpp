@@ -16,6 +16,8 @@ void PaceConfig::validate() const {
   ESTCLUST_CHECK(batchsize > 0);
   ESTCLUST_CHECK(workbuf_capacity >= batchsize);
   ESTCLUST_CHECK(pairbuf_capacity >= batchsize);
+  ESTCLUST_CHECK(batch_growth_limit >= 1);
+  if (memo) ESTCLUST_CHECK(memo_capacity >= 1);
 }
 
 SequentialResult cluster_sequential(const bio::EstSet& ests,
@@ -36,12 +38,16 @@ SequentialResult cluster_sequential(const bio::EstSet& ests,
   st.t_sort = phase.seconds();
 
   phase.reset();
+  // The same hot-path aligner the slaves use (arena + memo + bounded
+  // kernel), so the sequential partition is computed by the identical
+  // verdict function as the parallel one.
+  PairAligner aligner(ests, cfg);
   auto handle_pair = [&](const pairgen::PromisingPair& p) {
     if (options.cluster_skip && res.clusters.same(p.a, p.b)) {
       ++st.pairs_skipped;
       return;
     }
-    PairEvaluation ev = evaluate_pair(ests, p, cfg.overlap);
+    PairEvaluation ev = aligner.evaluate(p);
     ++st.pairs_processed;
     st.dp_cells += ev.overlap.cells;
     if (ev.accepted) {

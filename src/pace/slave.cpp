@@ -3,14 +3,24 @@
 #include <cmath>
 
 #include "obs/trace.hpp"
-#include "pace/aligner.hpp"
 #include "util/check.hpp"
 
 namespace estclust::pace {
 
+std::array<std::size_t, 3> startup_split(std::size_t batchsize) {
+  const std::size_t base = std::max<std::size_t>(batchsize, 3);
+  const std::size_t q = base / 3;
+  const std::size_t r = base % 3;
+  return {q + (r > 0 ? 1 : 0), q + (r > 1 ? 1 : 0), q};
+}
+
 Slave::Slave(mpr::Communicator& comm, const bio::EstSet& ests,
              const PaceConfig& cfg, const std::vector<gst::Tree>& forest)
-    : comm_(comm), ests_(ests), cfg_(cfg), generator_(ests, forest, cfg.psi) {
+    : comm_(comm),
+      ests_(ests),
+      cfg_(cfg),
+      generator_(ests, forest, cfg.psi),
+      aligner_(ests, cfg) {
   // The generator's constructor sorted the local nodes by string-depth;
   // charge it to this rank's clock (Table 3's "Sorting Nodes" column).
   ESTCLUST_TRACE_SPAN(comm_.tracer(), "node_sorting", "phase");
@@ -53,7 +63,9 @@ std::vector<WireResult> Slave::align_all(
   std::vector<WireResult> results;
   results.reserve(work.size());
   for (const auto& p : work) {
-    PairEvaluation ev = evaluate_pair(ests_, p, cfg_.overlap);
+    PairEvaluation ev = aligner_.evaluate(p);
+    // Memo hits report 0 cells: no DP ran, so no virtual time is charged —
+    // that saving is the cache's whole point.
     comm_.charge(comm_.cost_model().dp_cell, ev.overlap.cells);
     ++counters_.pairs_aligned;
     counters_.dp_cells += ev.overlap.cells;
@@ -73,28 +85,37 @@ std::vector<WireResult> Slave::align_all(
   return results;
 }
 
+void Slave::attach_memo_counters(ReportMsg& m) {
+  const MemoStats& s = aligner_.memo_stats();
+  m.memo_lookups = s.lookups - memo_lookups_reported_;
+  m.memo_hits = s.hits - memo_hits_reported_;
+  memo_lookups_reported_ = s.lookups;
+  memo_hits_reported_ = s.hits;
+}
+
 SlaveCounters Slave::run() {
   // Inclusive loop span (covers waiting too); the nested "alignment" /
   // "pairgen" spans carry the busy breakdown.
   ESTCLUST_TRACE_SPAN(comm_.tracer(), "slave_loop", "phase");
   const double loop_start = comm_.clock().time();
 
-  // Startup (§3.3): generate batchsize pairs split into three equal
-  // portions. Align the first; ship its results with the third; keep the
-  // second as NEXTWORK. From then on the slave always has a batch in hand
-  // while a report is in flight, overlapping communication with
-  // computation. (These startup alignments bypass the master's filter, so
-  // the portions are deliberately small.)
-  const std::size_t portion = std::max<std::size_t>(1, cfg_.batchsize / 3);
-  top_up_pairbuf(3 * portion);
-  std::vector<pairgen::PromisingPair> portion1 = take_pairs(portion);
-  std::vector<pairgen::PromisingPair> nextwork = take_pairs(portion);
-  std::vector<pairgen::PromisingPair> portion3 = take_pairs(portion);
+  // Startup (§3.3): generate one batch split three ways. Align the first
+  // portion; ship its results with the third; keep the second as NEXTWORK.
+  // From then on the slave always has a batch in hand while a report is in
+  // flight, overlapping communication with computation. (These startup
+  // alignments bypass the master's filter, so the portions are
+  // deliberately small.)
+  const auto portions = startup_split(cfg_.batchsize);
+  top_up_pairbuf(portions[0] + portions[1] + portions[2]);
+  std::vector<pairgen::PromisingPair> portion1 = take_pairs(portions[0]);
+  std::vector<pairgen::PromisingPair> nextwork = take_pairs(portions[1]);
+  std::vector<pairgen::PromisingPair> portion3 = take_pairs(portions[2]);
 
   ReportMsg initial;
   initial.results = align_all(portion1);
   initial.pairs = std::move(portion3);
   initial.out_of_pairs = out_of_pairs();
+  attach_memo_counters(initial);
   comm_.send(0, kTagReport, encode_report(initial));
 
   for (;;) {
@@ -110,11 +131,6 @@ SlaveCounters Slave::run() {
       mpr::CheckOpScope check_scope(comm_, "pace.slave.await_assign");
       return comm_.recv(0);
     }();
-    if (m.tag == kTagStop) {
-      ESTCLUST_CHECK_MSG(results.empty(),
-                         "STOP arrived with unreported results");
-      break;
-    }
     ESTCLUST_CHECK(m.tag == kTagAssign);
     AssignMsg assign = decode_assign(m.payload);
 
@@ -122,22 +138,36 @@ SlaveCounters Slave::run() {
     // cannot cover it.
     if (pairbuf_.size() < assign.request) top_up_pairbuf(assign.request);
 
+    // One coalesced report answers every assignment — including the final
+    // one, whose stop flag rides the assignment instead of a separate
+    // STOP message. The final report flushes the results computed above.
     ReportMsg report;
     report.results = std::move(results);
     report.pairs = take_pairs(assign.request);
     report.out_of_pairs = out_of_pairs();
+    attach_memo_counters(report);
     comm_.send(0, kTagReport, encode_report(report));
 
+    if (assign.stop) {
+      ESTCLUST_CHECK_MSG(assign.work.empty(),
+                         "final assignment carried work");
+      break;
+    }
     nextwork = std::move(assign.work);
   }
 
   counters_.pairs_generated = generator_.stats().pairs_emitted;
+  counters_.memo = aligner_.memo_stats();
   counters_.loop_vtime = comm_.clock().time() - loop_start;
 
   auto& metrics = comm_.metrics();
   metrics.counter("pace.pairs_generated").add(counters_.pairs_generated);
   metrics.counter("pace.pairs_aligned").add(counters_.pairs_aligned);
   metrics.counter("pace.dp_cells").add(counters_.dp_cells);
+  metrics.counter("pace.memo_lookups").add(counters_.memo.lookups);
+  metrics.counter("pace.memo_hits").add(counters_.memo.hits);
+  metrics.counter("pace.memo_insertions").add(counters_.memo.insertions);
+  metrics.counter("pace.memo_evictions").add(counters_.memo.evictions);
   metrics.gauge("pace.t_sort", obs::MergeOp::kMax).set(counters_.sort_vtime);
   metrics.gauge("pace.t_align", obs::MergeOp::kMax)
       .set(counters_.loop_vtime);

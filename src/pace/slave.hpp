@@ -3,6 +3,7 @@
 // assigns, overlapping generation with the wait for the master's reply.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "bio/dataset.hpp"
 #include "gst/tree.hpp"
 #include "mpr/communicator.hpp"
+#include "pace/aligner.hpp"
 #include "pace/config.hpp"
 #include "pace/messages.hpp"
 #include "pairgen/generator.hpp"
@@ -19,11 +21,20 @@ namespace estclust::pace {
 /// Slave-side counters.
 struct SlaveCounters {
   std::uint64_t pairs_generated = 0;  ///< emitted by the local generator
-  std::uint64_t pairs_aligned = 0;
+  std::uint64_t pairs_aligned = 0;    ///< evaluated (memo hits included)
   std::uint64_t dp_cells = 0;
+  MemoStats memo;                     ///< alignment memo-cache activity
   double sort_vtime = 0.0;   ///< node sorting (generator construction)
   double loop_vtime = 0.0;   ///< interaction loop (alignment-dominated)
 };
+
+/// The §3.3 startup split of the first generated batch into three
+/// portions: [0] aligned immediately, [1] kept as NEXTWORK, [2] shipped
+/// with the unsolicited initial report. Every portion is at least one
+/// pair — with batchsize < 3 a naive batchsize/3 split would leave
+/// NEXTWORK empty and stall the compute/communication overlap — and the
+/// portions sum to max(batchsize, 3), remainder spread front-first.
+std::array<std::size_t, 3> startup_split(std::size_t batchsize);
 
 class Slave {
  public:
@@ -31,7 +42,7 @@ class Slave {
   Slave(mpr::Communicator& comm, const bio::EstSet& ests,
         const PaceConfig& cfg, const std::vector<gst::Tree>& forest);
 
-  /// Runs until the master sends STOP.
+  /// Runs until the master's final assignment (stop flag) arrives.
   SlaveCounters run();
 
  private:
@@ -40,13 +51,18 @@ class Slave {
   void top_up_pairbuf(std::size_t target);
   std::vector<pairgen::PromisingPair> take_pairs(std::size_t count);
   bool out_of_pairs() const;
+  /// Stamps the memo counters accumulated since the previous report.
+  void attach_memo_counters(ReportMsg& m);
 
   mpr::Communicator& comm_;
   const bio::EstSet& ests_;
   const PaceConfig& cfg_;
   pairgen::PairGenerator generator_;
+  PairAligner aligner_;
   std::deque<pairgen::PromisingPair> pairbuf_;
   SlaveCounters counters_;
+  std::uint64_t memo_lookups_reported_ = 0;
+  std::uint64_t memo_hits_reported_ = 0;
 };
 
 }  // namespace estclust::pace

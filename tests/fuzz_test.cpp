@@ -1,9 +1,16 @@
 // Randomized property tests spanning modules: the fast kernels and data
 // structures are cross-checked against their reference oracles over many
 // seeds.
+//
+// ESTCLUST_FUZZ_SEED=<n> offsets every seed by n, exploring a fresh slice
+// of the input space without a recompile. Each test records its effective
+// seed via SCOPED_TRACE, so a failure message always names the seed to
+// reproduce with.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
+#include <string>
 
 #include "align/banded.hpp"
 #include "align/nw.hpp"
@@ -17,6 +24,29 @@
 
 namespace estclust {
 namespace {
+
+/// Environment-settable seed offset (0 when unset). Applied on top of the
+/// per-test parameter so one env var re-seeds the whole suite.
+std::uint64_t fuzz_seed_offset() {
+  static const std::uint64_t offset = [] {
+    const char* v = std::getenv("ESTCLUST_FUZZ_SEED");
+    return v == nullptr ? 0ull : std::strtoull(v, nullptr, 10);
+  }();
+  return offset;
+}
+
+/// The effective seed for a test instance: its base parameter plus the
+/// environment offset.
+std::uint64_t fuzz_seed(std::uint64_t base) {
+  return base + fuzz_seed_offset();
+}
+
+/// Message naming the failing seed and how to re-run it.
+std::string seed_trace(std::uint64_t seed) {
+  return "effective fuzz seed " + std::to_string(seed) +
+         " (ESTCLUST_FUZZ_SEED offset " +
+         std::to_string(fuzz_seed_offset()) + ")";
+}
 
 std::string random_dna(Prng& rng, std::size_t len) {
   std::string s(len, 'A');
@@ -46,7 +76,9 @@ std::string mutate(Prng& rng, const std::string& s, double sub, double ins,
 class AlignFuzz : public testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(AlignFuzz, BandedExtensionAgreesWithReferenceWideBand) {
-  Prng rng(GetParam());
+  const std::uint64_t seed = fuzz_seed(GetParam());
+  SCOPED_TRACE(seed_trace(seed));
+  Prng rng(seed);
   std::string a = random_dna(rng, rng.uniform(50));
   std::string b = rng.bernoulli(0.5) ? mutate(rng, a, 0.1, 0.05, 0.05)
                                      : random_dna(rng, rng.uniform(50));
@@ -59,7 +91,9 @@ TEST_P(AlignFuzz, BandedExtensionAgreesWithReferenceWideBand) {
 }
 
 TEST_P(AlignFuzz, NarrowerBandNeverScoresHigher) {
-  Prng rng(GetParam() + 5000);
+  const std::uint64_t seed = fuzz_seed(GetParam() + 5000);
+  SCOPED_TRACE(seed_trace(seed));
+  Prng rng(seed);
   std::string a = random_dna(rng, 10 + rng.uniform(40));
   std::string b = mutate(rng, a, 0.08, 0.02, 0.02);
   align::Scoring sc;
@@ -72,7 +106,9 @@ TEST_P(AlignFuzz, NarrowerBandNeverScoresHigher) {
 }
 
 TEST_P(AlignFuzz, GlobalScoreBounds) {
-  Prng rng(GetParam() + 9000);
+  const std::uint64_t seed = fuzz_seed(GetParam() + 9000);
+  SCOPED_TRACE(seed_trace(seed));
+  Prng rng(seed);
   std::string a = random_dna(rng, 1 + rng.uniform(40));
   std::string b = random_dna(rng, 1 + rng.uniform(40));
   align::Scoring sc;
@@ -98,7 +134,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, AlignFuzz,
 class GstFuzz : public testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(GstFuzz, RefinementForestMatchesSuffixArrayOracle) {
-  Prng rng(GetParam());
+  const std::uint64_t seed = fuzz_seed(GetParam());
+  SCOPED_TRACE(seed_trace(seed));
+  Prng rng(seed);
   // Mix of unrelated and overlapping sequences, occasional duplicates.
   std::vector<bio::Sequence> seqs;
   std::string gene = random_dna(rng, 120);
@@ -170,7 +208,9 @@ std::size_t lcs_len(std::string_view a, std::string_view b) {
 }
 
 TEST_P(PairgenFuzz, GeneratedPairsEqualBruteForceAcrossSeeds) {
-  Prng rng(GetParam());
+  const std::uint64_t seed = fuzz_seed(GetParam());
+  SCOPED_TRACE(seed_trace(seed));
+  Prng rng(seed);
   std::string gene = random_dna(rng, 150);
   std::vector<bio::Sequence> seqs;
   const std::size_t n = 4 + rng.uniform(6);
@@ -216,7 +256,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PairgenFuzz,
 class QualityFuzz : public testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(QualityFuzz, FastCounterMatchesReference) {
-  Prng rng(GetParam());
+  const std::uint64_t seed = fuzz_seed(GetParam());
+  SCOPED_TRACE(seed_trace(seed));
+  Prng rng(seed);
   std::size_t n = 5 + rng.uniform(80);
   std::vector<std::uint32_t> pred(n), truth(n);
   for (auto& x : pred) {

@@ -1,0 +1,223 @@
+// End-to-end golden tests: checked-in FASTA fixtures must produce
+// byte-identical canonical clusterings AND byte-identical modeled
+// run-times at every rank count, with the memo cache on or off.
+//
+// These lock the whole pipeline (GST -> pair generation -> master/slave
+// protocol -> alignment verdicts -> virtual-time accounting): any change
+// that perturbs a verdict, the processing order, or a charged cost shows
+// up as a golden diff, not a silent drift.
+//
+// Regenerate after an intentional change with
+//   ESTCLUST_UPDATE_GOLDEN=1 ./golden_clusters_test
+// and review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bio/dataset.hpp"
+#include "bio/fasta.hpp"
+#include "mpr/runtime.hpp"
+#include "pace/parallel.hpp"
+#include "sim/workload.hpp"
+
+#ifndef ESTCLUST_TEST_DATA_DIR
+#error "ESTCLUST_TEST_DATA_DIR must be defined by the build"
+#endif
+
+namespace estclust {
+namespace {
+
+std::string data_path(const std::string& name) {
+  return std::string(ESTCLUST_TEST_DATA_DIR) + "/" + name;
+}
+
+bool update_mode() {
+  const char* v = std::getenv("ESTCLUST_UPDATE_GOLDEN");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+pace::PaceConfig golden_config() {
+  pace::PaceConfig cfg;
+  cfg.gst.window = 6;
+  cfg.psi = 24;
+  cfg.batchsize = 20;
+  cfg.overlap.band = 8;
+  cfg.overlap.min_quality = 0.75;
+  cfg.overlap.min_overlap = 40;
+  return cfg;
+}
+
+/// Canonical partition text: one line per cluster, members ascending,
+/// clusters ordered by smallest member. Independent of label numbering.
+std::string canonical_clusters(const std::vector<std::uint32_t>& labels) {
+  std::vector<std::vector<std::uint32_t>> clusters;
+  std::vector<std::int64_t> slot(labels.size(), -1);
+  for (std::uint32_t i = 0; i < labels.size(); ++i) {
+    std::int64_t& s = slot[labels[i]];
+    if (s < 0) {
+      s = static_cast<std::int64_t>(clusters.size());
+      clusters.emplace_back();
+    }
+    clusters[static_cast<std::size_t>(s)].push_back(i);
+  }
+  // Members arrive in ascending order already; clusters are keyed by their
+  // first member, which is ascending too because slots are assigned on
+  // first sight. Sort anyway so the canonical form is self-evident.
+  std::sort(clusters.begin(), clusters.end());
+  std::ostringstream out;
+  for (const auto& c : clusters) {
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (i) out << ' ';
+      out << c[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+/// Exact decimal form of the virtual clock: 17 significant digits round-
+/// trip an IEEE double, so equal strings <=> bit-identical run-times.
+std::string format_time(double t) {
+  std::ostringstream out;
+  out << std::setprecision(17) << t;
+  return out.str();
+}
+
+struct GoldenRun {
+  std::string clusters;
+  std::string runtime_line;
+};
+
+GoldenRun run_fixture(const bio::EstSet& ests, int ranks, bool memo) {
+  pace::PaceConfig cfg = golden_config();
+  cfg.memo = memo;
+  GoldenRun out;
+  std::mutex mu;
+  mpr::Runtime rt(ranks, mpr::CostModel{});
+  rt.run([&](mpr::Communicator& comm) {
+    auto res = pace::cluster_parallel(comm, ests, cfg);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      out.clusters = canonical_clusters(res.labels);
+      std::ostringstream line;
+      line << "ranks=" << ranks << " memo=" << (memo ? "on" : "off")
+           << " t_total=" << format_time(res.stats.t_total)
+           << " clusters=" << res.stats.num_clusters;
+      out.runtime_line = line.str();
+    }
+  });
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+  out << content;
+}
+
+struct Fixture {
+  const char* name;
+  sim::SimConfig sim;
+};
+
+Fixture small_fixture() {
+  Fixture f;
+  f.name = "golden_small";
+  f.sim.num_genes = 6;
+  f.sim.num_ests = 80;
+  f.sim.est_len_mean = 220;
+  f.sim.est_len_stddev = 40;
+  f.sim.est_len_min = 80;
+  f.sim.sub_rate = 0.01;
+  f.sim.ins_rate = 0.002;
+  f.sim.del_rate = 0.002;
+  f.sim.seed = 20020811;
+  return f;
+}
+
+Fixture noisy_fixture() {
+  Fixture f;
+  f.name = "golden_noisy";
+  f.sim.num_genes = 10;
+  f.sim.num_ests = 120;
+  f.sim.est_len_mean = 260;
+  f.sim.est_len_stddev = 60;
+  f.sim.est_len_min = 90;
+  f.sim.sub_rate = 0.02;
+  f.sim.ins_rate = 0.005;
+  f.sim.del_rate = 0.005;
+  f.sim.seed = 4177;
+  return f;
+}
+
+void check_fixture(const Fixture& fix) {
+  const std::string fasta_path = data_path(std::string(fix.name) + ".fasta");
+  const std::string clusters_path =
+      data_path(std::string(fix.name) + ".clusters.txt");
+  const std::string runtimes_path =
+      data_path(std::string(fix.name) + ".runtimes.txt");
+
+  if (update_mode()) {
+    // Regenerate the FASTA fixture from its pinned simulator seed, so the
+    // fixture file itself is reproducible.
+    auto wl = sim::generate(fix.sim);
+    std::vector<bio::Sequence> seqs;
+    for (std::size_t i = 0; i < wl.ests.num_ests(); ++i) {
+      seqs.push_back(wl.ests.est(static_cast<bio::EstId>(i)));
+    }
+    bio::write_fasta_file(fasta_path, seqs);
+  }
+
+  bio::EstSet ests(bio::read_fasta_file(fasta_path));
+
+  std::string clusters;  // must be identical across every configuration
+  std::ostringstream runtimes;
+  for (int ranks : {1, 2, 4, 8}) {
+    for (bool memo : {false, true}) {
+      GoldenRun run = run_fixture(ests, ranks, memo);
+      if (clusters.empty()) {
+        clusters = run.clusters;
+      } else {
+        ASSERT_EQ(run.clusters, clusters)
+            << "partition differs at ranks=" << ranks
+            << " memo=" << (memo ? "on" : "off");
+      }
+      runtimes << run.runtime_line << '\n';
+    }
+  }
+
+  if (update_mode()) {
+    write_file(clusters_path, clusters);
+    write_file(runtimes_path, runtimes.str());
+    GTEST_SKIP() << "golden files regenerated for " << fix.name;
+  }
+
+  EXPECT_EQ(clusters, read_file(clusters_path))
+      << "cluster golden drifted for " << fix.name
+      << " (ESTCLUST_UPDATE_GOLDEN=1 regenerates after an intended change)";
+  EXPECT_EQ(runtimes.str(), read_file(runtimes_path))
+      << "modeled run-time golden drifted for " << fix.name
+      << " (ESTCLUST_UPDATE_GOLDEN=1 regenerates after an intended change)";
+}
+
+TEST(GoldenClusters, Small) { check_fixture(small_fixture()); }
+
+TEST(GoldenClusters, Noisy) { check_fixture(noisy_fixture()); }
+
+}  // namespace
+}  // namespace estclust

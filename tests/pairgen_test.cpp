@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <tuple>
 
 #include "bio/alphabet.hpp"
 #include "bio/dataset.hpp"
@@ -283,6 +284,65 @@ TEST(PairGenerator, BatchingIsEquivalentToDraining) {
     EXPECT_EQ(collected[i].match_len, all[i].match_len);
   }
 }
+
+/// Seed-parameterized stream properties. The master's flow control (and
+/// the adaptive batching on top of it) may slice the stream arbitrarily,
+/// so these invariants must hold for every batch size, not just the
+/// defaults the other tests use.
+class PairStreamProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PairStreamProperty, StreamIsSortedDuplicateFreeAndBatchInvariant) {
+  Prng rng(GetParam());
+  EstSet ests = overlap_ests(rng, 6 + rng.uniform(8), rng.uniform(4),
+                             180 + rng.uniform(120), 70 + rng.uniform(40));
+  const std::uint32_t psi = 10 + static_cast<std::uint32_t>(rng.uniform(8));
+  auto forest = gst::build_forest_sequential(ests, 3);
+
+  PairGenerator ref_gen(ests, forest, psi);
+  auto reference = drain(ref_gen);
+
+  // Non-increasing match length: the on-demand stream honours the
+  // decreasing-overlap-strength order of §3.2.
+  for (std::size_t i = 1; i < reference.size(); ++i) {
+    EXPECT_LE(reference[i].match_len, reference[i - 1].match_len)
+        << "seed " << GetParam() << " index " << i;
+  }
+
+  // Duplicate-free: one emission per (pair, orientation, anchor) record.
+  std::set<std::tuple<bio::EstId, bio::EstId, bool, std::uint32_t,
+                      std::uint32_t, std::uint32_t>>
+      seen;
+  for (const auto& p : reference) {
+    EXPECT_TRUE(
+        seen.insert({p.a, p.b, p.b_rc, p.a_pos, p.b_pos, p.match_len})
+            .second)
+        << "seed " << GetParam() << ": duplicate record (" << p.a << ","
+        << p.b << ")";
+  }
+
+  // Batch-size invariance: any slicing yields the identical record
+  // sequence.
+  for (std::size_t batch : {std::size_t{1}, std::size_t{3}, std::size_t{17},
+                            std::size_t{256}}) {
+    PairGenerator gen(ests, forest, psi);
+    std::vector<PromisingPair> got;
+    while (gen.next_batch(batch, got) > 0) {
+    }
+    ASSERT_EQ(got.size(), reference.size())
+        << "seed " << GetParam() << " batch " << batch;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_TRUE(got[i].a == reference[i].a && got[i].b == reference[i].b &&
+                  got[i].b_rc == reference[i].b_rc &&
+                  got[i].match_len == reference[i].match_len &&
+                  got[i].a_pos == reference[i].a_pos &&
+                  got[i].b_pos == reference[i].b_pos)
+          << "seed " << GetParam() << " batch " << batch << " index " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairStreamProperty,
+                         testing::Range<std::uint64_t>(40, 52));
 
 TEST(PairGenerator, NextBatchRespectsLimit) {
   Prng rng(24);

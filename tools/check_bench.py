@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Smoke-check the bench binaries' --json output.
+
+Runs bench_align_micro and bench_table3 on a tiny deterministic input,
+validates the schema of every emitted row, asserts the hot-path acceptance
+criteria (bounded+memo speedup, message reduction), and compares the
+DP-cells-per-accepted-pair numbers against the checked-in baseline JSON so
+a regression in the alignment engine fails ctest instead of silently
+shifting the bench tables.
+
+All quantities checked here are virtual-time work units (DP cells, message
+counts) from seeded workloads, so they are bit-deterministic across
+machines; the baseline tolerance exists only to keep small, deliberate
+retunings from needing a lockstep baseline update.
+
+Usage:
+  check_bench.py --align-micro BIN --table3 BIN --baseline FILE [--update]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+SMOKE_ESTS = "250"
+
+# A current value may exceed its baseline by this factor before the check
+# fails. Improvements (smaller values) always pass; --update re-bakes.
+TOLERANCE = 1.02
+
+# Acceptance criterion from the hot-path issue: bounded+memo must do at
+# least 1.5x fewer work units per accepted pair than the exact engine.
+MIN_SPEEDUP = 1.5
+
+failures = []
+
+
+def check(cond, msg):
+    if not cond:
+        failures.append(msg)
+        print("FAIL: " + msg)
+
+
+def run_bench(path):
+    cmd = [path, "--ests", SMOKE_ESTS, "--json"]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        sys.exit("%s exited with %d:\n%s" % (cmd, proc.returncode,
+                                             proc.stderr))
+    rows = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as e:
+            sys.exit("%s emitted a non-JSON line in --json mode: %r (%s)"
+                     % (path, line, e))
+        if not isinstance(row, dict) or "bench" not in row:
+            sys.exit("%s emitted a row without a 'bench' key: %r"
+                     % (path, line))
+        rows.append(row)
+    return rows
+
+
+def by_bench(rows, name):
+    return [r for r in rows if r["bench"] == name]
+
+
+def require_keys(rows, name, keys):
+    for r in rows:
+        for k in keys:
+            check(k in r, "%s row missing key %r: %r" % (name, k, r))
+
+
+def check_align_micro(rows):
+    engine = by_bench(rows, "align_micro")
+    kernels = by_bench(rows, "align_kernels")
+    require_keys(engine, "align_micro",
+                 ["mode", "pairs", "accepted", "dp_cells",
+                  "cells_per_accepted", "speedup_vs_exact"])
+    require_keys(kernels, "align_kernels", ["kernel", "len", "cells"])
+
+    modes = {r["mode"]: r for r in engine}
+    check(set(modes) == {"exact", "bounded", "bounded+memo"},
+          "align_micro modes are %s" % sorted(modes))
+    if set(modes) != {"exact", "bounded", "bounded+memo"}:
+        return {}
+    for r in engine:
+        check(r["pairs"] > 0 and r["accepted"] > 0 and r["dp_cells"] > 0,
+              "align_micro %s has a non-positive count: %r"
+              % (r["mode"], r))
+    check(modes["bounded"]["dp_cells"] <= modes["exact"]["dp_cells"],
+          "bounded mode did more DP work than exact")
+    check(modes["bounded+memo"]["speedup_vs_exact"] >= MIN_SPEEDUP,
+          "bounded+memo speedup %.3f < required %.1fx"
+          % (modes["bounded+memo"]["speedup_vs_exact"], MIN_SPEEDUP))
+
+    per_len = {}
+    for r in kernels:
+        per_len.setdefault(r["len"], {})[r["kernel"]] = r["cells"]
+    for length, cells in sorted(per_len.items()):
+        check(set(cells) == {"full NW", "banded global",
+                             "anchored extension"},
+              "align_kernels len %s kernels are %s"
+              % (length, sorted(cells)))
+        if "full NW" in cells and "banded global" in cells:
+            check(cells["banded global"] < cells["full NW"],
+                  "banding did not shrink the DP area at len %s" % length)
+        if "full NW" in cells and "anchored extension" in cells:
+            check(cells["anchored extension"] < cells["full NW"],
+                  "anchored extension >= full matrix at len %s" % length)
+
+    return {r["mode"]: r["cells_per_accepted"] for r in engine}
+
+
+def check_table3(rows):
+    table = by_bench(rows, "table3")
+    msgs = by_bench(rows, "table3_messages")
+    require_keys(table, "table3",
+                 ["p", "partitioning", "gst_build", "node_sorting",
+                  "alignment_loop", "total"])
+    require_keys(msgs, "table3_messages",
+                 ["p", "msgs_legacy", "msgs_hotpath", "t_legacy",
+                  "t_hotpath"])
+    check([r["p"] for r in table] == [8, 16, 32, 64, 128],
+          "table3 p values are %s" % [r.get("p") for r in table])
+    for r in table:
+        check(r["total"] > 0, "table3 p=%s has total <= 0" % r.get("p"))
+    for r in msgs:
+        check(r["msgs_hotpath"] <= r["msgs_legacy"],
+              "hot path sent MORE messages at p=%s (%s > %s)"
+              % (r.get("p"), r.get("msgs_hotpath"), r.get("msgs_legacy")))
+    return {str(r["p"]): r["msgs_hotpath"] for r in msgs}
+
+
+def check_baseline(baseline_path, current, update):
+    if update:
+        with open(baseline_path, "w") as f:
+            json.dump(current, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print("baseline updated: %s" % baseline_path)
+        return
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        sys.exit("baseline %s not found; run with --update to create it"
+                 % baseline_path)
+    check(baseline.get("ests") == current["ests"],
+          "baseline was baked at ests=%s, bench ran at ests=%s"
+          % (baseline.get("ests"), current["ests"]))
+    for section in ("cells_per_accepted", "msgs_hotpath"):
+        base = baseline.get(section, {})
+        cur = current[section]
+        check(set(base) == set(cur),
+              "baseline section %r keys %s != current %s"
+              % (section, sorted(base), sorted(cur)))
+        for key in sorted(set(base) & set(cur)):
+            check(cur[key] <= base[key] * TOLERANCE,
+                  "%s[%s] regressed: %s vs baseline %s"
+                  % (section, key, cur[key], base[key]))
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--align-micro", required=True)
+    ap.add_argument("--table3", required=True)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--update", action="store_true",
+                    help="re-bake the baseline JSON instead of checking")
+    args = ap.parse_args()
+
+    cells = check_align_micro(run_bench(args.align_micro))
+    msgs = check_table3(run_bench(args.table3))
+    check_baseline(args.baseline,
+                   {"ests": int(SMOKE_ESTS),
+                    "cells_per_accepted": cells,
+                    "msgs_hotpath": msgs},
+                   args.update)
+
+    if failures:
+        sys.exit("%d bench check(s) failed" % len(failures))
+    print("bench smoke checks passed")
+
+
+if __name__ == "__main__":
+    main()
