@@ -64,6 +64,7 @@ BaselineResult cluster_baseline(const bio::EstSet& ests,
     return candidates.size() * sizeof(Candidate);
   };
   bool aborted = false;
+  // ESTCLUST-SUPPRESS(determinism-unordered-iter): candidates are sorted and deduplicated below
   for (const auto& [key, occs] : index) {
     if (occs.size() > cfg.max_kmer_occ) continue;  // repeat masking
     for (std::size_t i = 0; i < occs.size() && !aborted; ++i) {

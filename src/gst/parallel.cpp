@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gst/wire.hpp"
 #include "mpr/message.hpp"
 #include "util/check.hpp"
 
@@ -73,12 +74,9 @@ std::vector<Tree> build_forest_parallel(mpr::Communicator& comm,
   // Phase 4: route suffixes to their bucket owners.
   std::vector<mpr::BufWriter> packs(p);
   for (const auto& bs : mine) {
-    mpr::BufWriter& w = packs[owner[bs.bucket]];
-    w.put<std::uint64_t>(bs.bucket);
-    w.put<std::uint32_t>(bs.occ.sid);
-    w.put<std::uint32_t>(bs.occ.pos);
+    encode_routed_suffix(packs[owner[bs.bucket]], bs);
   }
-  comm.charge(cm.byte_op, mine.size() * 16);
+  comm.charge(cm.byte_op, mine.size() * kRoutedSuffixBytes);
   mine.clear();
   mine.shrink_to_fit();
   std::vector<mpr::Buffer> sendbufs(p);
@@ -94,11 +92,7 @@ std::vector<Tree> build_forest_parallel(mpr::Communicator& comm,
   for (const auto& buf : recvbufs) {
     mpr::BufReader r(buf);
     while (!r.exhausted()) {
-      BucketedSuffix bs;
-      bs.bucket = r.get<std::uint64_t>();
-      bs.occ.sid = r.get<std::uint32_t>();
-      bs.occ.pos = r.get<std::uint32_t>();
-      owned.push_back(bs);
+      owned.push_back(decode_routed_suffix(r));
     }
   }
   recvbufs.clear();

@@ -1,0 +1,39 @@
+// Wire codec for the suffix-routing records of the parallel GST build.
+//
+// Phase 4 of build_forest_parallel ships every bucketed suffix to its
+// bucket's owner rank through the all-to-all. The record layout used to be
+// written and parsed inline at the two sites; naming the codec here keeps
+// the encoder and decoder adjacent so the static analyzer (tools/analyze,
+// rule `codec-symmetry`) can verify the field sequences stay mirrored.
+//
+// Wire layout (16 bytes per record, no length prefix -- the receiver
+// consumes records until the buffer is exhausted):
+//   u64 bucket, u32 sid, u32 pos.
+#pragma once
+
+#include <cstdint>
+
+#include "gst/builder.hpp"
+#include "mpr/message.hpp"
+
+namespace estclust::gst {
+
+/// Bytes one routed suffix occupies on the wire.
+inline constexpr std::size_t kRoutedSuffixBytes =
+    sizeof(std::uint64_t) + 2 * sizeof(std::uint32_t);
+
+inline void encode_routed_suffix(mpr::BufWriter& w, const BucketedSuffix& bs) {
+  w.put<std::uint64_t>(bs.bucket);
+  w.put<std::uint32_t>(bs.occ.sid);
+  w.put<std::uint32_t>(bs.occ.pos);
+}
+
+inline BucketedSuffix decode_routed_suffix(mpr::BufReader& r) {
+  BucketedSuffix bs;
+  bs.bucket = r.get<std::uint64_t>();
+  bs.occ.sid = r.get<std::uint32_t>();
+  bs.occ.pos = r.get<std::uint32_t>();
+  return bs;
+}
+
+}  // namespace estclust::gst

@@ -129,9 +129,8 @@ SlaveCounters Slave::run() {
 
     mpr::Message m = [&] {
       mpr::CheckOpScope check_scope(comm_, "pace.slave.await_assign");
-      return comm_.recv(0);
+      return comm_.recv(0, kTagAssign);
     }();
-    ESTCLUST_CHECK(m.tag == kTagAssign);
     AssignMsg assign = decode_assign(m.payload);
 
     // Honour the master's request E, generating on the fly if PAIRBUF

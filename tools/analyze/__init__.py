@@ -1,0 +1,15 @@
+"""estclust project-specific static analyzer (ctest `analyze`).
+
+Whole-program checks for the invariants the runtime checker (src/check)
+can only verify on executed paths:
+
+  * codec symmetry   -- encode_X/decode_X field sequences must mirror
+  * tag protocol     -- static send/recv matrix over the kTag* constants
+  * clock accounting -- accounted work paired with VirtualClock charges,
+                        plus structured determinism bans
+  * conventions      -- the repo lint rules (formerly tools/lint.py)
+
+Run from the repository root:  python3 tools/analyze [--json]
+"""
+
+__version__ = "1.0"

@@ -1,0 +1,14 @@
+"""Entry point so `python3 tools/analyze` works from the repo root."""
+
+import sys
+from pathlib import Path
+
+# When invoked as `python3 tools/analyze`, sys.path[0] is tools/analyze
+# itself; the package must be importable as `analyze` for its internal
+# imports, so put tools/ on the path.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from analyze.engine import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

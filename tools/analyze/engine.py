@@ -1,0 +1,154 @@
+"""Analyzer engine: file discovery, rule dispatch, suppressions,
+baseline comparison and reporting.
+
+Exit status: 0 when every violation is either suppressed in-source
+(`// ESTCLUST-SUPPRESS(rule): reason`) or present in the committed
+baseline (tools/analyze/baseline.json); 1 otherwise. The baseline is
+kept empty -- it exists so a future true positive that cannot be fixed
+immediately can be landed without weakening the gate for new code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from analyze import rules_clock, rules_codec, rules_conventions, rules_tags
+from analyze.srcmodel import SourceFile, Violation
+
+FAMILIES = {
+    "codec": lambda files, src_root: rules_codec.run(files),
+    "tags": lambda files, src_root: rules_tags.run(files),
+    "clock": lambda files, src_root: rules_clock.run(files),
+    "conventions": lambda files, src_root: rules_conventions.run(
+        files, src_root=src_root),
+}
+
+CPP_SUFFIXES = (".cpp", ".hpp")
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def discover(root: Path, roots: list[str]) -> list[SourceFile]:
+    files: list[SourceFile] = []
+    for base in roots:
+        base_path = root / base
+        if not base_path.exists():
+            continue
+        for path in sorted(base_path.rglob("*")):
+            if path.suffix not in CPP_SUFFIXES:
+                continue
+            rel = path.relative_to(root).as_posix()
+            if rel.startswith("tools/analyze/"):
+                continue  # fixtures carry seeded violations by design
+            files.append(SourceFile(path, rel))
+    return files
+
+
+def load_sources(root: Path, paths: list[Path]) -> list[SourceFile]:
+    return [SourceFile(p, p.resolve().relative_to(root).as_posix()
+                       if p.resolve().is_relative_to(root)
+                       else p.as_posix())
+            for p in paths]
+
+
+def analyze(files: list[SourceFile], src_root: Path | None,
+            families: list[str]) -> tuple[list[Violation], int]:
+    """Runs the requested rule families; returns (violations, suppressed
+    count) with suppressions already applied. `src_root` gates the
+    per-module conventions check (None for fixture runs)."""
+    raw: list[Violation] = []
+    for fam in families:
+        raw.extend(FAMILIES[fam](files, src_root))
+
+    by_rel = {f.rel: f for f in files}
+    kept: list[Violation] = []
+    suppressed = 0
+    for v in raw:
+        src = by_rel.get(v.file)
+        if src is not None:
+            s = src.suppression_for(v.line, v.rule)
+            if s is not None:
+                s.used = True
+                suppressed += 1
+                continue
+        kept.append(v)
+    kept.sort(key=lambda v: (v.file, v.line, v.rule))
+    return kept, suppressed
+
+
+def load_baseline(path: Path) -> set[tuple]:
+    if not path.exists():
+        return set()
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    return {(v["file"], v.get("line", 0), v["rule"])
+            for v in doc.get("violations", [])}
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="analyze", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*", type=Path,
+                    help="specific files to analyze (default: src/, tools/)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit a machine-readable JSON report")
+    ap.add_argument("--families", default="codec,tags,clock,conventions",
+                    help="comma-separated rule families to run")
+    ap.add_argument("--baseline", type=Path, default=None,
+                    help="baseline JSON (default: tools/analyze/"
+                         "baseline.json)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run the rule fixtures under tools/analyze/"
+                         "fixtures and verify every rule fires/stays quiet")
+    args = ap.parse_args(argv)
+
+    if args.selftest:
+        from analyze import selftest
+        return selftest.run()
+
+    root = repo_root()
+    families = [f.strip() for f in args.families.split(",") if f.strip()]
+    for fam in families:
+        if fam not in FAMILIES:
+            print(f"analyze: unknown rule family '{fam}'", file=sys.stderr)
+            return 2
+
+    if args.paths:
+        files = load_sources(root, args.paths)
+    else:
+        files = discover(root, ["src", "tools"])
+
+    violations, suppressed = analyze(files, root / "src", families)
+    baseline_path = args.baseline or (root / "tools/analyze/baseline.json")
+    baseline = load_baseline(baseline_path)
+    new = [v for v in violations if v.key() not in baseline]
+    known = [v for v in violations if v.key() in baseline]
+
+    if args.json:
+        print(json.dumps({
+            "files_checked": len(files),
+            "families": families,
+            "suppressed": suppressed,
+            "baseline": len(known),
+            "violations": [
+                {"file": v.file, "line": v.line, "rule": v.rule,
+                 "message": v.message} for v in new],
+        }, indent=2))
+    else:
+        if new:
+            print(f"analyze: {len(new)} violation(s):")
+            for v in new:
+                print(f"  {v.render()}")
+        if known:
+            print(f"analyze: {len(known)} baselined violation(s) "
+                  "(fix and shrink the baseline)")
+        if not new:
+            print(f"analyze: OK ({len(files)} files, "
+                  f"{len(families)} rule families, "
+                  f"{suppressed} suppressed)")
+    return 1 if new else 0

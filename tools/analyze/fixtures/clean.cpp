@@ -1,0 +1,61 @@
+// Fixture: exercises every construct the rules inspect, correctly. The
+// selftest requires zero violations from this file -- every rule family
+// must stay quiet on conforming code.
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "mpr/communicator.hpp"
+#include "util/check.hpp"
+
+namespace estclust::fixture {
+
+inline constexpr int kTagCleanPing = 110;
+
+struct CleanMsg {
+  std::uint32_t id = 0;
+  std::vector<std::uint64_t> counts;
+};
+
+mpr::Buffer encode_cleanfix(const CleanMsg& m) {
+  mpr::BufWriter w;
+  w.put<std::uint32_t>(m.id);
+  w.put_vec(m.counts);
+  return w.take();
+}
+
+CleanMsg decode_cleanfix(const mpr::Buffer& b) {
+  mpr::BufReader r(b);
+  CleanMsg m;
+  m.id = r.get<std::uint32_t>();
+  m.counts = r.get_vec<std::uint64_t>();
+  return m;
+}
+
+void ping(mpr::Communicator& comm, std::uint64_t cells) {
+  ESTCLUST_CHECK(comm.size() > 1);
+  CleanMsg msg;
+  msg.id = 7;
+  comm.send(1, kTagCleanPing, encode_cleanfix(msg));
+
+  // Accounted work paired with its charge in the same file.
+  std::uint64_t dp_cells = 0;
+  dp_cells += cells;
+  comm.charge(comm.cost_model().dp_cell, cells);
+  comm.metrics().counter("pace.dp_cells").add(dp_cells);
+
+  // Ordered container iteration: deterministic.
+  std::map<int, int> ordered;
+  for (const auto& [k, v] : ordered) {
+    comm.charge(comm.cost_model().byte_op, static_cast<std::uint64_t>(v));
+  }
+
+  mpr::Message m = [&] {
+    mpr::CheckOpScope scope(comm, "fixture_clean.await_ping");
+    return comm.recv(0, kTagCleanPing);
+  }();
+  CleanMsg got = decode_cleanfix(m.payload);
+  ESTCLUST_CHECK(got.id == msg.id);
+}
+
+}  // namespace estclust::fixture

@@ -1,0 +1,48 @@
+// Fixture: clock-accounting and determinism violations. The file
+// references a Communicator, so it participates in virtual-time
+// modeling and the full rule set applies.
+#include <map>
+#include <unordered_map>
+
+#include "mpr/communicator.hpp"
+#include "util/timer.hpp"
+
+namespace estclust::fixture {
+
+struct Node {
+  int depth = 0;
+};
+
+void hot_loop(mpr::Communicator& comm, std::uint64_t cells) {
+  std::uint64_t dp_cells = 0;
+  std::uint64_t chars_scanned = 0;
+
+  // Accounted work bumped but never charged to the VirtualClock: the
+  // modeled run-time silently under-reports the DP sweep.
+  dp_cells += cells;  // ESTCLUST-EXPECT(clock-accounting)
+  comm.metrics().counter("pace.dp_cells").add(dp_cells);  // ESTCLUST-EXPECT(clock-accounting)
+
+  // chars_scanned IS paired with its charge: no violation here.
+  chars_scanned += cells;
+  comm.charge(comm.cost_model().char_op, chars_scanned);
+
+  // Wall clock in a virtual-time file.
+  WallTimer wall;  // ESTCLUST-EXPECT(determinism-wall-clock)
+
+  // Unseeded randomness.
+  int jitter = rand();  // ESTCLUST-EXPECT(determinism-rand)
+
+  // Iteration order of an unordered container feeds the clock charge.
+  std::unordered_map<int, std::uint64_t> per_bucket;
+  per_bucket[jitter] = cells;
+  for (const auto& [bucket, n] : per_bucket) {  // ESTCLUST-EXPECT(determinism-unordered-iter)
+    comm.charge(comm.cost_model().pair_op, n);
+  }
+
+  // Pointer-keyed map: iteration order depends on the allocator.
+  std::map<Node*, int> depth_of;  // ESTCLUST-EXPECT(determinism-pointer-key)
+  (void)depth_of;
+  (void)wall;
+}
+
+}  // namespace estclust::fixture

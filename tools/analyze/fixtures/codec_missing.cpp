@@ -1,0 +1,18 @@
+// Fixture: a one-sided codec. An encoder whose decoder does not exist
+// anywhere in the scanned sources means some peer parses the message by
+// hand -- exactly the drift codec-symmetry exists to prevent.
+#include "mpr/message.hpp"
+
+namespace estclust::fixture {
+
+struct LonelyMsg {
+  std::uint64_t payload = 0;
+};
+
+mpr::Buffer encode_lonelyfix(const LonelyMsg& m) {  // ESTCLUST-EXPECT(codec-symmetry)
+  mpr::BufWriter w;
+  w.put<std::uint64_t>(m.payload);
+  return w.take();
+}
+
+}  // namespace estclust::fixture

@@ -1,0 +1,49 @@
+// Fixture: codec with swapped fields and a truncated decoder. Never
+// compiled; scanned by `python3 tools/analyze --selftest`, which maps it
+// to a pseudo src/ path. ESTCLUST-EXPECT markers name the violations the
+// rule must report on those exact lines.
+#include "mpr/message.hpp"
+
+namespace estclust::fixture {
+
+struct SwapMsg {
+  std::uint32_t first = 0;
+  std::uint64_t second = 0;
+  std::vector<std::uint32_t> items;
+};
+
+mpr::Buffer encode_swapfix(const SwapMsg& m) {
+  mpr::BufWriter w;
+  w.put<std::uint64_t>(m.second);  // ESTCLUST-EXPECT(codec-symmetry)
+  w.put<std::uint32_t>(m.first);   // ESTCLUST-EXPECT(codec-symmetry)
+  w.put_vec(m.items);
+  return w.take();
+}
+
+SwapMsg decode_swapfix(const mpr::Buffer& b) {
+  mpr::BufReader r(b);
+  SwapMsg m;
+  m.first = r.get<std::uint32_t>();
+  m.second = r.get<std::uint64_t>();
+  m.items = r.get_vec<std::uint32_t>();
+  return m;
+}
+
+mpr::Buffer encode_truncfix(const SwapMsg& m) {  // ESTCLUST-EXPECT(codec-symmetry)
+  mpr::BufWriter w;
+  w.put<std::uint32_t>(m.first);
+  w.put<std::uint64_t>(m.second);
+  w.put_vec(m.items);
+  return w.take();
+}
+
+SwapMsg decode_truncfix(const mpr::Buffer& b) {
+  mpr::BufReader r(b);
+  SwapMsg m;
+  m.first = r.get<std::uint32_t>();
+  m.second = r.get<std::uint64_t>();
+  // items never read: the decoder drops the last field.
+  return m;
+}
+
+}  // namespace estclust::fixture

@@ -1,0 +1,16 @@
+// Fixture: the repo-convention violations formerly policed by
+// tools/lint.py, one per line.
+#include <cassert>  // ESTCLUST-EXPECT(conventions-assert)
+#include <chrono>
+#include <thread>
+
+using namespace std;  // ESTCLUST-EXPECT(conventions-using-std)
+
+namespace estclust::fixture {
+
+void careless(int x) {
+  assert(x > 0);  // ESTCLUST-EXPECT(conventions-assert)
+  std::this_thread::sleep_for(std::chrono::milliseconds(x));  // ESTCLUST-EXPECT(conventions-sleep)
+}
+
+}  // namespace estclust::fixture

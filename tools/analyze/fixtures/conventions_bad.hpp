@@ -1,0 +1,9 @@
+// Fixture: header without #pragma once. ESTCLUST-EXPECT(conventions-pragma-once)
+#ifndef ESTCLUST_FIXTURE_CONVENTIONS_BAD_HPP
+#define ESTCLUST_FIXTURE_CONVENTIONS_BAD_HPP
+
+namespace estclust::fixture {
+inline int answer() { return 42; }
+}  // namespace estclust::fixture
+
+#endif

@@ -1,0 +1,34 @@
+// Fixture: seeded violations silenced by per-line suppressions, proving
+// the `// ESTCLUST-SUPPRESS(rule): reason` machinery. The selftest
+// requires zero reported violations from this file AND exactly four used
+// suppressions. ESTCLUST-EXPECT-SUPPRESSED(4)
+#include <unordered_map>
+
+#include "mpr/communicator.hpp"
+#include "util/timer.hpp"
+
+namespace estclust::fixture {
+
+void tolerated(mpr::Communicator& comm) {
+  // Trailing form, exact rule id.
+  int jitter = rand();  // ESTCLUST-SUPPRESS(determinism-rand): fixture exercises trailing suppression
+
+  // Preceding-line form.
+  // ESTCLUST-SUPPRESS(determinism-wall-clock): fixture exercises preceding-line suppression
+  WallTimer wall;
+
+  // Family-prefix form: "determinism" covers determinism-unordered-iter.
+  std::unordered_map<int, int> bag;
+  bag[jitter] = 1;
+  // ESTCLUST-SUPPRESS(determinism): fixture exercises family-prefix suppression
+  for (const auto& [k, v] : bag) {
+    comm.charge(comm.cost_model().byte_op, static_cast<std::uint64_t>(v));
+  }
+
+  // Multi-rule list form.
+  std::uint64_t dp_cells = 0;
+  dp_cells += 1;  // ESTCLUST-SUPPRESS(clock-accounting, determinism-rand): fixture exercises rule-list suppression
+  (void)wall;
+}
+
+}  // namespace estclust::fixture

@@ -1,0 +1,27 @@
+// Fixture: every way the tag protocol can rot. The selftest maps this
+// file to a pseudo src/ module, so the role/module logic runs exactly as
+// it does on src/pace and src/gst.
+#include "mpr/communicator.hpp"
+
+namespace estclust::fixture {
+
+inline constexpr int kTagOrphan = 101;
+inline constexpr int kTagGhost = 102;
+inline constexpr int kTagDead = 103;   // ESTCLUST-EXPECT(tag-protocol)
+// Duplicate wire value AND never used (two violations on one line).
+inline constexpr int kTagTwin = 101;   // ESTCLUST-EXPECT(tag-protocol) ESTCLUST-EXPECT(tag-protocol)
+
+void chatter(mpr::Communicator& comm) {
+  mpr::Buffer empty;
+  // Sent but no role ever receives it: queued forever.
+  comm.send(1, kTagOrphan, empty);  // ESTCLUST-EXPECT(tag-protocol)
+
+  // Received but no role ever sends it: can never be satisfied. Also
+  // lacks a CheckOpScope label (two violations on one line).
+  mpr::Message g = comm.recv(0, kTagGhost);  // ESTCLUST-EXPECT(tag-protocol) ESTCLUST-EXPECT(tag-protocol)
+
+  // Wildcard receive: bypasses the static matrix entirely.
+  mpr::Message any = comm.recv(0);  // ESTCLUST-EXPECT(tag-protocol)
+}
+
+}  // namespace estclust::fixture

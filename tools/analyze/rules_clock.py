@@ -1,0 +1,139 @@
+"""Rule family 3: clock accounting & determinism.
+
+Virtual-time correctness rests on two conventions a compiler cannot see:
+
+  * `clock-accounting` -- accounted hot-loop work (DP cells filled,
+    characters scanned) published into the metrics registry or per-rank
+    counters must be charged to the VirtualClock in the same file.
+    A counter bump without a matching charge() means the modeled
+    run-time silently under-reports that work (the runtime checker's
+    finalize audit can only catch this on executed paths). Files that
+    never touch a Communicator are exempt: pure builders return their
+    counters to a caller who charges.
+
+  * determinism bans, structured versions of the repo conventions:
+      - `determinism-wall-clock`: wall-clock time sources in a file
+        that participates in virtual-time modeling. Rank time is
+        mpr::VirtualClock; wall-clock reads make modeled run-times
+        scheduling-dependent. (Serial baselines measure wall time by
+        design and never touch a Communicator, so they are exempt.)
+      - `determinism-rand`: std::rand/srand/random_device/mt19937
+        anywhere in src/ -- all randomness flows through util/prng
+        (xoshiro256**, seeded, specified output).
+      - `determinism-unordered-iter`: range-for over a container
+        declared std::unordered_* in the same file. Iteration order is
+        implementation-defined; if the loop feeds output, clusters or
+        clock charges the run is non-reproducible. Order-independent
+        reductions must say so with a suppression.
+      - `determinism-pointer-key`: map/set keyed by pointer; iteration
+        order then depends on the allocator.
+"""
+
+from __future__ import annotations
+
+import re
+
+from analyze.srcmodel import SourceFile, Violation
+
+# Accounted-work counter -> the CostModel unit that must be charged in
+# the same file.
+ACCOUNTED = {
+    "dp_cells": "dp_cell",
+    "chars_scanned": "char_op",
+}
+
+WALL_CLOCK_RE = re.compile(
+    r"\b(steady_clock|system_clock|high_resolution_clock|WallTimer|"
+    r"PhaseTimer)\b")
+RAND_RE = re.compile(
+    r"\b(?:std::)?(rand|srand)\s*\(|\b(random_device|mt19937(?:_64)?)\b")
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s+(\w+)\s*[;={(]")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;()]*?:\s*([\w.\->]+)\s*\)")
+POINTER_KEY_RE = re.compile(
+    r"\b(?:unordered_)?(?:map|set|multimap|multiset)\s*<\s*[\w:]+\s*\*")
+
+
+def _participates_in_vtime(src: SourceFile) -> bool:
+    return bool(re.search(r"\bCommunicator\b|\bVirtualClock\b|\.charge\(",
+                          src.code))
+
+
+def run(files: list[SourceFile]) -> list[Violation]:
+    out: list[Violation] = []
+    for f in files:
+        vtime = _participates_in_vtime(f)
+
+        # clock-accounting: counter bumps must pair with a charge().
+        if vtime:
+            bumps: list[tuple[str, str, int]] = []  # (counter, how, line)
+            # Metrics publications name the counter inside a string
+            # literal, which the code view blanks: scan raw lines, but
+            # only where the code view confirms a counter(...).add call
+            # (so a comment quoting the pattern cannot match).
+            publish_re = re.compile(r'counter\(\s*"[\w.]*?\b(' +
+                                    "|".join(ACCOUNTED) + r')"\s*\)\s*\.add')
+            for lineno, line in enumerate(f.lines, 1):
+                code_line = f.code_lines[lineno - 1] \
+                    if lineno - 1 < len(f.code_lines) else ""
+                if "counter(" not in code_line:
+                    continue
+                m = publish_re.search(line)
+                if m:
+                    bumps.append((m.group(1),
+                                  "published to the metrics registry",
+                                  lineno))
+            accum_re = re.compile(r"\b(" + "|".join(ACCOUNTED) + r")\s*\+=")
+            for m in accum_re.finditer(f.code):
+                bumps.append((m.group(1),
+                              "accumulated into per-rank counters",
+                              f.line_of(m.start())))
+            for name, how, lineno in bumps:
+                unit = ACCOUNTED[name]
+                if not re.search(r"charge\([^;]*\b" + unit + r"\b", f.code):
+                    out.append(Violation(
+                        f.rel, lineno, "clock-accounting",
+                        f"accounted work '{name}' is {how} but this file "
+                        f"never charges cost_model().{unit} to the "
+                        "VirtualClock: modeled run-time under-reports "
+                        "this work"))
+
+        # determinism-wall-clock (only in virtual-time-modeled files).
+        if vtime:
+            for m in WALL_CLOCK_RE.finditer(f.code):
+                out.append(Violation(
+                    f.rel, f.line_of(m.start()), "determinism-wall-clock",
+                    f"wall-clock source '{m.group(1)}' in a file that "
+                    "models virtual time; rank time is mpr::VirtualClock"))
+
+        # determinism-rand.
+        if not f.rel.startswith("src/util/prng"):
+            for m in RAND_RE.finditer(f.code):
+                what = m.group(1) or m.group(2)
+                out.append(Violation(
+                    f.rel, f.line_of(m.start()), "determinism-rand",
+                    f"'{what}' bypasses util/prng; all randomness must be "
+                    "seeded and reproducible"))
+
+        # determinism-unordered-iter.
+        unordered_vars = {m.group(1)
+                          for m in UNORDERED_DECL_RE.finditer(f.code)}
+        if unordered_vars:
+            for m in RANGE_FOR_RE.finditer(f.code):
+                target = m.group(1).split(".")[-1].split(">")[-1]
+                if target in unordered_vars:
+                    out.append(Violation(
+                        f.rel, f.line_of(m.start()),
+                        "determinism-unordered-iter",
+                        f"iteration over unordered container '{target}': "
+                        "order is implementation-defined; sort first, or "
+                        "suppress with the reason the loop is "
+                        "order-independent"))
+
+        # determinism-pointer-key.
+        for m in POINTER_KEY_RE.finditer(f.code):
+            out.append(Violation(
+                f.rel, f.line_of(m.start()), "determinism-pointer-key",
+                "container keyed by pointer: iteration order depends on "
+                "allocation; key by a stable id instead"))
+    return out

@@ -1,0 +1,165 @@
+"""Rule family 1: codec symmetry (rule id `codec-symmetry`).
+
+Every wire codec in this repo is a pair of free functions named
+encode_X / decode_X whose bodies are straight-line sequences of
+BufWriter::put* / BufReader::get* calls. The rule extracts both field
+sequences and verifies they mirror each other:
+
+  * same number of fields,
+  * matching kind at every position (scalar / vector / string),
+  * matching element type where both sides state one -- scalars carry an
+    explicit template argument on both sides; vector element types on the
+    encode side are resolved through the message struct's field
+    declarations (put_vec(m.results) -> ReportMsg::results ->
+    std::vector<WireResult>).
+
+An encode_X without a decode_X (or vice versa) is itself a violation:
+a one-sided codec means some peer parses the message by hand, which is
+exactly the drift this rule exists to prevent.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from analyze.srcmodel import (Function, SourceFile, Violation, match_paren,
+                              normalize_type, split_args)
+
+RULE = "codec-symmetry"
+
+PUT_RE = re.compile(r"\b(\w+)\.(put(?:_vec|_string)?)\s*(<)?")
+GET_RE = re.compile(r"\b(\w+)\.(get(?:_vec|_string)?)\s*(<)?")
+
+
+@dataclass
+class WireField:
+    kind: str  # "scalar" | "vec" | "string"
+    type: str | None  # normalized element/value type, None = unknown
+    line: int
+
+    def describe(self) -> str:
+        t = self.type or "?"
+        return {"scalar": t, "vec": f"vector<{t}>",
+                "string": "string"}[self.kind]
+
+
+def _vec_element(normalized: str) -> str | None:
+    m = re.match(r"vector<(.+)>$", normalized)
+    return m.group(1) if m else None
+
+
+def _param_binding(fn: Function) -> tuple[str, str] | None:
+    """(param name, struct type) of the message argument, e.g.
+    encode_report(const ReportMsg& m) -> ("m", "ReportMsg")."""
+    for arg in split_args(fn.params):
+        m = re.match(r"(?:const\s+)?([\w:]+)\s*&?\s*(\w+)$", arg.strip())
+        if m and (m.group(1).endswith("Msg") or "::" not in m.group(1)):
+            t = m.group(1).split("::")[-1]
+            if t not in ("BufWriter", "BufReader", "Buffer"):
+                return (m.group(2), t)
+    return None
+
+
+def _extract_calls(src: SourceFile, fn: Function, call_re: re.Pattern,
+                   structs: dict[str, dict[str, str]]) -> list[WireField]:
+    fields: list[WireField] = []
+    binding = _param_binding(fn)
+    for m in call_re.finditer(fn.body):
+        method = m.group(2)
+        abs_pos = fn.body_offset + m.start()
+        line = src.line_of(abs_pos)
+        # Explicit template argument, if any.
+        ttype: str | None = None
+        try:
+            if m.group(3):  # saw '<' -- template argument follows
+                close = fn.body.index(">", m.end())
+                ttype = normalize_type(fn.body[m.end():close])
+                call_open = fn.body.index("(", close)
+            else:
+                call_open = fn.body.index("(", m.end() - 1)
+        except ValueError:
+            continue
+        call_close = match_paren(fn.body, call_open)
+        arg = fn.body[call_open + 1:call_close].strip() if call_close > 0 \
+            else ""
+        if method == "put":
+            fields.append(WireField("scalar", ttype, line))
+        elif method == "get":
+            fields.append(WireField("scalar", ttype, line))
+        elif method == "put_string" or method == "get_string":
+            fields.append(WireField("string", "string", line))
+        elif method == "get_vec":
+            fields.append(WireField("vec", ttype, line))
+        elif method == "put_vec":
+            elem = ttype
+            if elem is None and binding is not None:
+                pname, ptype = binding
+                fm = re.match(re.escape(pname) + r"\.(\w+)$", arg)
+                if fm and ptype in structs:
+                    declared = structs[ptype].get(fm.group(1))
+                    if declared:
+                        elem = _vec_element(declared)
+            fields.append(WireField("vec", elem, line))
+    return fields
+
+
+def run(files: list[SourceFile]) -> list[Violation]:
+    # Struct field tables from every scanned file (message structs live in
+    # headers; codecs in .cpp files).
+    structs: dict[str, dict[str, str]] = {}
+    for f in files:
+        structs.update(f.struct_fields())
+
+    encoders: dict[str, tuple[SourceFile, list[WireField]]] = {}
+    decoders: dict[str, tuple[SourceFile, list[WireField]]] = {}
+    heads: dict[str, tuple[str, int]] = {}
+    for f in files:
+        for fn in f.functions(r"(?:encode|decode)_\w+"):
+            suffix = fn.name.split("_", 1)[1]
+            call_re = PUT_RE if fn.name.startswith("encode") else GET_RE
+            seq = _extract_calls(f, fn, call_re, structs)
+            target = encoders if fn.name.startswith("encode") else decoders
+            if suffix in target:
+                continue  # duplicate definition; first one wins
+            target[suffix] = (f, seq)
+            heads.setdefault(fn.name, (f.rel, fn.start_line))
+
+    out: list[Violation] = []
+    for suffix in sorted(set(encoders) | set(decoders)):
+        if suffix not in decoders:
+            f, _ = encoders[suffix]
+            rel, line = heads[f"encode_{suffix}"]
+            out.append(Violation(rel, line, RULE,
+                                 f"encode_{suffix} has no matching "
+                                 f"decode_{suffix} in the scanned sources"))
+            continue
+        if suffix not in encoders:
+            f, _ = decoders[suffix]
+            rel, line = heads[f"decode_{suffix}"]
+            out.append(Violation(rel, line, RULE,
+                                 f"decode_{suffix} has no matching "
+                                 f"encode_{suffix} in the scanned sources"))
+            continue
+        ef, eseq = encoders[suffix]
+        df, dseq = decoders[suffix]
+        if len(eseq) != len(dseq):
+            out.append(Violation(
+                ef.rel, heads[f"encode_{suffix}"][1], RULE,
+                f"codec '{suffix}': encoder writes {len(eseq)} field(s) but "
+                f"decoder reads {len(dseq)} "
+                f"({df.rel}:{heads[f'decode_{suffix}'][1]})"))
+        for i, (e, d) in enumerate(zip(eseq, dseq)):
+            # Types conflict when both sides state one and they differ
+            # even after dropping namespace qualification (the encoder
+            # side resolves through struct declarations, which may spell
+            # the namespace; the decoder's template argument may not).
+            conflict = (e.type and d.type and e.type != d.type and
+                        e.type.split("::")[-1] != d.type.split("::")[-1])
+            if e.kind != d.kind or conflict:
+                out.append(Violation(
+                    ef.rel, e.line, RULE,
+                    f"codec '{suffix}' field {i}: encoder writes "
+                    f"{e.describe()} but decoder reads {d.describe()} "
+                    f"({df.rel}:{d.line})"))
+    return out

@@ -1,0 +1,198 @@
+"""Rule family 2: tag protocol (rule id `tag-protocol`).
+
+Builds the static send -> recv matrix of the master/slave/gst protocol
+from every `comm.send(...)` / `comm.recv(...)` site and the `kTag*`
+constants, then checks:
+
+  * every tag that is sent is also received by some role, and vice
+    versa (a sent-but-never-received tag is a queued-forever message;
+    a received-but-never-sent tag is a receive that can never be
+    satisfied);
+  * a declared kTag* constant that is neither sent nor received is dead
+    protocol surface (the PR 3 removal of kTagStop is the precedent);
+  * two kTag* constants must not share a wire value;
+  * protocol sites outside src/mpr must name their tag: a send with a
+    computed tag or a blocking recv with a wildcard tag bypasses the
+    static matrix entirely;
+  * every blocking protocol recv must sit directly under a CheckOpScope
+    whose label's first segment names the module (e.g.
+    "pace.master.await_report" in src/pace), so the runtime checker's
+    wait-for-graph reports and this static matrix describe the same
+    operations.
+
+The mpr runtime itself (src/mpr) is exempt: its collectives use
+internally-generated tags above kInternalTagBase and carry their own
+"mpr.*" scopes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import PurePosixPath
+
+from analyze.srcmodel import SourceFile, Violation, match_paren, split_args
+
+RULE = "tag-protocol"
+
+DECL_RE = re.compile(r"\bconstexpr\s+int\s+(kTag\w+)\s*=\s*(\d+)\s*;")
+CALL_RE = re.compile(r"\b(?:\w+)(?:\.|->)(send|recv|try_recv|probe)\s*\(")
+
+
+@dataclass
+class Site:
+    file: SourceFile
+    line: int
+    op: str  # send | recv | try_recv | probe
+    role: str
+    tag: str | None  # kTag* name, or None for wildcard/computed
+
+
+def role_of(rel: str) -> str:
+    p = PurePosixPath(rel)
+    parts = p.parts
+    if len(parts) >= 3 and parts[0] == "src":
+        module = parts[1]
+        stem = p.stem
+        if module == "pace" and stem in ("master", "slave"):
+            return f"pace.{stem}"
+        return module
+    return p.stem
+
+
+def module_of(rel: str) -> str | None:
+    parts = PurePosixPath(rel).parts
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return None
+
+
+def _scope_labels(src: SourceFile) -> dict[int, str]:
+    """line -> label for every CheckOpScope construction. The label is a
+    string literal, so it is read from the raw text (the code view blanks
+    strings)."""
+    labels: dict[int, str] = {}
+    for m in re.finditer(r"\bCheckOpScope\s+\w+\s*\(", src.code):
+        line = src.line_of(m.start())
+        # The literal may sit on this raw line or the next (clang-format
+        # wraps long constructor calls).
+        for lineno in (line, line + 1):
+            if lineno - 1 < len(src.lines):
+                lm = re.search(r'"([^"]+)"', src.lines[lineno - 1])
+                if lm:
+                    labels[line] = lm.group(1)
+                    break
+    return labels
+
+
+def run(files: list[SourceFile]) -> list[Violation]:
+    out: list[Violation] = []
+
+    decls: dict[str, tuple[str, int, int]] = {}  # name -> (file, line, value)
+    for f in files:
+        for m in DECL_RE.finditer(f.code):
+            decls[m.group(1)] = (f.rel, f.line_of(m.start()),
+                                 int(m.group(2)))
+
+    # Duplicate wire values.
+    by_value: dict[int, list[str]] = {}
+    for name, (_, _, value) in sorted(decls.items()):
+        by_value.setdefault(value, []).append(name)
+    for value, names in sorted(by_value.items()):
+        if len(names) > 1:
+            rel, line, _ = decls[names[1]]
+            out.append(Violation(rel, line, RULE,
+                                 f"tags {', '.join(names)} share wire value "
+                                 f"{value}"))
+
+    sites: list[Site] = []
+    for f in files:
+        if module_of(f.rel) == "mpr":
+            continue  # runtime-internal traffic: dynamic tags by design
+        role = role_of(f.rel)
+        for m in CALL_RE.finditer(f.code):
+            op = m.group(1)
+            open_idx = m.end() - 1
+            close_idx = match_paren(f.code, open_idx)
+            if close_idx < 0:
+                continue
+            args = split_args(f.code[open_idx + 1:close_idx])
+            line = f.line_of(m.start())
+            tag: str | None = None
+            if op == "send":
+                if len(args) < 3:
+                    continue  # not a Communicator::send
+                tm = re.search(r"\bkTag\w+\b", args[1])
+                tag = tm.group(0) if tm else None
+                if tag is None:
+                    out.append(Violation(
+                        f.rel, line, RULE,
+                        f"send with non-constant tag '{args[1]}' outside "
+                        "src/mpr; protocol sends must name a kTag* constant"))
+                    continue
+            else:
+                # recv(src, tag) / try_recv / probe. Wildcard tag = fewer
+                # than two arguments or a non-kTag second argument.
+                if len(args) >= 2:
+                    tm = re.search(r"\bkTag\w+\b", args[1])
+                    tag = tm.group(0) if tm else None
+                if tag is None:
+                    out.append(Violation(
+                        f.rel, line, RULE,
+                        f"{op} with a wildcard/computed tag outside src/mpr; "
+                        "protocol receives must name a kTag* constant so the "
+                        "static send/recv matrix stays closed"))
+                    continue
+            sites.append(Site(f, line, op, role, tag))
+
+    # The send -> recv matrix.
+    senders: dict[str, list[Site]] = {}
+    receivers: dict[str, list[Site]] = {}
+    for s in sites:
+        (senders if s.op == "send" else receivers).setdefault(
+            s.tag, []).append(s)
+
+    for tag in sorted(senders):
+        if tag not in receivers:
+            s = senders[tag][0]
+            out.append(Violation(
+                s.file.rel, s.line, RULE,
+                f"{tag} is sent by role '{s.role}' but no role ever "
+                "receives it: the message would sit queued forever"))
+    for tag in sorted(receivers):
+        if tag not in senders:
+            s = receivers[tag][0]
+            out.append(Violation(
+                s.file.rel, s.line, RULE,
+                f"role '{s.role}' receives {tag} but no role ever sends "
+                "it: this receive can never be satisfied"))
+    used = set(senders) | set(receivers)
+    for tag in sorted(decls):
+        if tag not in used:
+            rel, line, _ = decls[tag]
+            out.append(Violation(rel, line, RULE,
+                                 f"{tag} is declared but never sent or "
+                                 "received: dead protocol surface"))
+
+    # CheckOpScope labels on blocking protocol receives.
+    for s in sites:
+        if s.op != "recv":
+            continue
+        module = module_of(s.file.rel)
+        if module is None:
+            continue
+        labels = _scope_labels(s.file)
+        near = [lab for line, lab in labels.items()
+                if 0 <= s.line - line <= 5]
+        if not near:
+            out.append(Violation(
+                s.file.rel, s.line, RULE,
+                f"blocking recv of {s.tag} has no CheckOpScope label; wrap "
+                "it so the runtime checker's wait-for-graph names this "
+                "operation"))
+        elif not any(lab.split(".")[0] == module for lab in near):
+            out.append(Violation(
+                s.file.rel, s.line, RULE,
+                f"CheckOpScope label '{near[-1]}' does not start with this "
+                f"module's name '{module}.'"))
+    return out

@@ -1,0 +1,97 @@
+"""Analyzer selftest (ctest `analyze_selftest`).
+
+Runs every rule family over the seeded fixtures in
+tools/analyze/fixtures/ and verifies:
+
+  * each fixture's `// ESTCLUST-EXPECT(rule)` markers match the reported
+    violations exactly -- same file, same line, same rule, same count --
+    so every rule family provably fires where it must;
+  * the clean fixture yields zero violations -- rules stay quiet on
+    conforming code;
+  * the suppression fixture reports nothing and its
+    `ESTCLUST-EXPECT-SUPPRESSED(n)` count matches the suppressions the
+    engine actually consumed.
+
+Fixtures are mapped to pseudo paths src/fixture_<stem>/<name> so the
+module- and role-sensitive logic (tag matrix roles, CheckOpScope label
+prefixes, src/-only convention rules) runs exactly as it does on the
+real tree.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+
+from analyze.engine import analyze
+from analyze.srcmodel import (EXPECT_RE, EXPECT_SUPPRESSED_RE, SourceFile)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def run() -> int:
+    files: list[SourceFile] = []
+    expected: Counter = Counter()
+    expected_suppressed = 0
+    for path in sorted(FIXTURES.glob("*")):
+        if path.suffix not in (".cpp", ".hpp"):
+            continue
+        rel = f"src/fixture_{path.stem}/{path.name}"
+        src = SourceFile(path, rel)
+        files.append(src)
+        for lineno, line in enumerate(src.lines, 1):
+            for m in EXPECT_RE.finditer(line):
+                expected[(rel, lineno, m.group(1))] += 1
+            sm = EXPECT_SUPPRESSED_RE.search(line)
+            if sm:
+                expected_suppressed += int(sm.group(1))
+
+    if not files:
+        print("analyze selftest: FAIL: no fixtures found under "
+              f"{FIXTURES}")
+        return 1
+
+    violations, suppressed = analyze(
+        files, None, ["codec", "tags", "clock", "conventions"])
+    actual: Counter = Counter(v.key() for v in violations)
+    by_key = {}
+    for v in violations:
+        by_key.setdefault(v.key(), v)
+
+    failures: list[str] = []
+    for key, n in sorted(expected.items()):
+        got = actual.get(key, 0)
+        if got != n:
+            rel, line, rule = key
+            failures.append(f"expected {n} [{rule}] at {rel}:{line}, "
+                            f"analyzer reported {got}")
+    for key, n in sorted(actual.items()):
+        if key not in expected:
+            failures.append(f"unexpected violation: {by_key[key].render()}")
+    if suppressed != expected_suppressed:
+        failures.append(f"expected {expected_suppressed} used "
+                        f"suppressions, engine consumed {suppressed}")
+
+    clean = [f for f in files if "clean" in f.rel]
+    if not clean:
+        failures.append("no clean fixture present")
+    if not any("suppressed" in f.rel for f in files):
+        failures.append("no suppression fixture present")
+
+    rules_fired = {rule for (_, _, rule) in expected}
+    for family_marker in ("codec-symmetry", "tag-protocol",
+                          "clock-accounting", "determinism-rand",
+                          "conventions-assert"):
+        if family_marker not in rules_fired:
+            failures.append(f"fixture coverage gap: no fixture exercises "
+                            f"{family_marker}")
+
+    if failures:
+        print(f"analyze selftest: FAIL ({len(failures)} problem(s)):")
+        for msg in failures:
+            print(f"  {msg}")
+        return 1
+    print(f"analyze selftest: OK ({len(files)} fixtures, "
+          f"{sum(expected.values())} expected violations all fired, "
+          f"{suppressed} suppressions consumed, clean fixture quiet)")
+    return 0

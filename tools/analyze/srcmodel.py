@@ -1,0 +1,233 @@
+"""Source model: a lightweight C++-aware view of one translation unit.
+
+No libclang: the analyzer tokenizes just enough C++ to make the rule
+passes reliable on this codebase's style (Google-ish, clang-format'd).
+The core trick is the *code view*: the raw text with comments and string
+literals blanked out but line structure preserved, so regex passes never
+match inside comments/strings and reported line numbers stay exact.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SUPPRESS_RE = re.compile(
+    r"ESTCLUST-SUPPRESS\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\)\s*:\s*(\S.*)"
+)
+EXPECT_RE = re.compile(r"ESTCLUST-EXPECT\(([a-z0-9-]+)\)")
+EXPECT_SUPPRESSED_RE = re.compile(r"ESTCLUST-EXPECT-SUPPRESSED\((\d+)\)")
+
+
+@dataclass
+class Violation:
+    file: str  # repo-relative, forward slashes
+    line: int
+    rule: str
+    message: str
+
+    def key(self) -> tuple:
+        return (self.file, self.line, self.rule)
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Suppression:
+    line: int
+    rules: list[str]
+    reason: str
+    used: bool = False
+
+    def covers(self, rule: str) -> bool:
+        # Exact id, or a family prefix ("determinism" covers
+        # "determinism-rand").
+        return any(rule == s or rule.startswith(s + "-") for s in self.rules)
+
+
+@dataclass
+class Function:
+    name: str
+    start_line: int  # 1-based line of the definition header
+    end_line: int
+    params: str  # parameter list text (code view)
+    body: str  # body text between braces (code view)
+    body_offset: int  # char offset of the body within the file's code view
+
+
+def strip_code(text: str) -> str:
+    """Blanks comments and string/char literals, preserving newlines and
+    the column positions of all remaining code."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            i += 2
+            out.append("  ")
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i + 1 < n:
+                out.append("  ")
+                i += 2
+        elif c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\n":  # unterminated on this line; bail out
+                    break
+                out.append("  " if text[i] == "\\" else " ")
+                i += 2 if text[i] == "\\" else 1
+            if i < n and text[i] == quote:
+                out.append(" ")
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def match_paren(text: str, open_idx: int, open_ch: str = "(",
+                close_ch: str = ")") -> int:
+    """Index of the matching close bracket, or -1. `text[open_idx]` must be
+    the open bracket (call with the code view, never raw text)."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def split_args(arg_text: str) -> list[str]:
+    """Splits an argument list on top-level commas (ignores commas nested
+    in (), <>, [] or {})."""
+    args: list[str] = []
+    depth = 0
+    cur: list[str] = []
+    for c in arg_text:
+        if c in "(<[{":
+            depth += 1
+        elif c in ")>]}":
+            depth -= 1
+        if c == "," and depth == 0:
+            args.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(c)
+    tail = "".join(cur).strip()
+    if tail:
+        args.append(tail)
+    return args
+
+
+def normalize_type(t: str) -> str:
+    """Canonical spelling for type comparison: drops std::, const, &,
+    and whitespace."""
+    t = re.sub(r"\bstd::", "", t)
+    t = re.sub(r"\bconst\b", "", t)
+    t = t.replace("&", "")
+    return re.sub(r"\s+", "", t)
+
+
+class SourceFile:
+    """One parsed source file: raw text, code view, suppressions."""
+
+    def __init__(self, path: Path, rel: str):
+        self.path = path
+        self.rel = rel
+        self.text = path.read_text(encoding="utf-8")
+        self.code = strip_code(self.text)
+        self.lines = self.text.splitlines()
+        self.code_lines = self.code.splitlines()
+        self.suppressions: list[Suppression] = []
+        for lineno, line in enumerate(self.lines, 1):
+            m = SUPPRESS_RE.search(line)
+            if m:
+                rules = [r.strip() for r in m.group(1).split(",")]
+                self.suppressions.append(
+                    Suppression(lineno, rules, m.group(2).strip()))
+
+    def line_of(self, offset: int) -> int:
+        """1-based line number of a char offset into the code view."""
+        return self.code.count("\n", 0, offset) + 1
+
+    def suppression_for(self, line: int, rule: str) -> Suppression | None:
+        """A suppression covers the line it sits on and the next line (so
+        it can ride above a statement or trail it on the same line)."""
+        for s in self.suppressions:
+            if s.line in (line, line - 1) and s.covers(rule):
+                return s
+        return None
+
+    def functions(self, name_re: str = r"[A-Za-z_]\w*") -> list[Function]:
+        """Free/member function definitions whose name matches `name_re`.
+        A definition is `name ( ... ) { ... }` with nothing but
+        qualifiers/specifiers between ')' and '{'."""
+        out: list[Function] = []
+        for m in re.finditer(r"\b(" + name_re + r")\s*\(", self.code):
+            name = m.group(1)
+            if name in ("if", "for", "while", "switch", "return", "sizeof",
+                        "catch", "static_cast", "reinterpret_cast"):
+                continue
+            open_idx = m.end() - 1
+            close_idx = match_paren(self.code, open_idx)
+            if close_idx < 0:
+                continue
+            after = self.code[close_idx + 1:close_idx + 120]
+            am = re.match(
+                r"\s*(?:const|noexcept|override|final|->\s*[\w:<>&*\s]+)*\s*\{",
+                after)
+            if not am:
+                continue
+            body_open = close_idx + 1 + am.end() - 1
+            body_close = match_paren(self.code, body_open, "{", "}")
+            if body_close < 0:
+                continue
+            out.append(Function(
+                name=name,
+                start_line=self.line_of(m.start()),
+                end_line=self.line_of(body_close),
+                params=self.code[open_idx + 1:close_idx],
+                body=self.code[body_open + 1:body_close],
+                body_offset=body_open + 1,
+            ))
+        return out
+
+    def struct_fields(self) -> dict[str, dict[str, str]]:
+        """struct name -> {field name -> declared type (normalized)}.
+        Covers the flat POD-ish message structs this repo serializes."""
+        out: dict[str, dict[str, str]] = {}
+        for m in re.finditer(r"\bstruct\s+(\w+)\s*(?::[^\{]*)?\{", self.code):
+            name = m.group(1)
+            open_idx = self.code.index("{", m.start())
+            close_idx = match_paren(self.code, open_idx, "{", "}")
+            if close_idx < 0:
+                continue
+            body = self.code[open_idx + 1:close_idx]
+            fields: dict[str, str] = {}
+            decl_re = re.compile(
+                r"([\w:]+(?:\s*<[^;{}=]*>)?(?:\s*::\s*\w+)?)\s+"
+                r"(\w+)\s*(?:=[^;,]*)?(?:,\s*(\w+)\s*(?:=[^;,]*)?)*;")
+            for dm in decl_re.finditer(body):
+                dtype = dm.group(1)
+                if dtype in ("return", "using", "static_assert", "struct",
+                             "public", "private", "static", "constexpr"):
+                    continue
+                names = [dm.group(2)]
+                if dm.group(3):
+                    names.append(dm.group(3))
+                for fname in names:
+                    fields[fname] = normalize_type(dtype)
+            out[name] = fields
+        return out

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Header self-sufficiency check (registered as ctest `headers_standalone`).
+
+Compiles every header under src/ standalone (`-fsyntax-only` on a
+one-line TU that includes just that header) so each header carries its
+own includes instead of leaning on whatever its current includers happen
+to pull in first. Catches the classic rot where reordering includes in a
+.cpp breaks the build.
+
+Usage:  python3 tools/check_headers.py [--compiler c++] [--std c++20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+
+def check_one(compiler: str, std: str, header: Path,
+              tmpdir: Path) -> tuple[Path, str | None]:
+    rel = header.relative_to(ROOT)
+    tu = tmpdir / (rel.as_posix().replace("/", "_") + ".cpp")
+    tu.write_text(f'#include "{header.relative_to(SRC).as_posix()}"\n',
+                  encoding="utf-8")
+    cmd = [compiler, f"-std={std}", "-fsyntax-only", "-Wall", "-Wextra",
+           "-I", str(SRC), str(tu)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        return rel, proc.stderr.strip()
+    return rel, None
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--compiler", default=os.environ.get("CXX", "c++"))
+    ap.add_argument("--std", default="c++20")
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    args = ap.parse_args()
+
+    headers = sorted(SRC.rglob("*.hpp"))
+    if not headers:
+        print("check_headers: no headers found under src/", file=sys.stderr)
+        return 2
+
+    failures: list[tuple[Path, str]] = []
+    with tempfile.TemporaryDirectory() as td:
+        tmpdir = Path(td)
+        with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+            futures = [pool.submit(check_one, args.compiler, args.std, h,
+                                   tmpdir) for h in headers]
+            for fut in concurrent.futures.as_completed(futures):
+                rel, err = fut.result()
+                if err is not None:
+                    failures.append((rel, err))
+
+    if failures:
+        failures.sort()
+        print(f"check_headers: {len(failures)} header(s) not "
+              "self-sufficient:")
+        for rel, err in failures:
+            print(f"\n== {rel} ==")
+            print(err)
+        return 1
+    print(f"check_headers: OK ({len(headers)} headers compile standalone, "
+          f"{args.compiler} -std={args.std})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

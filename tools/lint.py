@@ -1,130 +1,29 @@
 #!/usr/bin/env python3
 """Project lint rules for the estclust sources (registered as ctest `lint`).
 
-These are the repo-specific conventions a generic tool does not know:
+This is now a thin shim: the five repo-convention rules (no raw
+assert()/<cassert>, per-module ESTCLUST_CHECK presence, #pragma once,
+no `using namespace std`, no wall-clock sleeps in src/) moved into the
+project static analyzer as its `conventions` rule family
+(tools/analyze/rules_conventions.py), gaining per-line suppressions,
+JSON output, and the baseline gate along the way.
 
-  1. No raw assert() / <cassert> in src/ or tools/ -- invariants must use
-     ESTCLUST_CHECK / ESTCLUST_CHECK_MSG (util/check.hpp), which fire in
-     release builds and throw CheckError instead of aborting the process.
-  2. Every module under src/ validates with ESTCLUST_CHECK somewhere:
-     public entry points are expected to check their arguments.
-  3. Every header uses #pragma once.
-  4. No `using namespace std`.
-  5. No wall-clock sleeps or timed waits in src/ -- rank time is virtual
-     (mpr::VirtualClock); wall-clock timing would make modeled run-times
-     scheduling-dependent.
+Run from the repository root:
 
-Run from the repository root:  python3 tools/lint.py
+    python3 tools/lint.py              # == python3 tools/analyze --families conventions
+    python3 tools/analyze              # all rule families
+
 Exits non-zero listing every violation.
 """
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
-ROOT = Path(__file__).resolve().parent.parent
-SRC = ROOT / "src"
-TOOLS = ROOT / "tools"
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-CPP_GLOBS = ("*.cpp", "*.hpp")
-
-RE_ASSERT = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
-RE_CASSERT = re.compile(r'#\s*include\s*[<"](?:cassert|assert\.h)[>"]')
-RE_USING_STD = re.compile(r"\busing\s+namespace\s+std\b")
-RE_WALL_CLOCK = re.compile(
-    r"\bsleep_for\b|\bsleep_until\b|\bwait_for\b|\bwait_until\b"
-)
-
-
-def strip_comments(text: str) -> str:
-    """Removes // and /* */ comments and string literals, preserving line
-    structure so reported line numbers stay accurate."""
-    out: list[str] = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        if c == "/" and i + 1 < n and text[i + 1] == "/":
-            while i < n and text[i] != "\n":
-                i += 1
-        elif c == "/" and i + 1 < n and text[i + 1] == "*":
-            i += 2
-            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
-                if text[i] == "\n":
-                    out.append("\n")
-                i += 1
-            i += 2
-        elif c in "\"'":
-            quote = c
-            i += 1
-            while i < n and text[i] != quote:
-                i += 2 if text[i] == "\\" else 1
-            i += 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-def iter_sources() -> list[Path]:
-    files = []
-    for base in (SRC, TOOLS):
-        for glob in CPP_GLOBS:
-            files.extend(sorted(base.rglob(glob)))
-    return files
-
-
-def main() -> int:
-    violations: list[str] = []
-
-    for path in iter_sources():
-        rel = path.relative_to(ROOT)
-        text = path.read_text(encoding="utf-8")
-        code = strip_comments(text)
-        lines = code.splitlines()
-
-        if RE_CASSERT.search(code):
-            violations.append(f"{rel}: includes <cassert>; use util/check.hpp")
-        for lineno, line in enumerate(lines, 1):
-            if RE_ASSERT.search(line):
-                violations.append(
-                    f"{rel}:{lineno}: raw assert(); use ESTCLUST_CHECK "
-                    "(fires in release builds, throws CheckError)"
-                )
-            if RE_USING_STD.search(line):
-                violations.append(f"{rel}:{lineno}: `using namespace std`")
-            if rel.parts[0] == "src" and RE_WALL_CLOCK.search(line):
-                violations.append(
-                    f"{rel}:{lineno}: wall-clock sleep/timed wait in src/; "
-                    "rank time is virtual (mpr::VirtualClock)"
-                )
-
-        if path.suffix == ".hpp" and "#pragma once" not in text:
-            violations.append(f"{rel}: header missing #pragma once")
-
-    # Rule 2: per-module ESTCLUST_CHECK presence (argument validation on
-    # public entry points is a checked convention, not an aspiration).
-    for module in sorted(p for p in SRC.iterdir() if p.is_dir()):
-        uses_check = any(
-            "ESTCLUST_CHECK" in f.read_text(encoding="utf-8")
-            for glob in CPP_GLOBS
-            for f in module.rglob(glob)
-        )
-        if not uses_check:
-            violations.append(
-                f"src/{module.name}: no ESTCLUST_CHECK anywhere in the "
-                "module; public entry points must validate their inputs"
-            )
-
-    if violations:
-        print(f"lint: {len(violations)} violation(s):")
-        for v in violations:
-            print(f"  {v}")
-        return 1
-    print(f"lint: OK ({len(iter_sources())} files checked)")
-    return 0
-
+from analyze.engine import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(["--families", "conventions", *sys.argv[1:]]))
