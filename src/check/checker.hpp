@@ -65,6 +65,8 @@ class Checker : public mpr::CheckSink {
                      bool crashed) override;
   mpr::Message blocking_pop(mpr::Mailbox& mb, int rank, int src, int tag,
                             std::string op) override;
+  mpr::Message blocking_pop2(mpr::Mailbox& mb, int rank, int src, int tag_a,
+                             int tag_b, std::string op) override;
   void message_pushed(int dest) override;
   void on_send(int rank, int dest, int tag, std::size_t bytes) override;
   void on_receive(int rank, int src, int tag, std::size_t bytes) override;
@@ -84,11 +86,16 @@ class Checker : public mpr::CheckSink {
  private:
   enum class RankState : std::uint8_t { kRunning, kBlocked, kFinished };
 
+  /// Sentinel for await_tag2: the wait is single-tag. Distinct from
+  /// kAnyTag (-1), which is a valid wildcard for single-tag waits.
+  static constexpr int kNoSecondTag = -2;
+
   struct RankRecord {
     RankState state = RankState::kRunning;
     std::string op;  // label of the blocking call ("pace.master.../recv")
     int await_src = 0;
     int await_tag = 0;
+    int await_tag2 = kNoSecondTag;  // second accepted tag (recv2 waits)
     std::uint64_t collectives = 0;
     bool crashed = false;
     std::atomic<std::thread::id> owner{};
@@ -97,6 +104,11 @@ class Checker : public mpr::CheckSink {
     std::map<int, std::uint64_t> sent_by_tag;
     std::map<int, std::uint64_t> recv_by_tag;
   };
+
+  /// Shared implementation of the one- and two-tag blocking pops
+  /// (tag_b == kNoSecondTag means single-tag).
+  mpr::Message blocking_pop_impl(mpr::Mailbox& mb, int rank, int src,
+                                 int tag_a, int tag_b, std::string op);
 
   /// Runs the quiescence test; on deadlock builds the report, sets the
   /// failure flag and wakes all blocked ranks. Caller holds mu_.

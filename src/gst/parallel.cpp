@@ -147,4 +147,73 @@ std::vector<Tree> build_forest_parallel(mpr::Communicator& comm,
   return forest;
 }
 
+std::vector<Tree> rebuild_rank_forest(const bio::EstSet& ests,
+                                      const GstConfig& cfg, int p,
+                                      int first_owner_rank, int target_rank,
+                                      BuildCounters* counters) {
+  ESTCLUST_CHECK(first_owner_rank >= 0 && first_owner_rank < p);
+  ESTCLUST_CHECK(target_rank >= first_owner_rank && target_rank < p);
+  const int owners = p - first_owner_rank;
+
+  // All suffixes of all ESTs: the union of the per-rank collections, which
+  // block-partition the EST ids.
+  std::vector<BucketedSuffix> all;
+  collect_suffixes(ests, bio::EstSet::forward_sid(0),
+                   bio::EstSet::forward_sid(ests.num_ests()), cfg.window,
+                   all);
+
+  const std::uint64_t nbuckets = num_buckets(cfg.window);
+  std::vector<std::uint64_t> hist(nbuckets, 0);
+  for (const auto& bs : all) ++hist[bs.bucket];
+
+  std::vector<std::uint64_t> nonempty_ids;
+  std::vector<std::uint64_t> nonempty_sizes;
+  for (std::uint64_t b = 0; b < nbuckets; ++b) {
+    if (hist[b] > 0) {
+      nonempty_ids.push_back(b);
+      nonempty_sizes.push_back(hist[b]);
+    }
+  }
+  std::vector<int> owner_of =
+      assign_buckets(nonempty_ids, nonempty_sizes, owners);
+  std::vector<bool> is_mine(nbuckets, false);
+  for (std::size_t i = 0; i < nonempty_ids.size(); ++i) {
+    if (owner_of[i] + first_owner_rank == target_rank) {
+      is_mine[nonempty_ids[i]] = true;
+    }
+  }
+
+  std::vector<BucketedSuffix> owned;
+  for (const auto& bs : all) {
+    if (is_mine[bs.bucket]) owned.push_back(bs);
+  }
+  all.clear();
+  all.shrink_to_fit();
+  // Same canonical order as the post-exchange sort: (bucket, sid, pos) is
+  // a total order over unique keys, so the source-rank interleaving the
+  // all-to-all would have produced is irrelevant.
+  std::sort(owned.begin(), owned.end(),
+            [](const BucketedSuffix& a, const BucketedSuffix& b) {
+              if (a.bucket != b.bucket) return a.bucket < b.bucket;
+              if (a.occ.sid != b.occ.sid) return a.occ.sid < b.occ.sid;
+              return a.occ.pos < b.occ.pos;
+            });
+
+  BuildCounters local;
+  std::vector<Tree> forest;
+  std::size_t i = 0;
+  while (i < owned.size()) {
+    std::size_t j = i;
+    while (j < owned.size() && owned[j].bucket == owned[i].bucket) ++j;
+    std::vector<SuffixOcc> bucket;
+    bucket.reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) bucket.push_back(owned[k].occ);
+    forest.push_back(build_bucket_tree(ests, std::move(bucket), cfg.window,
+                                       owned[i].bucket, local));
+    i = j;
+  }
+  if (counters) *counters = local;
+  return forest;
+}
+
 }  // namespace estclust::gst

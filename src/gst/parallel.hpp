@@ -47,4 +47,17 @@ std::vector<Tree> build_forest_parallel(mpr::Communicator& comm,
                                         ParallelBuildStats* stats = nullptr,
                                         int first_owner_rank = 0);
 
+/// Recomputes — offline, with no communication — the share of the
+/// distributed GST that `target_rank` owns under build_forest_parallel
+/// with the same `ests`, `cfg`, `p` and `first_owner_rank`. Every step
+/// (bucketing, histogram, greedy assignment, canonical per-bucket sort) is
+/// deterministic, so the returned forest is identical to the one the rank
+/// built — and so is the promising-pair stream generated from it. The
+/// pace master uses this to regenerate a dead slave's pairs (DESIGN.md
+/// §8). `counters` receives the refinement work for clock charging.
+std::vector<Tree> rebuild_rank_forest(const bio::EstSet& ests,
+                                      const GstConfig& cfg, int p,
+                                      int first_owner_rank, int target_rank,
+                                      BuildCounters* counters = nullptr);
+
 }  // namespace estclust::gst

@@ -56,6 +56,11 @@ class CheckSink {
   virtual Message blocking_pop(Mailbox& mb, int rank, int src, int tag,
                                std::string op) = 0;
 
+  /// Two-tag variant backing Communicator::recv2 (the fault layer's
+  /// report-or-death-notice wait); matches Mailbox::pop2's predicate.
+  virtual Message blocking_pop2(Mailbox& mb, int rank, int src, int tag_a,
+                                int tag_b, std::string op) = 0;
+
   /// Called after a message was pushed into `dest`'s mailbox; wakes
   /// checked waiters.
   virtual void message_pushed(int dest) = 0;

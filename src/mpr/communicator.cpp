@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mpr/fault.hpp"
 #include "mpr/runtime.hpp"
 #include "util/check.hpp"
 
@@ -13,6 +14,7 @@ Communicator::Communicator(Runtime& rt, int rank) : rt_(rt), rank_(rank) {
     trace_flows_ = rt_.trace_message_flows();
   }
   check_ = rt_.check_sink();
+  fault_ = rt_.fault_plan();
 }
 
 std::string Communicator::check_op_label() const {
@@ -43,7 +45,8 @@ void Communicator::charge(double unit_cost, std::uint64_t count) {
   clock().advance(unit_cost * static_cast<double>(count));
 }
 
-void Communicator::send_internal(int dest, int tag, Buffer payload) {
+void Communicator::send_internal(int dest, int tag, Buffer payload,
+                                 double extra_delay) {
   ESTCLUST_CHECK(dest >= 0 && dest < size());
   const CostModel& cm = cost_model();
   VirtualClock& clk = clock();
@@ -51,7 +54,7 @@ void Communicator::send_internal(int dest, int tag, Buffer payload) {
   Message m;
   m.src = rank_;
   m.tag = tag;
-  m.arrival_vtime = clk.time() + cm.message_cost(payload.size());
+  m.arrival_vtime = clk.time() + cm.message_cost(payload.size()) + extra_delay;
   auto& st = stats();
   ++st.messages_sent;
   st.bytes_sent += payload.size();
@@ -70,16 +73,102 @@ void Communicator::send_internal(int dest, int tag, Buffer payload) {
   }
 }
 
+void Communicator::send_faulted(int dest, int tag, Buffer payload) {
+  ESTCLUST_CHECK(dest >= 0 && dest < size());
+  const CostModel& cm = cost_model();
+  VirtualClock& clk = clock();
+  const SendFate f = fault_->fate(rank_);
+  // Each lost attempt burned one timeout and one retransmission: the
+  // sender's clock pays per attempt, the delivery carries the full
+  // backoff schedule in extra_delay.
+  clk.advance_comm(cm.send_overhead * static_cast<double>(f.attempts));
+  auto& mx = metrics();
+  if (f.attempts > 1) {
+    mx.counter("fault.drops").add(static_cast<std::uint64_t>(f.attempts - 1));
+    if (tracer_) {
+      tracer_->instant("fault.retransmit", "fault",
+                       static_cast<std::uint64_t>(f.attempts - 1));
+    }
+  }
+  if (f.delayed) {
+    mx.counter("fault.delays").add(1);
+    if (tracer_) {
+      tracer_->instant("fault.delay", "fault",
+                       static_cast<std::uint64_t>(dest));
+    }
+  }
+  const double base = clk.time() + cm.message_cost(payload.size());
+  auto& st = stats();
+  Message m;
+  m.src = rank_;
+  m.tag = tag;
+  m.arrival_vtime = base + f.extra_delay;
+  ++st.messages_sent;
+  st.bytes_sent += payload.size();
+  if (tracer_ && trace_flows_) {
+    m.flow_id = (static_cast<std::uint64_t>(rank_ + 1) << 40) | flow_seq_++;
+    tracer_->flow_out(m.flow_id, dest, payload.size());
+  }
+  Message dup;
+  const bool duplicated = f.copies == 2;
+  if (duplicated) {
+    dup.src = rank_;
+    dup.tag = tag;
+    dup.payload = payload;  // copy before the primary takes the buffer
+    dup.arrival_vtime = base + f.dup_delay;
+    ++st.messages_sent;
+    st.bytes_sent += dup.payload.size();
+    if (tracer_ && trace_flows_) {
+      dup.flow_id = (static_cast<std::uint64_t>(rank_ + 1) << 40) | flow_seq_++;
+      tracer_->flow_out(dup.flow_id, dest, dup.payload.size());
+    }
+    mx.counter("fault.dups").add(1);
+    if (tracer_) {
+      tracer_->instant("fault.duplicate", "fault",
+                       static_cast<std::uint64_t>(dest));
+    }
+  }
+  m.payload = std::move(payload);
+  const std::size_t bytes = m.payload.size();
+  if (duplicated) {
+    // One lock for both copies, primary first: any receiver that saw the
+    // primary finds the duplicate already queued, so duplicate drains at
+    // protocol exit points are race-free and deterministic.
+    const std::size_t dup_bytes = dup.payload.size();
+    rt_.mailbox(dest).push_pair(std::move(m), std::move(dup));
+    if (check_) {
+      check_->on_send(rank_, dest, tag, bytes);
+      check_->on_send(rank_, dest, tag, dup_bytes);
+      check_->message_pushed(dest);
+    }
+  } else {
+    rt_.mailbox(dest).push(std::move(m));
+    if (check_) {
+      check_->on_send(rank_, dest, tag, bytes);
+      check_->message_pushed(dest);
+    }
+  }
+}
+
 void Communicator::send(int dest, int tag, Buffer payload) {
   ESTCLUST_CHECK_MSG(tag >= 0 && tag < kInternalTagBase,
                      "user tags must be in [0, 2^24)");
+  if (fault_) {
+    send_faulted(dest, tag, std::move(payload));
+    return;
+  }
   send_internal(dest, tag, std::move(payload));
 }
 
-Message Communicator::recv_internal(int src, int tag) {
-  Message m = check_ ? check_->blocking_pop(rt_.mailbox(rank_), rank_, src,
-                                            tag, check_op_label())
-                     : rt_.mailbox(rank_).pop(src, tag);
+void Communicator::send_delayed(int dest, int tag, Buffer payload,
+                                double extra_delay) {
+  ESTCLUST_CHECK_MSG(tag >= 0 && tag < kInternalTagBase,
+                     "user tags must be in [0, 2^24)");
+  ESTCLUST_CHECK(extra_delay >= 0.0);
+  send_internal(dest, tag, std::move(payload), extra_delay);
+}
+
+Message Communicator::finish_recv(Message m) {
   VirtualClock& clk = clock();
   clk.sync_to(m.arrival_vtime);
   clk.advance_comm(cost_model().recv_overhead);
@@ -94,24 +183,30 @@ Message Communicator::recv_internal(int src, int tag) {
   return m;
 }
 
+Message Communicator::recv_internal(int src, int tag) {
+  Message m = check_ ? check_->blocking_pop(rt_.mailbox(rank_), rank_, src,
+                                            tag, check_op_label())
+                     : rt_.mailbox(rank_).pop(src, tag);
+  return finish_recv(std::move(m));
+}
+
 Message Communicator::recv(int src, int tag) { return recv_internal(src, tag); }
+
+Message Communicator::recv2(int src, int tag_a, int tag_b) {
+  ESTCLUST_CHECK_MSG(src != kAnySource && tag_a >= 0 && tag_b >= 0 &&
+                         tag_a < kInternalTagBase && tag_b < kInternalTagBase,
+                     "recv2 requires a concrete source and two user tags");
+  Message m = check_ ? check_->blocking_pop2(rt_.mailbox(rank_), rank_, src,
+                                             tag_a, tag_b, check_op_label())
+                     : rt_.mailbox(rank_).pop2(src, tag_a, tag_b);
+  return finish_recv(std::move(m));
+}
 
 std::optional<Message> Communicator::try_recv(int src, int tag) {
   if (check_) check_->guard_access(rank_, "mailbox.try_recv");
   auto m = rt_.mailbox(rank_).try_pop(src, tag);
   if (!m) return std::nullopt;
-  VirtualClock& clk = clock();
-  clk.sync_to(m->arrival_vtime);
-  clk.advance_comm(cost_model().recv_overhead);
-  ++stats().messages_received;
-  if (check_) {
-    check_->on_receive(rank_, m->src, m->tag, m->payload.size());
-    check_->audit_clock(rank_, clk);
-  }
-  if (tracer_ && trace_flows_) {
-    tracer_->flow_in(m->flow_id, m->src, m->payload.size());
-  }
-  return m;
+  return finish_recv(std::move(*m));
 }
 
 bool Communicator::probe(int src, int tag) {

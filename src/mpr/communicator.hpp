@@ -21,6 +21,7 @@
 
 namespace estclust::mpr {
 
+class FaultPlan;
 class Runtime;
 
 /// Per-rank communication statistics (for benchmark reporting).
@@ -47,6 +48,18 @@ class Communicator {
   /// Blocking receive; src/tag may be kAnySource / kAnyTag. On return the
   /// receiver's clock has been synced to the message arrival time.
   Message recv(int src = kAnySource, int tag = kAnyTag);
+
+  /// Two-tag blocking receive: the first queued message from `src`
+  /// carrying either tag, in FIFO (per-sender program) order. The pace
+  /// master uses it to wait for a slave's REPORT while staying responsive
+  /// to its death notice. Wildcards are not supported.
+  Message recv2(int src, int tag_a, int tag_b);
+
+  /// Sends with an extra modeled delivery delay on top of the normal
+  /// message cost, bypassing fault injection. The pace death notice rides
+  /// it: arrival at death time + deadline models the master noticing a
+  /// missed heartbeat deadline. Fault-free runs never call this.
+  void send_delayed(int dest, int tag, Buffer payload, double extra_delay);
 
   /// Non-blocking receive. Only returns a message whose modeled arrival time
   /// is <= the receiver's current clock *or* any queued message if the
@@ -103,9 +116,21 @@ class Communicator {
     return static_cast<std::uint64_t>(collective_seq_);
   }
 
+  /// The runtime's fault plan, or null when fault injection is off.
+  FaultPlan* fault_plan() { return fault_; }
+
  private:
-  void send_internal(int dest, int tag, Buffer payload);
+  void send_internal(int dest, int tag, Buffer payload,
+                     double extra_delay = 0.0);
+  /// Protocol send under an installed fault plan: decides drop count,
+  /// duplication and delay from the sender's fault stream and charges one
+  /// send overhead per transmission attempt. Delivery is guaranteed even
+  /// to dead ranks (see mpr/fault.hpp for why swallowing would deadlock).
+  void send_faulted(int dest, int tag, Buffer payload);
   Message recv_internal(int src, int tag);
+  /// Clock sync, overhead charge, stats and check/trace hooks shared by
+  /// every receive path.
+  Message finish_recv(Message m);
 
   /// Joins the active CheckOpScope labels ("outer/inner") for the
   /// checker's wait-for-graph reports; "recv" when no scope is active.
@@ -124,6 +149,7 @@ class Communicator {
   bool trace_flows_ = false;
   std::uint64_t flow_seq_ = 0;  // per-rank message sequence for flow ids
   CheckSink* check_ = nullptr;  // null when checking is disabled
+  FaultPlan* fault_ = nullptr;  // null when fault injection is disabled
 
   static constexpr int kMaxCheckOpDepth = 4;
   const char* check_ops_[kMaxCheckOpDepth] = {};

@@ -1,0 +1,179 @@
+#include "mpr/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace estclust::mpr {
+
+namespace {
+
+double parse_double(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  ESTCLUST_CHECK_MSG(end != nullptr && *end == '\0' && !value.empty(),
+                     "--faults: bad number for " + key + ": " + value);
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  ESTCLUST_CHECK_MSG(end != nullptr && *end == '\0' && !value.empty(),
+                     "--faults: bad integer for " + key + ": " + value);
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+void FaultSpec::validate() const {
+  if (!enabled) return;
+  ESTCLUST_CHECK_MSG(drop >= 0.0 && drop < 1.0,
+                     "--faults: drop must be in [0, 1)");
+  ESTCLUST_CHECK_MSG(dup >= 0.0 && dup <= 1.0,
+                     "--faults: dup must be in [0, 1]");
+  ESTCLUST_CHECK_MSG(delay >= 0.0 && delay <= 1.0,
+                     "--faults: delay must be in [0, 1]");
+  ESTCLUST_CHECK_MSG(delay_mean >= 0.0, "--faults: delay-mean must be >= 0");
+  ESTCLUST_CHECK_MSG(rto > 0.0, "--faults: rto must be > 0");
+  ESTCLUST_CHECK_MSG(backoff >= 1.0, "--faults: backoff must be >= 1");
+  ESTCLUST_CHECK_MSG(max_attempts >= 1, "--faults: max-attempts must be >= 1");
+  ESTCLUST_CHECK_MSG(deadline > 0.0, "--faults: deadline must be > 0");
+  for (const RankDeath& d : deaths) {
+    ESTCLUST_CHECK_MSG(d.rank >= 1,
+                       "--faults: kill targets a slave rank (rank >= 1); "
+                       "the master (rank 0) cannot be killed");
+    ESTCLUST_CHECK_MSG(d.vtime >= 0.0, "--faults: kill time must be >= 0");
+  }
+}
+
+FaultSpec parse_fault_spec(const std::string& spec) {
+  FaultSpec out;
+  if (spec.empty() || spec == "off") return out;
+  out.enabled = true;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    ESTCLUST_CHECK_MSG(eq != std::string::npos,
+                       "--faults: expected key=value, got: " + item);
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "seed") {
+      out.seed = parse_u64(key, value);
+    } else if (key == "drop") {
+      out.drop = parse_double(key, value);
+    } else if (key == "dup") {
+      out.dup = parse_double(key, value);
+    } else if (key == "delay") {
+      out.delay = parse_double(key, value);
+    } else if (key == "delay-mean") {
+      out.delay_mean = parse_double(key, value);
+    } else if (key == "rto") {
+      out.rto = parse_double(key, value);
+    } else if (key == "backoff") {
+      out.backoff = parse_double(key, value);
+    } else if (key == "max-attempts") {
+      out.max_attempts = static_cast<int>(parse_u64(key, value));
+    } else if (key == "deadline") {
+      out.deadline = parse_double(key, value);
+    } else if (key == "kill") {
+      const std::size_t at = value.find('@');
+      ESTCLUST_CHECK_MSG(at != std::string::npos,
+                         "--faults: kill expects RANK@VTIME, got: " + value);
+      RankDeath d;
+      d.rank = static_cast<int>(parse_u64(key, value.substr(0, at)));
+      d.vtime = parse_double(key, value.substr(at + 1));
+      out.deaths.push_back(d);
+    } else {
+      ESTCLUST_CHECK_MSG(false, "--faults: unknown key: " + key);
+    }
+  }
+  out.validate();
+  return out;
+}
+
+std::string format_fault_spec(const FaultSpec& spec) {
+  if (!spec.enabled) return "off";
+  std::ostringstream os;
+  os << "seed=" << spec.seed << ",drop=" << spec.drop << ",dup=" << spec.dup
+     << ",delay=" << spec.delay << ",delay-mean=" << spec.delay_mean
+     << ",rto=" << spec.rto << ",backoff=" << spec.backoff
+     << ",max-attempts=" << spec.max_attempts
+     << ",deadline=" << spec.deadline;
+  for (const RankDeath& d : spec.deaths) {
+    os << ",kill=" << d.rank << "@" << d.vtime;
+  }
+  return os.str();
+}
+
+FaultPlan::FaultPlan(const FaultSpec& spec, int nranks) : spec_(spec) {
+  ESTCLUST_CHECK_MSG(spec.enabled, "FaultPlan requires an enabled spec");
+  spec_.validate();
+  death_vtime_.assign(static_cast<std::size_t>(nranks),
+                      std::numeric_limits<double>::infinity());
+  for (const RankDeath& d : spec_.deaths) {
+    ESTCLUST_CHECK_MSG(d.rank < nranks, "--faults: kill rank out of range");
+    // Two kills of the same rank: the earlier one wins.
+    auto& t = death_vtime_[static_cast<std::size_t>(d.rank)];
+    t = std::min(t, d.vtime);
+  }
+  streams_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    // Distinct, well-mixed stream per sender; Prng's splitmix seeding
+    // decorrelates the consecutive inputs.
+    streams_.emplace_back(spec_.seed + 0x9e3779b97f4a7c15ULL *
+                                           (static_cast<std::uint64_t>(r) + 1));
+  }
+}
+
+SendFate FaultPlan::fate(int src) {
+  SendFate f;
+  Prng& rng = streams_[static_cast<std::size_t>(src)];
+  // Count consecutive lost attempts; the surviving attempt's delivery time
+  // carries the whole backoff schedule. Draws happen unconditionally in a
+  // fixed order so the stream stays aligned across knob settings with the
+  // same probabilities.
+  double timeout = spec_.rto;
+  while (f.attempts < spec_.max_attempts && rng.bernoulli(spec_.drop)) {
+    f.extra_delay += timeout;
+    timeout *= spec_.backoff;
+    ++f.attempts;
+  }
+  if (rng.bernoulli(spec_.delay)) {
+    // Bounded deterministic jitter: uniform in [0, 2*mean], mean delay_mean.
+    f.delayed = true;
+    f.extra_delay += 2.0 * spec_.delay_mean * rng.uniform01();
+  } else {
+    rng.uniform01();  // keep the stream in lockstep with the delayed case
+  }
+  if (rng.bernoulli(spec_.dup)) {
+    f.copies = 2;
+    // The duplicate models a spurious retransmit one further timeout out.
+    f.dup_delay = f.extra_delay + timeout;
+  }
+  return f;
+}
+
+bool FaultPlan::death_scheduled(int rank) const {
+  return rank >= 0 && rank < static_cast<int>(death_vtime_.size()) &&
+         death_vtime_[static_cast<std::size_t>(rank)] !=
+             std::numeric_limits<double>::infinity();
+}
+
+double FaultPlan::death_vtime(int rank) const {
+  if (rank < 0 || rank >= static_cast<int>(death_vtime_.size())) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return death_vtime_[static_cast<std::size_t>(rank)];
+}
+
+bool FaultPlan::dead_at(int rank, double now) const {
+  return now >= death_vtime(rank);
+}
+
+}  // namespace estclust::mpr

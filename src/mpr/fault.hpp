@@ -1,0 +1,126 @@
+// Deterministic fault injection for the message-passing runtime.
+//
+// A FaultPlan models an unreliable interconnect and scheduled rank
+// failures on top of the virtual-time runtime. Every decision (drop,
+// duplicate, delay, death) is drawn from a per-sender-rank Prng stream
+// seeded from one plan seed, so a run under a given plan replays
+// bit-identically regardless of thread scheduling.
+//
+// Loss is modeled analytically at the send site: the plan knows how many
+// consecutive transmission attempts a message loses, so the communicator
+// delivers exactly one surviving copy whose arrival time carries the full
+// exponential-backoff retransmission schedule
+//
+//     arrival = t_send + sum_{i<k} rto * backoff^i + message_cost(bytes)
+//
+// for k lost attempts, and charges the sender one send overhead per
+// attempt. Duplication delivers a second copy one further timeout later
+// (a spurious retransmit); receivers must deduplicate by sequence number.
+// Delivery is therefore guaranteed: messages addressed to a dead rank
+// still land in its mailbox, are never consumed, and are excused by the
+// checker's fault-aware finalize (swallowing them at the send site would
+// deadlock a peer that is blocked but has not yet reached its own death
+// checkpoint).
+//
+// Scheduled death: a rank listed in `deaths` stops participating at the
+// first protocol checkpoint after its virtual clock passes the death
+// time. The dying rank's protocol layer announces the failure with a
+// message whose delivery is delayed by `deadline` — modeling the master
+// noticing a missed heartbeat deadline — and the master recovers (see
+// pace/master.cpp).
+//
+// The plan covers protocol traffic only (user tags); runtime collectives
+// model a reliable fabric. With no plan installed every hook is a skipped
+// null check and the wire behavior is byte-identical to the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace estclust::mpr {
+
+/// Scheduled failure of one rank at a virtual time.
+struct RankDeath {
+  int rank = -1;
+  double vtime = 0.0;
+};
+
+/// Parsed fault model (see parse_fault_spec for the CLI grammar).
+struct FaultSpec {
+  bool enabled = false;
+  std::uint64_t seed = 20020811;  ///< per-sender streams derive from this
+  double drop = 0.0;   ///< per-attempt loss probability, in [0, 1)
+  double dup = 0.0;    ///< duplicate-delivery probability, in [0, 1]
+  double delay = 0.0;  ///< injected-delay probability, in [0, 1]
+  double delay_mean = 200e-6;  ///< mean injected delay (virtual seconds)
+  double rto = 250e-6;         ///< initial retransmission timeout
+  double backoff = 2.0;        ///< exponential backoff factor, >= 1
+  int max_attempts = 16;       ///< retransmission cap (last attempt lands)
+  double deadline = 2e-3;      ///< missed-heartbeat detection latency
+  std::vector<RankDeath> deaths;  ///< slave ranks only (rank >= 1)
+
+  /// CHECK-fails on out-of-range knobs or a death scheduled for rank 0
+  /// (the master owns the clusters; its failure is unrecoverable here).
+  void validate() const;
+};
+
+/// Parses a `--faults` argument. "off" (or empty) yields a disabled spec;
+/// otherwise a comma-separated key=value list:
+///
+///   seed=U64  drop=P  dup=P  delay=P  delay-mean=SECONDS  rto=SECONDS
+///   backoff=F  max-attempts=N  deadline=SECONDS  kill=RANK@VTIME
+///
+/// `kill` may repeat to schedule several deaths. Unknown keys CHECK-fail.
+FaultSpec parse_fault_spec(const std::string& spec);
+
+/// Canonical single-line rendering of a spec (for logs and reports).
+std::string format_fault_spec(const FaultSpec& spec);
+
+/// Sender-side outcome of one protocol send, decided deterministically by
+/// the sender's fault stream.
+struct SendFate {
+  int attempts = 1;        ///< transmissions charged to the sender's clock
+  int copies = 1;          ///< mailbox deliveries (1 or 2)
+  bool delayed = false;    ///< jitter was injected (beyond retransmit delay)
+  double extra_delay = 0;  ///< retransmit backoff + injected delay, copy 1
+  double dup_delay = 0;    ///< total delay of the duplicate (copies == 2)
+};
+
+class FaultPlan {
+ public:
+  /// `spec` must be enabled and valid; `nranks` bounds the death table.
+  FaultPlan(const FaultSpec& spec, int nranks);
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Decides the fate of one protocol message. Must be called from rank
+  /// `src`'s own thread (each rank owns a private stream; calls advance
+  /// it, so the call sites must be deterministic protocol points).
+  SendFate fate(int src);
+
+  /// True iff `rank` has a scheduled death.
+  bool death_scheduled(int rank) const;
+
+  /// The scheduled death time of `rank` (infinity when none).
+  double death_vtime(int rank) const;
+
+  /// True iff `rank`'s scheduled death time has passed at virtual time
+  /// `now` — i.e. a message sent to it now finds a closed endpoint.
+  bool dead_at(int rank, double now) const;
+
+  /// Missed-heartbeat detection latency (delivery delay of death notices).
+  double deadline() const { return spec_.deadline; }
+
+ private:
+  FaultSpec spec_;
+  std::vector<double> death_vtime_;  ///< per rank; infinity = immortal
+  std::vector<Prng> streams_;        ///< per sender rank, thread-confined
+};
+
+}  // namespace estclust::mpr

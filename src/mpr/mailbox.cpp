@@ -10,6 +10,15 @@ void Mailbox::push(Message&& m) {
   cv_.notify_all();
 }
 
+void Mailbox::push_pair(Message&& first, Message&& second) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(first));
+    queue_.push_back(std::move(second));
+  }
+  cv_.notify_all();
+}
+
 bool Mailbox::matches(const Message& m, int src, int tag) {
   if (src != kAnySource && m.src != src) return false;
   if (tag == kAnyTag) return m.tag < kInternalTagBase;
@@ -35,6 +44,25 @@ Message Mailbox::pop(int src, int tag) {
   }
 }
 
+std::optional<Message> Mailbox::pop2_locked(int src, int tag_a, int tag_b) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, src, tag_a) || matches(*it, src, tag_b)) {
+      Message m = std::move(*it);
+      queue_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+Message Mailbox::pop2(int src, int tag_a, int tag_b) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (auto m = pop2_locked(src, tag_a, tag_b)) return std::move(*m);
+    cv_.wait(lock);
+  }
+}
+
 std::optional<Message> Mailbox::try_pop(int src, int tag) {
   std::lock_guard<std::mutex> lock(mutex_);
   return pop_locked(src, tag);
@@ -44,6 +72,19 @@ bool Mailbox::probe(int src, int tag) {
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& m : queue_) {
     if (matches(m, src, tag)) return true;
+  }
+  return false;
+}
+
+std::optional<Message> Mailbox::try_pop2(int src, int tag_a, int tag_b) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pop2_locked(src, tag_a, tag_b);
+}
+
+bool Mailbox::probe2(int src, int tag_a, int tag_b) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& m : queue_) {
+    if (matches(m, src, tag_a) || matches(m, src, tag_b)) return true;
   }
   return false;
 }

@@ -32,16 +32,35 @@ class Mailbox {
  public:
   void push(Message&& m);
 
+  /// Queues two messages back-to-back under one lock. The fault layer's
+  /// duplicate delivery uses this: a consumer that observed the first
+  /// copy is guaranteed to find the second already queued, so duplicate
+  /// drains are deterministic.
+  void push_pair(Message&& first, Message&& second);
+
   /// Blocks until a message matching (src, tag) is available and removes it.
   /// src = kAnySource matches any sender; tag = kAnyTag matches any *user*
   /// tag (see kInternalTagBase).
   Message pop(int src, int tag);
 
+  /// Blocks until a message matching (src, tag_a) OR (src, tag_b) is
+  /// available and removes the first such message in FIFO order. The FIFO
+  /// scan preserves per-sender program order, so when one peer sends on
+  /// both tags the earlier send is always delivered first — the fault
+  /// layer's recv2 relies on this to dispatch deterministically.
+  Message pop2(int src, int tag_a, int tag_b);
+
   /// Non-blocking variant.
   std::optional<Message> try_pop(int src, int tag);
 
+  /// Non-blocking two-tag variant.
+  std::optional<Message> try_pop2(int src, int tag_a, int tag_b);
+
   /// True iff a matching message is queued right now.
   bool probe(int src, int tag);
+
+  /// Two-tag probe matching the pop2 predicate.
+  bool probe2(int src, int tag_a, int tag_b);
 
   std::size_t size();
 
@@ -52,6 +71,7 @@ class Mailbox {
  private:
   static bool matches(const Message& m, int src, int tag);
   std::optional<Message> pop_locked(int src, int tag);
+  std::optional<Message> pop2_locked(int src, int tag_a, int tag_b);
 
   std::mutex mutex_;
   std::condition_variable cv_;

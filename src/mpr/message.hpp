@@ -59,6 +59,7 @@ class BufWriter {
   void put_string(std::string_view s) {
     check_room(sizeof(std::uint64_t) + s.size());
     put<std::uint64_t>(s.size());
+    if (s.empty()) return;  // data() may be null for an empty view
     const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
     buf_.insert(buf_.end(), p, p + s.size());
   }
@@ -72,6 +73,7 @@ class BufWriter {
                            << "-byte payload cap");
     check_room(sizeof(std::uint64_t) + v.size() * sizeof(T));
     put<std::uint64_t>(v.size());
+    if (v.empty()) return;  // data() may be null for an empty vector
     const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
     buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
   }
@@ -121,6 +123,7 @@ class BufReader {
     // Compare against remaining() so a hostile/corrupt 64-bit length can
     // never overflow the arithmetic before the bound is applied.
     ESTCLUST_CHECK_MSG(len <= remaining(), "BufReader underflow");
+    if (len == 0) return std::string();  // data() may be null when empty
     std::string s(reinterpret_cast<const char*>(data_.data() + pos_),
                   static_cast<std::size_t>(len));
     pos_ += static_cast<std::size_t>(len);
@@ -136,13 +139,25 @@ class BufReader {
                            << " exceeds the " << remaining()
                            << " bytes remaining");
     std::vector<T> v(static_cast<std::size_t>(len));
-    std::memcpy(v.data(), data_.data() + pos_, v.size() * sizeof(T));
+    if (!v.empty()) {  // data() may be null for an empty vector
+      std::memcpy(v.data(), data_.data() + pos_, v.size() * sizeof(T));
+    }
     pos_ += v.size() * sizeof(T);
     return v;
   }
 
   bool exhausted() const { return pos_ == data_.size(); }
   std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// CHECKs that every payload byte was consumed. Codecs call this after
+  /// decoding their last field so a truncated or garbage-extended payload
+  /// (exactly what fault injection and corruption produce) fails loudly at
+  /// the decode site instead of yielding a silently short message.
+  void expect_exhausted(const char* what) const {
+    ESTCLUST_CHECK_MSG(exhausted(), "BufReader: " << remaining()
+                                        << " trailing bytes after decoding "
+                                        << what);
+  }
 
  private:
   std::span<const std::uint8_t> data_;

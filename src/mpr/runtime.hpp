@@ -9,6 +9,7 @@
 #include "mpr/check_sink.hpp"
 #include "mpr/clock.hpp"
 #include "mpr/communicator.hpp"
+#include "mpr/fault.hpp"
 #include "mpr/mailbox.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -46,6 +47,16 @@ class Runtime {
   }
   CheckSink* check_sink() { return check_.get(); }
 
+  /// Installs a deterministic fault plan (see mpr/fault.hpp). Protocol
+  /// sends then route through the plan's drop/duplicate/delay/death model.
+  /// Call before run(); with no plan installed every hook is a skipped
+  /// null check and the runs are byte-for-byte the seed's.
+  void set_fault_plan(std::shared_ptr<FaultPlan> plan) {
+    fault_ = std::move(plan);
+  }
+  FaultPlan* fault_plan() { return fault_.get(); }
+  const FaultPlan* fault_plan() const { return fault_.get(); }
+
   /// Per-rank metrics registry (written by the rank's thread during run).
   obs::MetricsRegistry& metrics(int rank) { return metrics_[rank]; }
 
@@ -77,6 +88,7 @@ class Runtime {
   std::unique_ptr<obs::TraceRecorder> tracer_;
   bool trace_message_flows_ = true;
   std::shared_ptr<CheckSink> check_;
+  std::shared_ptr<FaultPlan> fault_;
 };
 
 }  // namespace estclust::mpr

@@ -1,7 +1,10 @@
 #include "pace/master.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "gst/parallel.hpp"
+#include "mpr/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -11,11 +14,16 @@ namespace estclust::pace {
 Master::Master(mpr::Communicator& comm, const bio::EstSet& ests,
                const PaceConfig& cfg)
     : comm_(comm),
+      ests_(ests),
       cfg_(cfg),
       clusters_(ests.num_ests()),
       num_slaves_(comm.size() - 1),
+      reliable_(comm.fault_plan() != nullptr),
       state_(comm.size(), SlaveState::kExpectingReport),
       passive_(comm.size(), false),
+      last_report_seq_(comm.size(), 0),
+      assign_seq_(comm.size(), 0),
+      inflight_(comm.size()),
       last_reported_(comm.size(), 0),
       last_admitted_(comm.size(), 0),
       multiplier_(comm.size(), 1) {
@@ -43,19 +51,7 @@ void Master::process_report(int slave, const ReportMsg& msg) {
     }
   }
   // Admit reported pairs whose ESTs are still in different clusters.
-  std::uint64_t admitted = 0;
-  for (const auto& p : msg.pairs) {
-    if (clusters_.same(p.a, p.b)) {
-      ++counters_.pairs_skipped;
-    } else {
-      // The E rule keeps the buffer under capacity in steady state; the
-      // unsolicited initial batches may nudge past it, so the capacity is
-      // soft (compute_request sees nfree = 0 and throttles).
-      workbuf_.push_back(p);
-      ++counters_.pairs_enqueued;
-      ++admitted;
-    }
-  }
+  const std::uint64_t admitted = admit_pairs(msg.pairs);
   last_reported_[slave] = msg.pairs.size();
   last_admitted_[slave] = admitted;
   passive_[slave] = msg.out_of_pairs;
@@ -84,6 +80,24 @@ void Master::process_report(int slave, const ReportMsg& msg) {
   std::uint64_t ops = clusters_.operations();
   comm_.charge(comm_.cost_model().uf_op, ops - uf_ops_charged_);
   uf_ops_charged_ = ops;
+}
+
+std::uint64_t Master::admit_pairs(
+    const std::vector<pairgen::PromisingPair>& pairs) {
+  std::uint64_t admitted = 0;
+  for (const auto& p : pairs) {
+    if (clusters_.same(p.a, p.b)) {
+      ++counters_.pairs_skipped;
+    } else {
+      // The E rule keeps the buffer under capacity in steady state; the
+      // unsolicited initial batches may nudge past it, so the capacity is
+      // soft (compute_request sees nfree = 0 and throttles).
+      workbuf_.push_back(p);
+      ++counters_.pairs_enqueued;
+      ++admitted;
+    }
+  }
+  return admitted;
 }
 
 std::size_t Master::effective_batch(int slave) const {
@@ -122,6 +136,19 @@ std::vector<pairgen::PromisingPair> Master::take_work(int slave) {
   return work;
 }
 
+void Master::send_assign(int slave, AssignMsg& assign) {
+  if (reliable_) {
+    assign.seq = ++assign_seq_[slave];
+    if (!assign.work.empty()) {
+      // Retain a copy until the answering report's results_for_seq
+      // releases it; a slave death re-enqueues whatever is still here.
+      inflight_[slave].push_back({assign.seq, assign.work});
+    }
+  }
+  comm_.send(slave, kTagAssign, encode_assign(assign, reliable_));
+  state_[slave] = SlaveState::kExpectingReport;
+}
+
 void Master::reply(int slave) {
   AssignMsg assign;
   assign.work = take_work(slave);
@@ -133,8 +160,7 @@ void Master::reply(int slave) {
     wait_queue_.push_back(slave);
     return;
   }
-  comm_.send(slave, kTagAssign, encode_assign(assign));
-  state_[slave] = SlaveState::kExpectingReport;
+  send_assign(slave, assign);
 }
 
 void Master::drain_wait_queue() {
@@ -144,9 +170,148 @@ void Master::drain_wait_queue() {
     AssignMsg assign;
     assign.work = take_work(slave);
     assign.request = compute_request(slave);
-    comm_.send(slave, kTagAssign, encode_assign(assign));
-    state_[slave] = SlaveState::kExpectingReport;
+    send_assign(slave, assign);
   }
+}
+
+bool Master::await_report(int slave, bool flush, ReportMsg& out) {
+  for (;;) {
+    mpr::Message m = [&] {
+      mpr::CheckOpScope check_scope(comm_, flush ? "pace.master.await_flush"
+                                                 : "pace.master.await_report");
+      // Reliable mode stays responsive to the death notice; mailbox FIFO
+      // order consumes every report the slave managed to send first.
+      return reliable_ ? comm_.recv2(slave, kTagReport, kTagHeartbeat)
+                       : comm_.recv(slave, kTagReport);
+    }();
+    if (reliable_ && m.tag == kTagHeartbeat) {
+      handle_death(slave, decode_heartbeat(m.payload));
+      return false;
+    }
+    out = decode_report(m.payload, reliable_);
+    if (!reliable_) return true;
+    if (out.seq <= last_report_seq_[slave]) {
+      // Duplicated delivery of a report already incorporated.
+      ++dup_reports_ignored_;
+      continue;
+    }
+    ESTCLUST_CHECK_MSG(out.seq == last_report_seq_[slave] + 1,
+                       "report sequence gap from slave " << slave);
+    last_report_seq_[slave] = out.seq;
+    // The protocol alternates strictly per slave, so a fresh report must
+    // acknowledge exactly the latest assignment.
+    ESTCLUST_CHECK_MSG(out.ack_assign_seq == assign_seq_[slave],
+                       "report acks assignment " << out.ack_assign_seq
+                                                 << ", expected "
+                                                 << assign_seq_[slave]);
+    auto& inflight = inflight_[slave];
+    for (auto it = inflight.begin(); it != inflight.end(); ++it) {
+      if (it->seq == out.results_for_seq) {
+        inflight.erase(it);
+        break;
+      }
+    }
+    // Ack before replying: the slave consumes the ack right after the
+    // next assignment arrives, relying on this order.
+    AckMsg ack;
+    ack.seq = out.seq;
+    comm_.send(slave, kTagAck, encode_ack(ack));
+    return true;
+  }
+}
+
+void Master::handle_death(int slave, const HeartbeatMsg& hb) {
+  ++counters_.slave_deaths;
+  state_[slave] = SlaveState::kDead;
+  passive_[slave] = true;
+  for (auto it = wait_queue_.begin(); it != wait_queue_.end();) {
+    it = *it == slave ? wait_queue_.erase(it) : it + 1;
+  }
+  // Every report the slave sent precedes its heartbeat in mailbox order
+  // and was consumed by the await loop, so the bookkeeping must agree.
+  ESTCLUST_CHECK_MSG(hb.last_report_seq == last_report_seq_[slave],
+                     "dead slave " << slave << " reported through seq "
+                                   << hb.last_report_seq << " but only "
+                                   << last_report_seq_[slave]
+                                   << " were received");
+  // Re-enqueue the retained copies of unanswered assignments.
+  std::uint64_t recovered = 0;
+  for (const auto& ia : inflight_[slave]) {
+    recovered += admit_pairs(ia.work);
+  }
+  inflight_[slave].clear();
+
+  // Regenerate the dead slave's entire promising-pair stream: rebuilding
+  // its GST share offline is deterministic, so the regenerated stream is
+  // identical to the one the slave was producing. Pairs the dead slave
+  // already delivered (or that resolved transitively) fall to the same()
+  // filter; re-aligning a survivor of the filter is idempotent — the
+  // aligner's verdicts are deterministic and unite() converges — so the
+  // final clusters match the fault-free run exactly.
+  gst::BuildCounters bc;
+  auto forest = gst::rebuild_rank_forest(ests_, cfg_.gst, comm_.size(),
+                                         /*first_owner_rank=*/1, slave, &bc);
+  comm_.charge(comm_.cost_model().char_op, bc.chars_scanned);
+  std::uint64_t k = 0;
+  for (const auto& t : forest) k += t.size();
+  comm_.charge(comm_.cost_model().sort_op,
+               k * (1 + static_cast<std::uint64_t>(
+                            std::log2(static_cast<double>(k + 1)))));
+  pairgen::PairGenerator gen(ests_, forest, cfg_.psi);
+  std::vector<pairgen::PromisingPair> batch;
+  while (gen.next_batch(cfg_.pairbuf_capacity, batch) > 0) {
+    comm_.charge(comm_.cost_model().pair_op, gen.take_work_units());
+    recovered += admit_pairs(batch);
+    batch.clear();
+  }
+  const std::uint64_t ops = clusters_.operations();
+  comm_.charge(comm_.cost_model().uf_op, ops - uf_ops_charged_);
+  uf_ops_charged_ = ops;
+  counters_.pairs_recovered += recovered;
+  comm_.metrics().counter("pace.pairs_recovered").add(recovered);
+  if (obs::RankTracer* tracer = comm_.tracer()) {
+    tracer->instant("pace.recover", "fault",
+                    static_cast<std::uint64_t>(slave));
+  }
+}
+
+bool Master::flush_parked(obs::RankTracer* tracer) {
+  // All live slaves are parked and the work buffer is drained. Slaves
+  // parked on the wait-queue still hold the results of their final
+  // alignments (a report is only sent in response to an assignment), so
+  // flush each with a final assignment whose stop flag retires the slave —
+  // one coalesced ASSIGN/REPORT exchange per slave instead of flush +
+  // separate STOP.
+  for (int s = 1; s <= num_slaves_; ++s) {
+    if (state_[s] != SlaveState::kWaiting) {
+      ESTCLUST_CHECK(state_[s] == SlaveState::kStopped ||
+                     state_[s] == SlaveState::kDead);
+      continue;
+    }
+    for (auto it = wait_queue_.begin(); it != wait_queue_.end();) {
+      it = *it == s ? wait_queue_.erase(it) : it + 1;
+    }
+    AssignMsg final_assign;
+    final_assign.stop = 1;
+    send_assign(s, final_assign);
+    ReportMsg report;
+    if (!await_report(s, /*flush=*/true, report)) {
+      // s died before flushing. Its regenerated stream may have refilled
+      // WORKBUF — if so, hand the recovered work to the slaves still
+      // parked before stopping them.
+      if (!workbuf_.empty()) return true;
+      continue;
+    }
+    ESTCLUST_TRACE_SPAN(tracer, "master_flush", "phase");
+    ESTCLUST_CHECK_MSG(report.pairs.empty(),
+                       "parked slave produced pairs during final flush");
+    process_report(s, report);
+    state_[s] = SlaveState::kStopped;
+  }
+  ESTCLUST_CHECK_MSG(workbuf_.empty(),
+                     "recovered work remains but no slave survives to "
+                     "process it");
+  return false;
 }
 
 void Master::run() {
@@ -161,51 +326,39 @@ void Master::run() {
   // breakdown report) — never the waiting.
   int cursor = 1;
   for (;;) {
-    if (all_waiting()) {
-      if (workbuf_.empty()) break;
-      drain_wait_queue();
-      continue;
-    }
-    // Advance to the next slave owing a report.
-    while (state_[cursor] != SlaveState::kExpectingReport) {
+    for (;;) {
+      if (all_waiting()) {
+        if (workbuf_.empty()) break;
+        // Work but nobody owes a report: someone must be parked to take
+        // it. With every slave dead the run cannot finish — fail loudly
+        // rather than deadlock.
+        ESTCLUST_CHECK_MSG(!wait_queue_.empty(),
+                           "work remains but no slave is available to "
+                           "take it");
+        drain_wait_queue();
+        continue;
+      }
+      // Advance to the next slave owing a report.
+      while (state_[cursor] != SlaveState::kExpectingReport) {
+        cursor = cursor % num_slaves_ + 1;
+      }
+      const int slave = cursor;
       cursor = cursor % num_slaves_ + 1;
-    }
-    const int slave = cursor;
-    cursor = cursor % num_slaves_ + 1;
 
-    mpr::Message m = [&] {
-      mpr::CheckOpScope check_scope(comm_, "pace.master.await_report");
-      return comm_.recv(slave, kTagReport);
-    }();
-    {
-      ESTCLUST_TRACE_SPAN(tracer, "master_service", "phase");
-      ReportMsg report = decode_report(m.payload);
-      process_report(slave, report);
-      reply(slave);
-      drain_wait_queue();
+      ReportMsg report;
+      if (!await_report(slave, /*flush=*/false, report)) {
+        continue;  // the slave died; its work has been recovered
+      }
+      {
+        ESTCLUST_TRACE_SPAN(tracer, "master_service", "phase");
+        process_report(slave, report);
+        reply(slave);
+        drain_wait_queue();
+      }
     }
-  }
-
-  // All slaves are parked and the work buffer is drained. Slaves parked on
-  // the wait-queue still hold the results of their final alignments (a
-  // report is only sent in response to an assignment), so flush each with
-  // a final assignment whose stop flag retires the slave — one coalesced
-  // ASSIGN/REPORT exchange per slave instead of flush + separate STOP.
-  for (int s = 1; s <= num_slaves_; ++s) {
-    ESTCLUST_CHECK(state_[s] == SlaveState::kWaiting);
-    AssignMsg final_assign;
-    final_assign.stop = 1;
-    comm_.send(s, kTagAssign, encode_assign(final_assign));
-    mpr::Message m = [&] {
-      mpr::CheckOpScope check_scope(comm_, "pace.master.await_flush");
-      return comm_.recv(s, kTagReport);
-    }();
-    ESTCLUST_TRACE_SPAN(tracer, "master_flush", "phase");
-    ReportMsg report = decode_report(m.payload);
-    ESTCLUST_CHECK_MSG(report.pairs.empty(),
-                       "parked slave produced pairs during final flush");
-    process_report(s, report);
-    state_[s] = SlaveState::kStopped;
+    // A death during the flush can refill WORKBUF from the regenerated
+    // stream; resume the interaction loop with the still-parked slaves.
+    if (!flush_parked(tracer)) break;
   }
 
   // Publish the master's counters onto the runtime's registry; merged
@@ -216,6 +369,9 @@ void Master::run() {
   metrics.counter("pace.pairs_enqueued").add(counters_.pairs_enqueued);
   metrics.counter("pace.merges").add(counters_.merges);
   metrics.counter("pace.master_interactions").add(counters_.interactions);
+  if (dup_reports_ignored_ > 0) {
+    metrics.counter("pace.dup_reports_ignored").add(dup_reports_ignored_);
+  }
   std::size_t max_mul = 1;
   for (int s = 1; s <= num_slaves_; ++s) {
     max_mul = std::max(max_mul, multiplier_[s]);

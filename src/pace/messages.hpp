@@ -6,6 +6,13 @@
 // peer owes rides one coalesced, explicitly-serialized message per
 // direction — there is no separate STOP message: the final ASSIGN carries
 // stop = 1 and the slave answers with its final (possibly empty) REPORT.
+//
+// Reliable mode (active iff a FaultPlan is installed — see mpr/fault.hpp
+// and DESIGN.md §8): REPORT and ASSIGN additionally carry sequence
+// numbers so duplicated deliveries are idempotent, the master
+// acknowledges each fresh REPORT on kTagAck, and a dying slave announces
+// itself on kTagHeartbeat. The extra fields are serialized only in
+// reliable mode, so fault-free wire bytes are identical to the seed's.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +26,12 @@ namespace estclust::pace {
 
 inline constexpr int kTagReport = 1;
 inline constexpr int kTagAssign = 2;
+/// Master -> slave acknowledgement of a fresh REPORT (reliable mode only).
+inline constexpr int kTagAck = 3;
+/// Slave -> master death notice (reliable mode only). Sent once, fault-
+/// exempt, delivered deadline seconds after the death: its arrival models
+/// the master noticing the slave's heartbeat went silent.
+inline constexpr int kTagHeartbeat = 4;
 
 /// Result of one pairwise alignment, as shipped to the master. The master
 /// only needs the identity of the pair and the verdict; score/quality ride
@@ -45,6 +58,16 @@ struct ReportMsg {
   // batching reads these as its redundancy signal.
   std::uint64_t memo_lookups = 0;
   std::uint64_t memo_hits = 0;
+  // Reliable-mode fields (serialized only when `reliable` is passed to the
+  // codec; fault-free wire bytes are unchanged).
+  std::uint64_t seq = 0;  ///< per-slave report number, from 1; dedup key
+  /// Seq of the ASSIGN whose work produced `results` (0 = the slave's own
+  /// startup portion). The master releases the matching retained in-flight
+  /// copy when this report arrives.
+  std::uint64_t results_for_seq = 0;
+  /// Highest ASSIGN seq received — a piggybacked acknowledgement; the
+  /// master audits it against the assignment it actually sent.
+  std::uint64_t ack_assign_seq = 0;
 };
 
 struct AssignMsg {
@@ -54,12 +77,30 @@ struct AssignMsg {
   /// results) and exits its loop. Folding STOP into the last ASSIGN saves
   /// one message per slave per run.
   std::uint8_t stop = 0;
+  /// Reliable-mode per-slave assignment number, from 1; dedup key.
+  std::uint64_t seq = 0;
 };
 
-mpr::Buffer encode_report(const ReportMsg& m);
-ReportMsg decode_report(const mpr::Buffer& b);
+/// Master -> slave: acknowledges the fresh REPORT with this seq.
+struct AckMsg {
+  std::uint64_t seq = 0;
+};
 
-mpr::Buffer encode_assign(const AssignMsg& m);
-AssignMsg decode_assign(const mpr::Buffer& b);
+/// Slave -> master death notice (the slave's last message, ever).
+struct HeartbeatMsg {
+  std::uint64_t last_report_seq = 0;  ///< highest report seq sent before dying
+};
+
+mpr::Buffer encode_report(const ReportMsg& m, bool reliable = false);
+ReportMsg decode_report(const mpr::Buffer& b, bool reliable = false);
+
+mpr::Buffer encode_assign(const AssignMsg& m, bool reliable = false);
+AssignMsg decode_assign(const mpr::Buffer& b, bool reliable = false);
+
+mpr::Buffer encode_ack(const AckMsg& m);
+AckMsg decode_ack(const mpr::Buffer& b);
+
+mpr::Buffer encode_heartbeat(const HeartbeatMsg& m);
+HeartbeatMsg decode_heartbeat(const mpr::Buffer& b);
 
 }  // namespace estclust::pace

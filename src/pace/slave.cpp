@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "mpr/fault.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 
@@ -20,7 +21,8 @@ Slave::Slave(mpr::Communicator& comm, const bio::EstSet& ests,
       ests_(ests),
       cfg_(cfg),
       generator_(ests, forest, cfg.psi),
-      aligner_(ests, cfg) {
+      aligner_(ests, cfg),
+      reliable_(comm.fault_plan() != nullptr) {
   // The generator's constructor sorted the local nodes by string-depth;
   // charge it to this rank's clock (Table 3's "Sorting Nodes" column).
   ESTCLUST_TRACE_SPAN(comm_.tracer(), "node_sorting", "phase");
@@ -93,11 +95,98 @@ void Slave::attach_memo_counters(ReportMsg& m) {
   memo_hits_reported_ = s.hits;
 }
 
+void Slave::send_report(ReportMsg& m, std::uint64_t results_for_seq) {
+  if (reliable_) {
+    m.seq = ++report_seq_;
+    m.results_for_seq = results_for_seq;
+    m.ack_assign_seq = last_assign_seq_;
+  }
+  comm_.send(0, kTagReport, encode_report(m, reliable_));
+}
+
+AssignMsg Slave::await_assign() {
+  for (;;) {
+    mpr::Message m = [&] {
+      mpr::CheckOpScope check_scope(comm_, "pace.slave.await_assign");
+      return comm_.recv(0, kTagAssign);
+    }();
+    AssignMsg assign = decode_assign(m.payload, reliable_);
+    if (!reliable_) return assign;
+    if (assign.seq <= last_assign_seq_) {
+      // Duplicated delivery of an assignment already honoured.
+      comm_.metrics().counter("pace.dup_assigns_ignored").add(1);
+      continue;
+    }
+    // The mailbox preserves the master's program order, so fresh
+    // assignments can never arrive out of order.
+    ESTCLUST_CHECK_MSG(assign.seq == last_assign_seq_ + 1,
+                       "assignment sequence gap: got " << assign.seq
+                                                       << " after "
+                                                       << last_assign_seq_);
+    last_assign_seq_ = assign.seq;
+    return assign;
+  }
+}
+
+void Slave::consume_ack(std::uint64_t expected) {
+  for (;;) {
+    mpr::Message m = [&] {
+      mpr::CheckOpScope check_scope(comm_, "pace.slave.await_ack");
+      return comm_.recv(0, kTagAck);
+    }();
+    const AckMsg ack = decode_ack(m.payload);
+    if (ack.seq == expected) return;
+    // The master acks each report exactly once, in order, so anything
+    // below `expected` is a duplicated delivery of an older ack.
+    ESTCLUST_CHECK_MSG(ack.seq < expected,
+                       "ack " << ack.seq << " for a report not yet sent");
+    comm_.metrics().counter("pace.dup_acks_ignored").add(1);
+  }
+}
+
+bool Slave::maybe_die() {
+  if (!reliable_) return false;
+  mpr::FaultPlan* plan = comm_.fault_plan();
+  const int r = comm_.rank();
+  if (!plan->death_scheduled(r)) return false;
+  if (comm_.clock().time() < plan->death_vtime(r)) return false;
+  // Announce the failure once and abandon the protocol. The notice is
+  // fault-exempt and delivered `deadline` later: that is the master
+  // noticing the heartbeat went silent, not a message the dead rank
+  // actually managed to send.
+  HeartbeatMsg hb;
+  hb.last_report_seq = report_seq_;
+  comm_.send_delayed(0, kTagHeartbeat, encode_heartbeat(hb),
+                     plan->deadline());
+  comm_.metrics().counter("pace.slave_deaths").add(1);
+  if (comm_.tracer()) {
+    comm_.tracer()->instant("pace.death", "fault",
+                            static_cast<std::uint64_t>(r));
+  }
+  return true;
+}
+
+void Slave::drain_duplicates() {
+  // After the final ack every message the master will ever send on the
+  // protocol tags is already queued (the mailbox preserves its program
+  // order), so what remains is exactly the duplicated deliveries.
+  std::uint64_t drained = 0;
+  while (comm_.try_recv(0, kTagAssign)) ++drained;
+  while (comm_.try_recv(0, kTagAck)) ++drained;
+  if (drained > 0) {
+    comm_.metrics().counter("pace.dup_drained").add(drained);
+  }
+}
+
 SlaveCounters Slave::run() {
   // Inclusive loop span (covers waiting too); the nested "alignment" /
   // "pairgen" spans carry the busy breakdown.
   ESTCLUST_TRACE_SPAN(comm_.tracer(), "slave_loop", "phase");
   const double loop_start = comm_.clock().time();
+
+  // Death checkpoint C1: a rank scheduled to die at (virtual) time zero
+  // fails before contributing anything at all.
+  if (maybe_die()) return finish(loop_start);
 
   // Startup (§3.3): generate one batch split three ways. Align the first
   // portion; ship its results with the third; keep the second as NEXTWORK.
@@ -116,22 +205,30 @@ SlaveCounters Slave::run() {
   initial.pairs = std::move(portion3);
   initial.out_of_pairs = out_of_pairs();
   attach_memo_counters(initial);
-  comm_.send(0, kTagReport, encode_report(initial));
+  // Death checkpoint C1b: the startup work pushed the clock past the
+  // death time — the initial report never ships.
+  if (maybe_die()) return finish(loop_start);
+  send_report(initial, 0);
 
   for (;;) {
     // Compute on the batch in hand before blocking on the master.
     std::vector<WireResult> results = align_all(nextwork);
+    const std::uint64_t results_seq = nextwork_seq_;
     nextwork.clear();
 
     // "While waiting, generate more promising pairs" — performed here,
     // before the blocking receive, so the overlap is deterministic.
     top_up_pairbuf(cfg_.pairbuf_capacity);
 
-    mpr::Message m = [&] {
-      mpr::CheckOpScope check_scope(comm_, "pace.slave.await_assign");
-      return comm_.recv(0, kTagAssign);
-    }();
-    AssignMsg assign = decode_assign(m.payload);
+    AssignMsg assign = await_assign();
+
+    // Death checkpoint C2: the assignment was received but never
+    // acknowledged or answered — the master re-enqueues its retained
+    // in-flight copy when the heartbeat notice lands.
+    if (maybe_die()) return finish(loop_start);
+    // The master acked our previous report before replying with this
+    // assignment, so the ack is already queued behind us.
+    if (reliable_) consume_ack(report_seq_);
 
     // Honour the master's request E, generating on the fly if PAIRBUF
     // cannot cover it.
@@ -145,16 +242,25 @@ SlaveCounters Slave::run() {
     report.pairs = take_pairs(assign.request);
     report.out_of_pairs = out_of_pairs();
     attach_memo_counters(report);
-    comm_.send(0, kTagReport, encode_report(report));
+    send_report(report, results_seq);
 
     if (assign.stop) {
       ESTCLUST_CHECK_MSG(assign.work.empty(),
                          "final assignment carried work");
+      if (reliable_) {
+        consume_ack(report_seq_);
+        drain_duplicates();
+      }
       break;
     }
     nextwork = std::move(assign.work);
+    nextwork_seq_ = assign.seq;
   }
 
+  return finish(loop_start);
+}
+
+SlaveCounters Slave::finish(double loop_start) {
   counters_.pairs_generated = generator_.stats().pairs_emitted;
   counters_.memo = aligner_.memo_stats();
   counters_.loop_vtime = comm_.clock().time() - loop_start;

@@ -42,7 +42,8 @@ class Slave {
   Slave(mpr::Communicator& comm, const bio::EstSet& ests,
         const PaceConfig& cfg, const std::vector<gst::Tree>& forest);
 
-  /// Runs until the master's final assignment (stop flag) arrives.
+  /// Runs until the master's final assignment (stop flag) arrives, or —
+  /// under a fault plan — until this rank's scheduled death checkpoint.
   SlaveCounters run();
 
  private:
@@ -53,6 +54,23 @@ class Slave {
   bool out_of_pairs() const;
   /// Stamps the memo counters accumulated since the previous report.
   void attach_memo_counters(ReportMsg& m);
+  /// Sends `m` (reliable mode stamps seq / results_for_seq / ack fields).
+  void send_report(ReportMsg& m, std::uint64_t results_for_seq);
+  /// Blocking receive of the next *fresh* assignment, skipping duplicated
+  /// deliveries by sequence number.
+  AssignMsg await_assign();
+  /// Consumes the master's ack of report `expected`, skipping stale
+  /// duplicate acks. The master acks before it replies with an ASSIGN, so
+  /// by the time the fresh ASSIGN arrived the ack is already queued.
+  void consume_ack(std::uint64_t expected);
+  /// True iff this rank's scheduled death time has passed: announce the
+  /// failure (one fault-exempt heartbeat the master receives `deadline`
+  /// later) and tell the caller to abandon the protocol loop.
+  bool maybe_die();
+  /// Consumes any still-queued duplicate deliveries after the final ack,
+  /// so the checker's mailbox-hygiene audit sees a clean exit.
+  void drain_duplicates();
+  SlaveCounters finish(double loop_start);
 
   mpr::Communicator& comm_;
   const bio::EstSet& ests_;
@@ -63,6 +81,12 @@ class Slave {
   SlaveCounters counters_;
   std::uint64_t memo_lookups_reported_ = 0;
   std::uint64_t memo_hits_reported_ = 0;
+  // Reliable-mode protocol state (see messages.hpp): unused when no fault
+  // plan is installed.
+  bool reliable_ = false;
+  std::uint64_t report_seq_ = 0;       ///< seq of the last report sent
+  std::uint64_t last_assign_seq_ = 0;  ///< highest fresh ASSIGN received
+  std::uint64_t nextwork_seq_ = 0;     ///< ASSIGN seq that NEXTWORK came from
 };
 
 }  // namespace estclust::pace

@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -23,6 +24,7 @@
 
 #include "bio/dataset.hpp"
 #include "bio/fasta.hpp"
+#include "mpr/fault.hpp"
 #include "mpr/runtime.hpp"
 #include "pace/parallel.hpp"
 #include "sim/workload.hpp"
@@ -95,12 +97,16 @@ struct GoldenRun {
   std::string runtime_line;
 };
 
-GoldenRun run_fixture(const bio::EstSet& ests, int ranks, bool memo) {
+GoldenRun run_fixture(const bio::EstSet& ests, int ranks, bool memo,
+                      const mpr::FaultSpec* faults = nullptr) {
   pace::PaceConfig cfg = golden_config();
   cfg.memo = memo;
   GoldenRun out;
   std::mutex mu;
   mpr::Runtime rt(ranks, mpr::CostModel{});
+  if (faults != nullptr) {
+    rt.set_fault_plan(std::make_shared<mpr::FaultPlan>(*faults, ranks));
+  }
   rt.run([&](mpr::Communicator& comm) {
     auto res = pace::cluster_parallel(comm, ests, cfg);
     if (comm.rank() == 0) {
@@ -218,6 +224,40 @@ void check_fixture(const Fixture& fix) {
 TEST(GoldenClusters, Small) { check_fixture(small_fixture()); }
 
 TEST(GoldenClusters, Noisy) { check_fixture(noisy_fixture()); }
+
+/// Seeded fault plans must reproduce the fault-free golden partition
+/// byte-for-byte: drops, duplicates and delays only reorder/retry the
+/// protocol, and a killed slave's work is recovered deterministically.
+void check_faulted_fixture(const Fixture& fix) {
+  if (update_mode()) GTEST_SKIP() << "goldens regenerated by check_fixture";
+  const std::string golden =
+      read_file(data_path(std::string(fix.name) + ".clusters.txt"));
+  ASSERT_FALSE(golden.empty()) << "missing golden for " << fix.name;
+  bio::EstSet ests(
+      bio::read_fasta_file(data_path(std::string(fix.name) + ".fasta")));
+
+  struct Plan {
+    const char* label;
+    const char* spec;
+  };
+  const Plan plans[] = {
+      {"drop-heavy", "seed=101,drop=0.4,delay=0.2"},
+      {"dup-heavy", "seed=202,dup=0.6,delay=0.2"},
+      {"slave-killed", "seed=303,kill=2@0.02"},
+      {"combined", "seed=404,drop=0.25,dup=0.25,delay=0.25,kill=3@0.03"},
+  };
+  for (const Plan& plan : plans) {
+    const mpr::FaultSpec spec = mpr::parse_fault_spec(plan.spec);
+    const GoldenRun run = run_fixture(ests, 4, /*memo=*/true, &spec);
+    EXPECT_EQ(run.clusters, golden)
+        << "fault plan '" << plan.label << "' (" << plan.spec
+        << ") perturbed the partition of " << fix.name;
+  }
+}
+
+TEST(GoldenClustersFaulted, Small) { check_faulted_fixture(small_fixture()); }
+
+TEST(GoldenClustersFaulted, Noisy) { check_faulted_fixture(noisy_fixture()); }
 
 }  // namespace
 }  // namespace estclust

@@ -1,8 +1,9 @@
 """Rule family 2: tag protocol (rule id `tag-protocol`).
 
 Builds the static send -> recv matrix of the master/slave/gst protocol
-from every `comm.send(...)` / `comm.recv(...)` site and the `kTag*`
-constants, then checks:
+from every `comm.send(...)` / `comm.recv(...)` site (including the
+delayed-send and two-tag variants `send_delayed`, `recv2`, `probe2`)
+and the `kTag*` constants, then checks:
 
   * every tag that is sent is also received by some role, and vice
     versa (a sent-but-never-received tag is a queued-forever message;
@@ -36,7 +37,9 @@ from analyze.srcmodel import SourceFile, Violation, match_paren, split_args
 RULE = "tag-protocol"
 
 DECL_RE = re.compile(r"\bconstexpr\s+int\s+(kTag\w+)\s*=\s*(\d+)\s*;")
-CALL_RE = re.compile(r"\b(?:\w+)(?:\.|->)(send|recv|try_recv|probe)\s*\(")
+CALL_RE = re.compile(
+    r"\b(?:\w+)(?:\.|->)(send_delayed|send|recv2|recv|try_recv|probe2|probe)"
+    r"\s*\(")
 
 
 @dataclass
@@ -119,17 +122,38 @@ def run(files: list[SourceFile]) -> list[Violation]:
             args = split_args(f.code[open_idx + 1:close_idx])
             line = f.line_of(m.start())
             tag: str | None = None
-            if op == "send":
+            if op in ("send", "send_delayed"):
                 if len(args) < 3:
-                    continue  # not a Communicator::send
+                    continue  # not a Communicator send
                 tm = re.search(r"\bkTag\w+\b", args[1])
                 tag = tm.group(0) if tm else None
                 if tag is None:
                     out.append(Violation(
                         f.rel, line, RULE,
-                        f"send with non-constant tag '{args[1]}' outside "
+                        f"{op} with non-constant tag '{args[1]}' outside "
                         "src/mpr; protocol sends must name a kTag* constant"))
                     continue
+                op = "send"
+            elif op in ("recv2", "probe2"):
+                # Two-tag variants deliver whichever tag is ready first;
+                # each tag is its own site in the matrix (and for recv2,
+                # each falls under the CheckOpScope rule).
+                base = "recv" if op == "recv2" else "probe"
+                for argi in (1, 2):
+                    tag = None
+                    if len(args) > argi:
+                        tm = re.search(r"\bkTag\w+\b", args[argi])
+                        tag = tm.group(0) if tm else None
+                    if tag is None:
+                        out.append(Violation(
+                            f.rel, line, RULE,
+                            f"{op} with a wildcard/computed tag outside "
+                            "src/mpr; protocol receives must name kTag* "
+                            "constants so the static send/recv matrix "
+                            "stays closed"))
+                    else:
+                        sites.append(Site(f, line, base, role, tag))
+                continue
             else:
                 # recv(src, tag) / try_recv / probe. Wildcard tag = fewer
                 # than two arguments or a non-kTag second argument.

@@ -18,6 +18,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -27,6 +28,7 @@
 #include "bio/fasta.hpp"
 #include "check/checker.hpp"
 #include "gst/builder.hpp"
+#include "mpr/fault.hpp"
 #include "mpr/runtime.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -50,6 +52,10 @@ int usage() {
          "           [--min-quality 0.8] [--min-overlap 40] [--ranks P]\n"
          "           [--trace trace.json] [--breakdown report.txt]\n"
          "           [--metrics] [--check off|warn|strict]\n"
+         "           [--faults off|seed=U64,drop=P,dup=P,delay=P,\n"
+         "                     kill=RANK@VTIME,...]  (deterministic fault\n"
+         "            injection into the master/slave protocol; implies a\n"
+         "            parallel run. Clusters are unchanged by any plan.)\n"
          "  eval     --clusters clusters.txt --truth truth.txt --in lib.fa\n"
          "  splice   --in lib.fa [--psi 20] [--min-gap 25]\n"
          "  assemble --in lib.fa --out contigs.fa [cluster options]\n";
@@ -109,17 +115,26 @@ int cmd_cluster(const CliArgs& args) {
                      "--check must be off, warn or strict (got '"
                          << check_arg << "')");
 
+  const mpr::FaultSpec faults =
+      mpr::parse_fault_spec(args.get_string("faults", "off"));
+  faults.validate();
+
   std::vector<std::uint32_t> labels;
   int ranks = static_cast<int>(args.get_int("ranks", 1));
-  // Observability and checking ride on the virtual-time runtime; a traced
-  // or checked single-rank request still routes through it (with p = 2:
-  // one master, one slave).
-  if (ranks < 2 &&
-      (cfg.trace || want_metrics || check_mode != mpr::CheckMode::kOff)) {
+  // Observability, checking and fault injection ride on the virtual-time
+  // runtime; a single-rank request for any of them still routes through
+  // it (with p = 2: one master, one slave).
+  if (ranks < 2 && (cfg.trace || want_metrics || faults.enabled ||
+                    check_mode != mpr::CheckMode::kOff)) {
     ranks = 2;
   }
   if (ranks > 1) {
     mpr::Runtime rt(ranks, mpr::CostModel{});
+    if (faults.enabled) {
+      rt.set_fault_plan(std::make_shared<mpr::FaultPlan>(faults, ranks));
+      std::cout << "fault injection: " << mpr::format_fault_spec(faults)
+                << "\n";
+    }
     if (cfg.trace) rt.enable_tracing(cfg.trace_message_flows);
     check::Checker* checker = check::enable_checking(rt, check_mode);
     std::mutex mu;
