@@ -7,8 +7,9 @@
 // sweet spot in the paper is 40-60; (2) the master stays busy well under
 // 2% of the time even at high processor counts.
 //
-// Master-busy numbers are read from the merged MetricsRegistry
-// (pace.master_busy_fraction), the same source the breakdown report uses.
+// Master-busy numbers come from the trace-derived critical-path profile
+// (rank 0's master_* span time over the makespan) — the same measure
+// `estclust --profile` reports and tools/profile/critpath.py tabulates.
 
 #include "bench/common.hpp"
 
@@ -72,17 +73,14 @@ int main(int argc, char** argv) {
                  "master busy % (n=" + std::to_string(n2) + ")"},
                 args);
   auto cfg = bench_pace_config();
+  cfg.trace = true;  // the utilization table is measured from the trace
   for (int pp : {8, 16, 32, 64, 128}) {
     auto run1 = run_parallel_obs(wl.ests, cfg, pp);
     auto run2 = run_parallel_obs(wl2.ests, cfg, pp);
     busy.add_row(
         {TablePrinter::fmt(static_cast<std::uint64_t>(pp)),
-         TablePrinter::fmt(
-             100.0 * run1.metrics.gauge_value("pace.master_busy_fraction"),
-             3),
-         TablePrinter::fmt(
-             100.0 * run2.metrics.gauge_value("pace.master_busy_fraction"),
-             3)});
+         TablePrinter::fmt(100.0 * run1.profile.master_utilization, 3),
+         TablePrinter::fmt(100.0 * run2.profile.master_utilization, 3)});
   }
   busy.print(std::cout);
   if (!busy.json_mode()) {

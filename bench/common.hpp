@@ -7,16 +7,21 @@
 #pragma once
 
 #include <cctype>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "mpr/mailbox.hpp"
 #include "mpr/runtime.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "pace/config.hpp"
+#include "pace/messages.hpp"
 #include "pace/parallel.hpp"
 #include "sim/workload.hpp"
 #include "util/cli.hpp"
@@ -74,17 +79,34 @@ inline sim::SimConfig bench_workload_config(std::size_t num_ests,
   return cfg;
 }
 
+/// ProfileOptions with the pace protocol's tag names, for bench profiles.
+inline obs::ProfileOptions bench_profile_options() {
+  obs::ProfileOptions opts;
+  opts.tag_names = {{pace::kTagReport, "REPORT"},
+                    {pace::kTagAssign, "ASSIGN"},
+                    {pace::kTagAck, "ACK"},
+                    {pace::kTagHeartbeat, "HEARTBEAT"}};
+  opts.internal_tag_base = mpr::kInternalTagBase;
+  opts.recv_overhead = mpr::CostModel{}.recv_overhead;
+  return opts;
+}
+
 /// A parallel bench run plus its observability products: the merged
-/// metrics registry (every counter/gauge the pipeline published) and the
-/// per-rank virtual busy/comm/idle split.
+/// metrics registry (every counter/gauge the pipeline published), the
+/// per-rank virtual busy/comm/idle split, and — for traced runs — the
+/// critical-path profile.
 struct BenchRun {
   pace::ParallelResult result;
   obs::MetricsRegistry metrics;
   std::vector<obs::RankTime> rank_times;
+  obs::Profile profile;       ///< populated iff has_profile
+  bool has_profile = false;   ///< true when cfg.trace enabled the recorder
 };
 
 /// Runs the parallel clustering at rank count p and returns rank 0's view
-/// together with the runtime's merged metrics. Honors cfg.trace.
+/// together with the runtime's merged metrics. Honors cfg.trace; traced
+/// runs also get the critical-path profile (pure post-processing — the
+/// run itself is bit-identical either way).
 inline BenchRun run_parallel_obs(const bio::EstSet& ests,
                                  const pace::PaceConfig& cfg, int p) {
   mpr::Runtime rt(p, mpr::CostModel{});
@@ -100,6 +122,11 @@ inline BenchRun run_parallel_obs(const bio::EstSet& ests,
   });
   run.metrics = rt.merged_metrics();
   run.rank_times = rt.rank_times();
+  if (rt.tracer() != nullptr) {
+    run.profile = obs::build_profile(*rt.tracer(), run.rank_times,
+                                     bench_profile_options());
+    run.has_profile = true;
+  }
   return run;
 }
 
@@ -120,7 +147,10 @@ inline void print_header(const std::string& title,
 /// --json, as one machine-readable JSON object per row on stdout. Keys are
 /// derived from the column headers; numeric cells stay unquoted. In JSON
 /// mode each row is emitted as soon as it is added, so partial output from
-/// an interrupted sweep is still usable.
+/// an interrupted sweep is still usable. Each JSON row also carries
+/// `wall_s` — the real wall-clock seconds spent since the previous row
+/// (or since construction) — next to the modeled virtual times, so
+/// simulator cost is observable without affecting any table or gate.
 class Reporter {
  public:
   Reporter(std::string bench_name, std::vector<std::string> headers,
@@ -128,10 +158,15 @@ class Reporter {
       : bench_(std::move(bench_name)),
         headers_(headers),
         json_(args.has_flag("json")),
-        table_(std::move(headers)) {}
+        table_(std::move(headers)),
+        last_row_time_(std::chrono::steady_clock::now()) {}
 
   void add_row(std::vector<std::string> cells) {
     if (json_) {
+      const auto now = std::chrono::steady_clock::now();
+      const double wall_s =
+          std::chrono::duration<double>(now - last_row_time_).count();
+      last_row_time_ = now;
       std::cout << "{\"bench\":\"" << json_escape(bench_) << "\"";
       for (std::size_t i = 0; i < cells.size() && i < headers_.size(); ++i) {
         std::cout << ",\"" << key_of(headers_[i]) << "\":";
@@ -141,7 +176,9 @@ class Reporter {
           std::cout << '"' << json_escape(cells[i]) << '"';
         }
       }
-      std::cout << "}\n";
+      char wall[32];
+      std::snprintf(wall, sizeof(wall), "%.6f", wall_s);
+      std::cout << ",\"wall_s\":" << wall << "}\n";
     }
     table_.add_row(std::move(cells));
   }
@@ -198,6 +235,7 @@ class Reporter {
   std::vector<std::string> headers_;
   bool json_;
   TablePrinter table_;
+  std::chrono::steady_clock::time_point last_row_time_;
 };
 
 }  // namespace estclust::bench

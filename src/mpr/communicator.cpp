@@ -62,7 +62,7 @@ void Communicator::send_internal(int dest, int tag, Buffer payload,
     // Flow ids are (rank+1) ## per-rank sequence, so they are globally
     // unique and identical across same-seed runs.
     m.flow_id = (static_cast<std::uint64_t>(rank_ + 1) << 40) | flow_seq_++;
-    tracer_->flow_out(m.flow_id, dest, payload.size());
+    tracer_->flow_out(m.flow_id, dest, payload.size(), tag);
   }
   m.payload = std::move(payload);
   const std::size_t bytes = m.payload.size();
@@ -107,7 +107,7 @@ void Communicator::send_faulted(int dest, int tag, Buffer payload) {
   st.bytes_sent += payload.size();
   if (tracer_ && trace_flows_) {
     m.flow_id = (static_cast<std::uint64_t>(rank_ + 1) << 40) | flow_seq_++;
-    tracer_->flow_out(m.flow_id, dest, payload.size());
+    tracer_->flow_out(m.flow_id, dest, payload.size(), tag);
   }
   Message dup;
   const bool duplicated = f.copies == 2;
@@ -120,7 +120,7 @@ void Communicator::send_faulted(int dest, int tag, Buffer payload) {
     st.bytes_sent += dup.payload.size();
     if (tracer_ && trace_flows_) {
       dup.flow_id = (static_cast<std::uint64_t>(rank_ + 1) << 40) | flow_seq_++;
-      tracer_->flow_out(dup.flow_id, dest, dup.payload.size());
+      tracer_->flow_out(dup.flow_id, dest, dup.payload.size(), tag);
     }
     mx.counter("fault.dups").add(1);
     if (tracer_) {
@@ -170,6 +170,10 @@ void Communicator::send_delayed(int dest, int tag, Buffer payload,
 
 Message Communicator::finish_recv(Message m) {
   VirtualClock& clk = clock();
+  // Idle skipped at this receive, captured before sync_to consumes it.
+  // Recorded on the flow event (never charged), it lets the critical-path
+  // profiler identify binding receives without replaying the clocks.
+  const double wait = std::max(0.0, m.arrival_vtime - clk.time());
   clk.sync_to(m.arrival_vtime);
   clk.advance_comm(cost_model().recv_overhead);
   ++stats().messages_received;
@@ -178,7 +182,7 @@ Message Communicator::finish_recv(Message m) {
     check_->audit_clock(rank_, clk);
   }
   if (tracer_ && trace_flows_) {
-    tracer_->flow_in(m.flow_id, m.src, m.payload.size());
+    tracer_->flow_in(m.flow_id, m.src, m.payload.size(), m.tag, wait);
   }
   return m;
 }

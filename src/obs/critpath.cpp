@@ -1,0 +1,182 @@
+#include "obs/critpath.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace estclust::obs {
+
+namespace {
+
+/// (vtime, innermost span name after this point); nullptr = no open span.
+using SpanMark = std::pair<double, const char*>;
+
+/// Appends the pieces of the local interval [a, b) on `rank`, split at
+/// every innermost-span change, to `back` in *reverse* time order (the
+/// backward walk builds the path newest-first).
+void emit_local(int rank, double a, double b,
+                const std::vector<SpanMark>& marks,
+                std::vector<PathSegment>& back) {
+  if (b <= a) return;
+  // State at time t is the last mark with vtime <= t.
+  auto it = std::upper_bound(
+      marks.begin(), marks.end(), a,
+      [](double t, const SpanMark& m) { return t < m.first; });
+  std::size_t idx = static_cast<std::size_t>(it - marks.begin());
+  const char* op = idx == 0 ? nullptr : marks[idx - 1].second;
+
+  std::vector<PathSegment> pieces;
+  double lo = a;
+  for (std::size_t j = idx; j < marks.size() && marks[j].first < b; ++j) {
+    if (marks[j].first > lo) {
+      PathSegment s;
+      s.rank = rank;
+      s.begin = lo;
+      s.end = marks[j].first;
+      s.op = op ? op : "(untracked)";
+      pieces.push_back(s);
+      lo = marks[j].first;
+    }
+    op = marks[j].second;
+  }
+  if (b > lo) {
+    PathSegment s;
+    s.rank = rank;
+    s.begin = lo;
+    s.end = b;
+    s.op = op ? op : "(untracked)";
+    pieces.push_back(s);
+  }
+  for (auto p = pieces.rbegin(); p != pieces.rend(); ++p) {
+    back.push_back(*p);
+  }
+}
+
+}  // namespace
+
+CriticalPath compute_critical_path(const TraceRecorder& rec,
+                                   const std::vector<RankTime>& rank_times) {
+  const int p = rec.nranks();
+  ESTCLUST_CHECK_MSG(static_cast<int>(rank_times.size()) == p,
+                     "rank_times size does not match the recorder");
+  CriticalPath out;
+  for (const auto& rt : rank_times) {
+    out.makespan = std::max(out.makespan, rt.total);
+  }
+  if (out.makespan <= 0.0) return out;
+
+  // Cross-rank edges: flow id -> (sender rank, event index). Lookup only —
+  // iteration order of this map never influences the output.
+  std::unordered_map<std::uint64_t, std::pair<int, std::size_t>> flow_out_at;
+  // Sequential structure: per-rank innermost-span timeline.
+  std::vector<std::vector<SpanMark>> marks(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    const auto& events = rec.rank(r).events();
+    std::vector<const char*> stack;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const TraceEvent& e = events[i];
+      if (e.kind == EventKind::kFlowOut) {
+        flow_out_at.emplace(e.id, std::make_pair(r, i));
+      } else if (e.kind == EventKind::kBegin) {
+        stack.push_back(e.name);
+        marks[r].push_back({e.vtime, e.name});
+      } else if (e.kind == EventKind::kEnd) {
+        ESTCLUST_CHECK_MSG(!stack.empty(), "unmatched span end on rank "
+                                               << r);
+        stack.pop_back();
+        marks[r].push_back({e.vtime, stack.empty() ? nullptr : stack.back()});
+      }
+    }
+  }
+
+  // Start on the rank whose clock realizes the makespan (smallest rank on
+  // an exact tie, for determinism).
+  int r = 0;
+  for (int i = 0; i < p; ++i) {
+    if (rank_times[i].total == out.makespan) {
+      r = i;
+      break;
+    }
+  }
+
+  // Backward walk. Each rank keeps a cursor that only ever moves left
+  // (revisits happen at strictly earlier times), so the whole walk is
+  // linear in the event count.
+  std::vector<std::ptrdiff_t> cursor(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    cursor[i] =
+        static_cast<std::ptrdiff_t>(rec.rank(i).events().size()) - 1;
+  }
+
+  std::vector<PathSegment> back;
+  double t_cur = out.makespan;
+  for (;;) {
+    const auto& events = rec.rank(r).events();
+    std::ptrdiff_t i = cursor[r];
+    while (i >= 0 &&
+           !(events[static_cast<std::size_t>(i)].kind == EventKind::kFlowIn &&
+             events[static_cast<std::size_t>(i)].wait > 0.0 &&
+             events[static_cast<std::size_t>(i)].vtime <= t_cur)) {
+      --i;
+    }
+    if (i < 0) {
+      // No binding receive before t_cur: the rank's time back to zero is
+      // locally determined. The path starts here.
+      cursor[r] = i;
+      emit_local(r, 0.0, t_cur, marks[r], back);
+      break;
+    }
+    const TraceEvent& fin = events[static_cast<std::size_t>(i)];
+    emit_local(r, fin.vtime, t_cur, marks[r], back);
+    auto it = flow_out_at.find(fin.id);
+    ESTCLUST_CHECK_MSG(it != flow_out_at.end(),
+                       "flow-in without a matching flow-out: id " << fin.id);
+    const int sender = it->second.first;
+    const std::size_t send_idx = it->second.second;
+    const TraceEvent& fout = rec.rank(sender).events()[send_idx];
+    ESTCLUST_CHECK_MSG(fout.vtime < fin.vtime,
+                       "message delivered before it was sent: id " << fin.id);
+    PathSegment wire;
+    wire.rank = r;
+    wire.src = sender;
+    wire.begin = fout.vtime;
+    wire.end = fin.vtime;
+    wire.wire = true;
+    wire.op = "wire";
+    wire.tag = fin.tag;
+    wire.flow_id = fin.id;
+    back.push_back(wire);
+    cursor[r] = i - 1;
+    r = sender;
+    cursor[r] = std::min(cursor[r],
+                         static_cast<std::ptrdiff_t>(send_idx) - 1);
+    t_cur = fout.vtime;
+  }
+
+  std::reverse(back.begin(), back.end());
+  out.segments = std::move(back);
+  return out;
+}
+
+std::vector<IdleInterval> collect_idle_intervals(const TraceRecorder& rec,
+                                                 double recv_overhead) {
+  std::vector<IdleInterval> out;
+  for (int r = 0; r < rec.nranks(); ++r) {
+    for (const auto& e : rec.rank(r).events()) {
+      if (e.kind != EventKind::kFlowIn || e.wait <= 0.0) continue;
+      IdleInterval iv;
+      iv.rank = r;
+      iv.src = e.peer;
+      iv.end = e.vtime - recv_overhead;
+      iv.begin = iv.end - e.wait;
+      iv.tag = e.tag;
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+}  // namespace estclust::obs

@@ -89,6 +89,8 @@ void write_chrome_trace(std::ostream& os, const TraceRecorder& rec,
         if (has_bytes) {
           arg("bytes", std::to_string(e.arg));
           arg("peer", std::to_string(e.peer));
+          if (e.tag >= 0) arg("tag", std::to_string(e.tag));
+          if (e.kind == EventKind::kFlowIn) arg("wait_us", fmt_us(e.wait));
         } else if (e.arg != 0) {
           arg("value", std::to_string(e.arg));
         }

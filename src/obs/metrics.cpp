@@ -63,6 +63,12 @@ const RunningStats* MetricsRegistry::find_stats(
   return it == stats_.end() ? nullptr : &it->second;
 }
 
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
 void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   for (const auto& [name, c] : other.counters_) {
     counters_[name].add(c.value());
@@ -129,6 +135,9 @@ void MetricsRegistry::write_report(std::ostream& os) const {
   for (const auto& [name, h] : histograms_) {
     t.add_row({name + ".total",
                TablePrinter::fmt(static_cast<std::uint64_t>(h.total()))});
+    t.add_row({name + ".p50", fmt_double(h.p50())});
+    t.add_row({name + ".p95", fmt_double(h.p95())});
+    t.add_row({name + ".p99", fmt_double(h.p99())});
   }
   t.print(os);
 }
@@ -149,7 +158,12 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     key(name + ".mean") << fmt_double(s.mean());
     key(name + ".max") << fmt_double(s.max());
   }
-  for (const auto& [name, h] : histograms_) key(name + ".total") << h.total();
+  for (const auto& [name, h] : histograms_) {
+    key(name + ".total") << h.total();
+    key(name + ".p50") << fmt_double(h.p50());
+    key(name + ".p95") << fmt_double(h.p95());
+    key(name + ".p99") << fmt_double(h.p99());
+  }
   os << "}\n";
 }
 

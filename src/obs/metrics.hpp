@@ -63,6 +63,7 @@ class MetricsRegistry {
   std::uint64_t counter_value(const std::string& name) const;
   double gauge_value(const std::string& name) const;
   const RunningStats* find_stats(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
 
   /// Folds `other` into this registry (counters sum, gauges by MergeOp,
   /// stats/histograms pointwise). MergeOp / histogram shapes must agree
@@ -82,6 +83,9 @@ class MetricsRegistry {
 
   const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
 
  private:
   std::map<std::string, Counter> counters_;

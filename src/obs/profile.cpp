@@ -1,0 +1,310 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace estclust::obs {
+
+namespace {
+
+/// Round-trip-exact double formatting: the reader recovers the same bits,
+/// and identical doubles always render to identical bytes.
+std::string fmt_full(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string fmt_secs(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Inclusive per-name span sums on one rank (the rank's own view, unlike
+/// aggregate_phases' cross-rank one).
+std::map<std::string, double> rank_span_sums(const TraceRecorder& rec,
+                                             int rank) {
+  std::map<std::string, double> sums;
+  std::vector<const TraceEvent*> stack;
+  for (const auto& e : rec.rank(rank).events()) {
+    if (e.kind == EventKind::kBegin) {
+      stack.push_back(&e);
+    } else if (e.kind == EventKind::kEnd) {
+      ESTCLUST_CHECK_MSG(!stack.empty(),
+                         "unmatched span end on rank " << rank);
+      const TraceEvent* b = stack.back();
+      stack.pop_back();
+      sums[b->name] += e.vtime - b->vtime;
+    }
+  }
+  return sums;
+}
+
+}  // namespace
+
+std::string tag_label(int tag, const ProfileOptions& opts) {
+  if (tag < 0) return "untagged";
+  if (tag >= opts.internal_tag_base) return "collective";
+  auto it = opts.tag_names.find(tag);
+  if (it != opts.tag_names.end()) return it->second;
+  return "tag" + std::to_string(tag);
+}
+
+Profile build_profile(const TraceRecorder& rec,
+                      const std::vector<RankTime>& rank_times,
+                      const ProfileOptions& opts) {
+  Profile prof;
+  prof.ranks = rec.nranks();
+  prof.path = compute_critical_path(rec, rank_times);
+  prof.makespan = prof.path.makespan;
+
+  // Critical-path attribution by operation.
+  std::map<std::string, std::pair<double, std::uint64_t>> by_op;
+  for (const auto& s : prof.path.segments) {
+    const std::string op =
+        s.wire ? "wire:" + tag_label(s.tag, opts) : std::string(s.op);
+    auto& slot = by_op[op];
+    slot.first += s.duration();
+    ++slot.second;
+  }
+  for (const auto& [op, v] : by_op) {
+    prof.by_op.push_back({op, v.first, v.second});
+  }
+  std::sort(prof.by_op.begin(), prof.by_op.end(),
+            [](const ProfileOpShare& a, const ProfileOpShare& b) {
+              if (a.vtime != b.vtime) return a.vtime > b.vtime;
+              return a.op < b.op;
+            });
+
+  // Per-rank slack against the makespan. slack = makespan - active, so
+  // active + slack telescopes to the makespan exactly per rank.
+  for (int r = 0; r < prof.ranks; ++r) {
+    const RankTime& t = rank_times[static_cast<std::size_t>(r)];
+    ProfileRankRow row;
+    row.rank = r;
+    row.busy = t.busy;
+    row.comm = t.comm;
+    row.idle = t.idle;
+    row.total = t.total;
+    row.slack = prof.makespan - (t.busy + t.comm);
+    row.tail = prof.makespan - t.total;
+    prof.rank_rows.push_back(row);
+  }
+
+  // Wait-time attribution by tag (collectives fold into one bucket).
+  const auto idles = collect_idle_intervals(rec, opts.recv_overhead);
+  std::map<int, std::pair<std::uint64_t, double>> by_tag;
+  for (const auto& iv : idles) {
+    const int key = iv.tag >= opts.internal_tag_base ? opts.internal_tag_base
+                                                     : iv.tag;
+    auto& slot = by_tag[key];
+    ++slot.first;
+    slot.second += iv.end - iv.begin;
+  }
+  for (const auto& [tag, v] : by_tag) {
+    prof.wait_by_tag.push_back({tag, tag_label(tag, opts), v.first,
+                                v.second});
+  }
+
+  // Per-rank utilization timelines: start every bucket fully active over
+  // [0, final clock], then carve out the waiting intervals and the tail.
+  const int k = std::max(1, opts.timeline_buckets);
+  if (prof.makespan > 0.0) {
+    const double width = prof.makespan / static_cast<double>(k);
+    prof.utilization.assign(static_cast<std::size_t>(prof.ranks),
+                            std::vector<double>(static_cast<std::size_t>(k),
+                                                0.0));
+    auto carve = [&](std::vector<double>& active, double lo, double hi,
+                     double sign) {
+      lo = std::max(0.0, lo);
+      hi = std::min(prof.makespan, hi);
+      if (hi <= lo) return;
+      const int b0 = std::min(k - 1, static_cast<int>(lo / width));
+      const int b1 = std::min(k - 1, static_cast<int>(hi / width));
+      for (int b = b0; b <= b1; ++b) {
+        const double blo = width * static_cast<double>(b);
+        const double bhi = blo + width;
+        const double overlap = std::min(hi, bhi) - std::max(lo, blo);
+        if (overlap > 0.0) active[static_cast<std::size_t>(b)] += sign *
+                                                                  overlap;
+      }
+    };
+    for (int r = 0; r < prof.ranks; ++r) {
+      auto& active = prof.utilization[static_cast<std::size_t>(r)];
+      carve(active, 0.0, rank_times[static_cast<std::size_t>(r)].total, 1.0);
+    }
+    for (const auto& iv : idles) {
+      carve(prof.utilization[static_cast<std::size_t>(iv.rank)], iv.begin,
+            iv.end, -1.0);
+    }
+    for (auto& row : prof.utilization) {
+      for (auto& v : row) {
+        v = std::min(1.0, std::max(0.0, v / width));
+      }
+    }
+  }
+
+  // Fig 8 analog: master utilization from rank 0's master_* spans.
+  if (prof.ranks > 0) {
+    for (const auto& [name, sum] : rank_span_sums(rec, 0)) {
+      if (name.rfind("master", 0) == 0) prof.master_span_vtime += sum;
+    }
+    if (prof.makespan > 0.0) {
+      prof.master_utilization = prof.master_span_vtime / prof.makespan;
+    }
+  }
+  return prof;
+}
+
+void write_profile_json(std::ostream& os, const Profile& prof) {
+  os << "{\"schema\":\"estclust-profile-v1\"";
+  os << ",\"ranks\":" << prof.ranks;
+  os << ",\"makespan\":" << fmt_full(prof.makespan);
+  os << ",\"critical_path\":{\"length\":" << fmt_full(prof.path.length());
+  os << ",\"segments\":[";
+  for (std::size_t i = 0; i < prof.path.segments.size(); ++i) {
+    const PathSegment& s = prof.path.segments[i];
+    if (i) os << ',';
+    os << "{\"rank\":" << s.rank << ",\"kind\":\""
+       << (s.wire ? "wire" : "local") << "\",\"op\":\""
+       << json_escape(s.op) << '"';
+    if (s.wire) os << ",\"src\":" << s.src << ",\"tag\":" << s.tag;
+    os << ",\"begin\":" << fmt_full(s.begin) << ",\"end\":"
+       << fmt_full(s.end) << '}';
+  }
+  os << "]}";
+  os << ",\"path_by_op\":[";
+  for (std::size_t i = 0; i < prof.by_op.size(); ++i) {
+    const ProfileOpShare& o = prof.by_op[i];
+    if (i) os << ',';
+    os << "{\"op\":\"" << json_escape(o.op) << "\",\"vtime\":"
+       << fmt_full(o.vtime) << ",\"segments\":" << o.segments << '}';
+  }
+  os << ']';
+  os << ",\"ranks_detail\":[";
+  for (std::size_t i = 0; i < prof.rank_rows.size(); ++i) {
+    const ProfileRankRow& r = prof.rank_rows[i];
+    if (i) os << ',';
+    os << "{\"rank\":" << r.rank << ",\"busy\":" << fmt_full(r.busy)
+       << ",\"comm\":" << fmt_full(r.comm) << ",\"idle\":"
+       << fmt_full(r.idle) << ",\"total\":" << fmt_full(r.total)
+       << ",\"slack\":" << fmt_full(r.slack) << ",\"tail\":"
+       << fmt_full(r.tail) << '}';
+  }
+  os << ']';
+  os << ",\"wait_by_tag\":[";
+  for (std::size_t i = 0; i < prof.wait_by_tag.size(); ++i) {
+    const ProfileTagWait& w = prof.wait_by_tag[i];
+    if (i) os << ',';
+    os << "{\"tag\":" << w.tag << ",\"name\":\"" << json_escape(w.name)
+       << "\",\"count\":" << w.count << ",\"vtime\":" << fmt_full(w.vtime)
+       << '}';
+  }
+  os << ']';
+  os << ",\"utilization\":{\"buckets\":"
+     << (prof.utilization.empty() ? 0
+                                  : static_cast<int>(
+                                        prof.utilization.front().size()))
+     << ",\"per_rank\":[";
+  for (std::size_t r = 0; r < prof.utilization.size(); ++r) {
+    if (r) os << ',';
+    os << '[';
+    for (std::size_t b = 0; b < prof.utilization[r].size(); ++b) {
+      if (b) os << ',';
+      os << fmt_full(prof.utilization[r][b]);
+    }
+    os << ']';
+  }
+  os << "]}";
+  os << ",\"master_span_vtime\":" << fmt_full(prof.master_span_vtime);
+  os << ",\"master_utilization\":" << fmt_full(prof.master_utilization);
+  os << "}\n";
+}
+
+void write_profile_report(std::ostream& os, const Profile& prof,
+                          const ProfileOptions& opts) {
+  const double denom = std::max(prof.makespan, 1e-12);
+  os << "=== profile: critical path (" << fmt_secs(prof.makespan)
+     << " virtual s makespan, " << prof.ranks << " ranks, "
+     << prof.path.segments.size() << " segments) ===\n";
+  TablePrinter ops({"operation", "vtime (s)", "% of makespan", "segments"});
+  const std::size_t top =
+      std::min<std::size_t>(prof.by_op.size(),
+                            static_cast<std::size_t>(std::max(1,
+                                                              opts.top_k)));
+  for (std::size_t i = 0; i < top; ++i) {
+    const ProfileOpShare& o = prof.by_op[i];
+    ops.add_row({o.op, fmt_secs(o.vtime),
+                 TablePrinter::fmt(100.0 * o.vtime / denom, 2),
+                 TablePrinter::fmt(o.segments)});
+  }
+  ops.print(os);
+  if (prof.by_op.size() > top) {
+    double rest = 0.0;
+    for (std::size_t i = top; i < prof.by_op.size(); ++i) {
+      rest += prof.by_op[i].vtime;
+    }
+    os << "(+" << prof.by_op.size() - top << " more operations, "
+       << fmt_secs(rest) << " s)\n";
+  }
+
+  os << "\n=== profile: per-rank slack against the makespan ===\n";
+  TablePrinter ranks({"rank", "busy (s)", "comm (s)", "idle (s)",
+                      "slack (s)", "tail (s)", "util %"});
+  for (const auto& r : prof.rank_rows) {
+    ranks.add_row({TablePrinter::fmt(static_cast<std::uint64_t>(r.rank)),
+                   fmt_secs(r.busy), fmt_secs(r.comm), fmt_secs(r.idle),
+                   fmt_secs(r.slack), fmt_secs(r.tail),
+                   TablePrinter::fmt(100.0 * (r.busy + r.comm) / denom, 2)});
+  }
+  ranks.print(os);
+
+  if (!prof.utilization.empty()) {
+    os << "\n=== profile: utilization timeline (0.."
+       << fmt_secs(prof.makespan) << " s, '#'=busy ' '=waiting) ===\n";
+    static const char kLevels[] = {' ', '.', '-', '+', '#'};
+    for (std::size_t r = 0; r < prof.utilization.size(); ++r) {
+      os << "rank " << r << " |";
+      for (double f : prof.utilization[r]) {
+        const int level =
+            std::min(4, static_cast<int>(f * 5.0));
+        os << kLevels[level];
+      }
+      os << "|\n";
+    }
+  }
+
+  if (!prof.wait_by_tag.empty()) {
+    os << "\n=== profile: wait time by message tag ===\n";
+    TablePrinter waits({"tag", "name", "waits", "vtime (s)",
+                        "% of makespan"});
+    for (const auto& w : prof.wait_by_tag) {
+      waits.add_row({std::to_string(w.tag), w.name,
+                     TablePrinter::fmt(w.count), fmt_secs(w.vtime),
+                     TablePrinter::fmt(100.0 * w.vtime / denom, 2)});
+    }
+    waits.print(os);
+  }
+
+  if (prof.ranks > 1) {
+    os << "\nmaster utilization (rank 0 master_* spans): "
+       << TablePrinter::fmt(100.0 * prof.master_utilization, 3) << "% of "
+       << fmt_secs(prof.makespan) << " virtual s\n";
+  }
+}
+
+}  // namespace estclust::obs

@@ -39,6 +39,12 @@ struct TraceEvent {
   double wtime;             ///< wall seconds since recorder creation
   std::uint64_t id = 0;     ///< flow id for kFlowOut/kFlowIn
   std::uint64_t arg = 0;    ///< payload bytes / user argument
+  int tag = -1;             ///< message tag for flow events (-1 = none)
+  /// kFlowIn only: virtual seconds the receiver's clock skipped waiting
+  /// for this message (0 when it arrived before the receiver asked). The
+  /// critical-path profiler reads this to tell a binding receive (the
+  /// arrival set the clock) from a satisfied one.
+  double wait = 0.0;
 };
 
 /// Per-rank event sink. Owned by TraceRecorder; written by exactly one
@@ -70,18 +76,21 @@ class RankTracer {
                std::uint64_t arg = 0) {
     push(EventKind::kInstant, name, category, -1, 0, arg);
   }
-  void flow_out(std::uint64_t id, int dest, std::uint64_t bytes) {
-    push(EventKind::kFlowOut, "msg", "comm", dest, id, bytes);
+  void flow_out(std::uint64_t id, int dest, std::uint64_t bytes,
+                int tag = -1) {
+    push(EventKind::kFlowOut, "msg", "comm", dest, id, bytes, tag, 0.0);
   }
-  void flow_in(std::uint64_t id, int src, std::uint64_t bytes) {
-    push(EventKind::kFlowIn, "msg", "comm", src, id, bytes);
+  void flow_in(std::uint64_t id, int src, std::uint64_t bytes, int tag = -1,
+               double wait = 0.0) {
+    push(EventKind::kFlowIn, "msg", "comm", src, id, bytes, tag, wait);
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
 
  private:
   void push(EventKind kind, const char* name, const char* category, int peer,
-            std::uint64_t id, std::uint64_t arg) {
+            std::uint64_t id, std::uint64_t arg, int tag = -1,
+            double wait = 0.0) {
     TraceEvent e;
     e.kind = kind;
     e.peer = peer;
@@ -93,6 +102,8 @@ class RankTracer {
                   .count();
     e.id = id;
     e.arg = arg;
+    e.tag = tag;
+    e.wait = wait;
     events_.push_back(e);
   }
 

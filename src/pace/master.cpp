@@ -24,6 +24,7 @@ Master::Master(mpr::Communicator& comm, const bio::EstSet& ests,
       last_report_seq_(comm.size(), 0),
       assign_seq_(comm.size(), 0),
       inflight_(comm.size()),
+      assign_sent_(comm.size(), -1.0),
       last_reported_(comm.size(), 0),
       last_admitted_(comm.size(), 0),
       multiplier_(comm.size(), 1) {
@@ -146,7 +147,16 @@ void Master::send_assign(int slave, AssignMsg& assign) {
     }
   }
   comm_.send(slave, kTagAssign, encode_assign(assign, reliable_));
+  assign_sent_[slave] = comm_.clock().time();
   state_[slave] = SlaveState::kExpectingReport;
+}
+
+void Master::sample_report_latency(int slave) {
+  if (assign_sent_[slave] < 0.0) return;
+  comm_.metrics()
+      .histogram("pace.assign_to_report_latency", 0.0, 1.0, 50)
+      .add(comm_.clock().time() - assign_sent_[slave]);
+  assign_sent_[slave] = -1.0;
 }
 
 void Master::reply(int slave) {
@@ -189,7 +199,10 @@ bool Master::await_report(int slave, bool flush, ReportMsg& out) {
       return false;
     }
     out = decode_report(m.payload, reliable_);
-    if (!reliable_) return true;
+    if (!reliable_) {
+      sample_report_latency(slave);
+      return true;
+    }
     if (out.seq <= last_report_seq_[slave]) {
       // Duplicated delivery of a report already incorporated.
       ++dup_reports_ignored_;
@@ -198,6 +211,7 @@ bool Master::await_report(int slave, bool flush, ReportMsg& out) {
     ESTCLUST_CHECK_MSG(out.seq == last_report_seq_[slave] + 1,
                        "report sequence gap from slave " << slave);
     last_report_seq_[slave] = out.seq;
+    sample_report_latency(slave);
     // The protocol alternates strictly per slave, so a fresh report must
     // acknowledge exactly the latest assignment.
     ESTCLUST_CHECK_MSG(out.ack_assign_seq == assign_seq_[slave],

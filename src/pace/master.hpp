@@ -69,6 +69,9 @@ class Master {
   /// Stamps the reliable-mode sequence number, retains non-empty work as
   /// in-flight, sends, and marks the slave kExpectingReport.
   void send_assign(int slave, AssignMsg& assign);
+  /// Records the virtual assign-to-report round trip of the slave's
+  /// outstanding assignment (no-op for unsolicited initial reports).
+  void sample_report_latency(int slave);
   /// Blocking receive of the next *fresh* report from `slave`, skipping
   /// duplicated deliveries and — in reliable mode — staying responsive to
   /// its death notice. A fresh report is acknowledged and its in-flight
@@ -105,6 +108,11 @@ class Master {
   std::vector<std::uint64_t> assign_seq_;       ///< last ASSIGN seq sent
   std::vector<std::vector<InflightAssign>> inflight_;
   std::uint64_t dup_reports_ignored_ = 0;
+  // Virtual send time of each slave's outstanding assignment (-1 = none);
+  // the answering fresh report samples the assign-to-report latency
+  // histogram. Metrics recording never advances clocks, so profiling the
+  // exchange cannot perturb the run.
+  std::vector<double> assign_sent_;
   // Per-slave P and P' of the latest report, for the Δ = P/P' factor.
   std::vector<std::uint64_t> last_reported_;
   std::vector<std::uint64_t> last_admitted_;

@@ -77,6 +77,7 @@ void Histogram::add(double x) {
     bin = static_cast<std::size_t>(t * static_cast<double>(counts_.size()));
   }
   ++counts_[bin];
+  samples_.push_back(x);
   ++total_;
 }
 
@@ -87,7 +88,14 @@ void Histogram::merge(const Histogram& other) {
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     counts_[i] += other.counts_[i];
   }
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
   total_ += other.total_;
+}
+
+double Histogram::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  return percentile(samples_, q);
 }
 
 double Histogram::bucket_lo(std::size_t i) const {

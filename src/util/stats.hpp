@@ -39,14 +39,19 @@ double percentile(std::vector<double> values, double q);
 double median(std::vector<double> values);
 
 /// Simple fixed-width histogram over [lo, hi) with `bins` buckets;
-/// out-of-range samples clamp to the edge buckets.
+/// out-of-range samples clamp to the edge buckets. Raw samples are
+/// retained alongside the bin counts so quantiles are exact (the bins
+/// exist for cheap shape rendering, the samples for precision); callers
+/// feeding unbounded streams should cap their sample volume themselves.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
   void add(double x);
 
   /// Bin-wise accumulation of another histogram with identical [lo, hi)
-  /// and bin count (checked).
+  /// and bin count (checked). Samples concatenate, so quantiles after a
+  /// merge depend only on the combined multiset — merge order never
+  /// changes the result.
   void merge(const Histogram& other);
 
   double lo() const { return lo_; }
@@ -55,9 +60,19 @@ class Histogram {
   std::size_t total() const { return total_; }
   double bucket_lo(std::size_t i) const;
 
+  /// Exact quantile of the recorded samples (linear interpolation over
+  /// the sorted multiset, like percentile()); q in [0, 1]. Returns 0 for
+  /// an empty histogram so report code can emit it unconditionally.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+  const std::vector<double>& samples() const { return samples_; }
+
  private:
   double lo_, hi_;
   std::vector<std::size_t> counts_;
+  std::vector<double> samples_;
   std::size_t total_ = 0;
 };
 

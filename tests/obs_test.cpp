@@ -4,15 +4,20 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <mutex>
 #include <sstream>
 #include <vector>
 
+#include "mpr/mailbox.hpp"
 #include "mpr/runtime.hpp"
+#include "obs/critpath.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
+#include "pace/messages.hpp"
 #include "pace/parallel.hpp"
 #include "sim/workload.hpp"
 #include "util/check.hpp"
@@ -305,6 +310,224 @@ TEST(ObsPipelineTest, TracingDoesNotPerturbTheRun) {
   EXPECT_EQ(traced.elapsed_vtime, untraced.elapsed_vtime);
   EXPECT_EQ(traced.stats.pairs_generated, untraced.stats.pairs_generated);
   EXPECT_EQ(traced.stats.pairs_processed, untraced.stats.pairs_processed);
+}
+
+TEST(MetricsRegistryTest, HistogramQuantilesAreExact) {
+  obs::MetricsRegistry m;
+  auto& h = m.histogram("latency", 0.0, 100.0, 10);
+  // Odd count and a median position that lands on a sample: exact values.
+  for (double v : {30.0, 10.0, 50.0, 20.0, 40.0}) h.add(v);
+  EXPECT_DOUBLE_EQ(h.p50(), 30.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 50.0);
+  // Interpolated positions: pos = q * (n-1) between sorted neighbors.
+  EXPECT_NEAR(h.quantile(0.25), 20.0, 1e-9);
+  EXPECT_NEAR(h.p95(), 48.0, 1e-9);
+  EXPECT_NEAR(h.p99(), 49.6, 1e-9);
+  // Out-of-range samples clamp into edge *bins* but quantiles stay exact.
+  h.add(1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+  // The registry accessor finds it; an empty histogram reports 0.
+  ASSERT_NE(m.find_histogram("latency"), nullptr);
+  obs::MetricsRegistry empty;
+  EXPECT_DOUBLE_EQ(empty.histogram("none", 0.0, 1.0, 4).p99(), 0.0);
+}
+
+// Quantiles after merging depend only on the combined sample multiset:
+// any merge order gives bit-identical p50/p95/p99, and both equal the
+// quantiles of one histogram fed every sample directly.
+TEST(MetricsRegistryTest, HistogramQuantilesMergeStable) {
+  auto fill = [](obs::MetricsRegistry& m, std::initializer_list<double> vs) {
+    auto& h = m.histogram("h", 0.0, 64.0, 8);
+    for (double v : vs) h.add(v);
+  };
+  obs::MetricsRegistry a1, b1, a2, b2, c1, c2, flat;
+  fill(a1, {3.0, 61.0, 17.0});
+  fill(a2, {3.0, 61.0, 17.0});
+  fill(b1, {29.0, 5.0});
+  fill(b2, {29.0, 5.0});
+  fill(c1, {44.0, 8.0, 23.0});
+  fill(c2, {44.0, 8.0, 23.0});
+  fill(flat, {3.0, 61.0, 17.0, 29.0, 5.0, 44.0, 8.0, 23.0});
+
+  a1.merge_from(b1);
+  a1.merge_from(c1);  // a <- b <- c
+  c2.merge_from(b2);
+  c2.merge_from(a2);  // c <- b <- a
+  const Histogram* h1 = a1.find_histogram("h");
+  const Histogram* h2 = c2.find_histogram("h");
+  const Histogram* hf = flat.find_histogram("h");
+  ASSERT_NE(h1, nullptr);
+  ASSERT_NE(h2, nullptr);
+  ASSERT_NE(hf, nullptr);
+  EXPECT_EQ(h1->total(), 8u);
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(h1->quantile(q), h2->quantile(q)) << "q=" << q;
+    EXPECT_EQ(h1->quantile(q), hf->quantile(q)) << "q=" << q;
+  }
+  // Quantiles reach the text formats the registry emits.
+  std::ostringstream json;
+  a1.write_json(json);
+  EXPECT_NE(json.str().find("h.p50"), std::string::npos);
+  EXPECT_NE(json.str().find("h.p99"), std::string::npos);
+}
+
+obs::ProfileOptions test_profile_options() {
+  obs::ProfileOptions opts;
+  opts.tag_names = {{pace::kTagReport, "REPORT"},
+                    {pace::kTagAssign, "ASSIGN"},
+                    {pace::kTagAck, "ACK"},
+                    {pace::kTagHeartbeat, "HEARTBEAT"}};
+  opts.internal_tag_base = mpr::kInternalTagBase;
+  opts.recv_overhead = mpr::CostModel{}.recv_overhead;
+  return opts;
+}
+
+// The tentpole invariant: the critical path computed from the trace tiles
+// [0, makespan] contiguously, so its length equals the makespan bitwise —
+// not merely within a tolerance.
+TEST(CritPathTest, PathLengthEqualsMakespanExactly) {
+  auto wl = small_workload();
+  auto cfg = small_pace_config();
+  const int p = 4;
+  mpr::Runtime rt(p, mpr::CostModel{});
+  run_pace(wl.ests, cfg, p, true, &rt);
+
+  const auto times = rt.rank_times();
+  double makespan = 0.0;
+  for (const auto& t : times) makespan = std::max(makespan, t.total);
+
+  auto path = obs::compute_critical_path(*rt.tracer(), times);
+  EXPECT_EQ(path.makespan, makespan);
+  ASSERT_FALSE(path.segments.empty());
+  EXPECT_EQ(path.length(), makespan);  // bitwise, by telescoping
+  EXPECT_EQ(path.segments.front().begin, 0.0);
+  EXPECT_EQ(path.segments.back().end, makespan);
+  bool any_wire = false;
+  for (std::size_t i = 0; i < path.segments.size(); ++i) {
+    const auto& s = path.segments[i];
+    EXPECT_LE(s.begin, s.end);
+    if (i + 1 < path.segments.size()) {
+      EXPECT_EQ(s.end, path.segments[i + 1].begin) << "segment " << i;
+    }
+    if (s.wire) {
+      any_wire = true;
+      EXPECT_NE(s.src, s.rank);
+      EXPECT_GE(s.src, 0);
+      EXPECT_NE(s.flow_id, 0u);
+    }
+  }
+  // A 4-rank run cannot be critical on one rank alone: the path must
+  // cross the wire at least once.
+  EXPECT_TRUE(any_wire);
+}
+
+// Per-rank attribution: slack is defined against busy+comm with the same
+// IEEE subtraction the JSON validator uses, so it must hold bit-exactly;
+// it decomposes into measured waiting plus the post-finish tail to fp
+// rounding, and the waiting side itself reproduces the clock's idle split.
+TEST(CritPathTest, SlackAndIdleAttributionAddUp) {
+  auto wl = small_workload();
+  auto cfg = small_pace_config();
+  const int p = 3;
+  mpr::Runtime rt(p, mpr::CostModel{});
+  run_pace(wl.ests, cfg, p, true, &rt);
+
+  const auto opts = test_profile_options();
+  auto prof = obs::build_profile(*rt.tracer(), rt.rank_times(), opts);
+  ASSERT_EQ(prof.ranks, p);
+  ASSERT_EQ(prof.rank_rows.size(), static_cast<std::size_t>(p));
+  for (const auto& row : prof.rank_rows) {
+    EXPECT_EQ(row.slack, prof.makespan - (row.busy + row.comm));
+    EXPECT_NEAR(row.slack, row.idle + row.tail, 1e-9);
+    EXPECT_GE(row.slack, -1e-12);
+    EXPECT_GE(row.tail, 0.0);  // makespan is the max of the rank totals
+  }
+
+  // Idle intervals re-derived from the trace match the clocks' idle split.
+  auto idles = obs::collect_idle_intervals(*rt.tracer(), opts.recv_overhead);
+  std::vector<double> idle_sum(p, 0.0);
+  for (const auto& iv : idles) {
+    ASSERT_GE(iv.rank, 0);
+    ASSERT_LT(iv.rank, p);
+    EXPECT_LE(iv.begin, iv.end);
+    idle_sum[iv.rank] += iv.end - iv.begin;
+  }
+  const auto times = rt.rank_times();
+  for (int r = 0; r < p; ++r) {
+    EXPECT_NEAR(idle_sum[r], times[r].idle, 1e-9) << "rank " << r;
+  }
+
+  // The by-op shares partition the path: their sum is the makespan.
+  double share_sum = 0.0;
+  for (const auto& s : prof.by_op) share_sum += s.vtime;
+  EXPECT_NEAR(share_sum, prof.makespan, 1e-9);
+
+  // Wait-by-tag covers the same waiting time, keyed by the arriving tag.
+  ASSERT_FALSE(prof.wait_by_tag.empty());
+  double wait_sum = 0.0, idle_total = 0.0;
+  for (const auto& w : prof.wait_by_tag) {
+    EXPECT_GT(w.count, 0u);
+    EXPECT_EQ(w.name, obs::tag_label(w.tag, opts));
+    wait_sum += w.vtime;
+  }
+  for (const auto& t : times) idle_total += t.idle;
+  EXPECT_NEAR(wait_sum, idle_total, 1e-9);
+
+  // Utilization timelines: one per rank, bounded fractions.
+  ASSERT_EQ(prof.utilization.size(), static_cast<std::size_t>(p));
+  for (const auto& tl : prof.utilization) {
+    ASSERT_EQ(tl.size(),
+              static_cast<std::size_t>(opts.timeline_buckets));
+    for (double u : tl) {
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 1.0);
+    }
+  }
+  // Fig 8's measure: the master does real but small protocol work.
+  EXPECT_GT(prof.master_span_vtime, 0.0);
+  EXPECT_GT(prof.master_utilization, 0.0);
+  EXPECT_LT(prof.master_utilization, 1.0);
+}
+
+// Profiles are a pure function of the seeded input: two independent runs
+// produce byte-identical JSON and reports.
+TEST(CritPathTest, ProfileOutputsAreDeterministic) {
+  auto wl = small_workload();
+  auto cfg = small_pace_config();
+  const int p = 3;
+  mpr::Runtime rt1(p, mpr::CostModel{});
+  mpr::Runtime rt2(p, mpr::CostModel{});
+  run_pace(wl.ests, cfg, p, true, &rt1);
+  run_pace(wl.ests, cfg, p, true, &rt2);
+
+  const auto opts = test_profile_options();
+  auto prof1 = obs::build_profile(*rt1.tracer(), rt1.rank_times(), opts);
+  auto prof2 = obs::build_profile(*rt2.tracer(), rt2.rank_times(), opts);
+  std::ostringstream j1, j2, r1, r2;
+  obs::write_profile_json(j1, prof1);
+  obs::write_profile_json(j2, prof2);
+  EXPECT_EQ(j1.str(), j2.str());
+  obs::write_profile_report(r1, prof1, opts);
+  obs::write_profile_report(r2, prof2, opts);
+  EXPECT_EQ(r1.str(), r2.str());
+
+  // Well-formedness spot checks on the JSON artifact.
+  const std::string& js = j1.str();
+  EXPECT_NE(js.find("\"schema\":\"estclust-profile-v1\""),
+            std::string::npos);
+  EXPECT_NE(js.find("\"critical_path\""), std::string::npos);
+  EXPECT_NE(js.find("\"wait_by_tag\""), std::string::npos);
+  EXPECT_NE(js.find("\"master_utilization\""), std::string::npos);
+}
+
+TEST(CritPathTest, TagLabelsFollowTheNamingScheme) {
+  const auto opts = test_profile_options();
+  EXPECT_EQ(obs::tag_label(pace::kTagReport, opts), "REPORT");
+  EXPECT_EQ(obs::tag_label(pace::kTagAssign, opts), "ASSIGN");
+  EXPECT_EQ(obs::tag_label(-1, opts), "untagged");
+  EXPECT_EQ(obs::tag_label(12345, opts), "tag12345");
+  EXPECT_EQ(obs::tag_label(mpr::kInternalTagBase + 7, opts), "collective");
 }
 
 TEST(ObsPipelineTest, RankTimesSplitAddsUp) {

@@ -15,13 +15,15 @@ import json
 import sys
 from pathlib import Path
 
-from analyze import rules_clock, rules_codec, rules_conventions, rules_tags
+from analyze import (rules_clock, rules_codec, rules_conventions, rules_obs,
+                     rules_tags)
 from analyze.srcmodel import SourceFile, Violation
 
 FAMILIES = {
     "codec": lambda files, src_root: rules_codec.run(files),
     "tags": lambda files, src_root: rules_tags.run(files),
     "clock": lambda files, src_root: rules_clock.run(files),
+    "obs": lambda files, src_root: rules_obs.run(files),
     "conventions": lambda files, src_root: rules_conventions.run(
         files, src_root=src_root),
 }
@@ -97,7 +99,7 @@ def main(argv: list[str] | None = None) -> int:
                     help="specific files to analyze (default: src/, tools/)")
     ap.add_argument("--json", action="store_true",
                     help="emit a machine-readable JSON report")
-    ap.add_argument("--families", default="codec,tags,clock,conventions",
+    ap.add_argument("--families", default="codec,tags,clock,obs,conventions",
                     help="comma-separated rule families to run")
     ap.add_argument("--baseline", type=Path, default=None,
                     help="baseline JSON (default: tools/analyze/"

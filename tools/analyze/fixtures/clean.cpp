@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mpr/communicator.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace estclust::fixture {
@@ -48,6 +49,15 @@ void ping(mpr::Communicator& comm, std::uint64_t cells) {
   std::map<int, int> ordered;
   for (const auto& [k, v] : ordered) {
     comm.charge(comm.cost_model().byte_op, static_cast<std::uint64_t>(v));
+  }
+
+  // Trace instrumentation with literal names and one category per
+  // name: the obs rules stay quiet.
+  ESTCLUST_TRACE_SPAN(comm.tracer(), "fixture_clean_phase", "phase");
+  if (obs::RankTracer* tracer = comm.tracer()) {
+    tracer->begin("fixture_clean_step", "phase");
+    tracer->instant("fixture_clean_tick", "fault", dp_cells);
+    tracer->end("fixture_clean_step");
   }
 
   mpr::Message m = [&] {

@@ -1,0 +1,30 @@
+// Fixture: trace-instrumentation violations for the obs rule family.
+// Computed span names dangle (the recorder keeps the pointer) and
+// defeat per-name aggregation; a name recorded under two categories
+// splits every per-name rollup.
+#include <string>
+
+#include "mpr/communicator.hpp"
+#include "obs/trace.hpp"
+
+namespace estclust::fixture {
+
+void traced_work(mpr::Communicator& comm, int iteration) {
+  obs::RankTracer* tracer = comm.tracer();
+  const std::string phase_name = "round_" + std::to_string(iteration);
+
+  ESTCLUST_TRACE_SPAN(tracer, phase_name.c_str(), "phase");  // ESTCLUST-EXPECT(obs-span-literal)
+
+  if (tracer) {
+    tracer->begin(phase_name.c_str(), "phase");  // ESTCLUST-EXPECT(obs-span-literal)
+    tracer->end("fixture_obs_step");
+  }
+
+  const char* kind = iteration > 0 ? "fault" : "phase";
+  ESTCLUST_TRACE_INSTANT(tracer, "fixture_obs_tick", kind, 1);  // ESTCLUST-EXPECT(obs-span-literal)
+
+  ESTCLUST_TRACE_SPAN(tracer, "fixture_obs_dup", "phase");
+  ESTCLUST_TRACE_INSTANT(tracer, "fixture_obs_dup", "fault", 2);  // ESTCLUST-EXPECT(obs-category-clash)
+}
+
+}  // namespace estclust::fixture

@@ -1,0 +1,161 @@
+"""Rule family 5: trace instrumentation hygiene (rule ids
+`obs-span-literal`, `obs-category-clash`).
+
+The trace pipeline stores span/instant names as `const char*` without
+copying, and every downstream consumer — the Chrome exporter, the phase
+aggregator, the critical-path profiler — keys on the exact name string.
+Two static properties keep that sound:
+
+  * `obs-span-literal`: the name (and category, when present) passed to
+    ESTCLUST_TRACE_SPAN / ESTCLUST_TRACE_INSTANT or to a raw
+    tracer->begin/end/instant call must be a string literal. A computed
+    name is a dangling-pointer hazard (the recorder outlives the call
+    site's locals) and breaks the exporter's static-string assumption.
+  * `obs-category-clash`: one span/instant name must not appear under
+    two different categories — the per-name aggregations would silently
+    split or merge depending on which site ran.
+
+src/obs itself is exempt: the macro bodies and the TraceSpan RAII
+helper forward `(name)` parameters by design.
+
+String literals are invisible in the code view (srcmodel blanks them),
+so argument *offsets* are computed on the code view and the literal text
+is read from the raw source at the same positions.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from pathlib import PurePosixPath
+
+from analyze.srcmodel import SourceFile, Violation, match_paren
+
+RULE_LITERAL = "obs-span-literal"
+RULE_CLASH = "obs-category-clash"
+
+MACRO_RE = re.compile(r"\b(ESTCLUST_TRACE_SPAN|ESTCLUST_TRACE_INSTANT)\s*\(")
+# Raw recorder calls: the object must be a tracer (pointer variable or
+# accessor), so iterator `.begin()`/`.end()` never match.
+METHOD_RE = re.compile(
+    r"\b\w*tracer_?(?:\(\))?\s*->\s*(begin|end|instant)\s*\(")
+
+LITERAL_RE = re.compile(r'^\s*"((?:[^"\\]|\\.)*)"\s*$')
+
+
+def exempt(rel: str) -> bool:
+    parts = PurePosixPath(rel).parts
+    return len(parts) >= 2 and parts[0] == "src" and parts[1] == "obs"
+
+
+def arg_spans(code: str, open_idx: int, close_idx: int) -> list[tuple]:
+    """(start, end) offset pairs of the top-level arguments between the
+    parens, computed on the code view so nested calls split correctly."""
+    spans = []
+    depth = 0
+    start = open_idx + 1
+    for i in range(open_idx + 1, close_idx):
+        c = code[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "," and depth == 0:
+            spans.append((start, i))
+            start = i + 1
+    if close_idx > start or spans:
+        spans.append((start, close_idx))
+    return spans
+
+
+def _line_starts(text: str) -> list[int]:
+    starts = [0]
+    for i, c in enumerate(text):
+        if c == "\n":
+            starts.append(i + 1)
+    return starts
+
+
+class RawMap:
+    """Maps code-view offsets to raw-text offsets. strip_code preserves
+    column positions *within* a line but drops line-comment tails, so
+    global offsets drift; per-line (line, column) stays exact."""
+
+    def __init__(self, src: SourceFile):
+        self.src = src
+        self.code_starts = _line_starts(src.code)
+        self.raw_starts = _line_starts(src.text)
+
+    def raw_offset(self, code_offset: int) -> int:
+        line = bisect.bisect_right(self.code_starts, code_offset) - 1
+        return self.raw_starts[line] + (code_offset -
+                                        self.code_starts[line])
+
+    def literal_at(self, span: tuple) -> str | None:
+        """The string literal occupying the argument span, read from the
+        raw text (None when the argument is any other expression)."""
+        raw = self.src.text[self.raw_offset(span[0]):
+                            self.raw_offset(span[1])]
+        m = LITERAL_RE.match(raw)
+        return m.group(1) if m else None
+
+
+def run(files: list[SourceFile]) -> list[Violation]:
+    out: list[Violation] = []
+    # name -> (category, file, line) of the first literal-categorized site.
+    categories: dict[str, tuple] = {}
+
+    for f in files:
+        if exempt(f.rel):
+            continue
+        raw = RawMap(f)
+        sites = []  # (line, call label, name span, category span | None)
+        for m in MACRO_RE.finditer(f.code):
+            close = match_paren(f.code, m.end() - 1)
+            if close < 0:
+                continue
+            spans = arg_spans(f.code, m.end() - 1, close)
+            if len(spans) < 3:
+                continue  # not the macro's real arity; the compiler gates it
+            sites.append((f.line_of(m.start()), m.group(1), spans[1],
+                          spans[2]))
+        for m in METHOD_RE.finditer(f.code):
+            close = match_paren(f.code, m.end() - 1)
+            if close < 0:
+                continue
+            spans = arg_spans(f.code, m.end() - 1, close)
+            if not spans:
+                continue
+            method = m.group(1)
+            cat = spans[1] if method != "end" and len(spans) >= 2 else None
+            sites.append((f.line_of(m.start()), f"tracer->{method}",
+                          spans[0], cat))
+
+        for line, label, name_span, cat_span in sites:
+            name = raw.literal_at(name_span)
+            if name is None:
+                out.append(Violation(
+                    f.rel, line, RULE_LITERAL,
+                    f"{label} name must be a string literal (the recorder "
+                    "keeps the pointer; computed names dangle and defeat "
+                    "per-name aggregation)"))
+                continue
+            if cat_span is None:
+                continue
+            cat = raw.literal_at(cat_span)
+            if cat is None:
+                out.append(Violation(
+                    f.rel, line, RULE_LITERAL,
+                    f"{label} category for '{name}' must be a string "
+                    "literal"))
+                continue
+            prev = categories.get(name)
+            if prev is None:
+                categories[name] = (cat, f.rel, line)
+            elif prev[0] != cat:
+                out.append(Violation(
+                    f.rel, line, RULE_CLASH,
+                    f"span/instant '{name}' recorded with category "
+                    f"'{cat}' here but '{prev[0]}' at {prev[1]}:{prev[2]}; "
+                    "per-name aggregations would split"))
+    return out

@@ -52,7 +52,7 @@ def run() -> int:
         return 1
 
     violations, suppressed = analyze(
-        files, None, ["codec", "tags", "clock", "conventions"])
+        files, None, ["codec", "tags", "clock", "obs", "conventions"])
     actual: Counter = Counter(v.key() for v in violations)
     by_key = {}
     for v in violations:
@@ -81,7 +81,8 @@ def run() -> int:
     rules_fired = {rule for (_, _, rule) in expected}
     for family_marker in ("codec-symmetry", "tag-protocol",
                           "clock-accounting", "determinism-rand",
-                          "conventions-assert"):
+                          "conventions-assert", "obs-span-literal",
+                          "obs-category-clash"):
         if family_marker not in rules_fired:
             failures.append(f"fixture coverage gap: no fixture exercises "
                             f"{family_marker}")

@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
 """Structural validator for estclust Chrome trace output.
 
-Usage: check_trace.py trace.json [breakdown.txt]
+Usage: check_trace.py [--allow-lost-flows] trace.json [breakdown.txt]
 
 Checks that the trace is well-formed Chrome trace-event JSON:
   * every B (span begin) has a matching E on the same (pid, tid),
     properly nested;
   * per-thread timestamps are monotonically non-decreasing;
-  * flow start/finish (s/f) events come in id-matched pairs;
+  * message flows are causally sound: flow ids are unique (at most one
+    start and one finish each), every finish has a start on a different
+    rank with send ts <= recv ts, and — unless --allow-lost-flows is
+    given for faulted traces, where drops and deaths legitimately strand
+    messages — every start is matched by a finish;
   * the trace covers >= 2 ranks and >= 5 distinct phase span names.
 
 When a breakdown report is given, also checks it mentions the
@@ -29,7 +33,7 @@ def fail(msg):
     sys.exit(1)
 
 
-def validate_trace(path):
+def validate_trace(path, allow_lost_flows=False):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
 
@@ -43,7 +47,7 @@ def validate_trace(path):
     last_ts = {}     # (pid, tid) -> last timestamp
     span_names = set()
     ranks = set()
-    flows_out = {}   # id -> count
+    flows_out = {}   # id -> (tid, ts)
     flows_in = {}
 
     for ev in events:
@@ -74,20 +78,41 @@ def validate_trace(path):
                 fail(f"E event with empty span stack on tid {tid}")
             stack.pop()
         elif ph == "s":
-            flows_out[ev.get("id")] = flows_out.get(ev.get("id"), 0) + 1
+            fid = ev.get("id")
+            if fid is None:
+                fail(f"flow start without id: {ev}")
+            if fid in flows_out:
+                fail(f"duplicate flow start: id {fid}")
+            flows_out[fid] = (ev["tid"], ts)
         elif ph == "f":
-            flows_in[ev.get("id")] = flows_in.get(ev.get("id"), 0) + 1
+            fid = ev.get("id")
+            if fid is None:
+                fail(f"flow finish without id: {ev}")
+            if fid in flows_in:
+                fail(f"duplicate flow finish: id {fid}")
+            flows_in[fid] = (ev["tid"], ts)
         elif ph not in ("i", "I"):
             fail(f"unexpected event phase '{ph}': {ev}")
 
     for tid, stack in stacks.items():
         if stack:
             fail(f"unclosed spans on tid {tid}: {stack}")
-    for fid, n in flows_in.items():
+    for fid, (recv_tid, recv_ts) in flows_in.items():
         if fid not in flows_out:
             fail(f"flow finish without start: id {fid}")
-        if n != flows_out[fid]:
-            fail(f"flow id {fid}: {flows_out[fid]} starts, {n} finishes")
+        send_tid, send_ts = flows_out[fid]
+        if send_tid == recv_tid:
+            fail(f"flow id {fid} starts and finishes on rank {send_tid}")
+        if send_ts > recv_ts:
+            fail(f"flow id {fid} received before it was sent: "
+                 f"{send_ts} > {recv_ts}")
+    lost = sorted(fid for fid in flows_out if fid not in flows_in)
+    if lost and not allow_lost_flows:
+        fail(f"{len(lost)} flow start(s) without a finish (first: "
+             f"{lost[0]}); pass --allow-lost-flows for faulted traces")
+    if lost:
+        print(f"check_trace: note: {len(lost)} lost flow(s) tolerated "
+              f"(faulted trace)")
 
     if len(ranks) < REQUIRED_RANKS:
         fail(f"trace covers {len(ranks)} rank(s), need >= {REQUIRED_RANKS}")
@@ -96,8 +121,8 @@ def validate_trace(path):
              f"({sorted(span_names)}), need >= {REQUIRED_PHASES}")
 
     print(f"check_trace: trace OK: {len(events)} events, "
-          f"{len(ranks)} ranks, {len(span_names)} span names: "
-          f"{sorted(span_names)}")
+          f"{len(ranks)} ranks, {len(flows_out)} flows, "
+          f"{len(span_names)} span names: {sorted(span_names)}")
 
 
 def validate_breakdown(path):
@@ -110,11 +135,15 @@ def validate_breakdown(path):
 
 
 def main():
-    if len(sys.argv) < 2:
-        fail("usage: check_trace.py trace.json [breakdown.txt]")
-    validate_trace(sys.argv[1])
-    if len(sys.argv) > 2:
-        validate_breakdown(sys.argv[2])
+    argv = sys.argv[1:]
+    allow_lost = "--allow-lost-flows" in argv
+    argv = [a for a in argv if a != "--allow-lost-flows"]
+    if not argv:
+        fail("usage: check_trace.py [--allow-lost-flows] trace.json "
+             "[breakdown.txt]")
+    validate_trace(argv[0], allow_lost_flows=allow_lost)
+    if len(argv) > 1:
+        validate_breakdown(argv[1])
     print("check_trace: PASS")
 
 

@@ -8,6 +8,8 @@
 //                     [--trace trace.json] (Chrome/Perfetto virtual-time trace)
 //                     [--breakdown rep.txt] [--metrics]  (per-phase report /
 //                      registry dump; both imply the virtual-time runtime)
+//                     [--profile[=prof.json]] (critical-path profile: report
+//                      to stdout, deterministic JSON to the optional file)
 //   estclust eval     --clusters clusters.txt --truth truth.txt
 //   estclust splice   --in lib.fa [--psi 20] [--min-gap 25]
 //
@@ -30,8 +32,11 @@
 #include "gst/builder.hpp"
 #include "mpr/fault.hpp"
 #include "mpr/runtime.hpp"
+#include "mpr/mailbox.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "pace/messages.hpp"
 #include "pace/parallel.hpp"
 #include "pace/sequential.hpp"
 #include "quality/report.hpp"
@@ -51,7 +56,8 @@ int usage() {
          "  cluster  --in lib.fa --out clusters.txt [--psi 20] [--window 8]\n"
          "           [--min-quality 0.8] [--min-overlap 40] [--ranks P]\n"
          "           [--trace trace.json] [--breakdown report.txt]\n"
-         "           [--metrics] [--check off|warn|strict]\n"
+         "           [--profile[=prof.json]] [--metrics]\n"
+         "           [--check off|warn|strict]\n"
          "           [--faults off|seed=U64,drop=P,dup=P,delay=P,\n"
          "                     kill=RANK@VTIME,...]  (deterministic fault\n"
          "            injection into the master/slave protocol; implies a\n"
@@ -107,7 +113,12 @@ int cmd_cluster(const CliArgs& args) {
   const auto trace_path = args.get("trace");
   const auto breakdown_path = args.get("breakdown");
   const bool want_metrics = args.has_flag("metrics");
-  cfg.trace = trace_path.has_value() || breakdown_path.has_value();
+  // --profile alone prints the report; --profile=FILE also writes the
+  // deterministic profile JSON. Profiling needs the flow-traced runtime.
+  const bool want_profile = args.has_flag("profile");
+  const auto profile_path = args.get("profile");
+  cfg.trace =
+      trace_path.has_value() || breakdown_path.has_value() || want_profile;
 
   mpr::CheckMode check_mode = mpr::CheckMode::kOff;
   const std::string check_arg = args.get_string("check", "off");
@@ -162,6 +173,26 @@ int cmd_cluster(const CliArgs& args) {
       ESTCLUST_CHECK_MSG(bs.good(), "cannot open " << *breakdown_path);
       obs::write_breakdown_report(bs, *rt.tracer(), rt.rank_times());
       std::cout << "phase breakdown written to " << *breakdown_path << "\n";
+    }
+    if (want_profile) {
+      obs::ProfileOptions popts;
+      popts.tag_names = {{pace::kTagReport, "REPORT"},
+                         {pace::kTagAssign, "ASSIGN"},
+                         {pace::kTagAck, "ACK"},
+                         {pace::kTagHeartbeat, "HEARTBEAT"}};
+      popts.internal_tag_base = mpr::kInternalTagBase;
+      popts.recv_overhead = mpr::CostModel{}.recv_overhead;
+      const obs::Profile prof =
+          obs::build_profile(*rt.tracer(), rt.rank_times(), popts);
+      if (profile_path && !profile_path->empty()) {
+        std::ofstream ps(*profile_path);
+        ESTCLUST_CHECK_MSG(ps.good(), "cannot open " << *profile_path);
+        obs::write_profile_json(ps, prof);
+        std::cout << "profile (" << prof.path.segments.size()
+                  << " critical-path segments) written to " << *profile_path
+                  << "\n";
+      }
+      obs::write_profile_report(std::cout, prof, popts);
     }
     if (want_metrics) {
       auto merged = rt.merged_metrics();

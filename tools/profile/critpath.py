@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Validator and renderer for estclust --profile JSON (estclust-profile-v1).
+
+Usage:
+  critpath.py validate profile.json
+  critpath.py render   profile.json
+  critpath.py table    profile1.json [profile2.json ...]
+
+`validate` checks the schema and the profile's exactness contract:
+  * critical-path segments tile [0, makespan] contiguously — every
+    segment's end bit-equals the next segment's begin, the first begins
+    at 0 and the last ends at the makespan;
+  * the reported path length bit-equals the makespan;
+  * per rank, slack bit-equals makespan - (busy + comm) (the same IEEE
+    subtraction the producer performed), and it decomposes into measured
+    idle plus the tail gap to within float tolerance;
+  * path_by_op totals equal the sum of matching segment durations to
+    within float tolerance, and utilization fractions lie in [0, 1].
+
+Exact (bitwise) checks are possible because the profile is derived from
+the deterministic virtual-time simulation and serialized with %.17g
+round-trip formatting; json.load recovers the producer's doubles.
+
+`render` prints a compact human summary of one profile. `table` prints
+the Fig 8 analog — master utilization against the number of processors —
+from one profile per processor count.
+"""
+
+import json
+import math
+import sys
+
+SCHEMA = "estclust-profile-v1"
+REL_TOL = 1e-9
+
+
+def fail(msg):
+    print(f"critpath: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    return doc
+
+
+def validate(path):
+    doc = load(path)
+    makespan = doc["makespan"]
+    ranks = doc["ranks"]
+    if ranks < 1:
+        fail("ranks < 1")
+
+    cp = doc["critical_path"]
+    segs = cp["segments"]
+    if not segs and makespan > 0:
+        fail("positive makespan but no critical-path segments")
+    for i, s in enumerate(segs):
+        for key in ("rank", "kind", "op", "begin", "end"):
+            if key not in s:
+                fail(f"segment {i} missing '{key}': {s}")
+        if s["kind"] not in ("local", "wire"):
+            fail(f"segment {i} has kind {s['kind']!r}")
+        if s["end"] < s["begin"]:
+            fail(f"segment {i} runs backwards: {s}")
+        if not 0 <= s["rank"] < ranks:
+            fail(f"segment {i} on out-of-range rank {s['rank']}")
+    if segs:
+        # The exactness contract: bit-equality, not approximation.
+        if segs[0]["begin"] != 0.0:
+            fail(f"path does not start at 0: {segs[0]['begin']}")
+        if segs[-1]["end"] != makespan:
+            fail(f"path ends at {segs[-1]['end']}, makespan {makespan}")
+        for a, b in zip(segs, segs[1:]):
+            if a["end"] != b["begin"]:
+                fail(f"path gap: segment ends at {a['end']}, next begins "
+                     f"at {b['begin']}")
+    if cp["length"] != makespan:
+        fail(f"critical-path length {cp['length']} != makespan {makespan}")
+
+    by_op = {}
+    for s in segs:
+        key = s["op"] if s["kind"] == "local" else None
+        if key is not None:
+            by_op[key] = by_op.get(key, 0.0) + (s["end"] - s["begin"])
+    for row in doc["path_by_op"]:
+        op = row["op"]
+        if op.startswith("wire:"):
+            continue
+        got = by_op.get(op, 0.0)
+        if not math.isclose(row["vtime"], got, rel_tol=REL_TOL,
+                            abs_tol=1e-15):
+            fail(f"path_by_op[{op!r}] = {row['vtime']}, segments sum to "
+                 f"{got}")
+
+    detail = doc["ranks_detail"]
+    if len(detail) != ranks:
+        fail(f"ranks_detail has {len(detail)} rows for {ranks} ranks")
+    for row in detail:
+        r = row["rank"]
+        # Recompute with the producer's own operation: bit-equal by
+        # determinism of IEEE arithmetic on identical inputs.
+        if row["slack"] != makespan - (row["busy"] + row["comm"]):
+            fail(f"rank {r}: slack {row['slack']} != makespan - "
+                 f"(busy + comm)")
+        if row["tail"] != makespan - row["total"]:
+            fail(f"rank {r}: tail {row['tail']} != makespan - total")
+        if not math.isclose(row["slack"], row["idle"] + row["tail"],
+                            rel_tol=REL_TOL, abs_tol=1e-12):
+            fail(f"rank {r}: slack {row['slack']} does not decompose "
+                 f"into idle {row['idle']} + tail {row['tail']}")
+        if row["total"] > makespan:
+            fail(f"rank {r}: total {row['total']} exceeds makespan")
+
+    for w in doc["wait_by_tag"]:
+        if w["count"] < 1 or w["vtime"] < 0:
+            fail(f"bad wait_by_tag row: {w}")
+    for r, buckets in enumerate(doc["utilization"]["per_rank"]):
+        for f in buckets:
+            if not 0.0 <= f <= 1.0:
+                fail(f"rank {r}: utilization fraction {f} outside [0, 1]")
+    mu = doc["master_utilization"]
+    if not 0.0 <= mu <= 1.0:
+        fail(f"master_utilization {mu} outside [0, 1]")
+
+    print(f"critpath: OK: {path}: {ranks} ranks, makespan {makespan:.6f} "
+          f"virt s, {len(segs)} path segments, length exact")
+
+
+def render(path):
+    doc = load(path)
+    makespan = doc["makespan"]
+    denom = makespan or 1.0
+    print(f"profile {path}: {doc['ranks']} ranks, makespan "
+          f"{makespan:.6f} virt s")
+    print("critical path by operation:")
+    for row in doc["path_by_op"]:
+        print(f"  {row['op']:<24} {row['vtime']:>10.6f} s  "
+              f"{100.0 * row['vtime'] / denom:6.2f}%  "
+              f"({row['segments']} segments)")
+    print("per-rank slack:")
+    for r in doc["ranks_detail"]:
+        print(f"  rank {r['rank']:<3} busy {r['busy']:.6f}  "
+              f"comm {r['comm']:.6f}  slack {r['slack']:.6f}  "
+              f"util {100.0 * (r['busy'] + r['comm']) / denom:6.2f}%")
+    if doc["wait_by_tag"]:
+        print("wait by tag:")
+        for w in doc["wait_by_tag"]:
+            print(f"  {w['name']:<12} {w['count']:>5} waits  "
+                  f"{w['vtime']:.6f} s")
+    print(f"master utilization: {100.0 * doc['master_utilization']:.3f}%")
+
+
+def table(paths):
+    rows = []
+    for path in paths:
+        doc = load(path)
+        rows.append((doc["ranks"], doc["makespan"],
+                     doc["master_utilization"]))
+    rows.sort()
+    print("Fig 8 analog: master utilization vs processors (from profiles)")
+    print(f"{'p':>4}  {'makespan (virt s)':>18}  {'master util %':>14}")
+    for p, makespan, mu in rows:
+        print(f"{p:>4}  {makespan:>18.6f}  {100.0 * mu:>14.3f}")
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    cmd = sys.argv[1]
+    if cmd == "validate":
+        validate(sys.argv[2])
+    elif cmd == "render":
+        render(sys.argv[2])
+    elif cmd == "table":
+        table(sys.argv[2:])
+    else:
+        fail(f"unknown subcommand {cmd!r}")
+
+
+if __name__ == "__main__":
+    main()
