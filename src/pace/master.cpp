@@ -11,6 +11,11 @@
 
 namespace estclust::pace {
 
+// The master keeps one protocol conversation per slave; each is an
+// instance of this automaton (extracted and exhaustively checked by
+// tools/analyze, family `proto`).
+// ESTCLUST-PROTO-ROLE(role=master, init=expect_report, final=stopped|dead)
+
 Master::Master(mpr::Communicator& comm, const bio::EstSet& ests,
                const PaceConfig& cfg)
     : comm_(comm),
@@ -146,6 +151,9 @@ void Master::send_assign(int slave, AssignMsg& assign) {
       inflight_[slave].push_back({assign.seq, assign.work});
     }
   }
+  // ESTCLUST-PROTO(state=served, send=ASSIGN -> expect_report, when=have_work)
+  // ESTCLUST-PROTO(state=waiting, send=ASSIGN -> expect_report, when=have_work)
+  // ESTCLUST-PROTO(state=waiting, send=ASSIGN -> flushing, when=flush)
   comm_.send(slave, kTagAssign, encode_assign(assign, reliable_));
   assign_sent_[slave] = comm_.clock().time();
   state_[slave] = SlaveState::kExpectingReport;
@@ -166,6 +174,7 @@ void Master::reply(int slave) {
   if (assign.work.empty() && assign.request == 0) {
     // Nothing to do and nothing to ask for: park the slave (§3.3 wait
     // queue) instead of ping-ponging empty messages.
+    // ESTCLUST-PROTO(state=served -> waiting, when=idle)
     state_[slave] = SlaveState::kWaiting;
     wait_queue_.push_back(slave);
     return;
@@ -191,6 +200,12 @@ bool Master::await_report(int slave, bool flush, ReportMsg& out) {
                                                  : "pace.master.await_report");
       // Reliable mode stays responsive to the death notice; mailbox FIFO
       // order consumes every report the slave managed to send first.
+      // ESTCLUST-PROTO(state=expect_report, on=REPORT -> got_report, when=fresh, mode=reliable, op=recv2)
+      // ESTCLUST-PROTO(state=flushing, on=REPORT -> flush_got, when=fresh, mode=reliable, op=recv2)
+      // ESTCLUST-PROTO(state=expect_report|flushing, on=REPORT -> ., when=dup, mode=reliable, op=recv2)
+      // ESTCLUST-PROTO(state=expect_report|flushing, on=HEARTBEAT -> dead, mode=reliable, op=recv2)
+      // ESTCLUST-PROTO(state=expect_report, on=REPORT -> got_report, mode=base, op=recv)
+      // ESTCLUST-PROTO(state=flushing, on=REPORT -> flush_got, mode=base, op=recv)
       return reliable_ ? comm_.recv2(slave, kTagReport, kTagHeartbeat)
                        : comm_.recv(slave, kTagReport);
     }();
@@ -201,6 +216,8 @@ bool Master::await_report(int slave, bool flush, ReportMsg& out) {
     out = decode_report(m.payload, reliable_);
     if (!reliable_) {
       sample_report_latency(slave);
+      // ESTCLUST-PROTO(state=got_report -> served, mode=base)
+      // ESTCLUST-PROTO(state=flush_got -> stopped, mode=base)
       return true;
     }
     if (out.seq <= last_report_seq_[slave]) {
@@ -227,6 +244,8 @@ bool Master::await_report(int slave, bool flush, ReportMsg& out) {
     }
     // Ack before replying: the slave consumes the ack right after the
     // next assignment arrives, relying on this order.
+    // ESTCLUST-PROTO(state=got_report, send=ACK -> served, mode=reliable)
+    // ESTCLUST-PROTO(state=flush_got, send=ACK -> stopped, mode=reliable)
     AckMsg ack;
     ack.seq = out.seq;
     comm_.send(slave, kTagAck, encode_ack(ack));

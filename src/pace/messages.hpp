@@ -24,6 +24,16 @@
 
 namespace estclust::pace {
 
+// Model-checked configurations of the protocol (tools/analyze family
+// `proto`): the annotated master/slave automata are composed with the
+// DESIGN.md §8 fault alphabet and every reachable global state is
+// enumerated, proving deadlock-freedom, no-unhandled-message, sequence-
+// number safety and termination for these topologies. `supply` is the
+// per-slave stream of promising-pair batches in abstract units.
+// ESTCLUST-PROTO-MODEL(name=pace_base_1x2, slaves=2, mode=base, supply=2)
+// ESTCLUST-PROTO-MODEL(name=pace_rel_1x2, slaves=2, mode=reliable, faults=drop+dup+kill, supply=2, kills=1)
+// ESTCLUST-PROTO-MODEL(name=pace_rel_1x3, slaves=3, mode=reliable, faults=drop+dup+kill, supply=1, kills=1)
+
 inline constexpr int kTagReport = 1;
 inline constexpr int kTagAssign = 2;
 /// Master -> slave acknowledgement of a fresh REPORT (reliable mode only).

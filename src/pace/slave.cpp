@@ -8,6 +8,10 @@
 
 namespace estclust::pace {
 
+// The slave's half of the §3.3 wire protocol as a communicating FSM,
+// extracted and exhaustively checked by tools/analyze (family `proto`).
+// ESTCLUST-PROTO-ROLE(role=slave, init=startup, final=done|dead)
+
 std::array<std::size_t, 3> startup_split(std::size_t batchsize) {
   const std::size_t base = std::max<std::size_t>(batchsize, 3);
   const std::size_t q = base / 3;
@@ -101,6 +105,9 @@ void Slave::send_report(ReportMsg& m, std::uint64_t results_for_seq) {
     m.results_for_seq = results_for_seq;
     m.ack_assign_seq = last_assign_seq_;
   }
+  // ESTCLUST-PROTO(state=startup, send=REPORT -> working)
+  // ESTCLUST-PROTO(state=acked, send=REPORT -> working, when=!stop)
+  // ESTCLUST-PROTO(state=acked, send=REPORT -> final_unacked, when=stop)
   comm_.send(0, kTagReport, encode_report(m, reliable_));
 }
 
@@ -108,6 +115,8 @@ AssignMsg Slave::await_assign() {
   for (;;) {
     mpr::Message m = [&] {
       mpr::CheckOpScope check_scope(comm_, "pace.slave.await_assign");
+      // ESTCLUST-PROTO(state=working, on=ASSIGN -> got_assign, when=fresh)
+      // ESTCLUST-PROTO(state=working, on=ASSIGN -> ., when=dup, mode=reliable)
       return comm_.recv(0, kTagAssign);
     }();
     AssignMsg assign = decode_assign(m.payload, reliable_);
@@ -132,6 +141,10 @@ void Slave::consume_ack(std::uint64_t expected) {
   for (;;) {
     mpr::Message m = [&] {
       mpr::CheckOpScope check_scope(comm_, "pace.slave.await_ack");
+      // ESTCLUST-PROTO(state=got_assign, on=ACK -> acked, when=match, mode=reliable)
+      // ESTCLUST-PROTO(state=got_assign, on=ACK -> ., when=dup, mode=reliable)
+      // ESTCLUST-PROTO(state=final_unacked, on=ACK -> done, when=match, mode=reliable)
+      // ESTCLUST-PROTO(state=final_unacked, on=ACK -> ., when=dup, mode=reliable)
       return comm_.recv(0, kTagAck);
     }();
     const AckMsg ack = decode_ack(m.payload);
@@ -156,6 +169,7 @@ bool Slave::maybe_die() {
   // actually managed to send.
   HeartbeatMsg hb;
   hb.last_report_seq = report_seq_;
+  // ESTCLUST-PROTO(state=startup|got_assign, send=HEARTBEAT -> dead, when=kill, mode=reliable)
   comm_.send_delayed(0, kTagHeartbeat, encode_heartbeat(hb),
                      plan->deadline());
   comm_.metrics().counter("pace.slave_deaths").add(1);
@@ -171,6 +185,8 @@ void Slave::drain_duplicates() {
   // protocol tags is already queued (the mailbox preserves its program
   // order), so what remains is exactly the duplicated deliveries.
   std::uint64_t drained = 0;
+  // ESTCLUST-PROTO(state=done, on=ASSIGN -> ., when=dup, mode=reliable, op=try_recv)
+  // ESTCLUST-PROTO(state=done, on=ACK -> ., when=dup, mode=reliable, op=try_recv)
   while (comm_.try_recv(0, kTagAssign)) ++drained;
   while (comm_.try_recv(0, kTagAck)) ++drained;
   if (drained > 0) {
@@ -227,7 +243,9 @@ SlaveCounters Slave::run() {
     // in-flight copy when the heartbeat notice lands.
     if (maybe_die()) return finish(loop_start);
     // The master acked our previous report before replying with this
-    // assignment, so the ack is already queued behind us.
+    // assignment, so the ack is already queued behind us. (Base mode has
+    // no acks: the assignment alone advances the conversation.)
+    // ESTCLUST-PROTO(state=got_assign -> acked, mode=base)
     if (reliable_) consume_ack(report_seq_);
 
     // Honour the master's request E, generating on the fly if PAIRBUF
@@ -247,6 +265,7 @@ SlaveCounters Slave::run() {
     if (assign.stop) {
       ESTCLUST_CHECK_MSG(assign.work.empty(),
                          "final assignment carried work");
+      // ESTCLUST-PROTO(state=final_unacked -> done, mode=base)
       if (reliable_) {
         consume_ack(report_seq_);
         drain_duplicates();

@@ -3,9 +3,19 @@ baseline comparison and reporting.
 
 Exit status: 0 when every violation is either suppressed in-source
 (`// ESTCLUST-SUPPRESS(rule): reason`) or present in the committed
-baseline (tools/analyze/baseline.json); 1 otherwise. The baseline is
-kept empty -- it exists so a future true positive that cannot be fixed
-immediately can be landed without weakening the gate for new code.
+baseline (tools/analyze/baseline.json); 1 when new violations exist;
+2 on configuration errors -- an unknown or empty rule-family list, or a
+missing/unreadable baseline file (silently analyzing with fewer rules
+or no baseline would weaken the gate while appearing to pass). The
+baseline is kept empty -- it exists so a future true positive that
+cannot be fixed immediately can be landed without weakening the gate
+for new code.
+
+Suppressions that no longer suppress anything are reported as warnings
+(`suppress-stale`): they do not affect the exit status, but they mark
+dead waivers that would silently swallow a future violation at that
+line. A suppression is only called stale when every family that could
+consume it actually ran.
 """
 
 from __future__ import annotations
@@ -16,7 +26,7 @@ import sys
 from pathlib import Path
 
 from analyze import (rules_clock, rules_codec, rules_conventions, rules_obs,
-                     rules_tags)
+                     rules_proto, rules_tags)
 from analyze.srcmodel import SourceFile, Violation
 
 FAMILIES = {
@@ -26,7 +36,24 @@ FAMILIES = {
     "obs": lambda files, src_root: rules_obs.run(files),
     "conventions": lambda files, src_root: rules_conventions.run(
         files, src_root=src_root),
+    "proto": lambda files, src_root: rules_proto.run(files),
 }
+
+# Rule-id prefixes each family can emit; a suppression is attributed to
+# the families whose rules it could cover, so staleness is only judged
+# when all of them ran.
+FAMILY_RULE_PREFIXES = {
+    "codec": ("codec",),
+    "tags": ("tag",),
+    "clock": ("clock", "determinism"),
+    "obs": ("obs",),
+    "conventions": ("conventions",),
+    "proto": ("proto",),
+}
+
+
+class BaselineError(Exception):
+    """The baseline file cannot be read or parsed."""
 
 CPP_SUFFIXES = (".cpp", ".hpp")
 
@@ -59,13 +86,20 @@ def load_sources(root: Path, paths: list[Path]) -> list[SourceFile]:
 
 
 def analyze(files: list[SourceFile], src_root: Path | None,
-            families: list[str]) -> tuple[list[Violation], int]:
+            families: list[str],
+            proto_artifacts: Path | None = None
+            ) -> tuple[list[Violation], int]:
     """Runs the requested rule families; returns (violations, suppressed
     count) with suppressions already applied. `src_root` gates the
-    per-module conventions check (None for fixture runs)."""
+    per-module conventions check (None for fixture runs);
+    `proto_artifacts` is where the proto family writes its extracted
+    automaton (None to skip the artifacts)."""
     raw: list[Violation] = []
     for fam in families:
-        raw.extend(FAMILIES[fam](files, src_root))
+        if fam == "proto":
+            raw.extend(rules_proto.run(files, artifacts=proto_artifacts))
+        else:
+            raw.extend(FAMILIES[fam](files, src_root))
 
     by_rel = {f.rel: f for f in files}
     kept: list[Violation] = []
@@ -83,12 +117,57 @@ def analyze(files: list[SourceFile], src_root: Path | None,
     return kept, suppressed
 
 
+def _owning_families(rule: str) -> set[str]:
+    """Families whose rules a suppression entry `rule` could cover
+    (entries may be full ids like determinism-unordered-iter or family
+    prefixes like determinism)."""
+    out = set()
+    for fam, prefixes in FAMILY_RULE_PREFIXES.items():
+        for p in prefixes:
+            if rule == p or rule.startswith(p + "-"):
+                out.add(fam)
+    return out
+
+
+def stale_suppressions(files: list[SourceFile],
+                       families: list[str]) -> list[Violation]:
+    """Suppressions that consumed nothing although every family that
+    could feed them ran. Reported as warnings, not violations: a stale
+    waiver is dead weight that would silently swallow a future
+    violation, but it does not make the analyzed code wrong."""
+    ran = set(families)
+    out: list[Violation] = []
+    for src in files:
+        for s in src.suppressions:
+            if s.used:
+                continue
+            fams = set()
+            for r in s.rules:
+                fams |= _owning_families(r)
+            if fams and not fams <= ran:
+                continue  # an owning family did not run; cannot judge
+            out.append(Violation(
+                src.rel, s.line, "suppress-stale",
+                f"suppression of {', '.join(s.rules)} no longer matches "
+                "any violation; remove it (reason was: "
+                f"{s.reason})"))
+    out.sort(key=lambda v: (v.file, v.line, v.rule))
+    return out
+
+
 def load_baseline(path: Path) -> set[tuple]:
-    if not path.exists():
-        return set()
-    doc = json.loads(path.read_text(encoding="utf-8"))
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as e:
+        raise BaselineError(f"cannot read baseline {path}: {e}")
+    except json.JSONDecodeError as e:
+        raise BaselineError(f"baseline {path} is not valid JSON: {e}")
+    if not isinstance(doc, dict) or not isinstance(
+            doc.get("violations", None), list):
+        raise BaselineError(
+            f"baseline {path} must be an object with a 'violations' list")
     return {(v["file"], v.get("line", 0), v["rule"])
-            for v in doc.get("violations", [])}
+            for v in doc["violations"]}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -99,11 +178,15 @@ def main(argv: list[str] | None = None) -> int:
                     help="specific files to analyze (default: src/, tools/)")
     ap.add_argument("--json", action="store_true",
                     help="emit a machine-readable JSON report")
-    ap.add_argument("--families", default="codec,tags,clock,obs,conventions",
+    ap.add_argument("--families",
+                    default="codec,tags,clock,obs,conventions,proto",
                     help="comma-separated rule families to run")
     ap.add_argument("--baseline", type=Path, default=None,
                     help="baseline JSON (default: tools/analyze/"
                          "baseline.json)")
+    ap.add_argument("--proto-artifacts", type=Path, default=None,
+                    help="directory for the proto family's extracted "
+                         "automaton (model.json, model.dot, explore.txt)")
     ap.add_argument("--selftest", action="store_true",
                     help="run the rule fixtures under tools/analyze/"
                          "fixtures and verify every rule fires/stays quiet")
@@ -115,6 +198,9 @@ def main(argv: list[str] | None = None) -> int:
 
     root = repo_root()
     families = [f.strip() for f in args.families.split(",") if f.strip()]
+    if not families:
+        print("analyze: no rule families selected", file=sys.stderr)
+        return 2
     for fam in families:
         if fam not in FAMILIES:
             print(f"analyze: unknown rule family '{fam}'", file=sys.stderr)
@@ -125,9 +211,15 @@ def main(argv: list[str] | None = None) -> int:
     else:
         files = discover(root, ["src", "tools"])
 
-    violations, suppressed = analyze(files, root / "src", families)
+    violations, suppressed = analyze(files, root / "src", families,
+                                     proto_artifacts=args.proto_artifacts)
+    warnings = stale_suppressions(files, families)
     baseline_path = args.baseline or (root / "tools/analyze/baseline.json")
-    baseline = load_baseline(baseline_path)
+    try:
+        baseline = load_baseline(baseline_path)
+    except BaselineError as e:
+        print(f"analyze: {e}", file=sys.stderr)
+        return 2
     new = [v for v in violations if v.key() not in baseline]
     known = [v for v in violations if v.key() in baseline]
 
@@ -140,6 +232,9 @@ def main(argv: list[str] | None = None) -> int:
             "violations": [
                 {"file": v.file, "line": v.line, "rule": v.rule,
                  "message": v.message} for v in new],
+            "warnings": [
+                {"file": v.file, "line": v.line, "rule": v.rule,
+                 "message": v.message} for v in warnings],
         }, indent=2))
     else:
         if new:
@@ -149,8 +244,11 @@ def main(argv: list[str] | None = None) -> int:
         if known:
             print(f"analyze: {len(known)} baselined violation(s) "
                   "(fix and shrink the baseline)")
+        for v in warnings:
+            print(f"analyze: warning: {v.render()}")
         if not new:
             print(f"analyze: OK ({len(files)} files, "
                   f"{len(families)} rule families, "
-                  f"{suppressed} suppressed)")
+                  f"{suppressed} suppressed, "
+                  f"{len(warnings)} stale suppression warning(s))")
     return 1 if new else 0

@@ -1,0 +1,930 @@
+"""Exhaustive state-space exploration of the extracted pace protocol
+model (rule family `proto`; companion of protomodel.py, DESIGN.md §10).
+
+Composes 1 master x N slaves from the per-role automata and enumerates
+every reachable global state of the closed system under the PR 5 fault
+model, proving for each ESTCLUST-PROTO-MODEL configuration:
+
+  * deadlock-freedom      -- every non-final global state has a
+                             successor; the only non-clean terminals are
+                             the master's *documented* loud-failure
+                             check ("work remains but no slave is
+                             available to take it"), and those are legal
+                             only when a slave death actually made the
+                             run unsurvivable (the last live worker died
+                             holding recovered work);
+  * no unhandled message  -- a process never faces an arriving message
+                             its state has no transition for, and
+                             terminal channels hold only excusable
+                             leftovers (duplicate copies, traffic
+                             addressed to a dead rank);
+  * sequence-number safety-- dedup only ever discards fault-injected
+                             duplicate copies (a fresh REPORT/ASSIGN/ACK
+                             is never dropped), and at termination the
+                             master has incorporated every report each
+                             slave ever sent;
+  * termination           -- the reachable state graph is acyclic, so
+                             every execution bottoms out in a terminal;
+  * bounded channels      -- no channel ever exceeds its capacity.
+
+Fidelity notes (mirrors of src/mpr + src/pace semantics):
+
+  * Channels are per-direction FIFO queues with mailbox tag matching: a
+    receive takes the *first matching* message and is never blocked by a
+    non-matching head (Mailbox::pop / pop2).
+  * Messages are queued at send time; the fault layer's drop is a timed
+    retransmission, so a dropped message is still delivered exactly
+    once, in per-sender program order, merely later: communicator.cpp
+    pushes the payload into the destination mailbox at the send site and
+    only arrival_vtime moves, while Mailbox::pop scans its queue in push
+    order and uses arrival_vtime solely to advance the receiver's
+    virtual clock. Drop is therefore delivery-neutral by construction of
+    the runtime — it changes modeled time, never the sequence of
+    messages any process observes — and the explorer accepts it in the
+    fault alphabet without branching on it. Dup is a real branch: a
+    flagged second copy queued back-to-back (Mailbox::push_pair).
+  * kill branches at the slave's annotated death checkpoints (the
+    `when=kill` transitions: C1 startup, C2 between assignment and ack);
+    the death notice (HEARTBEAT) is fault-exempt, as in FaultPlan.
+  * The master is the real sequential scheduler of master.cpp run():
+    eager drain_wait_queue whenever WORKBUF holds work, deterministic
+    round-robin cursor over sessions owing a report, await_report loops
+    that stay blocked on the *same* slave across duplicate deliveries,
+    and the flush-with-stop endgame including death-triggered re-entry
+    into the interaction loop (flush_parked returning true).
+  * Work is abstracted to batch units: each slave starts with `supply`
+    units it can hand to the master, the master grants at most one unit
+    per ASSIGN and retains an in-flight copy until the answering
+    report's results_for_seq releases it, and a dead slave's units
+    (in-flight copies plus its remaining supply) are re-enqueued —
+    gst::rebuild_rank_forest regenerating the stream deterministically.
+
+Internal runs (a role's sends/eps between two blocking receives) are
+executed atomically; with asynchronous FIFO channels this is a sound
+partial-order reduction — only the messages a burst emits are
+observable, and they land in per-sender program order either way.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from analyze.protomodel import ModelConfig, ProtoModel, Transition
+
+# Hard ceilings: exceeding one is itself reported (proto-explore /
+# proto-channel), so a runaway model can never hang the analyzer.
+MAX_STATES = 2_000_000
+CHANNEL_CAP = 8
+BURST_CAP = 64
+
+P_MAIN, P_FLUSH, P_DONE, P_ABORT = 0, 1, 2, 3
+
+
+class Trap(Exception):
+    """A property violation discovered mid-transition (modeled
+    ESTCLUST_CHECK failures, seq-safety breaches, capacity overflows)."""
+
+    def __init__(self, rule: str, message: str):
+        super().__init__(message)
+        self.rule = rule
+
+
+@dataclass
+class Finding:
+    rule: str
+    message: str
+
+
+@dataclass
+class Stats:
+    states: int = 0
+    edges: int = 0
+    terminals: int = 0
+    aborts: int = 0  # documented loud-failure terminals (unsurvivable kill)
+    findings: list[Finding] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Messages are plain tuples so global states hash fast; every message
+# ends with a dup flag marking fault-injected duplicate copies:
+#   ("REPORT", seq, results_for_seq, ack_assign_seq, pairs, oop, d)
+#   ("ASSIGN", seq, work, request, stop, d)
+#   ("ACK", seq, d)
+#   ("HEARTBEAT", last_report_seq, d)
+
+def _msg(tag: str, *fields) -> tuple:
+    return (tag, *fields, 0)
+
+
+def _is_dup(m: tuple) -> bool:
+    return bool(m[-1])
+
+
+def _as_dup(m: tuple) -> tuple:
+    return m[:-1] + (1,)
+
+
+# Global state layout (immutable, hashable):
+#   (phase, cursor, fs, mtarget, workbuf, waitq, kills_left,
+#    sessions, slaves, ch_ms, ch_sm)
+# sessions[i] = (state, last_rseq, aseq, passive, inflight)
+# slaves[i]   = (state, supply, rseq, last_aseq, nw_seq,
+#                a_work, a_req, a_stop, a_seq, died)
+# ch_ms[i] / ch_sm[i]: FIFO tuples of message tuples, master<->slave i+1.
+
+S_STATE, S_SUPPLY, S_RSEQ, S_LASTA, S_NWSEQ = 0, 1, 2, 3, 4
+S_AWORK, S_AREQ, S_ASTOP, S_ASEQ, S_DIED = 5, 6, 7, 8, 9
+M_STATE, M_LASTR, M_ASEQ, M_PASSIVE, M_INFLIGHT = 0, 1, 2, 3, 4
+
+
+@dataclass
+class _Mut:
+    """Mutable unpacked global state during one transition burst."""
+    phase: int
+    cursor: int
+    fs: int
+    mtarget: int
+    workbuf: int
+    waitq: tuple
+    kills_left: int
+    sessions: list
+    slaves: list
+    ch_ms: list
+    ch_sm: list
+
+    @staticmethod
+    def of(st: tuple) -> "_Mut":
+        return _Mut(st[0], st[1], st[2], st[3], st[4], st[5], st[6],
+                    [list(s) for s in st[7]], [list(s) for s in st[8]],
+                    [list(c) for c in st[9]], [list(c) for c in st[10]])
+
+    def freeze(self) -> tuple:
+        return (self.phase, self.cursor, self.fs, self.mtarget,
+                self.workbuf, self.waitq, self.kills_left,
+                tuple(tuple(s) for s in self.sessions),
+                tuple(tuple(s) for s in self.slaves),
+                tuple(tuple(c) for c in self.ch_ms),
+                tuple(tuple(c) for c in self.ch_sm))
+
+    def clone(self) -> "_Mut":
+        return _Mut(self.phase, self.cursor, self.fs, self.mtarget,
+                    self.workbuf, self.waitq, self.kills_left,
+                    [list(s) for s in self.sessions],
+                    [list(s) for s in self.slaves],
+                    [list(c) for c in self.ch_ms],
+                    [list(c) for c in self.ch_sm])
+
+
+@dataclass
+class _StateIndex:
+    recv: list[Transition] = field(default_factory=list)
+    internal: list[Transition] = field(default_factory=list)
+    kill: list[Transition] = field(default_factory=list)
+
+
+_EMPTY = _StateIndex()
+
+
+def _index(transitions: list[Transition]) -> dict[str, _StateIndex]:
+    out: dict[str, _StateIndex] = {}
+    for t in transitions:
+        slot = out.setdefault(t.source, _StateIndex())
+        if t.when == "kill":
+            slot.kill.append(t)
+        elif t.kind == "recv":
+            slot.recv.append(t)
+        else:
+            slot.internal.append(t)
+    return out
+
+
+class Explorer:
+    """One ESTCLUST-PROTO-MODEL configuration's exhaustive search."""
+
+    def __init__(self, model: ProtoModel, cfg: ModelConfig):
+        self.cfg = cfg
+        self.n = cfg.slaves
+        self.mode = cfg.mode
+        self.faults = set(cfg.faults)
+        self.master = _index(model.transitions("master", cfg.mode))
+        self.slave = _index(model.transitions("slave", cfg.mode))
+        self.master_finals = set(model.roles["master"].finals)
+        self.slave_finals = set(model.roles["slave"].finals)
+        self.master_init = model.roles["master"].init
+        self.slave_init = model.roles["slave"].init
+        # Static per-state tables so the search can rule a process out
+        # without unpacking the global state.
+        self.m_tags = {s: sorted({t.tag for t in ix.recv})
+                       for s, ix in self.master.items()}
+        self.s_tags = {s: sorted({t.tag for t in ix.recv})
+                       for s, ix in self.slave.items()}
+        self.m_expect = {s for s, ix in self.master.items()
+                         if any(t.blocking for t in ix.recv)}
+        self.m_park = {s for s, ix in self.master.items()
+                       if any(t.when == "flush" for t in ix.internal)}
+
+    # -- channel primitives -------------------------------------------------
+
+    def _push(self, chan: list, msg: tuple, fault_eligible: bool) -> list:
+        """All channel contents this send can produce under the enabled
+        fault alphabet: plain, and duplicated (flagged second copy right
+        behind the first, Mailbox::push_pair). Drop needs no branch: the
+        runtime retransmits in place, so delivery order and content are
+        identical to the plain send (see the module docstring)."""
+        if len(chan) >= CHANNEL_CAP:
+            raise Trap("proto-channel",
+                       f"channel exceeds its bound of {CHANNEL_CAP} "
+                       f"messages while sending {msg[0]} "
+                       f"(queued: {', '.join(m[0] for m in chan)})")
+        variants = [chan + [msg]]
+        if not fault_eligible:
+            return variants
+        if "dup" in self.faults:
+            variants.append(chan + [msg, _as_dup(msg)])
+        return variants
+
+    @staticmethod
+    def _take(chan: list, tags: list[str]) -> tuple | None:
+        """Mailbox matching: removes and returns the first message whose
+        tag is in `tags` (Mailbox::pop/pop2 FIFO scan); None if absent."""
+        for k, m in enumerate(chan):
+            if m[0] in tags:
+                del chan[k]
+                return m
+        return None
+
+    def kills_ok(self, mut: _Mut) -> bool:
+        return "kill" in self.faults and mut.kills_left > 0
+
+    # -- slave semantics ----------------------------------------------------
+
+    def _s_guard(self, mut: _Mut, i: int, when: str | None) -> bool:
+        if when is None:
+            return True
+        a_stop = mut.slaves[i][S_ASTOP]
+        if when == "stop":
+            return bool(a_stop)
+        if when == "notstop":
+            return not a_stop
+        return False
+
+    def _slave_send_effect(self, mut: _Mut, i: int, tag: str) -> tuple:
+        sl = mut.slaves[i]
+        if tag == "REPORT":
+            sl[S_RSEQ] += 1
+            pairs = 1 if (sl[S_AREQ] > 0 and sl[S_SUPPLY] > 0) else 0
+            sl[S_SUPPLY] -= pairs
+            oop = 1 if sl[S_SUPPLY] == 0 else 0
+            return _msg("REPORT", sl[S_RSEQ], sl[S_NWSEQ], sl[S_LASTA],
+                        pairs, oop)
+        if tag == "HEARTBEAT":
+            return _msg("HEARTBEAT", sl[S_RSEQ])
+        raise Trap("proto-model",
+                   f"slave sends unsupported tag {tag}; the harness "
+                   "models REPORT/HEARTBEAT from slaves")
+
+    def _slave_after_report(self, mut: _Mut, i: int) -> None:
+        """Mirrors `nextwork = assign.work; nextwork_seq_ = assign.seq`:
+        once the report answering an assignment is out, the stashed
+        assignment becomes NEXTWORK and its request is satisfied."""
+        sl = mut.slaves[i]
+        sl[S_NWSEQ] = sl[S_ASEQ]
+        sl[S_AWORK] = 0
+        sl[S_AREQ] = 0
+
+    def _slave_recv_guard(self, mut: _Mut, i: int, tr: Transition,
+                          m: tuple) -> bool:
+        sl = mut.slaves[i]
+        if not tr.blocking:
+            # drain_duplicates(): after the final ack, everything the
+            # master will ever send is already queued, so what remains
+            # must be exactly the duplicated deliveries.
+            if not _is_dup(m):
+                raise Trap("proto-seq",
+                           f"slave {i + 1} drains a non-duplicate {m[0]} "
+                           "after retiring; a live message was discarded")
+            return True
+        if m[0] == "ASSIGN":
+            if self.mode == "reliable" and m[1] > sl[S_LASTA] + 1:
+                raise Trap("proto-check",
+                           f"slave {i + 1} sees assignment seq gap: got "
+                           f"{m[1]} after {sl[S_LASTA]}")
+            fresh = self.mode == "base" or m[1] == sl[S_LASTA] + 1
+            if tr.when == "fresh":
+                return fresh
+            if tr.when == "dup":
+                if not fresh and not _is_dup(m):
+                    raise Trap("proto-seq",
+                               f"slave {i + 1} drops a non-duplicate "
+                               f"ASSIGN (seq {m[1]}) as a duplicate")
+                return not fresh
+            return True
+        if m[0] == "ACK":
+            if m[1] > sl[S_RSEQ]:
+                raise Trap("proto-check",
+                           f"slave {i + 1} gets ack {m[1]} for a report "
+                           f"not yet sent (sent {sl[S_RSEQ]})")
+            match = m[1] == sl[S_RSEQ]
+            if tr.when == "match":
+                return match
+            if tr.when == "dup":
+                if not match and not _is_dup(m):
+                    raise Trap("proto-seq",
+                               f"slave {i + 1} discards a non-duplicate "
+                               f"ack {m[1]} (expected {sl[S_RSEQ]})")
+                return not match
+            return True
+        raise Trap("proto-model",
+                   f"slave receives unsupported tag {m[0]}")
+
+    def _slave_recv_effect(self, mut: _Mut, i: int, tr: Transition,
+                           m: tuple) -> None:
+        sl = mut.slaves[i]
+        if m[0] == "ASSIGN" and tr.blocking and tr.when in (None, "fresh"):
+            sl[S_LASTA] = m[1]
+            sl[S_AWORK], sl[S_AREQ], sl[S_ASTOP] = m[2], m[3], m[4]
+            sl[S_ASEQ] = m[1]
+            if m[4] and m[2]:
+                raise Trap("proto-check",
+                           f"final assignment to slave {i + 1} carried "
+                           "work")
+
+    def _run_slave(self, mut: _Mut, i: int, consumed: bool,
+                   out: list, depth: int = 0) -> None:
+        """Advances slave i until it blocks or finishes; appends every
+        frozen successor (kill and fault branching included) to `out`.
+        `consumed` tracks whether this burst made any progress at all —
+        a still-blocked slave contributes no successor."""
+        if depth > BURST_CAP:
+            raise Trap("proto-termination",
+                       f"slave {i + 1} internal transitions do not "
+                       "converge (send/eps cycle in the automaton)")
+        sl = mut.slaves[i]
+        state = sl[S_STATE]
+        here = self.slave.get(state, _EMPTY)
+
+        # Death checkpoints branch first: both futures are explored. The
+        # notice is fault-exempt and queued behind every prior message.
+        if here.kill and self.kills_ok(mut):
+            for t in here.kill:
+                k = mut.clone()
+                k.kills_left -= 1
+                k.slaves[i][S_STATE] = t.target
+                k.slaves[i][S_DIED] = 1
+                hb = self._slave_send_effect(k, i, t.tag)
+                k.ch_sm[i] = self._push(k.ch_sm[i], hb,
+                                        fault_eligible=False)[0]
+                out.append(k.freeze())
+
+        internal = [t for t in here.internal
+                    if self._s_guard(mut, i, t.when)]
+        if internal:
+            if len(internal) > 1:
+                raise Trap("proto-model",
+                           f"slave state '{state}' enables "
+                           f"{len(internal)} internal transitions at "
+                           "once; guards must be mutually exclusive")
+            t = internal[0]
+            if t.kind == "send":
+                m = self._slave_send_effect(mut, i, t.tag)
+                eligible = (self.mode == "reliable"
+                            and t.tag != "HEARTBEAT")
+                for chan in self._push(mut.ch_sm[i], m, eligible):
+                    nxt = mut.clone()
+                    nxt.ch_sm[i] = chan
+                    nxt.slaves[i][S_STATE] = t.target
+                    if t.tag == "REPORT":
+                        self._slave_after_report(nxt, i)
+                    self._run_slave(nxt, i, True, out, depth + 1)
+            else:  # eps
+                sl[S_STATE] = t.target
+                self._run_slave(mut, i, consumed, out, depth + 1)
+            return
+
+        if here.recv:
+            tags = sorted({t.tag for t in here.recv})
+            m = self._take(mut.ch_ms[i], tags)
+            if m is None:
+                if consumed:
+                    out.append(mut.freeze())
+                return
+            fits = [t for t in here.recv if t.tag == m[0]
+                    and self._slave_recv_guard(mut, i, t, m)]
+            if not fits:
+                raise Trap("proto-unhandled",
+                           f"slave {i + 1} in state '{state}' has no "
+                           f"transition accepting the arriving {m[0]} "
+                           f"(seq field {m[1]})")
+            t = fits[0]
+            self._slave_recv_effect(mut, i, t, m)
+            sl[S_STATE] = t.target
+            self._run_slave(mut, i, True, out, depth + 1)
+            return
+
+        if state not in self.slave_finals and not here.kill:
+            raise Trap("proto-unhandled",
+                       f"slave {i + 1} is stuck in non-final state "
+                       f"'{state}' with no transition at all")
+        if consumed:
+            out.append(mut.freeze())
+
+    # -- master semantics ---------------------------------------------------
+
+    def _m_guard(self, mut: _Mut, i: int, when: str | None) -> bool:
+        if when is None:
+            return True
+        passive = mut.sessions[i][M_PASSIVE]
+        have_work = mut.workbuf > 0 or not passive
+        if when == "have_work":
+            return mut.phase == P_MAIN and have_work
+        if when == "idle":
+            return mut.phase == P_MAIN and not have_work
+        if when == "flush":
+            return mut.phase == P_FLUSH
+        return False
+
+    def _m_send_effect(self, mut: _Mut, i: int, tr: Transition) -> tuple:
+        sess = mut.sessions[i]
+        if tr.tag == "ACK":
+            return _msg("ACK", sess[M_LASTR])
+        if tr.tag == "ASSIGN":
+            sess[M_ASEQ] += 1
+            stop = 1 if tr.when == "flush" else 0
+            work = 1 if (mut.workbuf > 0 and not stop) else 0
+            mut.workbuf -= work
+            request = 0 if (sess[M_PASSIVE] or stop) else 1
+            if work:
+                sess[M_INFLIGHT] = (tuple(sess[M_INFLIGHT])
+                                    + ((sess[M_ASEQ], work),))
+            return _msg("ASSIGN", sess[M_ASEQ], work, request, stop)
+        raise Trap("proto-model",
+                   f"master sends unsupported tag {tr.tag}; the harness "
+                   "models ASSIGN/ACK from the master")
+
+    def _m_recv_guard(self, mut: _Mut, i: int, tr: Transition,
+                      m: tuple) -> bool:
+        sess = mut.sessions[i]
+        if m[0] == "REPORT":
+            if self.mode == "reliable" and m[1] > sess[M_LASTR] + 1:
+                raise Trap("proto-check",
+                           f"master sees report seq gap from slave "
+                           f"{i + 1}: got {m[1]} after {sess[M_LASTR]}")
+            fresh = self.mode == "base" or m[1] == sess[M_LASTR] + 1
+            if tr.when == "fresh":
+                return fresh
+            if tr.when == "dup":
+                if not fresh and not _is_dup(m):
+                    raise Trap("proto-seq",
+                               f"master drops a non-duplicate REPORT "
+                               f"(seq {m[1]} from slave {i + 1}) as a "
+                               "duplicate: fresh results would be lost")
+                return not fresh
+            return True
+        if m[0] == "HEARTBEAT":
+            return tr.when is None
+        raise Trap("proto-model",
+                   f"master receives unsupported tag {m[0]}")
+
+    def _m_recv_effect(self, mut: _Mut, i: int, tr: Transition,
+                       m: tuple) -> None:
+        sess = mut.sessions[i]
+        if m[0] == "REPORT" and tr.when in (None, "fresh"):
+            seq, results_for, ack_aseq, pairs, oop = m[1:6]
+            if self.mode == "reliable" and ack_aseq != sess[M_ASEQ]:
+                raise Trap("proto-check",
+                           f"report from slave {i + 1} acks assignment "
+                           f"{ack_aseq}, master expected {sess[M_ASEQ]}")
+            sess[M_LASTR] = seq
+            sess[M_INFLIGHT] = tuple(e for e in sess[M_INFLIGHT]
+                                     if e[0] != results_for)
+            if mut.phase == P_FLUSH and pairs:
+                raise Trap("proto-check",
+                           f"parked slave {i + 1} produced pairs during "
+                           "the final flush")
+            mut.workbuf += pairs
+            sess[M_PASSIVE] = bool(oop)
+        elif m[0] == "HEARTBEAT":
+            self._handle_death(mut, i, m)
+
+    def _handle_death(self, mut: _Mut, i: int, m: tuple) -> None:
+        """master.cpp handle_death: every report the slave sent precedes
+        its heartbeat in mailbox order and was consumed by the await
+        loop; retained in-flight work plus the dead slave's remaining
+        stream is re-enqueued deterministically."""
+        sess = mut.sessions[i]
+        if m[1] != sess[M_LASTR]:
+            raise Trap("proto-check",
+                       f"dead slave {i + 1} reported through seq {m[1]} "
+                       f"but the master incorporated {sess[M_LASTR]}")
+        sess[M_PASSIVE] = True
+        recovered = sum(units for _, units in sess[M_INFLIGHT])
+        sess[M_INFLIGHT] = ()
+        recovered += mut.slaves[i][S_SUPPLY]
+        mut.slaves[i][S_SUPPLY] = 0
+        mut.workbuf += recovered
+        mut.waitq = tuple(s for s in mut.waitq if s != i + 1)
+
+    def _expecting(self, mut: _Mut, i: int) -> bool:
+        """Session i owes the master a blocking receive — the model
+        analog of SlaveState::kExpectingReport."""
+        return mut.sessions[i][M_STATE] in self.m_expect
+
+    def _parked(self, mut: _Mut, i: int) -> bool:
+        """Session i sits in the wait-queue state (kWaiting): its only
+        way forward is the have_work / flush assignment."""
+        return mut.sessions[i][M_STATE] in self.m_park
+
+    def _enqueue_if_parked(self, mut: _Mut, i: int) -> None:
+        """reply()'s park branch: entering kWaiting appends the session
+        to the wait queue (wait_queue_.push_back)."""
+        if self._parked(mut, i) and (i + 1) not in mut.waitq:
+            mut.waitq = mut.waitq + (i + 1,)
+
+    def _run_master_internal(self, mut: _Mut, i: int, out: list,
+                             depth: int = 0) -> None:
+        """Runs session i's send/eps transitions to quiescence. A flush
+        send then blocks awaiting that very slave (flush_parked calls
+        await_report inline); otherwise control returns to run()'s
+        scheduler."""
+        if depth > BURST_CAP:
+            raise Trap("proto-termination",
+                       "master internal transitions do not converge "
+                       "(send/eps cycle in the automaton)")
+        state = mut.sessions[i][M_STATE]
+        here = self.master.get(state, _EMPTY)
+        internal = [t for t in here.internal
+                    if self._m_guard(mut, i, t.when)]
+        if internal:
+            if len(internal) > 1:
+                raise Trap("proto-model",
+                           f"master state '{state}' enables "
+                           f"{len(internal)} internal transitions at "
+                           "once; guards must be mutually exclusive")
+            t = internal[0]
+            if t.kind == "send":
+                m = self._m_send_effect(mut, i, t)
+                eligible = self.mode == "reliable"
+                for chan in self._push(mut.ch_ms[i], m, eligible):
+                    nxt = mut.clone()
+                    nxt.ch_ms[i] = chan
+                    nxt.sessions[i][M_STATE] = t.target
+                    self._enqueue_if_parked(nxt, i)
+                    self._run_master_internal(nxt, i, out, depth + 1)
+            else:
+                mut.sessions[i][M_STATE] = t.target
+                self._enqueue_if_parked(mut, i)
+                self._run_master_internal(mut, i, out, depth + 1)
+            return
+        if mut.phase == P_FLUSH and self._expecting(mut, i):
+            mut.mtarget = i + 1
+            out.append(mut.freeze())
+            return
+        self._schedule(mut, out)
+
+    def _schedule(self, mut: _Mut, out: list) -> None:
+        """The master's top-level control flow (master.cpp run()):
+        drain the wait queue while work is available, then either block
+        on the round-robin cursor's next owing session or move to the
+        flush endgame."""
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 4 * self.n + 16:
+                raise Trap("proto-termination",
+                           "master scheduler does not converge")
+            if mut.phase == P_MAIN:
+                if mut.workbuf > 0 and mut.waitq:
+                    w = mut.waitq[0]
+                    mut.waitq = mut.waitq[1:]
+                    self._run_master_internal(mut, w - 1, out)
+                    return
+                if any(self._expecting(mut, i) for i in range(self.n)):
+                    cursor = mut.cursor
+                    spins = 0
+                    while not self._expecting(mut, cursor - 1):
+                        cursor = cursor % self.n + 1
+                        spins += 1
+                        if spins > self.n:
+                            raise Trap("proto-deadlock",
+                                       "master cursor finds no session "
+                                       "owing a report")
+                    mut.mtarget = cursor
+                    mut.cursor = cursor % self.n + 1
+                    out.append(mut.freeze())
+                    return
+                if mut.workbuf > 0:
+                    self._abort(mut, out)
+                    return
+                mut.phase = P_FLUSH
+                mut.fs = 1
+                continue
+            if mut.phase == P_FLUSH:
+                while (mut.fs <= self.n
+                       and not self._parked(mut, mut.fs - 1)):
+                    mut.fs += 1
+                if mut.fs > self.n:
+                    if mut.workbuf > 0:
+                        self._abort(mut, out)
+                        return
+                    mut.phase = P_DONE
+                    mut.mtarget = 0
+                    out.append(mut.freeze())
+                    return
+                w = mut.fs
+                mut.fs += 1
+                mut.waitq = tuple(s for s in mut.waitq if s != w)
+                self._run_master_internal(mut, w - 1, out)
+                return
+            out.append(mut.freeze())  # P_DONE: master has retired
+            return
+
+    def _abort(self, mut: _Mut, out: list) -> None:
+        """Recovered work with nobody to take it: the master's documented
+        loud-failure path (master.cpp run()/flush_parked: 'fail loudly
+        rather than deadlock'). The modeled ESTCLUST_CHECK kills the job,
+        so the abort state is terminal; check_terminal verifies it is
+        only ever reached after a slave death made the run unsurvivable."""
+        mut.phase = P_ABORT
+        mut.mtarget = 0
+        out.append(mut.freeze())
+
+    def _step_master(self, mut: _Mut, out: list) -> None:
+        """One blocking receive on the master's current await target.
+        Duplicate-delivery self-loops keep the master blocked on the
+        same slave (await_report's inner for(;;))."""
+        i = mut.mtarget - 1
+        state = mut.sessions[i][M_STATE]
+        here = self.master.get(state, _EMPTY)
+        if not here.recv:
+            raise Trap("proto-unhandled",
+                       f"master blocked on slave {i + 1} in state "
+                       f"'{state}' with no receive transition")
+        tags = sorted({t.tag for t in here.recv})
+        m = self._take(mut.ch_sm[i], tags)
+        if m is None:
+            return  # still waiting; only the slaves can make progress
+        fits = [t for t in here.recv if t.tag == m[0]
+                and self._m_recv_guard(mut, i, t, m)]
+        if not fits:
+            raise Trap("proto-unhandled",
+                       f"master in state '{state}' has no transition "
+                       f"accepting the arriving {m[0]} from slave "
+                       f"{i + 1}")
+        t = fits[0]
+        self._m_recv_effect(mut, i, t, m)
+        mut.sessions[i][M_STATE] = t.target
+        if self._expecting(mut, i):
+            mut.mtarget = i + 1
+            out.append(mut.freeze())
+            return
+        if (m[0] == "HEARTBEAT" and mut.phase == P_FLUSH
+                and mut.workbuf > 0):
+            # flush_parked() returns true: the regenerated stream
+            # refilled WORKBUF — resume the interaction loop and hand
+            # the recovered work to the still-parked slaves.
+            mut.phase = P_MAIN
+        self._run_master_internal(mut, i, out)
+
+    # -- search -------------------------------------------------------------
+
+    def initial(self) -> tuple:
+        sessions = tuple((self.master_init, 0, 0, False, ())
+                         for _ in range(self.n))
+        # a_req=1 models the unsolicited initial batch (startup_split's
+        # third portion rides the first report).
+        slaves = tuple((self.slave_init, self.cfg.supply, 0, 0, 0,
+                        0, 1, 0, 0, 0)
+                       for _ in range(self.n))
+        chans = tuple(() for _ in range(self.n))
+        return (P_MAIN, 1, 1, 0, 0, (), self.cfg.kills,
+                sessions, slaves, chans, chans)
+
+    def _slave_can_act(self, st: tuple, i: int) -> bool:
+        """Cheap enabledness pre-check for slave i, mirroring
+        _run_slave's entry conditions without unpacking the state (the
+        search's hot path: most processes are blocked most of the time).
+        Conservative: may say yes when _run_slave then finds nothing,
+        never no when a step (or a trap to report) exists."""
+        sl = st[8][i]
+        state = sl[S_STATE]
+        here = self.slave.get(state, _EMPTY)
+        if here.kill and "kill" in self.faults and st[6] > 0:
+            return True
+        a_stop = sl[S_ASTOP]
+        for t in here.internal:
+            if (t.when is None or (t.when == "stop" and a_stop)
+                    or (t.when == "notstop" and not a_stop)
+                    or t.when not in (None, "stop", "notstop")):
+                return True
+        if here.recv:
+            tags = self.s_tags[state]
+            return any(m[0] in tags for m in st[9][i])
+        if state not in self.slave_finals and not here.kill:
+            return True  # stuck: let _run_slave report it
+        return False
+
+    def successors(self, st: tuple) -> list[tuple]:
+        if st[0] == P_ABORT:
+            return []  # the CHECK failure took the whole job down
+        out: list[tuple] = []
+        if st[0] != P_DONE and st[3] > 0:
+            mstate = st[7][st[3] - 1][M_STATE]
+            tags = self.m_tags.get(mstate)
+            if (not tags
+                    or any(m[0] in tags for m in st[10][st[3] - 1])):
+                self._step_master(_Mut.of(st), out)
+        for i in range(self.n):
+            if self._slave_can_act(st, i):
+                self._run_slave(_Mut.of(st), i, False, out)
+        seen: set[tuple] = set()
+        uniq: list[tuple] = []
+        for s in out:
+            if s not in seen:
+                seen.add(s)
+                uniq.append(s)
+        return uniq
+
+    def check_terminal(self, st: tuple) -> list[Finding]:
+        """Validates a state with no successor: it must be a clean,
+        complete shutdown — anything else is a deadlock or a lost
+        message."""
+        findings: list[Finding] = []
+        if st[0] == P_ABORT:
+            # The loud abort is legal only when a death actually made the
+            # run unsurvivable; hitting the CHECK in a fault-free run
+            # would be stranded work, a real protocol bug.
+            if not any(st[8][i][S_DIED] for i in range(self.n)):
+                findings.append(Finding(
+                    "proto-check",
+                    "master hit the 'work remains but no slave is "
+                    "available' check with every slave alive"))
+            return findings
+        blocked = []
+        if st[0] != P_DONE:
+            phase = ("main", "flush")[st[0]]
+            if st[3] > 0:
+                blocked.append(
+                    f"master (phase {phase}, awaiting slave {st[3]}, "
+                    f"session state '{st[7][st[3] - 1][M_STATE]}')")
+            else:
+                blocked.append(f"master (phase {phase})")
+        for i in range(self.n):
+            sstate = st[8][i][S_STATE]
+            if sstate not in self.slave_finals:
+                blocked.append(f"slave {i + 1} (state '{sstate}')")
+        if blocked:
+            heads = []
+            for i in range(self.n):
+                if st[9][i]:
+                    heads.append("master->s%d: %s" % (
+                        i + 1, ",".join(m[0] for m in st[9][i])))
+                if st[10][i]:
+                    heads.append("s%d->master: %s" % (
+                        i + 1, ",".join(m[0] for m in st[10][i])))
+            queued = ("; queued " + "; ".join(heads)) if heads else \
+                "; all channels empty"
+            findings.append(Finding(
+                "proto-deadlock",
+                f"deadlock: {' and '.join(blocked)} can never proceed"
+                f"{queued}"))
+            return findings
+
+        dead = {i for i in range(self.n) if st[8][i][S_DIED]}
+        for i in range(self.n):
+            for m in st[9][i]:
+                if i not in dead and not _is_dup(m):
+                    findings.append(Finding(
+                        "proto-unhandled",
+                        f"terminated with undelivered non-duplicate "
+                        f"{m[0]} queued to live slave {i + 1}"))
+            for m in st[10][i]:
+                if not _is_dup(m):
+                    findings.append(Finding(
+                        "proto-unhandled",
+                        f"terminated with unconsumed non-duplicate "
+                        f"{m[0]} from slave {i + 1} at the master"))
+        for i in range(self.n):
+            if st[7][i][M_LASTR] != st[8][i][S_RSEQ]:
+                findings.append(Finding(
+                    "proto-seq",
+                    f"slave {i + 1} sent {st[8][i][S_RSEQ]} reports but "
+                    f"the master incorporated {st[7][i][M_LASTR]}"))
+            if i in dead:
+                continue
+            if st[8][i][S_SUPPLY] != 0:
+                findings.append(Finding(
+                    "proto-check",
+                    f"terminated with slave {i + 1} still holding "
+                    f"{st[8][i][S_SUPPLY]} unshipped work unit(s)"))
+            if st[7][i][M_INFLIGHT]:
+                findings.append(Finding(
+                    "proto-check",
+                    f"terminated with retained in-flight assignments "
+                    f"for live slave {i + 1}"))
+        if st[4] != 0:
+            findings.append(Finding(
+                "proto-check",
+                f"terminated with {st[4]} work unit(s) left in WORKBUF"))
+        return findings
+
+    def explore(self) -> Stats:
+        stats = Stats()
+        findings: dict[str, Finding] = {}  # first witness per rule
+
+        boot: list[tuple] = []
+        try:
+            self._schedule(_Mut.of(self.initial()), boot)
+        except Trap as t:
+            findings[t.rule] = Finding(t.rule, str(t))
+
+        index: dict[tuple, int] = {}
+        order: list[tuple] = []
+        adj: list[list[int]] = []
+        frontier: deque[int] = deque()
+
+        def intern(s: tuple) -> int:
+            sid = index.get(s)
+            if sid is None:
+                sid = len(order)
+                index[s] = sid
+                order.append(s)
+                adj.append([])
+                frontier.append(sid)
+            return sid
+
+        for s in boot:
+            intern(s)
+        capped = False
+        while frontier:
+            sid = frontier.popleft()
+            if len(order) > MAX_STATES:
+                capped = True
+                findings.setdefault("proto-explore", Finding(
+                    "proto-explore",
+                    f"state space exceeds {MAX_STATES} states; shrink "
+                    "the ESTCLUST-PROTO-MODEL configuration"))
+                break
+            try:
+                succ = self.successors(order[sid])
+            except Trap as t:
+                findings.setdefault(t.rule, Finding(t.rule, str(t)))
+                continue
+            if not succ:
+                stats.terminals += 1
+                if order[sid][0] == P_ABORT:
+                    stats.aborts += 1
+                for f in self.check_terminal(order[sid]):
+                    findings.setdefault(f.rule, f)
+                continue
+            for s in succ:
+                adj[sid].append(intern(s))
+            stats.edges += len(succ)
+
+        stats.states = len(order)
+
+        # Termination: the reachable graph must be acyclic — then every
+        # execution bottoms out in a terminal state in finitely many
+        # steps (the burst executor already bounds internal runs).
+        if "proto-termination" not in findings and not capped:
+            cycle = _find_cycle(adj)
+            if cycle is not None:
+                findings["proto-termination"] = Finding(
+                    "proto-termination",
+                    f"reachable state graph has a cycle of length "
+                    f"{len(cycle)}: some executions never terminate")
+
+        stats.findings = [findings[r] for r in sorted(findings)]
+        return stats
+
+
+def _find_cycle(adj: list[list[int]]) -> list[int] | None:
+    """Iterative DFS back-edge detection over the explored graph."""
+    color = bytearray(len(adj))  # 0 white, 1 grey, 2 black
+    for root in range(len(adj)):
+        if color[root]:
+            continue
+        stack: list[tuple[int, int]] = [(root, 0)]
+        color[root] = 1
+        path = [root]
+        while stack:
+            node, k = stack[-1]
+            if k < len(adj[node]):
+                stack[-1] = (node, k + 1)
+                nxt = adj[node][k]
+                if color[nxt] == 1:
+                    return path[path.index(nxt):]
+                if color[nxt] == 0:
+                    color[nxt] = 1
+                    stack.append((nxt, 0))
+                    path.append(nxt)
+            else:
+                color[node] = 2
+                stack.pop()
+                path.pop()
+    return None
+
+
+def explore_config(model: ProtoModel, cfg: ModelConfig) -> Stats:
+    """Runs one configuration's exhaustive check end to end."""
+    return Explorer(model, cfg).explore()

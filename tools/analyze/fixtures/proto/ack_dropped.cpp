@@ -1,0 +1,65 @@
+// Seeded mutant: the master's acknowledgement of a fresh REPORT was
+// deleted (annotation and call both gone — the master moves straight on
+// to serving the next request without acking). In reliable mode a slave
+// that delivered its report then blocks on kTagAck forever while the
+// master waits for a report the blocked slave will never send; the
+// explorer must prove this deadlocks. Base mode has no acks and still
+// verifies clean, isolating the bug to the reliability layer.
+// ESTCLUST-PROTO-ROLE(role=slave, init=startup, final=done)
+// ESTCLUST-PROTO-ROLE(role=master, init=expect_report, final=stopped|dead)
+// ESTCLUST-PROTO-MODEL(name=mutant_base, slaves=2, mode=base, supply=1)
+// ESTCLUST-PROTO-MODEL(name=mutant_rel, slaves=2, mode=reliable, supply=1)  ESTCLUST-EXPECT(proto-deadlock)
+
+namespace fixture_proto {
+
+inline constexpr int kTagReport = 1;
+inline constexpr int kTagAssign = 2;
+inline constexpr int kTagAck = 3;
+inline constexpr int kTagHeartbeat = 4;
+
+struct Comm {
+  void send(int dest, int tag, int payload);
+  void send_delayed(int dest, int tag, int payload);
+  int recv(int src, int tag);
+  int recv2(int src, int tag_a, int tag_b);
+  bool try_recv(int src, int tag);
+};
+
+void slave_loop(Comm& comm) {
+  // ESTCLUST-PROTO(state=startup, send=REPORT -> working)
+  // ESTCLUST-PROTO(state=acked, send=REPORT -> working, when=!stop)
+  // ESTCLUST-PROTO(state=acked, send=REPORT -> final_unacked, when=stop)
+  comm.send(0, kTagReport, 0);
+  // ESTCLUST-PROTO(state=working, on=ASSIGN -> got_assign, when=fresh)
+  // ESTCLUST-PROTO(state=working, on=ASSIGN -> ., when=dup, mode=reliable)
+  comm.recv(0, kTagAssign);
+  // ESTCLUST-PROTO(state=got_assign, on=ACK -> acked, when=match, mode=reliable)
+  // ESTCLUST-PROTO(state=got_assign, on=ACK -> ., when=dup, mode=reliable)
+  // ESTCLUST-PROTO(state=final_unacked, on=ACK -> done, when=match, mode=reliable)
+  // ESTCLUST-PROTO(state=final_unacked, on=ACK -> ., when=dup, mode=reliable)
+  comm.recv(0, kTagAck);
+  // ESTCLUST-PROTO(state=got_assign -> acked, mode=base)
+  // ESTCLUST-PROTO(state=final_unacked -> done, mode=base)
+}
+
+void master_loop(Comm& comm) {
+  // ESTCLUST-PROTO(role=master, state=served, send=ASSIGN -> expect_report, when=have_work)
+  // ESTCLUST-PROTO(role=master, state=waiting, send=ASSIGN -> expect_report, when=have_work)
+  // ESTCLUST-PROTO(role=master, state=waiting, send=ASSIGN -> flushing, when=flush)
+  comm.send(1, kTagAssign, 0);
+  // ESTCLUST-PROTO(role=master, state=served -> waiting, when=idle)
+  // ESTCLUST-PROTO(role=master, state=expect_report, on=REPORT -> got_report, when=fresh, mode=reliable, op=recv2)
+  // ESTCLUST-PROTO(role=master, state=flushing, on=REPORT -> flush_got, when=fresh, mode=reliable, op=recv2)
+  // ESTCLUST-PROTO(role=master, state=expect_report|flushing, on=REPORT -> ., when=dup, mode=reliable, op=recv2)
+  // ESTCLUST-PROTO(role=master, state=expect_report|flushing, on=HEARTBEAT -> dead, mode=reliable, op=recv2)
+  comm.recv2(1, kTagReport, kTagHeartbeat);
+  // ESTCLUST-PROTO(role=master, state=expect_report, on=REPORT -> got_report, mode=base, op=recv)
+  // ESTCLUST-PROTO(role=master, state=flushing, on=REPORT -> flush_got, mode=base, op=recv)
+  comm.recv(1, kTagReport);
+  // The kTagAck send that belongs here was deleted by the mutation;
+  // the master just falls through to the next request in both modes.
+  // ESTCLUST-PROTO(role=master, state=got_report -> served)
+  // ESTCLUST-PROTO(role=master, state=flush_got -> stopped)
+}
+
+}  // namespace fixture_proto

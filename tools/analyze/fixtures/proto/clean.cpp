@@ -1,0 +1,70 @@
+// Self-contained miniature of the pace protocol annotations: both roles
+// in one file, exercised by analyze_selftest through the `proto` rule
+// family. The function bodies are sketches — the analyzer reads only
+// the annotations and the shapes of the send/recv call sites. This
+// fixture mirrors the real src/pace automaton and must verify clean.
+// ESTCLUST-PROTO-ROLE(role=slave, init=startup, final=done|dead)
+// ESTCLUST-PROTO-ROLE(role=master, init=expect_report, final=stopped|dead)
+// ESTCLUST-PROTO-MODEL(name=fixture_base, slaves=2, mode=base, supply=1)
+// ESTCLUST-PROTO-MODEL(name=fixture_rel, slaves=2, mode=reliable, faults=drop+dup+kill, supply=1, kills=1)
+
+namespace fixture_proto {
+
+inline constexpr int kTagReport = 1;
+inline constexpr int kTagAssign = 2;
+inline constexpr int kTagAck = 3;
+inline constexpr int kTagHeartbeat = 4;
+
+struct Comm {
+  void send(int dest, int tag, int payload);
+  void send_delayed(int dest, int tag, int payload);
+  int recv(int src, int tag);
+  int recv2(int src, int tag_a, int tag_b);
+  bool try_recv(int src, int tag);
+};
+
+void slave_loop(Comm& comm) {
+  // ESTCLUST-PROTO(state=startup, send=REPORT -> working)
+  // ESTCLUST-PROTO(state=acked, send=REPORT -> working, when=!stop)
+  // ESTCLUST-PROTO(state=acked, send=REPORT -> final_unacked, when=stop)
+  comm.send(0, kTagReport, 0);
+  // ESTCLUST-PROTO(state=working, on=ASSIGN -> got_assign, when=fresh)
+  // ESTCLUST-PROTO(state=working, on=ASSIGN -> ., when=dup, mode=reliable)
+  comm.recv(0, kTagAssign);
+  // ESTCLUST-PROTO(state=startup|got_assign, send=HEARTBEAT -> dead, when=kill, mode=reliable)
+  comm.send_delayed(0, kTagHeartbeat, 0);
+  // ESTCLUST-PROTO(state=got_assign, on=ACK -> acked, when=match, mode=reliable)
+  // ESTCLUST-PROTO(state=got_assign, on=ACK -> ., when=dup, mode=reliable)
+  // ESTCLUST-PROTO(state=final_unacked, on=ACK -> done, when=match, mode=reliable)
+  // ESTCLUST-PROTO(state=final_unacked, on=ACK -> ., when=dup, mode=reliable)
+  comm.recv(0, kTagAck);
+  // ESTCLUST-PROTO(state=got_assign -> acked, mode=base)
+  // ESTCLUST-PROTO(state=final_unacked -> done, mode=base)
+  // ESTCLUST-PROTO(state=done, on=ASSIGN -> ., when=dup, mode=reliable, op=try_recv)
+  comm.try_recv(0, kTagAssign);
+  // ESTCLUST-PROTO(state=done, on=ACK -> ., when=dup, mode=reliable, op=try_recv)
+  comm.try_recv(0, kTagAck);
+}
+
+void master_loop(Comm& comm) {
+  // ESTCLUST-PROTO(role=master, state=served, send=ASSIGN -> expect_report, when=have_work)
+  // ESTCLUST-PROTO(role=master, state=waiting, send=ASSIGN -> expect_report, when=have_work)
+  // ESTCLUST-PROTO(role=master, state=waiting, send=ASSIGN -> flushing, when=flush)
+  comm.send(1, kTagAssign, 0);
+  // ESTCLUST-PROTO(role=master, state=served -> waiting, when=idle)
+  // ESTCLUST-PROTO(role=master, state=expect_report, on=REPORT -> got_report, when=fresh, mode=reliable, op=recv2)
+  // ESTCLUST-PROTO(role=master, state=flushing, on=REPORT -> flush_got, when=fresh, mode=reliable, op=recv2)
+  // ESTCLUST-PROTO(role=master, state=expect_report|flushing, on=REPORT -> ., when=dup, mode=reliable, op=recv2)
+  // ESTCLUST-PROTO(role=master, state=expect_report|flushing, on=HEARTBEAT -> dead, mode=reliable, op=recv2)
+  comm.recv2(1, kTagReport, kTagHeartbeat);
+  // ESTCLUST-PROTO(role=master, state=expect_report, on=REPORT -> got_report, mode=base, op=recv)
+  // ESTCLUST-PROTO(role=master, state=flushing, on=REPORT -> flush_got, mode=base, op=recv)
+  comm.recv(1, kTagReport);
+  // ESTCLUST-PROTO(role=master, state=got_report, send=ACK -> served, mode=reliable)
+  // ESTCLUST-PROTO(role=master, state=flush_got, send=ACK -> stopped, mode=reliable)
+  comm.send(1, kTagAck, 0);
+  // ESTCLUST-PROTO(role=master, state=got_report -> served, mode=base)
+  // ESTCLUST-PROTO(role=master, state=flush_got -> stopped, mode=base)
+}
+
+}  // namespace fixture_proto

@@ -1,0 +1,62 @@
+// Seeded mutant: the master's duplicate-report dedup self-loop was
+// deleted. Under the dup fault a flagged second copy of a REPORT
+// arrives right behind the original; with the fresh-guard transition
+// alone nothing accepts the stale sequence number, so the master faces
+// a message its state has no transition for. The explorer must report
+// the unhandled message the first time a duplicate lands.
+// ESTCLUST-PROTO-ROLE(role=slave, init=startup, final=done)
+// ESTCLUST-PROTO-ROLE(role=master, init=expect_report, final=stopped|dead)
+// ESTCLUST-PROTO-MODEL(name=mutant_nodedup, slaves=2, mode=reliable, faults=dup, supply=1)  ESTCLUST-EXPECT(proto-unhandled)
+
+namespace fixture_proto {
+
+inline constexpr int kTagReport = 1;
+inline constexpr int kTagAssign = 2;
+inline constexpr int kTagAck = 3;
+inline constexpr int kTagHeartbeat = 4;
+
+struct Comm {
+  void send(int dest, int tag, int payload);
+  void send_delayed(int dest, int tag, int payload);
+  int recv(int src, int tag);
+  int recv2(int src, int tag_a, int tag_b);
+  bool try_recv(int src, int tag);
+};
+
+void slave_loop(Comm& comm) {
+  // ESTCLUST-PROTO(state=startup, send=REPORT -> working)
+  // ESTCLUST-PROTO(state=acked, send=REPORT -> working, when=!stop)
+  // ESTCLUST-PROTO(state=acked, send=REPORT -> final_unacked, when=stop)
+  comm.send(0, kTagReport, 0);
+  // ESTCLUST-PROTO(state=working, on=ASSIGN -> got_assign, when=fresh)
+  // ESTCLUST-PROTO(state=working, on=ASSIGN -> ., when=dup, mode=reliable)
+  comm.recv(0, kTagAssign);
+  // ESTCLUST-PROTO(state=got_assign, on=ACK -> acked, when=match, mode=reliable)
+  // ESTCLUST-PROTO(state=got_assign, on=ACK -> ., when=dup, mode=reliable)
+  // ESTCLUST-PROTO(state=final_unacked, on=ACK -> done, when=match, mode=reliable)
+  // ESTCLUST-PROTO(state=final_unacked, on=ACK -> ., when=dup, mode=reliable)
+  comm.recv(0, kTagAck);
+  // ESTCLUST-PROTO(state=done, on=ASSIGN -> ., when=dup, mode=reliable, op=try_recv)
+  comm.try_recv(0, kTagAssign);
+  // ESTCLUST-PROTO(state=done, on=ACK -> ., when=dup, mode=reliable, op=try_recv)
+  comm.try_recv(0, kTagAck);
+}
+
+void master_loop(Comm& comm) {
+  // ESTCLUST-PROTO(role=master, state=served, send=ASSIGN -> expect_report, when=have_work)
+  // ESTCLUST-PROTO(role=master, state=waiting, send=ASSIGN -> expect_report, when=have_work)
+  // ESTCLUST-PROTO(role=master, state=waiting, send=ASSIGN -> flushing, when=flush)
+  comm.send(1, kTagAssign, 0);
+  // ESTCLUST-PROTO(role=master, state=served -> waiting, when=idle)
+  // The duplicate-REPORT self-loop that belongs below was deleted by
+  // the mutation; only fresh sequence numbers are handled now.
+  // ESTCLUST-PROTO(role=master, state=expect_report, on=REPORT -> got_report, when=fresh, mode=reliable, op=recv2)
+  // ESTCLUST-PROTO(role=master, state=flushing, on=REPORT -> flush_got, when=fresh, mode=reliable, op=recv2)
+  // ESTCLUST-PROTO(role=master, state=expect_report|flushing, on=HEARTBEAT -> dead, mode=reliable, op=recv2)
+  comm.recv2(1, kTagReport, kTagHeartbeat);
+  // ESTCLUST-PROTO(role=master, state=got_report, send=ACK -> served, mode=reliable)
+  // ESTCLUST-PROTO(role=master, state=flush_got, send=ACK -> stopped, mode=reliable)
+  comm.send(1, kTagAck, 0);
+}
+
+}  // namespace fixture_proto

@@ -1,0 +1,30 @@
+// Seeded drift fixture: the annotations and the code have moved apart
+// in both directions. One annotation declares a receive that no longer
+// exists in the code, and one protocol call site carries no annotation
+// at all. Both must be reported as proto-drift — the extracted model
+// would otherwise silently stop covering real traffic, and exploration
+// is skipped entirely until the drift is fixed.
+// ESTCLUST-PROTO-ROLE(role=slave, init=startup, final=done)
+
+namespace fixture_proto {
+
+inline constexpr int kTagReport = 1;
+inline constexpr int kTagAssign = 2;
+inline constexpr int kTagAck = 3;
+
+struct Comm {
+  void send(int dest, int tag, int payload);
+  int recv(int src, int tag);
+};
+
+void slave_loop(Comm& comm) {
+  // ESTCLUST-PROTO(state=startup, send=REPORT -> done)
+  comm.send(0, kTagReport, 0);
+  // The receive this annotation described was refactored away:
+  // ESTCLUST-PROTO(state=startup, on=ASSIGN -> done, when=fresh)  ESTCLUST-EXPECT(proto-drift)
+  int unrelated = 0;
+  (void)unrelated;
+  comm.recv(0, kTagAck);  // ESTCLUST-EXPECT(proto-drift)
+}
+
+}  // namespace fixture_proto

@@ -1,0 +1,62 @@
+// Seeded mutant: a receive was reordered ahead of the send it
+// acknowledges — the slave now waits for the master's ACK *before*
+// shipping its first report. The master only ever acks a report it has
+// received, so both sides block on the other's first message: a classic
+// circular wait the explorer must prove deadlocks from the initial
+// state. (Reorderings *after* the report are benign — the mailbox's
+// tag matching delivers queued messages in any requested order — which
+// is exactly why this mutant moves the wait ahead of the send.)
+// ESTCLUST-PROTO-ROLE(role=slave, init=startup, final=done)
+// ESTCLUST-PROTO-ROLE(role=master, init=expect_report, final=stopped|dead)
+// ESTCLUST-PROTO-MODEL(name=mutant_reordered, slaves=2, mode=reliable, supply=1)  ESTCLUST-EXPECT(proto-deadlock)
+
+namespace fixture_proto {
+
+inline constexpr int kTagReport = 1;
+inline constexpr int kTagAssign = 2;
+inline constexpr int kTagAck = 3;
+inline constexpr int kTagHeartbeat = 4;
+
+struct Comm {
+  void send(int dest, int tag, int payload);
+  void send_delayed(int dest, int tag, int payload);
+  int recv(int src, int tag);
+  int recv2(int src, int tag_a, int tag_b);
+  bool try_recv(int src, int tag);
+};
+
+void slave_loop(Comm& comm) {
+  // The mutation: this wait used to sit between got_assign and acked;
+  // now it gates the very first report.
+  // ESTCLUST-PROTO(state=startup, on=ACK -> ready, when=match, mode=reliable)
+  // ESTCLUST-PROTO(state=got_assign, on=ACK -> acked, when=match, mode=reliable)
+  // ESTCLUST-PROTO(state=got_assign, on=ACK -> ., when=dup, mode=reliable)
+  // ESTCLUST-PROTO(state=final_unacked, on=ACK -> done, when=match, mode=reliable)
+  // ESTCLUST-PROTO(state=final_unacked, on=ACK -> ., when=dup, mode=reliable)
+  comm.recv(0, kTagAck);
+  // ESTCLUST-PROTO(state=ready, send=REPORT -> working)
+  // ESTCLUST-PROTO(state=acked, send=REPORT -> working, when=!stop)
+  // ESTCLUST-PROTO(state=acked, send=REPORT -> final_unacked, when=stop)
+  comm.send(0, kTagReport, 0);
+  // ESTCLUST-PROTO(state=working, on=ASSIGN -> got_assign, when=fresh)
+  // ESTCLUST-PROTO(state=working, on=ASSIGN -> ., when=dup, mode=reliable)
+  comm.recv(0, kTagAssign);
+}
+
+void master_loop(Comm& comm) {
+  // ESTCLUST-PROTO(role=master, state=served, send=ASSIGN -> expect_report, when=have_work)
+  // ESTCLUST-PROTO(role=master, state=waiting, send=ASSIGN -> expect_report, when=have_work)
+  // ESTCLUST-PROTO(role=master, state=waiting, send=ASSIGN -> flushing, when=flush)
+  comm.send(1, kTagAssign, 0);
+  // ESTCLUST-PROTO(role=master, state=served -> waiting, when=idle)
+  // ESTCLUST-PROTO(role=master, state=expect_report, on=REPORT -> got_report, when=fresh, mode=reliable, op=recv2)
+  // ESTCLUST-PROTO(role=master, state=flushing, on=REPORT -> flush_got, when=fresh, mode=reliable, op=recv2)
+  // ESTCLUST-PROTO(role=master, state=expect_report|flushing, on=REPORT -> ., when=dup, mode=reliable, op=recv2)
+  // ESTCLUST-PROTO(role=master, state=expect_report|flushing, on=HEARTBEAT -> dead, mode=reliable, op=recv2)
+  comm.recv2(1, kTagReport, kTagHeartbeat);
+  // ESTCLUST-PROTO(role=master, state=got_report, send=ACK -> served, mode=reliable)
+  // ESTCLUST-PROTO(role=master, state=flush_got, send=ACK -> stopped, mode=reliable)
+  comm.send(1, kTagAck, 0);
+}
+
+}  // namespace fixture_proto

@@ -1,7 +1,8 @@
 // Fixture: seeded violations silenced by per-line suppressions, proving
-// the `// ESTCLUST-SUPPRESS(rule): reason` machinery. The selftest
+// the `// ESTCLUST-SUPPRESS(<rule>): <reason>` machinery. The selftest
 // requires zero reported violations from this file AND exactly four used
-// suppressions. ESTCLUST-EXPECT-SUPPRESSED(4)
+// suppressions, plus one deliberately stale suppression that must be
+// reported as a suppress-stale warning. ESTCLUST-EXPECT-SUPPRESSED(4)
 #include <unordered_map>
 
 #include "mpr/communicator.hpp"
@@ -29,6 +30,11 @@ void tolerated(mpr::Communicator& comm) {
   std::uint64_t dp_cells = 0;
   dp_cells += 1;  // ESTCLUST-SUPPRESS(clock-accounting, determinism-rand): fixture exercises rule-list suppression
   (void)wall;
+
+  // Stale form: the codec call this once silenced was refactored away,
+  // so the waiver no longer consumes anything and must be warned about.
+  int leftover = dp_cells > 0 ? 1 : 0;  // ESTCLUST-SUPPRESS(codec-symmetry): fixture exercises stale-suppression warning ESTCLUST-EXPECT-STALE(1)
+  (void)leftover;
 }
 
 }  // namespace estclust::fixture

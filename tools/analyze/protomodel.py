@@ -1,0 +1,559 @@
+"""Protocol model extraction for the pace wire protocol (rule family
+`proto`, see rules_proto.py and DESIGN.md §10).
+
+The master/slave protocol is annotated in-source with a small grammar of
+structured comments; this module parses the annotations, cross-checks
+them against the *actual* send/recv call sites (so the model cannot
+silently drift from the code), and builds the communicating
+finite-state-machine that explore.py exhaustively checks.
+
+Annotation grammar (one annotation per line, comma-separated key=value
+attributes; exactly one attribute carries the `-> target` arrow):
+
+  // ESTCLUST-PROTO-ROLE(role=slave, init=startup, final=done|dead)
+      Declares a role: its automaton name, initial state, and the
+      accepting (terminal) states.
+
+  // ESTCLUST-PROTO-MODEL(name=pace_rel_1x2, slaves=2, mode=reliable,
+  //                      faults=drop+dup+kill, supply=2, kills=1)
+      Declares one composed configuration for explore.py: 1 master x
+      `slaves` slaves, protocol mode (`base` = no FaultPlan installed,
+      `reliable` = sequence numbers/acks/heartbeats active), the fault
+      alphabet to explore, the per-slave work supply (in abstract batch
+      units), and the death budget. Exploration violations are reported
+      at the MODEL line.
+
+  // ESTCLUST-PROTO(state=working, on=ASSIGN -> got_assign, when=fresh)
+  // ESTCLUST-PROTO(state=acked, send=REPORT -> working, when=!stop)
+  // ESTCLUST-PROTO(state=got_report -> served, mode=base)
+      Declares one transition of the surrounding role's automaton.
+      `on=TAG` annotates a receive site, `send=TAG` a send site, and an
+      arrow on `state=` alone is an internal (epsilon) step — a pure
+      bookkeeping transition with no message. A target of `.` means
+      "stay in the source state" (dedup self-loops). `state=A|B` fans
+      the same transition out of several sources.
+
+  Optional attributes:
+    when=GUARD   fresh | dup | match | stop | !stop | have_work | idle |
+                 flush | kill — evaluated by the explorer's harness.
+    mode=M       reliable | base; absent = the transition exists in both.
+    role=R       overrides the file's ROLE declaration (fixtures that
+                 hold both roles in one file).
+    op=OP        send | send_delayed | recv | recv2 | try_recv — pins
+                 the annotation to a specific call form when several
+                 protocol calls share a tag within the attach window.
+
+Cross-check contract (violations use rule ids proto-syntax, proto-drift,
+proto-model):
+
+  * an `on=`/`send=` annotation must attach to a real protocol call
+    within the next ATTACH_WINDOW lines whose direction, kTag* constant
+    and (when given) call form all match — otherwise the annotation is
+    drift;
+  * every protocol call site in an annotated file must be claimed by at
+    least one annotation — otherwise the code is drift;
+  * the assembled automaton must be structurally sound: declared roles,
+    known tags and guards, a reachable state graph, no state mixing
+    blocking receives with internal steps in one mode (the executor's
+    well-formedness condition).
+
+The extracted model serializes to deterministic JSON and Graphviz DOT so
+the automaton can be reviewed (and diffed) like any other artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+
+from analyze.srcmodel import SourceFile, Violation, match_paren, split_args
+
+ANN_RE = re.compile(r"ESTCLUST-PROTO(-ROLE|-MODEL)?\(([^)]*)\)")
+
+# Tags the exploration harness knows how to interpret. The short name
+# maps to the kTag* constant by `"kTag" + name.title()`-style casing
+# (REPORT <-> kTagReport, HEARTBEAT <-> kTagHeartbeat).
+KNOWN_TAGS = ("REPORT", "ASSIGN", "ACK", "HEARTBEAT")
+
+KNOWN_GUARDS = ("fresh", "dup", "match", "stop", "notstop", "have_work",
+                "idle", "flush", "kill")
+
+KNOWN_FAULTS = ("drop", "dup", "kill")
+
+SEND_OPS = ("send", "send_delayed")
+RECV_OPS = ("recv", "recv2", "try_recv", "probe", "probe2")
+
+# An annotation attaches to a matching call site at most this many lines
+# below it (stacked annotations above one call all reach it).
+ATTACH_WINDOW = 8
+
+CALL_RE = re.compile(
+    r"\b(?:\w+)(?:\.|->)(send_delayed|send|recv2|recv|try_recv|probe2|probe)"
+    r"\s*\(")
+
+
+def tag_short(ktag: str) -> str:
+    """kTagReport -> REPORT."""
+    return ktag[len("kTag"):].upper()
+
+
+@dataclass
+class Transition:
+    role: str
+    source: str
+    target: str
+    kind: str  # "recv" | "send" | "eps"
+    tag: str | None
+    when: str | None
+    mode: str  # "both" | "reliable" | "base"
+    blocking: bool  # False for try_recv-backed receives
+    file: str
+    line: int
+
+    def sort_key(self) -> tuple:
+        return (self.role, self.source, self.kind, self.tag or "",
+                self.when or "", self.mode, self.target, self.file, self.line)
+
+    def render(self) -> str:
+        ev = {"recv": f"?{self.tag}", "send": f"!{self.tag}",
+              "eps": "eps"}[self.kind]
+        guard = f" [{self.when}]" if self.when else ""
+        mode = f" <{self.mode}>" if self.mode != "both" else ""
+        return f"{self.source} --{ev}{guard}{mode}--> {self.target}"
+
+
+@dataclass
+class Role:
+    name: str
+    init: str
+    finals: tuple[str, ...]
+    file: str
+    line: int
+    transitions: list[Transition] = field(default_factory=list)
+
+    def states(self) -> list[str]:
+        out = {self.init, *self.finals}
+        for t in self.transitions:
+            out.add(t.source)
+            out.add(t.target)
+        return sorted(out)
+
+
+@dataclass
+class ModelConfig:
+    name: str
+    slaves: int
+    mode: str  # "base" | "reliable"
+    faults: tuple[str, ...]
+    supply: int
+    kills: int
+    file: str
+    line: int
+
+
+@dataclass
+class ProtoModel:
+    roles: dict[str, Role] = field(default_factory=dict)
+    configs: list[ModelConfig] = field(default_factory=list)
+    violations: list[Violation] = field(default_factory=list)
+
+    def ok(self) -> bool:
+        return not self.violations
+
+    def transitions(self, role: str, mode: str) -> list[Transition]:
+        """The role's transitions active under `mode`, in sort order."""
+        return sorted(
+            (t for t in self.roles[role].transitions
+             if t.mode in ("both", mode)),
+            key=Transition.sort_key)
+
+
+@dataclass
+class _CallSite:
+    line: int
+    op: str
+    tags: tuple[str, ...]  # short names of the kTag* constants referenced
+    claimed: bool = False
+
+
+def _parse_attrs(raw: str) -> tuple[dict[str, str], str | None]:
+    """Parses `k=v, k=v` where one value may carry `-> target`. Returns
+    (attrs, target); target None when no arrow present."""
+    attrs: dict[str, str] = {}
+    target: str | None = None
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(f"attribute '{part}' is not key=value")
+        key, value = part.split("=", 1)
+        key, value = key.strip(), value.strip()
+        if "->" in value:
+            value, tgt = value.split("->", 1)
+            value = value.strip()
+            if target is not None:
+                raise ValueError("more than one '->' arrow")
+            target = tgt.strip()
+        if key in attrs:
+            raise ValueError(f"duplicate attribute '{key}'")
+        attrs[key] = value
+    return attrs, target
+
+
+def _find_call_sites(src: SourceFile) -> list[_CallSite]:
+    sites: list[_CallSite] = []
+    for m in CALL_RE.finditer(src.code):
+        op = m.group(1)
+        open_idx = m.end() - 1
+        close_idx = match_paren(src.code, open_idx)
+        if close_idx < 0:
+            continue
+        args = split_args(src.code[open_idx + 1:close_idx])
+        tags = tuple(tag_short(t) for a in args
+                     for t in re.findall(r"\bkTag\w+\b", a))
+        if not tags:
+            continue  # not a tagged protocol call (collectives etc.)
+        sites.append(_CallSite(src.line_of(m.start()), op, tags))
+    return sites
+
+
+def _attach(site_by_line: dict[int, _CallSite], ann_line: int, kind: str,
+            tag: str, op: str | None) -> _CallSite | None:
+    """First call site within the attach window below the annotation whose
+    direction, tag and (optional) op match."""
+    want_ops = SEND_OPS if kind == "send" else RECV_OPS
+    for line in range(ann_line, ann_line + ATTACH_WINDOW + 1):
+        site = site_by_line.get(line)
+        if site is None:
+            continue
+        if op is not None and site.op != op:
+            continue
+        if op is None and site.op not in want_ops:
+            continue
+        if site.op not in want_ops:
+            continue
+        if tag in site.tags:
+            return site
+    return None
+
+
+def extract(files: list[SourceFile]) -> ProtoModel:
+    """Builds the protocol model from every annotated file in `files`."""
+    model = ProtoModel()
+    bad = model.violations
+
+    # Pass 1: ROLE and MODEL declarations.
+    pending: list[tuple[SourceFile, int, dict, str | None]] = []
+    file_role: dict[str, str] = {}  # rel -> default role name
+    for src in files:
+        for lineno, line in enumerate(src.lines, 1):
+            m = ANN_RE.search(line)
+            if not m:
+                continue
+            flavor = m.group(1) or ""
+            try:
+                attrs, target = _parse_attrs(m.group(2))
+            except ValueError as e:
+                bad.append(Violation(src.rel, lineno, "proto-syntax",
+                                     f"bad ESTCLUST-PROTO annotation: {e}"))
+                continue
+            if flavor == "-ROLE":
+                _take_role(model, src, lineno, attrs, target)
+                if "role" in attrs and src.rel not in file_role:
+                    file_role[src.rel] = attrs["role"]
+            elif flavor == "-MODEL":
+                _take_config(model, src, lineno, attrs, target)
+            else:
+                pending.append((src, lineno, attrs, target))
+
+    # Pass 2: transitions, cross-checked against the real call sites.
+    sites_by_file: dict[str, list[_CallSite]] = {}
+    for src, lineno, attrs, target in pending:
+        _take_transition(model, src, lineno, attrs, target,
+                         file_role.get(src.rel), sites_by_file)
+
+    # Pass 3: every protocol call site in an annotated file is claimed.
+    for src in files:
+        if src.rel not in sites_by_file:
+            continue
+        for site in sites_by_file[src.rel]:
+            if not site.claimed:
+                bad.append(Violation(
+                    src.rel, site.line, "proto-drift",
+                    f"protocol {site.op} of {'/'.join(site.tags)} has no "
+                    "ESTCLUST-PROTO annotation; the extracted automaton "
+                    "no longer covers this call"))
+
+    if model.roles:
+        _check_structure(model)
+    return model
+
+
+def _take_role(model: ProtoModel, src: SourceFile, lineno: int,
+               attrs: dict, target: str | None) -> None:
+    bad = model.violations
+    name = attrs.get("role", "")
+    init = attrs.get("init", "")
+    finals = tuple(s for s in attrs.get("final", "").split("|") if s)
+    unknown = set(attrs) - {"role", "init", "final"}
+    if not name or not init or not finals or unknown or target is not None:
+        bad.append(Violation(
+            src.rel, lineno, "proto-syntax",
+            "ESTCLUST-PROTO-ROLE needs exactly role=, init=, "
+            "final=A|B... and no arrow"))
+        return
+    if name in model.roles:
+        prev = model.roles[name]
+        bad.append(Violation(
+            src.rel, lineno, "proto-model",
+            f"role '{name}' already declared at {prev.file}:{prev.line}"))
+        return
+    model.roles[name] = Role(name, init, finals, src.rel, lineno)
+
+
+def _take_config(model: ProtoModel, src: SourceFile, lineno: int,
+                 attrs: dict, target: str | None) -> None:
+    bad = model.violations
+    try:
+        if target is not None:
+            raise ValueError("no arrow allowed")
+        unknown = set(attrs) - {"name", "slaves", "mode", "faults",
+                                "supply", "kills"}
+        if unknown:
+            raise ValueError(f"unknown attribute(s) {sorted(unknown)}")
+        name = attrs["name"]
+        slaves = int(attrs["slaves"])
+        mode = attrs.get("mode", "reliable")
+        if mode not in ("base", "reliable"):
+            raise ValueError(f"mode must be base|reliable, got '{mode}'")
+        raw = attrs.get("faults", "none")
+        faults = tuple(f for f in raw.split("+") if f and f != "none")
+        for f in faults:
+            if f not in KNOWN_FAULTS:
+                raise ValueError(f"unknown fault '{f}'")
+        if faults and mode == "base":
+            raise ValueError("base mode (no FaultPlan) cannot take faults")
+        supply = int(attrs.get("supply", "1"))
+        kills = int(attrs.get("kills", "1" if "kill" in faults else "0"))
+        if kills > 0 and "kill" not in faults:
+            raise ValueError("kills > 0 requires kill in faults")
+        if not (1 <= slaves <= 4):
+            raise ValueError("slaves must be in [1, 4]")
+        if not (1 <= supply <= 4):
+            raise ValueError("supply must be in [1, 4]")
+        if kills >= slaves:
+            raise ValueError("at least one slave must survive (kills < "
+                             "slaves)")
+    except (KeyError, ValueError) as e:
+        msg = f"missing attribute {e}" if isinstance(e, KeyError) else str(e)
+        bad.append(Violation(src.rel, lineno, "proto-syntax",
+                             f"bad ESTCLUST-PROTO-MODEL: {msg}"))
+        return
+    if any(c.name == name for c in model.configs):
+        bad.append(Violation(src.rel, lineno, "proto-model",
+                             f"duplicate model config '{name}'"))
+        return
+    model.configs.append(
+        ModelConfig(name, slaves, mode, faults, supply, kills,
+                    src.rel, lineno))
+
+
+def _take_transition(model: ProtoModel, src: SourceFile, lineno: int,
+                     attrs: dict, target: str | None,
+                     default_role: str | None,
+                     sites_by_file: dict[str, list[_CallSite]]) -> None:
+    bad = model.violations
+    unknown = set(attrs) - {"state", "on", "send", "when", "mode", "role",
+                            "op"}
+    if unknown:
+        bad.append(Violation(
+            src.rel, lineno, "proto-syntax",
+            f"unknown ESTCLUST-PROTO attribute(s) {sorted(unknown)}"))
+        return
+    if "state" not in attrs or target is None:
+        bad.append(Violation(
+            src.rel, lineno, "proto-syntax",
+            "ESTCLUST-PROTO needs state=SOURCE and a '-> target' arrow"))
+        return
+    if "on" in attrs and "send" in attrs:
+        bad.append(Violation(src.rel, lineno, "proto-syntax",
+                             "transition cannot be both on= and send="))
+        return
+
+    role = attrs.get("role", default_role)
+    if role is None or role not in model.roles:
+        bad.append(Violation(
+            src.rel, lineno, "proto-model",
+            f"transition belongs to undeclared role '{role}'; add an "
+            "ESTCLUST-PROTO-ROLE declaration"))
+        return
+
+    kind = "recv" if "on" in attrs else ("send" if "send" in attrs
+                                         else "eps")
+    tag = attrs.get("on") or attrs.get("send")
+    if kind != "eps" and tag not in KNOWN_TAGS:
+        bad.append(Violation(
+            src.rel, lineno, "proto-model",
+            f"unknown protocol tag '{tag}' (harness knows "
+            f"{', '.join(KNOWN_TAGS)})"))
+        return
+    when = attrs.get("when")
+    if when == "!stop":
+        when = "notstop"
+    if when is not None and when not in KNOWN_GUARDS:
+        bad.append(Violation(
+            src.rel, lineno, "proto-model",
+            f"unknown guard '{attrs['when']}' (known: fresh, dup, match, "
+            "stop, !stop, have_work, idle, flush, kill)"))
+        return
+    mode = attrs.get("mode", "both")
+    if mode not in ("both", "reliable", "base"):
+        bad.append(Violation(src.rel, lineno, "proto-syntax",
+                             f"mode must be reliable|base, got '{mode}'"))
+        return
+    op = attrs.get("op")
+    if op is not None and op not in SEND_OPS + RECV_OPS:
+        bad.append(Violation(src.rel, lineno, "proto-syntax",
+                             f"unknown op '{op}'"))
+        return
+
+    blocking = True
+    if kind != "eps":
+        if src.rel not in sites_by_file:
+            sites_by_file[src.rel] = _find_call_sites(src)
+        by_line = {s.line: s for s in sites_by_file[src.rel]}
+        site = _attach(by_line, lineno, kind, tag, op)
+        if site is None:
+            wanted = f"{kind} of kTag{tag.title().replace('_', '')}"
+            bad.append(Violation(
+                src.rel, lineno, "proto-drift",
+                f"annotation declares a {wanted} but no matching protocol "
+                f"call follows within {ATTACH_WINDOW} lines; annotation "
+                "and code have drifted apart"))
+            return
+        site.claimed = True
+        blocking = site.op not in ("try_recv", "probe", "probe2")
+
+    for source in attrs["state"].split("|"):
+        source = source.strip()
+        tgt = source if target == "." else target
+        model.roles[role].transitions.append(Transition(
+            role, source, tgt, kind, tag, when, mode, blocking,
+            src.rel, lineno))
+
+
+def _check_structure(model: ProtoModel) -> None:
+    """Structural sanity over the assembled automata."""
+    bad = model.violations
+    for cfg in model.configs:
+        for required in ("master", "slave"):
+            if required not in model.roles:
+                bad.append(Violation(
+                    cfg.file, cfg.line, "proto-model",
+                    f"model config '{cfg.name}' needs a declared "
+                    f"'{required}' role"))
+    for name in sorted(model.roles):
+        role = model.roles[name]
+        if not role.transitions:
+            bad.append(Violation(role.file, role.line, "proto-model",
+                                 f"role '{name}' declares no transitions"))
+            continue
+        # Reachability from init (guards/modes ignored: static shape).
+        adjacent: dict[str, set[str]] = {}
+        for t in role.transitions:
+            adjacent.setdefault(t.source, set()).add(t.target)
+        seen = {role.init}
+        frontier = [role.init]
+        while frontier:
+            for nxt in sorted(adjacent.get(frontier.pop(), ())):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        for state in role.states():
+            if state not in seen:
+                witness = next((t for t in role.transitions
+                                if state in (t.source, t.target)), None)
+                where = ((witness.file, witness.line) if witness
+                         else (role.file, role.line))
+                bad.append(Violation(
+                    *where, "proto-model",
+                    f"role '{name}' state '{state}' is unreachable from "
+                    f"init '{role.init}'"))
+        for final in role.finals:
+            if final not in seen:
+                pass  # already reported above
+        # Executor well-formedness: within one mode, a state must not mix
+        # blocking receives with internal (send/eps) transitions.
+        for mode in ("base", "reliable"):
+            by_state: dict[str, list[Transition]] = {}
+            for t in model.transitions(name, mode):
+                by_state.setdefault(t.source, []).append(t)
+            for state, ts in sorted(by_state.items()):
+                has_block = any(t.kind == "recv" and t.blocking for t in ts)
+                has_internal = any(t.kind in ("send", "eps")
+                                   and t.when != "kill" for t in ts)
+                if has_block and has_internal:
+                    bad.append(Violation(
+                        ts[0].file, ts[0].line, "proto-model",
+                        f"role '{name}' state '{state}' mixes blocking "
+                        f"receives with send/eps steps in {mode} mode; "
+                        "the protocol executor needs pure states"))
+
+
+def to_json(model: ProtoModel) -> str:
+    """Deterministic JSON rendering of the extracted model."""
+    doc = {
+        "version": 1,
+        "roles": {
+            name: {
+                "init": role.init,
+                "finals": sorted(role.finals),
+                "states": role.states(),
+                "transitions": [
+                    {"source": t.source, "target": t.target, "kind": t.kind,
+                     "tag": t.tag, "when": t.when, "mode": t.mode,
+                     "blocking": t.blocking, "site": f"{t.file}:{t.line}"}
+                    for t in sorted(role.transitions,
+                                    key=Transition.sort_key)],
+            }
+            for name, role in sorted(model.roles.items())
+        },
+        "configs": [
+            {"name": c.name, "slaves": c.slaves, "mode": c.mode,
+             "faults": list(c.faults), "supply": c.supply, "kills": c.kills,
+             "site": f"{c.file}:{c.line}"}
+            for c in sorted(model.configs, key=lambda c: c.name)],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def to_dot(model: ProtoModel) -> str:
+    """Graphviz rendering: one cluster per role, edge labels `?TAG`
+    (receive), `!TAG` (send), `eps`; guards in brackets; base-mode-only
+    edges dashed, reliable-only edges solid, shared edges bold."""
+    lines = ["digraph pace_protocol {", "  rankdir=LR;",
+             "  node [shape=ellipse, fontsize=10];",
+             "  edge [fontsize=9];"]
+    for name in sorted(model.roles):
+        role = model.roles[name]
+        lines.append(f"  subgraph cluster_{name} {{")
+        lines.append(f'    label="{name}";')
+        for state in role.states():
+            shape = ("doublecircle" if state in role.finals else
+                     "circle" if state == role.init else "ellipse")
+            lines.append(f'    "{name}.{state}" [label="{state}", '
+                         f"shape={shape}];")
+        for t in sorted(role.transitions, key=Transition.sort_key):
+            ev = {"recv": f"?{t.tag}", "send": f"!{t.tag}",
+                  "eps": "eps"}[t.kind]
+            if t.when:
+                ev += f"\\n[{t.when}]"
+            style = {"both": "bold", "reliable": "solid",
+                     "base": "dashed"}[t.mode]
+            lines.append(f'    "{name}.{t.source}" -> "{name}.{t.target}" '
+                         f'[label="{ev}", style={style}];')
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,66 @@
+"""Rule family `proto`: protocol model extraction + exhaustive checking.
+
+Front end of the pace protocol verifier (DESIGN.md §10). The family
+
+  1. collects every analyzed file carrying ESTCLUST-PROTO annotations,
+  2. extracts the per-role communicating FSMs, cross-checked against the
+     actual send/recv call sites (protomodel.py) -- any drift between
+     annotations and code is itself a violation and stops here, because
+     exploring a model that no longer matches the code proves nothing,
+  3. exhaustively explores every ESTCLUST-PROTO-MODEL configuration
+     (explore.py) and reports each property violation at the MODEL
+     declaration line, prefixed with the configuration name.
+
+When an artifacts directory is given, the extracted automaton is written
+as deterministic JSON (`model.json`) and Graphviz DOT (`model.dot`),
+plus a per-configuration exploration summary (`explore.txt`); CI uploads
+the three so the protocol can be reviewed and diffed like code.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from analyze import explore, protomodel
+from analyze.srcmodel import SourceFile, Violation
+
+
+def run(files: list[SourceFile],
+        artifacts: Path | None = None) -> list[Violation]:
+    proto_files = [f for f in files if "ESTCLUST-PROTO" in f.text]
+    if not proto_files:
+        return []
+
+    model = protomodel.extract(proto_files)
+
+    report: list[str] = []
+    violations = list(model.violations)
+    if violations:
+        report.append("extraction failed; exploration skipped "
+                      f"({len(violations)} violation(s))")
+    else:
+        for cfg in model.configs:
+            stats = explore.explore_config(model, cfg)
+            report.append(
+                f"{cfg.name}: slaves={cfg.slaves} mode={cfg.mode} "
+                f"faults={'+'.join(cfg.faults) or 'none'} "
+                f"supply={cfg.supply} kills={cfg.kills} -> "
+                f"{stats.states} states, {stats.edges} edges, "
+                f"{stats.terminals} terminal(s) of which {stats.aborts} "
+                f"loud abort(s), {len(stats.findings)} finding(s)")
+            for f in stats.findings:
+                violations.append(Violation(
+                    cfg.file, cfg.line, f.rule,
+                    f"[{cfg.name}] {f.message}"))
+
+    if artifacts is not None:
+        artifacts = Path(artifacts)
+        artifacts.mkdir(parents=True, exist_ok=True)
+        (artifacts / "model.json").write_text(
+            protomodel.to_json(model), encoding="utf-8")
+        (artifacts / "model.dot").write_text(
+            protomodel.to_dot(model), encoding="utf-8")
+        (artifacts / "explore.txt").write_text(
+            "\n".join(report) + "\n", encoding="utf-8")
+
+    return violations

@@ -19,7 +19,9 @@ and the `kTag*` constants, then checks:
     whose label's first segment names the module (e.g.
     "pace.master.await_report" in src/pace), so the runtime checker's
     wait-for-graph reports and this static matrix describe the same
-    operations.
+    operations. Comment-only lines do not count against the proximity
+    window: protocol annotations (ESTCLUST-PROTO) sit between the scope
+    and the recv they describe.
 
 The mpr runtime itself (src/mpr) is exempt: its collectives use
 internally-generated tags above kInternalTagBase and carry their own
@@ -86,6 +88,18 @@ def _scope_labels(src: SourceFile) -> dict[int, str]:
                     labels[line] = lm.group(1)
                     break
     return labels
+
+
+def _code_gap(src: SourceFile, from_line: int, to_line: int) -> int:
+    """Non-comment lines in (from_line, to_line]: the proximity distance
+    between a CheckOpScope and a recv, with annotation comments free."""
+    gap = 0
+    for lineno in range(from_line + 1, to_line + 1):
+        if lineno - 1 >= len(src.lines):
+            break
+        if not src.lines[lineno - 1].lstrip().startswith("//"):
+            gap += 1
+    return gap
 
 
 def run(files: list[SourceFile]) -> list[Violation]:
@@ -198,7 +212,9 @@ def run(files: list[SourceFile]) -> list[Violation]:
                                  f"{tag} is declared but never sent or "
                                  "received: dead protocol surface"))
 
-    # CheckOpScope labels on blocking protocol receives.
+    # CheckOpScope labels on blocking protocol receives. The window is
+    # measured in non-comment lines so interleaved annotation comments
+    # (ESTCLUST-PROTO and friends) never push a recv out of its scope.
     for s in sites:
         if s.op != "recv":
             continue
@@ -207,7 +223,8 @@ def run(files: list[SourceFile]) -> list[Violation]:
             continue
         labels = _scope_labels(s.file)
         near = [lab for line, lab in labels.items()
-                if 0 <= s.line - line <= 5]
+                if line <= s.line
+                and _code_gap(s.file, line, s.line) <= 5]
         if not near:
             out.append(Violation(
                 s.file.rel, s.line, RULE,

@@ -10,12 +10,20 @@ tools/analyze/fixtures/ and verifies:
     conforming code;
   * the suppression fixture reports nothing and its
     `ESTCLUST-EXPECT-SUPPRESSED(n)` count matches the suppressions the
-    engine actually consumed.
+    engine actually consumed;
+  * stale suppressions (waivers that consumed nothing) are warned about
+    exactly where `ESTCLUST-EXPECT-STALE(n)` markers say they must be;
+  * each protocol mutant under fixtures/proto/ is fed through the proto
+    family on its own (each mutant re-declares the miniature protocol,
+    so they must not share an extraction pass) and every seeded
+    protocol defect -- a dropped ack, a reordered receive, an ignored
+    heartbeat, deleted dedup, annotation/code drift -- is provably
+    caught, while the clean protocol fixture verifies silent.
 
 Fixtures are mapped to pseudo paths src/fixture_<stem>/<name> so the
 module- and role-sensitive logic (tag matrix roles, CheckOpScope label
 prefixes, src/-only convention rules) runs exactly as it does on the
-real tree.
+real tree; proto fixtures map to src/fixture_proto/<name>.
 """
 
 from __future__ import annotations
@@ -23,15 +31,19 @@ from __future__ import annotations
 from collections import Counter
 from pathlib import Path
 
-from analyze.engine import analyze
-from analyze.srcmodel import (EXPECT_RE, EXPECT_SUPPRESSED_RE, SourceFile)
+from analyze import rules_proto
+from analyze.engine import analyze, stale_suppressions
+from analyze.srcmodel import (EXPECT_RE, EXPECT_STALE_RE,
+                              EXPECT_SUPPRESSED_RE, SourceFile)
 
 FIXTURES = Path(__file__).resolve().parent / "fixtures"
+MAIN_FAMILIES = ["codec", "tags", "clock", "obs", "conventions"]
 
 
 def run() -> int:
     files: list[SourceFile] = []
     expected: Counter = Counter()
+    expected_stale: Counter = Counter()
     expected_suppressed = 0
     for path in sorted(FIXTURES.glob("*")):
         if path.suffix not in (".cpp", ".hpp"):
@@ -45,14 +57,16 @@ def run() -> int:
             sm = EXPECT_SUPPRESSED_RE.search(line)
             if sm:
                 expected_suppressed += int(sm.group(1))
+            stm = EXPECT_STALE_RE.search(line)
+            if stm:
+                expected_stale[(rel, lineno)] += int(stm.group(1))
 
     if not files:
         print("analyze selftest: FAIL: no fixtures found under "
               f"{FIXTURES}")
         return 1
 
-    violations, suppressed = analyze(
-        files, None, ["codec", "tags", "clock", "obs", "conventions"])
+    violations, suppressed = analyze(files, None, MAIN_FAMILIES)
     actual: Counter = Counter(v.key() for v in violations)
     by_key = {}
     for v in violations:
@@ -72,6 +86,18 @@ def run() -> int:
         failures.append(f"expected {expected_suppressed} used "
                         f"suppressions, engine consumed {suppressed}")
 
+    stale = stale_suppressions(files, MAIN_FAMILIES)
+    actual_stale: Counter = Counter((v.file, v.line) for v in stale)
+    for key, n in sorted(expected_stale.items()):
+        got = actual_stale.get(key, 0)
+        if got != n:
+            failures.append(f"expected {n} stale-suppression warning(s) "
+                            f"at {key[0]}:{key[1]}, engine reported {got}")
+    for key in sorted(actual_stale):
+        if key not in expected_stale:
+            failures.append("unexpected stale-suppression warning at "
+                            f"{key[0]}:{key[1]}")
+
     clean = [f for f in files if "clean" in f.rel]
     if not clean:
         failures.append("no clean fixture present")
@@ -87,6 +113,47 @@ def run() -> int:
             failures.append(f"fixture coverage gap: no fixture exercises "
                             f"{family_marker}")
 
+    # --- proto phase: each mutant re-declares the miniature protocol,
+    # so every fixture gets its own extraction + exploration pass.
+    proto_files = sorted((FIXTURES / "proto").glob("*.cpp"))
+    proto_expected = 0
+    proto_rules_fired: set[str] = set()
+    proto_clean_seen = False
+    for path in proto_files:
+        rel = f"src/fixture_proto/{path.name}"
+        src = SourceFile(path, rel)
+        p_expected: Counter = Counter()
+        for lineno, line in enumerate(src.lines, 1):
+            for m in EXPECT_RE.finditer(line):
+                p_expected[(rel, lineno, m.group(1))] += 1
+        vs = rules_proto.run([src])
+        p_actual: Counter = Counter(v.key() for v in vs)
+        p_by_key = {}
+        for v in vs:
+            p_by_key.setdefault(v.key(), v)
+        for key, n in sorted(p_expected.items()):
+            got = p_actual.get(key, 0)
+            if got != n:
+                _, line, rule = key
+                failures.append(f"proto fixture {path.name}: expected {n} "
+                                f"[{rule}] at line {line}, analyzer "
+                                f"reported {got}")
+        for key in sorted(p_actual):
+            if key not in p_expected:
+                failures.append("proto fixture unexpected violation: "
+                                f"{p_by_key[key].render()}")
+        proto_expected += sum(p_expected.values())
+        proto_rules_fired |= {rule for (_, _, rule) in p_expected}
+        proto_clean_seen |= path.stem == "clean"
+    if not proto_files:
+        failures.append(f"no proto fixtures found under {FIXTURES}/proto")
+    if not proto_clean_seen:
+        failures.append("no clean proto fixture present")
+    for marker in ("proto-deadlock", "proto-unhandled", "proto-drift"):
+        if marker not in proto_rules_fired:
+            failures.append(f"fixture coverage gap: no proto fixture "
+                            f"exercises {marker}")
+
     if failures:
         print(f"analyze selftest: FAIL ({len(failures)} problem(s)):")
         for msg in failures:
@@ -94,5 +161,9 @@ def run() -> int:
         return 1
     print(f"analyze selftest: OK ({len(files)} fixtures, "
           f"{sum(expected.values())} expected violations all fired, "
-          f"{suppressed} suppressions consumed, clean fixture quiet)")
+          f"{suppressed} suppressions consumed, "
+          f"{len(stale)} stale suppression(s) warned, "
+          f"{len(proto_files)} proto fixtures, "
+          f"{proto_expected} seeded protocol defects all caught, "
+          "clean fixtures quiet)")
     return 0

@@ -18,6 +18,7 @@ SUPPRESS_RE = re.compile(
 )
 EXPECT_RE = re.compile(r"ESTCLUST-EXPECT\(([a-z0-9-]+)\)")
 EXPECT_SUPPRESSED_RE = re.compile(r"ESTCLUST-EXPECT-SUPPRESSED\((\d+)\)")
+EXPECT_STALE_RE = re.compile(r"ESTCLUST-EXPECT-STALE\((\d+)\)")
 
 
 @dataclass

@@ -1,6 +1,8 @@
 #!/usr/bin/env python3
-"""Runs the full verification matrix: configure, build and ctest for each
-CMake preset (default, sanitize, tsan), in sequence, with a summary table.
+"""Runs the full verification matrix: configure, build, a required-test
+registration check (`ctest -N` must list every gate in REQUIRED_TESTS)
+and ctest for each CMake preset (default, sanitize, tsan), in sequence,
+with a summary table.
 
 Usage, from the repository root:
 
@@ -17,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import re
 import subprocess
 import sys
 import time
@@ -25,10 +28,41 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 PRESETS = ("default", "sanitize", "tsan")
 
+# Gates that must exist in every configured tree. They are registered
+# behind find_package(Python3), so a runner without a Python interpreter
+# would silently drop them from ctest; the matrix refuses to call such a
+# tree verified.
+REQUIRED_TESTS = (
+    "lint",
+    "analyze",
+    "analyze_selftest",
+    "analyze_proto",
+    "trace_validate",
+    "headers_standalone",
+    "profile_smoke",
+    "bench_smoke",
+)
+
 
 def run_stage(label: str, cmd: list[str]) -> bool:
     print(f"--- {label}: {' '.join(cmd)}", flush=True)
     return subprocess.run(cmd, cwd=ROOT).returncode == 0
+
+
+def check_registered(preset: str) -> bool:
+    """`ctest -N` the configured tree and require every REQUIRED_TESTS
+    name to be registered."""
+    cmd = ["ctest", "--preset", preset, "-N"]
+    print(f"--- {preset}/registered: {' '.join(cmd)}", flush=True)
+    proc = subprocess.run(cmd, cwd=ROOT, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stdout.write(proc.stdout + proc.stderr)
+        return False
+    names = set(re.findall(r"Test\s+#\d+:\s+(\S+)", proc.stdout))
+    missing = [t for t in REQUIRED_TESTS if t not in names]
+    for t in missing:
+        print(f"  required test '{t}' is not registered in this tree")
+    return not missing
 
 
 def run_preset(preset: str, jobs: int, test_filter: str | None) -> dict:
@@ -36,13 +70,16 @@ def run_preset(preset: str, jobs: int, test_filter: str | None) -> dict:
     stages = {
         "configure": ["cmake", "--preset", preset],
         "build": ["cmake", "--build", "--preset", preset, "-j", str(jobs)],
+        "registered": None,  # handled below: ctest -N presence check
         "test": ["ctest", "--preset", preset, "-j", str(jobs)],
     }
     if test_filter:
         stages["test"] += ["-R", test_filter]
     failed = ""
     for name, cmd in stages.items():
-        if not run_stage(f"{preset}/{name}", cmd):
+        ok = check_registered(preset) if name == "registered" \
+            else run_stage(f"{preset}/{name}", cmd)
+        if not ok:
             failed = name
             break
     return {
