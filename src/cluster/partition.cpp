@@ -1,0 +1,34 @@
+#include "cluster/partition.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace estclust::cluster {
+
+std::string canonical_partition(const std::vector<std::uint32_t>& labels) {
+  std::vector<std::vector<std::uint32_t>> clusters;
+  std::vector<std::int64_t> slot(labels.size(), -1);
+  for (std::uint32_t i = 0; i < labels.size(); ++i) {
+    std::int64_t& s = slot[labels[i]];
+    if (s < 0) {
+      s = static_cast<std::int64_t>(clusters.size());
+      clusters.emplace_back();
+    }
+    clusters[static_cast<std::size_t>(s)].push_back(i);
+  }
+  // Members arrive in ascending order already; clusters are keyed by their
+  // first member, which is ascending too because slots are assigned on
+  // first sight. Sort anyway so the canonical form is self-evident.
+  std::sort(clusters.begin(), clusters.end());
+  std::ostringstream out;
+  for (const auto& c : clusters) {
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (i) out << ' ';
+      out << c[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace estclust::cluster

@@ -1,0 +1,21 @@
+// Canonical text form of a cluster partition.
+//
+// Label vectors from different runs (or different ranks, or different
+// pair-source backends) number their clusters differently; the canonical
+// form erases the numbering so partitions compare byte-for-byte. The
+// golden tests pin this text in tests/data/ and bench_table1 uses it for
+// the cross-backend quality column.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace estclust::cluster {
+
+/// One line per cluster, members ascending, clusters ordered by smallest
+/// member. Independent of label numbering: two label vectors describe the
+/// same partition iff their canonical texts are equal.
+std::string canonical_partition(const std::vector<std::uint32_t>& labels);
+
+}  // namespace estclust::cluster

@@ -216,4 +216,42 @@ std::vector<Tree> rebuild_rank_forest(const bio::EstSet& ests,
   return forest;
 }
 
+std::vector<std::uint64_t> owned_bucket_ids(const bio::EstSet& ests,
+                                            const GstConfig& cfg, int p,
+                                            int first_owner_rank,
+                                            int target_rank,
+                                            std::uint64_t* suffixes_scanned) {
+  ESTCLUST_CHECK(first_owner_rank >= 0 && first_owner_rank < p);
+  ESTCLUST_CHECK(target_rank >= first_owner_rank && target_rank < p);
+  const int owners = p - first_owner_rank;
+
+  std::vector<BucketedSuffix> all;
+  collect_suffixes(ests, bio::EstSet::forward_sid(0),
+                   bio::EstSet::forward_sid(ests.num_ests()), cfg.window,
+                   all);
+  if (suffixes_scanned) *suffixes_scanned = all.size();
+
+  const std::uint64_t nbuckets = num_buckets(cfg.window);
+  std::vector<std::uint64_t> hist(nbuckets, 0);
+  for (const auto& bs : all) ++hist[bs.bucket];
+
+  std::vector<std::uint64_t> nonempty_ids;
+  std::vector<std::uint64_t> nonempty_sizes;
+  for (std::uint64_t b = 0; b < nbuckets; ++b) {
+    if (hist[b] > 0) {
+      nonempty_ids.push_back(b);
+      nonempty_sizes.push_back(hist[b]);
+    }
+  }
+  std::vector<int> owner_of =
+      assign_buckets(nonempty_ids, nonempty_sizes, owners);
+  std::vector<std::uint64_t> mine;
+  for (std::size_t i = 0; i < nonempty_ids.size(); ++i) {
+    if (owner_of[i] + first_owner_rank == target_rank) {
+      mine.push_back(nonempty_ids[i]);
+    }
+  }
+  return mine;  // nonempty_ids ascends, so the filtered ids stay sorted
+}
+
 }  // namespace estclust::gst

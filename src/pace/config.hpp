@@ -5,6 +5,7 @@
 
 #include "align/anchored.hpp"
 #include "gst/parallel.hpp"
+#include "pairgen/source.hpp"
 
 namespace estclust::pace {
 
@@ -14,6 +15,11 @@ struct PaceConfig {
   /// Promising-pair threshold psi: minimum maximal-common-substring length.
   /// Must be >= gst.window (shorter suffixes are never inserted).
   std::uint32_t psi = 20;
+
+  /// Candidate-filter backend behind the PairSource seam (DESIGN.md §11).
+  /// Every backend emits the same rank-local candidate slice; only index
+  /// construction (and therefore the modeled run-time) differs.
+  pairgen::Backend pair_source = pairgen::Backend::kGst;
 
   align::OverlapParams overlap;  ///< banded alignment + acceptance knobs
 

@@ -1,7 +1,7 @@
 #include "pace/master.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <memory>
 
 #include "gst/parallel.hpp"
 #include "mpr/fault.hpp"
@@ -274,26 +274,38 @@ void Master::handle_death(int slave, const HeartbeatMsg& hb) {
   }
   inflight_[slave].clear();
 
-  // Regenerate the dead slave's entire promising-pair stream: rebuilding
-  // its GST share offline is deterministic, so the regenerated stream is
-  // identical to the one the slave was producing. Pairs the dead slave
-  // already delivered (or that resolved transitively) fall to the same()
-  // filter; re-aligning a survivor of the filter is idempotent — the
-  // aligner's verdicts are deterministic and unite() converges — so the
-  // final clusters match the fault-free run exactly.
-  gst::BuildCounters bc;
-  auto forest = gst::rebuild_rank_forest(ests_, cfg_.gst, comm_.size(),
-                                         /*first_owner_rank=*/1, slave, &bc);
-  comm_.charge(comm_.cost_model().char_op, bc.chars_scanned);
-  std::uint64_t k = 0;
-  for (const auto& t : forest) k += t.size();
-  comm_.charge(comm_.cost_model().sort_op,
-               k * (1 + static_cast<std::uint64_t>(
-                            std::log2(static_cast<double>(k + 1)))));
-  pairgen::PairGenerator gen(ests_, forest, cfg_.psi);
+  // Regenerate the dead slave's entire promising-pair stream: recomputing
+  // its share of the workload offline is deterministic — for the GST
+  // backend by rebuilding its forest share, for the k-mer/FM backends by
+  // recomputing its bucket ownership and re-running index construction —
+  // so the regenerated stream is identical to the one the slave was
+  // producing. Pairs the dead slave already delivered (or that resolved
+  // transitively) fall to the same() filter; re-aligning a survivor of
+  // the filter is idempotent — the aligner's verdicts are deterministic
+  // and unite() converges — so the final clusters match the fault-free
+  // run exactly.
+  std::vector<gst::Tree> forest;
+  std::unique_ptr<pairgen::PairSource> gen;
+  if (cfg_.pair_source == pairgen::Backend::kGst) {
+    gst::BuildCounters bc;
+    forest = gst::rebuild_rank_forest(ests_, cfg_.gst, comm_.size(),
+                                      /*first_owner_rank=*/1, slave, &bc);
+    comm_.charge(comm_.cost_model().char_op, bc.chars_scanned);
+    gen = pairgen::make_pair_source(cfg_.pair_source, ests_, forest,
+                                    cfg_.gst.window, cfg_.psi);
+  } else {
+    std::uint64_t scanned = 0;
+    auto owned =
+        gst::owned_bucket_ids(ests_, cfg_.gst, comm_.size(),
+                              /*first_owner_rank=*/1, slave, &scanned);
+    comm_.charge(comm_.cost_model().char_op, scanned);
+    gen = pairgen::make_pair_source_for_buckets(
+        cfg_.pair_source, ests_, std::move(owned), cfg_.gst.window, cfg_.psi);
+  }
+  comm_.charge(comm_.cost_model().sort_op, gen->construction_sort_units());
   std::vector<pairgen::PromisingPair> batch;
-  while (gen.next_batch(cfg_.pairbuf_capacity, batch) > 0) {
-    comm_.charge(comm_.cost_model().pair_op, gen.take_work_units());
+  while (gen->next_batch(cfg_.pairbuf_capacity, batch) > 0) {
+    comm_.charge(comm_.cost_model().pair_op, gen->take_work_units());
     recovered += admit_pairs(batch);
     batch.clear();
   }

@@ -1,7 +1,6 @@
 #include "pace/parallel.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "cluster/union_find.hpp"
 #include "gst/parallel.hpp"
@@ -9,7 +8,7 @@
 #include "pace/aligner.hpp"
 #include "pace/master.hpp"
 #include "pace/slave.hpp"
-#include "pairgen/generator.hpp"
+#include "pairgen/source.hpp"
 #include "util/check.hpp"
 
 namespace estclust::pace {
@@ -50,12 +49,9 @@ ParallelResult cluster_single_rank(mpr::Communicator& comm,
   obs::RankTracer* tracer = comm.tracer();
   double t = comm.clock().time();
   if (tracer) tracer->begin("node_sorting", "phase");
-  pairgen::PairGenerator gen(ests, forest, cfg.psi);
-  std::uint64_t k = 0;
-  for (const auto& tr : forest) k += tr.size();
-  comm.charge(cm.sort_op,
-              k * (1 + static_cast<std::uint64_t>(
-                           std::log2(static_cast<double>(k + 1)))));
+  auto gen = pairgen::make_pair_source(cfg.pair_source, ests, forest,
+                                       cfg.gst.window, cfg.psi);
+  comm.charge(cm.sort_op, gen->construction_sort_units());
   st.t_sort = comm.clock().time() - t;
   if (tracer) tracer->end("node_sorting");
 
@@ -65,8 +61,8 @@ ParallelResult cluster_single_rank(mpr::Communicator& comm,
   std::uint64_t uf_charged = 0;
   PairAligner aligner(ests, cfg);
   std::vector<pairgen::PromisingPair> batch;
-  while (gen.next_batch(cfg.batchsize, batch) > 0) {
-    comm.charge(cm.pair_op, gen.take_work_units());
+  while (gen->next_batch(cfg.batchsize, batch) > 0) {
+    comm.charge(cm.pair_op, gen->take_work_units());
     for (const auto& p : batch) {
       if (uf.same(p.a, p.b)) {
         ++st.pairs_skipped;
@@ -95,7 +91,7 @@ ParallelResult cluster_single_rank(mpr::Communicator& comm,
   st.t_align = comm.clock().time() - t;
   if (tracer) tracer->end("alignment");
 
-  st.pairs_generated = gen.stats().pairs_emitted;
+  st.pairs_generated = gen->stats().pairs_emitted;
   st.num_clusters = uf.num_clusters();
   st.t_total = comm.clock().time();
   res.labels = uf.labels();

@@ -4,7 +4,7 @@
 
 #include "gst/builder.hpp"
 #include "pace/aligner.hpp"
-#include "pairgen/generator.hpp"
+#include "pairgen/source.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -34,7 +34,8 @@ SequentialResult cluster_sequential(const bio::EstSet& ests,
   st.t_gst = phase.seconds();
 
   phase.reset();
-  pairgen::PairGenerator gen(ests, forest, cfg.psi);
+  auto gen = pairgen::make_pair_source(cfg.pair_source, ests, forest,
+                                       cfg.gst.window, cfg.psi);
   st.t_sort = phase.seconds();
 
   phase.reset();
@@ -67,7 +68,7 @@ SequentialResult cluster_sequential(const bio::EstSet& ests,
     // On-demand path: pairs arrive in decreasing maximal-common-substring
     // length, so early merges suppress later redundant alignments.
     std::vector<pairgen::PromisingPair> batch;
-    while (gen.next_batch(cfg.batchsize, batch) > 0) {
+    while (gen->next_batch(cfg.batchsize, batch) > 0) {
       for (const auto& p : batch) handle_pair(p);
       batch.clear();
     }
@@ -76,7 +77,7 @@ SequentialResult cluster_sequential(const bio::EstSet& ests,
     // strategy of prior tools), then process in an order uncorrelated with
     // match length.
     std::vector<pairgen::PromisingPair> all;
-    while (gen.next_batch(1 << 20, all) > 0) {
+    while (gen->next_batch(1 << 20, all) > 0) {
     }
     std::sort(all.begin(), all.end(),
               [](const pairgen::PromisingPair& x,
@@ -90,7 +91,7 @@ SequentialResult cluster_sequential(const bio::EstSet& ests,
   }
   st.t_align = phase.seconds();
 
-  st.pairs_generated = gen.stats().pairs_emitted;
+  st.pairs_generated = gen->stats().pairs_emitted;
   st.num_clusters = res.clusters.num_clusters();
   st.t_total = total.seconds();
   return res;

@@ -1,6 +1,5 @@
 #include "pace/slave.hpp"
 
-#include <cmath>
 
 #include "mpr/fault.hpp"
 #include "obs/trace.hpp"
@@ -24,32 +23,30 @@ Slave::Slave(mpr::Communicator& comm, const bio::EstSet& ests,
     : comm_(comm),
       ests_(ests),
       cfg_(cfg),
-      generator_(ests, forest, cfg.psi),
+      source_(pairgen::make_pair_source(cfg.pair_source, ests, forest,
+                                        cfg.gst.window, cfg.psi)),
       aligner_(ests, cfg),
       reliable_(comm.fault_plan() != nullptr) {
-  // The generator's constructor sorted the local nodes by string-depth;
-  // charge it to this rank's clock (Table 3's "Sorting Nodes" column).
+  // The source's constructor did its one-off setup (node sorting for the
+  // GST walk — Table 3's "Sorting Nodes" column — or index construction
+  // for the k-mer/FM backends); charge it to this rank's clock.
   ESTCLUST_TRACE_SPAN(comm_.tracer(), "node_sorting", "phase");
-  std::uint64_t k = 0;
-  for (const auto& t : forest) k += t.size();
   const double before = comm_.clock().time();
-  comm_.charge(comm_.cost_model().sort_op,
-               k * (1 + static_cast<std::uint64_t>(
-                            std::log2(static_cast<double>(k + 1)))));
+  comm_.charge(comm_.cost_model().sort_op, source_->construction_sort_units());
   counters_.sort_vtime = comm_.clock().time() - before;
 }
 
 bool Slave::out_of_pairs() const {
-  return generator_.exhausted() && pairbuf_.empty();
+  return source_->exhausted() && pairbuf_.empty();
 }
 
 void Slave::top_up_pairbuf(std::size_t target) {
-  if (pairbuf_.size() >= target || generator_.exhausted()) return;
+  if (pairbuf_.size() >= target || source_->exhausted()) return;
   ESTCLUST_TRACE_SPAN(comm_.tracer(), "pairgen", "phase");
   std::vector<pairgen::PromisingPair> tmp;
-  generator_.next_batch(target - pairbuf_.size(), tmp);
+  source_->next_batch(target - pairbuf_.size(), tmp);
   for (const auto& p : tmp) pairbuf_.push_back(p);
-  comm_.charge(comm_.cost_model().pair_op, generator_.take_work_units());
+  comm_.charge(comm_.cost_model().pair_op, source_->take_work_units());
 }
 
 std::vector<pairgen::PromisingPair> Slave::take_pairs(std::size_t count) {
@@ -280,7 +277,7 @@ SlaveCounters Slave::run() {
 }
 
 SlaveCounters Slave::finish(double loop_start) {
-  counters_.pairs_generated = generator_.stats().pairs_emitted;
+  counters_.pairs_generated = source_->stats().pairs_emitted;
   counters_.memo = aligner_.memo_stats();
   counters_.loop_vtime = comm_.clock().time() - loop_start;
 

@@ -1,11 +1,13 @@
 // A slave processor (§3.3): generates promising pairs on demand from its
-// local share of the distributed GST and aligns the pair batches the master
-// assigns, overlapping generation with the wait for the master's reply.
+// local share of the workload — via the configured PairSource backend —
+// and aligns the pair batches the master assigns, overlapping generation
+// with the wait for the master's reply.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "bio/dataset.hpp"
@@ -14,17 +16,17 @@
 #include "pace/aligner.hpp"
 #include "pace/config.hpp"
 #include "pace/messages.hpp"
-#include "pairgen/generator.hpp"
+#include "pairgen/source.hpp"
 
 namespace estclust::pace {
 
 /// Slave-side counters.
 struct SlaveCounters {
-  std::uint64_t pairs_generated = 0;  ///< emitted by the local generator
+  std::uint64_t pairs_generated = 0;  ///< emitted by the local pair source
   std::uint64_t pairs_aligned = 0;    ///< evaluated (memo hits included)
   std::uint64_t dp_cells = 0;
   MemoStats memo;                     ///< alignment memo-cache activity
-  double sort_vtime = 0.0;   ///< node sorting (generator construction)
+  double sort_vtime = 0.0;   ///< node sorting / index build (source setup)
   double loop_vtime = 0.0;   ///< interaction loop (alignment-dominated)
 };
 
@@ -75,7 +77,7 @@ class Slave {
   mpr::Communicator& comm_;
   const bio::EstSet& ests_;
   const PaceConfig& cfg_;
-  pairgen::PairGenerator generator_;
+  std::unique_ptr<pairgen::PairSource> source_;
   PairAligner aligner_;
   std::deque<pairgen::PromisingPair> pairbuf_;
   SlaveCounters counters_;

@@ -1,0 +1,130 @@
+#include "pairgen/fm.hpp"
+
+#include <algorithm>
+
+#include "bio/alphabet.hpp"
+#include "gst/builder.hpp"
+#include "util/check.hpp"
+
+namespace estclust::pairgen {
+
+namespace {
+constexpr std::uint32_t kOccBlock = 64;
+}
+
+FmPairSource::FmPairSource(const bio::EstSet& ests,
+                           std::vector<std::uint64_t> owned_buckets,
+                           std::uint32_t window, std::uint32_t psi)
+    : SeedPairSource(ests, std::move(owned_buckets), window, psi) {
+  const std::uint32_t k = seed_len();
+  sa_ = gst::build_suffix_array(ests_, 1);
+  sa_.lcp.clear();
+  sa_.lcp.shrink_to_fit();
+  const std::uint32_t n = static_cast<std::uint32_t>(sa_.order.size());
+  construction_units_ += detail::sort_model_units(n) + n;
+
+  // BWT + per-code block boundaries in one pass over the sorted order.
+  bwt_.resize(n);
+  std::uint32_t first_count[4] = {0, 0, 0, 0};
+  std::uint32_t len1_count[4] = {0, 0, 0, 0};
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto& occ = sa_.order[i];
+    const auto s = ests_.str(occ.sid);
+    bwt_[i] = occ.pos > 0
+                  ? static_cast<std::uint8_t>(bio::encode_base(s[occ.pos - 1]))
+                  : static_cast<std::uint8_t>(4);
+    const int head = bio::encode_base(s[occ.pos]);
+    ESTCLUST_CHECK(head >= 0);
+    ++first_count[head];
+    if (occ.pos + 1 == s.size()) ++len1_count[head];
+  }
+  first_block_[0] = 0;
+  for (int c = 0; c < 4; ++c) {
+    first_block_[c + 1] = first_block_[c] + first_count[c];
+    lf_base_[c] = first_block_[c] + len1_count[c];
+  }
+
+  checkpoints_.assign((static_cast<std::size_t>(n) / kOccBlock + 1) * 4, 0);
+  std::uint32_t running[4] = {0, 0, 0, 0};
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (i % kOccBlock == 0) {
+      const std::size_t base = (i / kOccBlock) * 4;
+      for (int c = 0; c < 4; ++c) checkpoints_[base + c] = running[c];
+    }
+    if (bwt_[i] < 4) ++running[bwt_[i]];
+  }
+  if (n % kOccBlock == 0) {
+    const std::size_t base = (n / kOccBlock) * 4;
+    for (int c = 0; c < 4; ++c) checkpoints_[base + c] = running[c];
+  }
+
+  // Enumerate owned seeds in (sid, pos) order; a group is processed by
+  // its minimum occurrence, so each interval fires exactly once.
+  std::vector<gst::SuffixOcc> group;
+  for (bio::StringId sid = 0; sid < ests_.num_strings(); ++sid) {
+    const auto s = ests_.str(sid);
+    if (s.size() < k) continue;
+    for (std::uint32_t pos = 0; pos + k <= s.size(); ++pos) {
+      if (!owns_bucket(gst::bucket_of(s, pos, window_))) continue;
+      std::uint32_t lo = 0;
+      std::uint32_t hi = 0;
+      construction_units_ += k;
+      if (!backward_search(s, pos, &lo, &hi)) continue;
+      if (hi - lo < 2) continue;
+      gst::SuffixOcc min_occ = sa_.order[lo];
+      for (std::uint32_t r = lo + 1; r < hi; ++r) {
+        const auto& o = sa_.order[r];
+        if (o.sid < min_occ.sid ||
+            (o.sid == min_occ.sid && o.pos < min_occ.pos)) {
+          min_occ = o;
+        }
+      }
+      if (min_occ.sid != sid || min_occ.pos != pos) continue;
+      group.assign(sa_.order.begin() + lo, sa_.order.begin() + hi);
+      std::sort(group.begin(), group.end(),
+                [](const gst::SuffixOcc& a, const gst::SuffixOcc& b) {
+                  if (a.sid != b.sid) return a.sid < b.sid;
+                  return a.pos < b.pos;
+                });
+      process_group(group);
+    }
+  }
+  finalize_records();
+}
+
+std::uint32_t FmPairSource::occ(int c, std::uint32_t i) const {
+  std::uint32_t count = checkpoints_[(i / kOccBlock) * 4 + c];
+  for (std::uint32_t j = i - i % kOccBlock; j < i; ++j) {
+    if (bwt_[j] == c) ++count;
+  }
+  return count;
+}
+
+bool FmPairSource::backward_search(std::string_view s, std::uint32_t pos,
+                                   std::uint32_t* lo,
+                                   std::uint32_t* hi) const {
+  const std::uint32_t k = seed_len();
+  int c = bio::encode_base(s[pos + k - 1]);
+  if (c < 0) return false;
+  std::uint32_t l = first_block_[c];
+  std::uint32_t r = first_block_[c + 1];
+  for (std::uint32_t q = k - 1; q-- > 0;) {
+    if (l >= r) return false;
+    c = bio::encode_base(s[pos + q]);
+    if (c < 0) return false;
+    l = lf_base_[c] + occ(c, l);
+    r = lf_base_[c] + occ(c, r);
+  }
+  if (l >= r) return false;
+  *lo = l;
+  *hi = r;
+  return true;
+}
+
+std::uint64_t FmPairSource::index_bytes() const {
+  return sa_.order.size() * sizeof(gst::SuffixOcc) + bwt_.size() +
+         checkpoints_.size() * sizeof(std::uint32_t) + sizeof(first_block_) +
+         sizeof(lf_base_) + records_.capacity() * sizeof(PromisingPair);
+}
+
+}  // namespace estclust::pairgen

@@ -1,0 +1,57 @@
+// FM-index pair source.
+//
+// Kaniwa-style index alternative to the suffix tree (PAPERS.md): a BWT +
+// checkpointed occ-table over the 2-bit-coded text of all strings (built
+// from the multi-string suffix array of gst::build_suffix_array), with
+// backward search resolving each owned seed to its suffix-array interval.
+// An interval of size >= 2 is a seed group — the same group the k-mer
+// index forms, processed once when the querying occurrence is the
+// (sid, pos)-minimum of its interval — so the record stream is identical
+// to KmerPairSource's by construction, and both match the GST walk's
+// per-anchor granularity via the shared leftmost-seed extension.
+//
+// The suffix array is retained as the locate structure (interval rank ->
+// (sid, pos)), which dominates index_bytes; a sampled-SA variant would
+// shrink it at extra locate cost.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "gst/suffix_array.hpp"
+#include "pairgen/seed_match.hpp"
+
+namespace estclust::pairgen {
+
+class FmPairSource final : public SeedPairSource {
+ public:
+  /// `owned_buckets` (sorted) selects this rank's §3.1 share; `window` is
+  /// the bucketing prefix length w; psi >= w.
+  FmPairSource(const bio::EstSet& ests,
+               std::vector<std::uint64_t> owned_buckets,
+               std::uint32_t window, std::uint32_t psi);
+
+  std::uint64_t index_bytes() const override;
+
+ private:
+  /// Occurrences of code c in bwt_[0, i).
+  std::uint32_t occ(int c, std::uint32_t i) const;
+
+  /// Backward search of s[pos, pos+k); returns false for an empty
+  /// interval, else [*lo, *hi) over sa_.order.
+  bool backward_search(std::string_view s, std::uint32_t pos,
+                       std::uint32_t* lo, std::uint32_t* hi) const;
+
+  gst::SuffixArray sa_;
+  std::vector<std::uint8_t> bwt_;  ///< predecessor codes; 4 = string start
+  // first_block_[c] = first rank whose suffix starts with code c;
+  // lf_base_[c] additionally skips the length-1 suffixes "c", which sit
+  // at the bottom of c's block (prefix-first order) but are never images
+  // of the LF mapping over a no-empty-suffix array.
+  std::uint32_t first_block_[5] = {0, 0, 0, 0, 0};
+  std::uint32_t lf_base_[4] = {0, 0, 0, 0};
+  std::vector<std::uint32_t> checkpoints_;  ///< per-64-rank occ counts × 4
+};
+
+}  // namespace estclust::pairgen

@@ -1,6 +1,7 @@
 #include "pairgen/generator.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.hpp"
 
@@ -225,6 +226,19 @@ void PairGenerator::emit(const LsetEntry& e1, const LsetEntry& e2,
   p.b_pos = hi.pos;
   buffer_.push_back(p);
   ++stats_.pairs_emitted;
+}
+
+std::uint64_t PairGenerator::construction_sort_units() const {
+  std::uint64_t k = 0;
+  for (const auto& t : forest_) k += t.size();
+  return k * (1 + static_cast<std::uint64_t>(
+                      std::log2(static_cast<double>(k + 1))));
+}
+
+std::uint64_t PairGenerator::index_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& t : forest_) bytes += t.storage_bytes();
+  return bytes;
 }
 
 }  // namespace estclust::pairgen

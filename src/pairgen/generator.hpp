@@ -23,33 +23,11 @@
 #include "bio/dataset.hpp"
 #include "gst/tree.hpp"
 #include "pairgen/lset.hpp"
+#include "pairgen/source.hpp"
 
 namespace estclust::pairgen {
 
-/// A generated promising pair. `a` is always the smaller EST id in forward
-/// orientation (the duplicate-orientation discard rule of §3.2); `b_rc`
-/// says whether the second EST participates in reverse complement. The
-/// anchor (a_pos, b_pos, match_len) locates the maximal common substring in
-/// str(2a) and str(2b + b_rc) for the anchored aligner.
-struct PromisingPair {
-  bio::EstId a = 0;
-  bio::EstId b = 0;
-  bool b_rc = false;
-  std::uint32_t match_len = 0;
-  std::uint32_t a_pos = 0;
-  std::uint32_t b_pos = 0;
-};
-
-/// Counters for Fig 7 and for virtual-time charging.
-struct GenStats {
-  std::uint64_t pairs_emitted = 0;
-  std::uint64_t discarded_orientation = 0;  ///< smaller-EST string was rc
-  std::uint64_t discarded_self = 0;         ///< both strings from one EST
-  std::uint64_t nodes_processed = 0;
-  std::uint64_t lset_work = 0;  ///< entries touched (dedup + products)
-};
-
-class PairGenerator {
+class PairGenerator final : public PairSource {
  public:
   /// The forest is borrowed and must outlive the generator. psi must be at
   /// least the forest's bucket prefix depth w (suffixes shorter than w were
@@ -60,16 +38,24 @@ class PairGenerator {
   /// Appends up to `max_pairs` pairs to `out`. Returns the number appended;
   /// 0 means the stream is exhausted.
   std::size_t next_batch(std::size_t max_pairs,
-                         std::vector<PromisingPair>& out);
+                         std::vector<PromisingPair>& out) override;
 
   /// True once every node has been processed and the buffer drained.
-  bool exhausted() const;
+  bool exhausted() const override;
 
-  const GenStats& stats() const { return stats_; }
+  const GenStats& stats() const override { return stats_; }
 
   /// Work units performed since the last call to this function (for
   /// virtual-time charging by the parallel driver).
-  std::uint64_t take_work_units();
+  std::uint64_t take_work_units() override;
+
+  /// Node sorting over the borrowed forest (Table 3's "Sorting Nodes"
+  /// column): k·(1 + ⌊log2(k+1)⌋) for k forest nodes — the formula the
+  /// pace drivers have always charged for this backend.
+  std::uint64_t construction_sort_units() const override;
+
+  /// The candidate index here is the borrowed forest itself.
+  std::uint64_t index_bytes() const override;
 
   /// Live lset cells right now (space-linearity tests).
   std::uint32_t live_lset_cells() const { return pool_.live_cells(); }

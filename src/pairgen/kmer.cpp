@@ -1,0 +1,58 @@
+#include "pairgen/kmer.hpp"
+
+#include <algorithm>
+
+#include "gst/builder.hpp"
+
+namespace estclust::pairgen {
+
+KmerPairSource::KmerPairSource(const bio::EstSet& ests,
+                               std::vector<std::uint64_t> owned_buckets,
+                               std::uint32_t window, std::uint32_t psi)
+    : SeedPairSource(ests, std::move(owned_buckets), window, psi) {
+  const std::uint32_t k = seed_len();
+  std::vector<Entry> entries;
+  for (bio::StringId sid = 0; sid < ests_.num_strings(); ++sid) {
+    const auto s = ests_.str(sid);
+    if (s.size() < k) continue;
+    construction_units_ += s.size();
+    for (std::uint32_t pos = 0; pos + k <= s.size(); ++pos) {
+      // A seed at a maximal match's start shares the anchor's w-prefix
+      // (k >= psi >= w), so owned-bucket seeds cover exactly the owned
+      // anchors and groups never straddle ranks.
+      if (!owns_bucket(gst::bucket_of(s, pos, window_))) continue;
+      std::uint64_t key = 0;
+      if (!detail::pack_seed(s, pos, k, key)) continue;
+      entries.push_back({key, {sid, pos}});
+    }
+  }
+  entries_indexed_ = entries.size();
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.key != b.key) return a.key < b.key;
+              if (a.occ.sid != b.occ.sid) return a.occ.sid < b.occ.sid;
+              return a.occ.pos < b.occ.pos;
+            });
+  construction_units_ += detail::sort_model_units(entries.size());
+
+  std::vector<gst::SuffixOcc> group;
+  std::size_t i = 0;
+  while (i < entries.size()) {
+    std::size_t j = i;
+    while (j < entries.size() && entries[j].key == entries[i].key) ++j;
+    if (j - i >= 2) {
+      group.clear();
+      for (std::size_t g = i; g < j; ++g) group.push_back(entries[g].occ);
+      process_group(group);
+    }
+    i = j;
+  }
+  finalize_records();
+}
+
+std::uint64_t KmerPairSource::index_bytes() const {
+  return entries_indexed_ * sizeof(Entry) +
+         records_.capacity() * sizeof(PromisingPair);
+}
+
+}  // namespace estclust::pairgen

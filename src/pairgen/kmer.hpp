@@ -1,0 +1,39 @@
+// k-mer inverted-index pair source.
+//
+// The Byma-style candidate filter (PAPERS.md): every owned-bucket seed of
+// length k = min(psi, 32) is packed into a 2-bit-coded word and collected
+// into an inverted index (key, sid, pos) sorted by (key, sid, pos); each
+// multi-occurrence key forms one seed group, and SeedPairSource's shared
+// extension turns the groups into the same maximal-common-substring
+// records the GST walk emits. Construction is a flat scan plus one sort —
+// no tree refinement — at the cost of materializing every record up
+// front instead of streaming node by node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pairgen/seed_match.hpp"
+
+namespace estclust::pairgen {
+
+class KmerPairSource final : public SeedPairSource {
+ public:
+  /// `owned_buckets` (sorted) selects this rank's §3.1 share; `window` is
+  /// the bucketing prefix length w; psi >= w.
+  KmerPairSource(const bio::EstSet& ests,
+                 std::vector<std::uint64_t> owned_buckets,
+                 std::uint32_t window, std::uint32_t psi);
+
+  std::uint64_t index_bytes() const override;
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;  ///< 2-bit-packed seed, MSB-first
+    gst::SuffixOcc occ;
+  };
+
+  std::uint64_t entries_indexed_ = 0;  ///< peak index size (entries)
+};
+
+}  // namespace estclust::pairgen

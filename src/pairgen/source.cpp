@@ -1,0 +1,69 @@
+#include "pairgen/source.hpp"
+
+#include <algorithm>
+
+#include "pairgen/fm.hpp"
+#include "pairgen/generator.hpp"
+#include "pairgen/kmer.hpp"
+#include "util/check.hpp"
+
+namespace estclust::pairgen {
+
+std::string_view backend_name(Backend b) {
+  switch (b) {
+    case Backend::kGst:
+      return "gst";
+    case Backend::kKmer:
+      return "kmer";
+    case Backend::kFm:
+      return "fm";
+  }
+  ESTCLUST_CHECK_MSG(false, "unknown pair-source backend");
+  return "";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) {
+  for (Backend b : kAllBackends) {
+    if (name == backend_name(b)) return b;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<PairSource> make_pair_source(
+    Backend backend, const bio::EstSet& ests,
+    const std::vector<gst::Tree>& forest, std::uint32_t window,
+    std::uint32_t psi) {
+  if (backend == Backend::kGst) {
+    return std::make_unique<PairGenerator>(ests, forest, psi);
+  }
+  std::vector<std::uint64_t> owned;
+  owned.reserve(forest.size());
+  for (const auto& t : forest) {
+    ESTCLUST_CHECK(t.prefix_depth == window);
+    owned.push_back(t.bucket_id);
+  }
+  std::sort(owned.begin(), owned.end());
+  return make_pair_source_for_buckets(backend, ests, std::move(owned), window,
+                                      psi);
+}
+
+std::unique_ptr<PairSource> make_pair_source_for_buckets(
+    Backend backend, const bio::EstSet& ests,
+    std::vector<std::uint64_t> owned_buckets, std::uint32_t window,
+    std::uint32_t psi) {
+  switch (backend) {
+    case Backend::kKmer:
+      return std::make_unique<KmerPairSource>(ests, std::move(owned_buckets),
+                                              window, psi);
+    case Backend::kFm:
+      return std::make_unique<FmPairSource>(ests, std::move(owned_buckets),
+                                            window, psi);
+    case Backend::kGst:
+      break;
+  }
+  ESTCLUST_CHECK_MSG(false,
+                     "pair source needs the GST forest, not a bucket list");
+  return nullptr;
+}
+
+}  // namespace estclust::pairgen

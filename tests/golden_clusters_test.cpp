@@ -7,9 +7,17 @@
 // that perturbs a verdict, the processing order, or a charged cost shows
 // up as a golden diff, not a silent drift.
 //
+// The suite is instantiated once per PairSource backend (gst/kmer/fm) by
+// tests/CMakeLists.txt. All backends must reproduce the *same* canonical
+// partition (pinned in <fixture>.clusters.txt, owned by the gst build);
+// modeled run-times legitimately differ per backend and are pinned in
+// <fixture>.runtimes[.<backend>].txt.
+//
 // Regenerate after an intentional change with
-//   ESTCLUST_UPDATE_GOLDEN=1 ./golden_clusters_test
-// and review the diff like any other code change.
+//   ESTCLUST_UPDATE_GOLDEN=1 ./golden_clusters_test_<backend>
+// (the gst binary rewrites the FASTA + clusters goldens; every binary
+// rewrites its own runtimes file) and review the diff like any other
+// code change.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -24,20 +32,43 @@
 
 #include "bio/dataset.hpp"
 #include "bio/fasta.hpp"
+#include "cluster/partition.hpp"
 #include "mpr/fault.hpp"
 #include "mpr/runtime.hpp"
 #include "pace/parallel.hpp"
+#include "pairgen/source.hpp"
 #include "sim/workload.hpp"
 
 #ifndef ESTCLUST_TEST_DATA_DIR
 #error "ESTCLUST_TEST_DATA_DIR must be defined by the build"
 #endif
 
+#ifndef ESTCLUST_PAIRSOURCE_BACKEND
+#define ESTCLUST_PAIRSOURCE_BACKEND "gst"
+#endif
+
 namespace estclust {
 namespace {
 
+pairgen::Backend test_backend() {
+  auto b = pairgen::parse_backend(ESTCLUST_PAIRSOURCE_BACKEND);
+  EXPECT_TRUE(b.has_value());
+  return b.value_or(pairgen::Backend::kGst);
+}
+
+bool gst_backend() { return test_backend() == pairgen::Backend::kGst; }
+
 std::string data_path(const std::string& name) {
   return std::string(ESTCLUST_TEST_DATA_DIR) + "/" + name;
+}
+
+/// gst owns the historical .runtimes.txt golden; the other backends have
+/// their own files since index construction / pair work is charged
+/// differently per backend.
+std::string runtimes_name(const std::string& fixture) {
+  if (gst_backend()) return fixture + ".runtimes.txt";
+  return fixture + ".runtimes." + std::string(ESTCLUST_PAIRSOURCE_BACKEND) +
+         ".txt";
 }
 
 bool update_mode() {
@@ -53,35 +84,8 @@ pace::PaceConfig golden_config() {
   cfg.overlap.band = 8;
   cfg.overlap.min_quality = 0.75;
   cfg.overlap.min_overlap = 40;
+  cfg.pair_source = test_backend();
   return cfg;
-}
-
-/// Canonical partition text: one line per cluster, members ascending,
-/// clusters ordered by smallest member. Independent of label numbering.
-std::string canonical_clusters(const std::vector<std::uint32_t>& labels) {
-  std::vector<std::vector<std::uint32_t>> clusters;
-  std::vector<std::int64_t> slot(labels.size(), -1);
-  for (std::uint32_t i = 0; i < labels.size(); ++i) {
-    std::int64_t& s = slot[labels[i]];
-    if (s < 0) {
-      s = static_cast<std::int64_t>(clusters.size());
-      clusters.emplace_back();
-    }
-    clusters[static_cast<std::size_t>(s)].push_back(i);
-  }
-  // Members arrive in ascending order already; clusters are keyed by their
-  // first member, which is ascending too because slots are assigned on
-  // first sight. Sort anyway so the canonical form is self-evident.
-  std::sort(clusters.begin(), clusters.end());
-  std::ostringstream out;
-  for (const auto& c : clusters) {
-    for (std::size_t i = 0; i < c.size(); ++i) {
-      if (i) out << ' ';
-      out << c[i];
-    }
-    out << '\n';
-  }
-  return out.str();
 }
 
 /// Exact decimal form of the virtual clock: 17 significant digits round-
@@ -111,7 +115,7 @@ GoldenRun run_fixture(const bio::EstSet& ests, int ranks, bool memo,
     auto res = pace::cluster_parallel(comm, ests, cfg);
     if (comm.rank() == 0) {
       std::lock_guard<std::mutex> lock(mu);
-      out.clusters = canonical_clusters(res.labels);
+      out.clusters = cluster::canonical_partition(res.labels);
       std::ostringstream line;
       line << "ranks=" << ranks << " memo=" << (memo ? "on" : "off")
            << " t_total=" << format_time(res.stats.t_total)
@@ -175,12 +179,12 @@ void check_fixture(const Fixture& fix) {
   const std::string fasta_path = data_path(std::string(fix.name) + ".fasta");
   const std::string clusters_path =
       data_path(std::string(fix.name) + ".clusters.txt");
-  const std::string runtimes_path =
-      data_path(std::string(fix.name) + ".runtimes.txt");
+  const std::string runtimes_path = data_path(runtimes_name(fix.name));
 
-  if (update_mode()) {
+  if (update_mode() && gst_backend()) {
     // Regenerate the FASTA fixture from its pinned simulator seed, so the
-    // fixture file itself is reproducible.
+    // fixture file itself is reproducible. Only the gst build owns the
+    // FASTA and clusters goldens; kmer/fm must match them, not mint them.
     auto wl = sim::generate(fix.sim);
     std::vector<bio::Sequence> seqs;
     for (std::size_t i = 0; i < wl.ests.num_ests(); ++i) {
@@ -208,7 +212,7 @@ void check_fixture(const Fixture& fix) {
   }
 
   if (update_mode()) {
-    write_file(clusters_path, clusters);
+    if (gst_backend()) write_file(clusters_path, clusters);
     write_file(runtimes_path, runtimes.str());
     GTEST_SKIP() << "golden files regenerated for " << fix.name;
   }

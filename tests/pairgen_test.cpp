@@ -1,6 +1,13 @@
+// Pair-stream contract tests, instantiated once per PairSource backend by
+// tests/CMakeLists.txt (add_pairsource_test): the same binary compiles
+// with ESTCLUST_PAIRSOURCE_BACKEND set to "gst", "kmer" or "fm" and every
+// interface-level property below must hold for all of them. A handful of
+// GST-internal guarantees (lset space bounds, Corollary 2) skip on the
+// other backends.
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <tuple>
@@ -9,14 +16,35 @@
 #include "bio/dataset.hpp"
 #include "gst/builder.hpp"
 #include "pairgen/generator.hpp"
+#include "pairgen/source.hpp"
 #include "util/check.hpp"
 #include "util/prng.hpp"
+
+#ifndef ESTCLUST_PAIRSOURCE_BACKEND
+#define ESTCLUST_PAIRSOURCE_BACKEND "gst"
+#endif
 
 namespace estclust::pairgen {
 namespace {
 
 using bio::EstSet;
 using bio::Sequence;
+
+Backend test_backend() {
+  auto b = parse_backend(ESTCLUST_PAIRSOURCE_BACKEND);
+  EXPECT_TRUE(b.has_value());
+  return b.value_or(Backend::kGst);
+}
+
+bool gst_backend() { return test_backend() == Backend::kGst; }
+
+/// The backend under test over `forest`'s bucket share (w = the window
+/// the forest was built with).
+std::unique_ptr<PairSource> make_source(const EstSet& ests,
+                                        const std::vector<gst::Tree>& forest,
+                                        std::uint32_t w, std::uint32_t psi) {
+  return make_pair_source(test_backend(), ests, forest, w, psi);
+}
 
 std::string random_dna(Prng& rng, std::size_t len) {
   std::string s(len, 'A');
@@ -78,7 +106,7 @@ EstSet overlap_ests(Prng& rng, std::size_t n_related, std::size_t n_noise,
   return EstSet(std::move(seqs));
 }
 
-std::vector<PromisingPair> drain(PairGenerator& gen,
+std::vector<PromisingPair> drain(PairSource& gen,
                                  std::size_t batch = 1000000) {
   std::vector<PromisingPair> out;
   while (gen.next_batch(batch, out) > 0) {
@@ -86,21 +114,21 @@ std::vector<PromisingPair> drain(PairGenerator& gen,
   return out;
 }
 
-TEST(PairGenerator, RequiresPsiAtLeastWindow) {
+TEST(PairSource, RequiresPsiAtLeastWindow) {
   EstSet ests(std::vector<Sequence>{{"a", "ACGTACGTACGT"}});
   auto forest = gst::build_forest_sequential(ests, 4);
-  EXPECT_THROW(PairGenerator(ests, forest, 3), CheckError);
+  EXPECT_THROW(make_source(ests, forest, 4, 3), CheckError);
 }
 
-TEST(PairGenerator, EmitsSharedSubstringPair) {
+TEST(PairSource, EmitsSharedSubstringPair) {
   // Two ESTs overlap in a 20-base core.
   Prng rng(1);
   std::string core = random_dna(rng, 20);
   EstSet ests({{"a", random_dna(rng, 30) + core},
                {"b", core + random_dna(rng, 30)}});
   auto forest = gst::build_forest_sequential(ests, 4);
-  PairGenerator gen(ests, forest, 10);
-  auto pairs = drain(gen);
+  auto gen = make_source(ests, forest, 4, 10);
+  auto pairs = drain(*gen);
   ASSERT_FALSE(pairs.empty());
   bool found = false;
   for (const auto& p : pairs) {
@@ -109,7 +137,7 @@ TEST(PairGenerator, EmitsSharedSubstringPair) {
   EXPECT_TRUE(found);
 }
 
-TEST(PairGenerator, NoPairsWithoutSharedSubstrings) {
+TEST(PairSource, NoPairsWithoutSharedSubstrings) {
   // Disjoint alphab1et usage guarantees no common 8-mer.
   EstSet ests({{"a", std::string(40, 'A') + std::string(40, 'C')},
                {"b", std::string(40, 'G') + std::string(40, 'T')}});
@@ -117,8 +145,8 @@ TEST(PairGenerator, NoPairsWithoutSharedSubstrings) {
   // revcomp("G^40 T^40") = "A^40 C^40", which matches EST a exactly!
   // That is intentional: the pair must be found in rc orientation.
   auto forest = gst::build_forest_sequential(ests, 4);
-  PairGenerator gen(ests, forest, 10);
-  auto pairs = drain(gen);
+  auto gen = make_source(ests, forest, 4, 10);
+  auto pairs = drain(*gen);
   ASSERT_FALSE(pairs.empty());
   for (const auto& p : pairs) {
     EXPECT_EQ(p.a, 0u);
@@ -127,37 +155,37 @@ TEST(PairGenerator, NoPairsWithoutSharedSubstrings) {
   }
 }
 
-TEST(PairGenerator, TrulyDisjointYieldsNothing) {
+TEST(PairSource, TrulyDisjointYieldsNothing) {
   EstSet ests({{"a", std::string(60, 'A')},
                {"b", std::string(60, 'C')}});
   // rc(b) = G^60; no common 4-mer with A^60 in any orientation.
   auto forest = gst::build_forest_sequential(ests, 4);
-  PairGenerator gen(ests, forest, 8);
-  auto pairs = drain(gen);
+  auto gen = make_source(ests, forest, 4, 8);
+  auto pairs = drain(*gen);
   EXPECT_TRUE(pairs.empty());
 }
 
-TEST(PairGenerator, ReverseComplementOverlapDetected) {
+TEST(PairSource, ReverseComplementOverlapDetected) {
   Prng rng(2);
   std::string core = random_dna(rng, 24);
   EstSet ests({{"a", random_dna(rng, 20) + core + random_dna(rng, 20)},
                {"b", random_dna(rng, 15) + bio::reverse_complement(core) +
                          random_dna(rng, 15)}});
   auto forest = gst::build_forest_sequential(ests, 4);
-  PairGenerator gen(ests, forest, 12);
-  auto pairs = drain(gen);
+  auto gen = make_source(ests, forest, 4, 12);
+  auto pairs = drain(*gen);
   ASSERT_FALSE(pairs.empty());
   for (const auto& p : pairs) {
     EXPECT_TRUE(p.b_rc);
   }
 }
 
-TEST(PairGenerator, AnchorsAreValidMaximalMatches) {
+TEST(PairSource, AnchorsAreValidMaximalMatches) {
   Prng rng(3);
   EstSet ests = overlap_ests(rng, 8, 3);
   auto forest = gst::build_forest_sequential(ests, 4);
-  PairGenerator gen(ests, forest, 12);
-  auto pairs = drain(gen);
+  auto gen = make_source(ests, forest, 4, 12);
+  auto pairs = drain(*gen);
   ASSERT_FALSE(pairs.empty());
   for (const auto& p : pairs) {
     auto a = ests.str(bio::EstSet::forward_sid(p.a));
@@ -179,17 +207,17 @@ TEST(PairGenerator, AnchorsAreValidMaximalMatches) {
   }
 }
 
-TEST(PairGenerator, MatchesBruteForcePromisingPairs) {
+TEST(PairSource, MatchesBruteForcePromisingPairs) {
   // Lemma 3 both directions at EST granularity: the set of generated
   // (a, b) pairs equals the set of pairs with LCS >= psi in some
-  // orientation.
+  // orientation — for every backend.
   for (std::uint64_t seed : {10, 11, 12, 13}) {
     Prng rng(seed);
     EstSet ests = overlap_ests(rng, 7, 4);
     const std::uint32_t psi = 14;
     auto forest = gst::build_forest_sequential(ests, 4);
-    PairGenerator gen(ests, forest, psi);
-    auto pairs = drain(gen);
+    auto gen = make_source(ests, forest, 4, psi);
+    auto pairs = drain(*gen);
 
     std::set<std::pair<bio::EstId, bio::EstId>> generated;
     for (const auto& p : pairs) generated.insert({p.a, p.b});
@@ -209,25 +237,25 @@ TEST(PairGenerator, MatchesBruteForcePromisingPairs) {
   }
 }
 
-TEST(PairGenerator, PairsStreamInDecreasingMatchLength) {
+TEST(PairSource, PairsStreamInDecreasingMatchLength) {
   Prng rng(20);
   EstSet ests = overlap_ests(rng, 10, 2);
   auto forest = gst::build_forest_sequential(ests, 3);
-  PairGenerator gen(ests, forest, 10);
-  auto pairs = drain(gen);
+  auto gen = make_source(ests, forest, 3, 10);
+  auto pairs = drain(*gen);
   ASSERT_FALSE(pairs.empty());
   for (std::size_t i = 1; i < pairs.size(); ++i) {
     EXPECT_LE(pairs[i].match_len, pairs[i - 1].match_len);
   }
 }
 
-TEST(PairGenerator, FirstPairHasGloballyLongestMatch) {
+TEST(PairSource, FirstPairHasGloballyLongestMatch) {
   Prng rng(21);
   EstSet ests = overlap_ests(rng, 8, 2);
   const std::uint32_t psi = 10;
   auto forest = gst::build_forest_sequential(ests, 3);
-  PairGenerator gen(ests, forest, psi);
-  auto pairs = drain(gen);
+  auto gen = make_source(ests, forest, 3, psi);
+  auto pairs = drain(*gen);
   ASSERT_FALSE(pairs.empty());
 
   std::size_t best = 0;
@@ -243,7 +271,10 @@ TEST(PairGenerator, FirstPairHasGloballyLongestMatch) {
 }
 
 TEST(PairGenerator, EmissionCountBoundedByDistinctMaximalSubstrings) {
-  // Corollary 2.
+  // Corollary 2 is a guarantee of the GST walk's per-node duplicate
+  // elimination; the seed backends emit one record per occurrence pair,
+  // which a repeated substring can push past the distinct-string bound.
+  if (!gst_backend()) GTEST_SKIP() << "GST-specific bound";
   Prng rng(22);
   EstSet ests = overlap_ests(rng, 6, 2, 150, 60);
   const std::uint32_t psi = 12;
@@ -264,17 +295,17 @@ TEST(PairGenerator, EmissionCountBoundedByDistinctMaximalSubstrings) {
   }
 }
 
-TEST(PairGenerator, BatchingIsEquivalentToDraining) {
+TEST(PairSource, BatchingIsEquivalentToDraining) {
   Prng rng(23);
   EstSet ests = overlap_ests(rng, 9, 2);
   auto forest = gst::build_forest_sequential(ests, 3);
 
-  PairGenerator big(ests, forest, 10);
-  auto all = drain(big);
+  auto big = make_source(ests, forest, 3, 10);
+  auto all = drain(*big);
 
-  PairGenerator small(ests, forest, 10);
+  auto small = make_source(ests, forest, 3, 10);
   std::vector<PromisingPair> collected;
-  while (small.next_batch(7, collected) > 0) {
+  while (small->next_batch(7, collected) > 0) {
   }
   ASSERT_EQ(collected.size(), all.size());
   for (std::size_t i = 0; i < all.size(); ++i) {
@@ -288,7 +319,8 @@ TEST(PairGenerator, BatchingIsEquivalentToDraining) {
 /// Seed-parameterized stream properties. The master's flow control (and
 /// the adaptive batching on top of it) may slice the stream arbitrarily,
 /// so these invariants must hold for every batch size, not just the
-/// defaults the other tests use.
+/// defaults the other tests use — and for every backend, since the
+/// drivers are backend-agnostic.
 class PairStreamProperty : public testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(PairStreamProperty, StreamIsSortedDuplicateFreeAndBatchInvariant) {
@@ -298,8 +330,8 @@ TEST_P(PairStreamProperty, StreamIsSortedDuplicateFreeAndBatchInvariant) {
   const std::uint32_t psi = 10 + static_cast<std::uint32_t>(rng.uniform(8));
   auto forest = gst::build_forest_sequential(ests, 3);
 
-  PairGenerator ref_gen(ests, forest, psi);
-  auto reference = drain(ref_gen);
+  auto ref_gen = make_source(ests, forest, 3, psi);
+  auto reference = drain(*ref_gen);
 
   // Non-increasing match length: the on-demand stream honours the
   // decreasing-overlap-strength order of §3.2.
@@ -324,9 +356,9 @@ TEST_P(PairStreamProperty, StreamIsSortedDuplicateFreeAndBatchInvariant) {
   // sequence.
   for (std::size_t batch : {std::size_t{1}, std::size_t{3}, std::size_t{17},
                             std::size_t{256}}) {
-    PairGenerator gen(ests, forest, psi);
+    auto gen = make_source(ests, forest, 3, psi);
     std::vector<PromisingPair> got;
-    while (gen.next_batch(batch, got) > 0) {
+    while (gen->next_batch(batch, got) > 0) {
     }
     ASSERT_EQ(got.size(), reference.size())
         << "seed " << GetParam() << " batch " << batch;
@@ -344,30 +376,30 @@ TEST_P(PairStreamProperty, StreamIsSortedDuplicateFreeAndBatchInvariant) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PairStreamProperty,
                          testing::Range<std::uint64_t>(40, 52));
 
-TEST(PairGenerator, NextBatchRespectsLimit) {
+TEST(PairSource, NextBatchRespectsLimit) {
   Prng rng(24);
   EstSet ests = overlap_ests(rng, 10, 0);
   auto forest = gst::build_forest_sequential(ests, 3);
-  PairGenerator gen(ests, forest, 10);
+  auto gen = make_source(ests, forest, 3, 10);
   std::vector<PromisingPair> out;
-  std::size_t got = gen.next_batch(3, out);
+  std::size_t got = gen->next_batch(3, out);
   EXPECT_LE(got, 3u);
   EXPECT_EQ(out.size(), got);
 }
 
-TEST(PairGenerator, ExhaustedAfterDrain) {
+TEST(PairSource, ExhaustedAfterDrain) {
   Prng rng(25);
   EstSet ests = overlap_ests(rng, 5, 1);
   auto forest = gst::build_forest_sequential(ests, 3);
-  PairGenerator gen(ests, forest, 10);
-  EXPECT_FALSE(gen.exhausted());
-  drain(gen);
-  EXPECT_TRUE(gen.exhausted());
+  auto gen = make_source(ests, forest, 3, 10);
+  EXPECT_FALSE(gen->exhausted());
+  drain(*gen);
+  EXPECT_TRUE(gen->exhausted());
   std::vector<PromisingPair> out;
-  EXPECT_EQ(gen.next_batch(10, out), 0u);
+  EXPECT_EQ(gen->next_batch(10, out), 0u);
 }
 
-TEST(PairGenerator, NoSelfPairsEverEmitted) {
+TEST(PairSource, NoSelfPairsEverEmitted) {
   // An EST with an inverted repeat: its forward and rc strings share the
   // repeat, producing raw (e_i, ē_i) pairs that must be discarded as self
   // pairs. (A direct repeat would not do: duplicate elimination keeps one
@@ -378,46 +410,64 @@ TEST(PairGenerator, NoSelfPairsEverEmitted) {
                          bio::reverse_complement(repeat)},
                {"b", random_dna(rng, 70)}});
   auto forest = gst::build_forest_sequential(ests, 4);
-  PairGenerator gen(ests, forest, 10);
-  auto pairs = drain(gen);
+  auto gen = make_source(ests, forest, 4, 10);
+  auto pairs = drain(*gen);
   for (const auto& p : pairs) EXPECT_NE(p.a, p.b);
-  EXPECT_GT(gen.stats().discarded_self, 0u);
+  EXPECT_GT(gen->stats().discarded_self, 0u);
 }
 
-TEST(PairGenerator, OrientationRuleKeepsForwardFirstString) {
+TEST(PairSource, OrientationRuleKeepsForwardFirstString) {
   Prng rng(27);
   EstSet ests = overlap_ests(rng, 10, 0);
   auto forest = gst::build_forest_sequential(ests, 3);
-  PairGenerator gen(ests, forest, 10);
-  auto pairs = drain(gen);
+  auto gen = make_source(ests, forest, 3, 10);
+  auto pairs = drain(*gen);
   ASSERT_FALSE(pairs.empty());
   for (const auto& p : pairs) EXPECT_LT(p.a, p.b);
   // Roughly half of all raw pairs get discarded by the orientation rule.
-  EXPECT_GT(gen.stats().discarded_orientation, 0u);
+  EXPECT_GT(gen->stats().discarded_orientation, 0u);
 }
 
-TEST(PairGenerator, StatsAddUp) {
+TEST(PairSource, StatsAddUp) {
   Prng rng(28);
   EstSet ests = overlap_ests(rng, 8, 2);
   auto forest = gst::build_forest_sequential(ests, 3);
-  PairGenerator gen(ests, forest, 10);
-  auto pairs = drain(gen);
-  EXPECT_EQ(gen.stats().pairs_emitted, pairs.size());
-  EXPECT_GT(gen.stats().nodes_processed, 0u);
-  EXPECT_GT(gen.stats().lset_work, 0u);
+  auto gen = make_source(ests, forest, 3, 10);
+  auto pairs = drain(*gen);
+  EXPECT_EQ(gen->stats().pairs_emitted, pairs.size());
+  EXPECT_GT(gen->stats().nodes_processed, 0u);
+  EXPECT_GT(gen->stats().lset_work, 0u);
 }
 
-TEST(PairGenerator, WorkUnitsAreConsumedByTake) {
+TEST(PairSource, WorkUnitsAreConsumedByTake) {
   Prng rng(29);
   EstSet ests = overlap_ests(rng, 6, 1);
   auto forest = gst::build_forest_sequential(ests, 3);
-  PairGenerator gen(ests, forest, 10);
-  drain(gen);
-  EXPECT_GT(gen.take_work_units(), 0u);
-  EXPECT_EQ(gen.take_work_units(), 0u);  // second take: nothing new
+  auto gen = make_source(ests, forest, 3, 10);
+  drain(*gen);
+  EXPECT_GT(gen->take_work_units(), 0u);
+  EXPECT_EQ(gen->take_work_units(), 0u);  // second take: nothing new
+}
+
+TEST(PairSource, ConstructionUnitsAndIndexBytesAreStable) {
+  // The driver charges construction_sort_units to the virtual clock right
+  // after building the source, so the value must be deterministic and
+  // must not drain away with the stream.
+  Prng rng(31);
+  EstSet ests = overlap_ests(rng, 8, 2);
+  auto forest = gst::build_forest_sequential(ests, 3);
+  auto gen = make_source(ests, forest, 3, 10);
+  const std::uint64_t units = gen->construction_sort_units();
+  EXPECT_GT(units, 0u);
+  auto again = make_source(ests, forest, 3, 10);
+  EXPECT_EQ(again->construction_sort_units(), units);
+  drain(*gen);
+  EXPECT_EQ(gen->construction_sort_units(), units);
+  EXPECT_GT(gen->index_bytes(), 0u);
 }
 
 TEST(PairGenerator, LiveLsetCellsBoundedByOccurrences) {
+  if (!gst_backend()) GTEST_SKIP() << "lset pool is GST-internal";
   Prng rng(30);
   EstSet ests = overlap_ests(rng, 12, 3);
   auto forest = gst::build_forest_sequential(ests, 3);
@@ -435,20 +485,21 @@ TEST(PairGenerator, LiveLsetCellsBoundedByOccurrences) {
   EXPECT_EQ(gen.live_lset_cells(), 0u);  // everything retired at the end
 }
 
-TEST(PairGenerator, EmptyForest) {
+TEST(PairSource, EmptyForest) {
   EstSet ests(std::vector<Sequence>{{"a", "ACGT"}});
   std::vector<gst::Tree> forest;  // nothing
-  PairGenerator gen(ests, forest, 8);
-  EXPECT_TRUE(gen.exhausted());
+  auto gen = make_source(ests, forest, 4, 8);
+  EXPECT_TRUE(gen->exhausted());
 }
 
-TEST(PairGenerator, IdenticalEstsPairViaLambdaLeaf) {
+TEST(PairSource, IdenticalEstsPairViaLambdaLeaf) {
   // Two identical ESTs: the whole-string suffix of each is the same string,
-  // coalescing into one leaf whose l_λ has both -> λ×λ product emits them.
+  // coalescing into one leaf whose l_λ has both -> λ×λ product emits them
+  // (the seed backends find the same anchor by whole-string extension).
   EstSet ests({{"a", "ACGTACGTACGTACGT"}, {"b", "ACGTACGTACGTACGT"}});
   auto forest = gst::build_forest_sequential(ests, 4);
-  PairGenerator gen(ests, forest, 16);
-  auto pairs = drain(gen);
+  auto gen = make_source(ests, forest, 4, 16);
+  auto pairs = drain(*gen);
   bool found = false;
   for (const auto& p : pairs) {
     if (p.a == 0 && p.b == 1 && !p.b_rc && p.match_len == 16) found = true;

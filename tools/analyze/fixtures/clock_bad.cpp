@@ -26,6 +26,10 @@ void hot_loop(mpr::Communicator& comm, std::uint64_t cells) {
   chars_scanned += cells;
   comm.charge(comm.cost_model().char_op, chars_scanned);
 
+  // Pair production published to the registry without charging pair_op:
+  // a PairSource backend whose batch work never reaches the clock.
+  comm.metrics().counter("pace.pairs_generated").add(cells);  // ESTCLUST-EXPECT(clock-accounting)
+
   // Wall clock in a virtual-time file.
   WallTimer wall;  // ESTCLUST-EXPECT(determinism-wall-clock)
 
@@ -36,7 +40,7 @@ void hot_loop(mpr::Communicator& comm, std::uint64_t cells) {
   std::unordered_map<int, std::uint64_t> per_bucket;
   per_bucket[jitter] = cells;
   for (const auto& [bucket, n] : per_bucket) {  // ESTCLUST-EXPECT(determinism-unordered-iter)
-    comm.charge(comm.cost_model().pair_op, n);
+    comm.charge(comm.cost_model().byte_op, n);
   }
 
   // Pointer-keyed map: iteration order depends on the allocator.

@@ -40,6 +40,10 @@ from analyze.srcmodel import SourceFile, Violation
 ACCOUNTED = {
     "dp_cells": "dp_cell",
     "chars_scanned": "char_op",
+    # Pair production: every PairSource backend meters its batch work via
+    # take_work_units(); a driver that publishes the pairs_generated
+    # counter must charge those units to pair_op in the same file.
+    "pairs_generated": "pair_op",
 }
 
 WALL_CLOCK_RE = re.compile(

@@ -8,13 +8,19 @@ DP-cells-per-accepted-pair numbers against the checked-in baseline JSON so
 a regression in the alignment engine fails ctest instead of silently
 shifting the bench tables.
 
+With --table1 BIN --pair-source BACKEND it instead gates one PairSource
+backend's table1_backends rows: the backend's partition must match the
+gst reference run, and its index bytes / pair count / DP-cell volume are
+compared against the per-backend baseline section (table1_<backend>).
+
 All quantities checked here are virtual-time work units (DP cells, message
-counts) from seeded workloads, so they are bit-deterministic across
-machines; the baseline tolerance exists only to keep small, deliberate
-retunings from needing a lockstep baseline update.
+counts, index bytes) from seeded workloads, so they are bit-deterministic
+across machines; the baseline tolerance exists only to keep small,
+deliberate retunings from needing a lockstep baseline update.
 
 Usage:
   check_bench.py --align-micro BIN --table3 BIN --baseline FILE [--update]
+  check_bench.py --table1 BIN --pair-source B --baseline FILE [--update]
 """
 
 import argparse
@@ -41,8 +47,8 @@ def check(cond, msg):
         print("FAIL: " + msg)
 
 
-def run_bench(path):
-    cmd = [path, "--ests", SMOKE_ESTS, "--json"]
+def run_bench(path, extra=()):
+    cmd = [path, "--ests", SMOKE_ESTS, "--json"] + list(extra)
     proc = subprocess.run(cmd, capture_output=True, text=True, timeout=600)
     if proc.returncode != 0:
         sys.exit("%s exited with %d:\n%s" % (cmd, proc.returncode,
@@ -135,23 +141,55 @@ def check_table3(rows):
     return {str(r["p"]): r["msgs_hotpath"] for r in msgs}
 
 
-def check_baseline(baseline_path, current, update):
-    if update:
-        with open(baseline_path, "w") as f:
-            json.dump(current, f, indent=2, sort_keys=True)
-            f.write("\n")
-        print("baseline updated: %s" % baseline_path)
-        return
+def check_table1_backend(rows, backend):
+    """Validates one backend's table1_backends rows and returns the
+    quantities to pin in the per-backend baseline section."""
+    section = by_bench(rows, "table1_backends")
+    require_keys(section, "table1_backends",
+                 ["backend", "ests", "index_bytes", "pairs", "dp_cells",
+                  "time_s", "match_gst"])
+    names = [r.get("backend") for r in section]
+    expect = ["gst"] if backend == "gst" else ["gst", backend]
+    check(names == expect,
+          "table1_backends backends are %s, expected %s" % (names, expect))
+    for r in section:
+        check(r["index_bytes"] > 0 and r["pairs"] > 0 and r["dp_cells"] > 0
+              and r["time_s"] > 0,
+              "table1_backends %s has a non-positive quantity: %r"
+              % (r.get("backend"), r))
+        # Each backend must reproduce the gst reference partition.
+        check(r["match_gst"] == "yes",
+              "backend %s did not reproduce the gst partition (%s)"
+              % (r.get("backend"), r.get("match_gst")))
+    target = [r for r in section if r.get("backend") == backend]
+    if len(target) != 1:
+        return {}
+    r = target[0]
+    return {"index_bytes": r["index_bytes"], "pairs": r["pairs"],
+            "dp_cells": r["dp_cells"]}
+
+
+def load_baseline(baseline_path):
     try:
         with open(baseline_path) as f:
-            baseline = json.load(f)
+            return json.load(f)
     except FileNotFoundError:
         sys.exit("baseline %s not found; run with --update to create it"
                  % baseline_path)
+
+
+def write_baseline(baseline_path, baseline):
+    with open(baseline_path, "w") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("baseline updated: %s" % baseline_path)
+
+
+def check_sections(baseline, current, sections):
     check(baseline.get("ests") == current["ests"],
           "baseline was baked at ests=%s, bench ran at ests=%s"
           % (baseline.get("ests"), current["ests"]))
-    for section in ("cells_per_accepted", "msgs_hotpath"):
+    for section in sections:
         base = baseline.get(section, {})
         cur = current[section]
         check(set(base) == set(cur),
@@ -163,22 +201,53 @@ def check_baseline(baseline_path, current, update):
                   % (section, key, cur[key], base[key]))
 
 
+def check_baseline(baseline_path, current, update, sections):
+    if update:
+        # Merge into the existing file so the hot-path and per-backend
+        # invocations co-own one baseline JSON.
+        try:
+            baseline = load_baseline(baseline_path)
+        except SystemExit:
+            baseline = {}
+        baseline["ests"] = current["ests"]
+        for section in sections:
+            baseline[section] = current[section]
+        write_baseline(baseline_path, baseline)
+        return
+    check_sections(load_baseline(baseline_path), current, sections)
+
+
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("--align-micro", required=True)
-    ap.add_argument("--table3", required=True)
+    ap.add_argument("--align-micro")
+    ap.add_argument("--table3")
+    ap.add_argument("--table1")
+    ap.add_argument("--pair-source",
+                    help="backend for the --table1 gate (gst, kmer or fm)")
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--update", action="store_true",
                     help="re-bake the baseline JSON instead of checking")
     args = ap.parse_args()
 
-    cells = check_align_micro(run_bench(args.align_micro))
-    msgs = check_table3(run_bench(args.table3))
-    check_baseline(args.baseline,
-                   {"ests": int(SMOKE_ESTS),
-                    "cells_per_accepted": cells,
-                    "msgs_hotpath": msgs},
-                   args.update)
+    current = {"ests": int(SMOKE_ESTS)}
+    sections = []
+    if args.table1:
+        if not args.pair_source:
+            ap.error("--table1 requires --pair-source")
+        section = "table1_%s" % args.pair_source
+        current[section] = check_table1_backend(
+            run_bench(args.table1, ["--pair-source", args.pair_source]),
+            args.pair_source)
+        sections.append(section)
+    else:
+        if not (args.align_micro and args.table3):
+            ap.error("either --table1 or both --align-micro and --table3 "
+                     "are required")
+        current["cells_per_accepted"] = check_align_micro(
+            run_bench(args.align_micro))
+        current["msgs_hotpath"] = check_table3(run_bench(args.table3))
+        sections += ["cells_per_accepted", "msgs_hotpath"]
+    check_baseline(args.baseline, current, args.update, sections)
 
     if failures:
         sys.exit("%d bench check(s) failed" % len(failures))

@@ -41,6 +41,19 @@ REQUIRED_TESTS = (
     "headers_standalone",
     "profile_smoke",
     "bench_smoke",
+    # PairSource backend matrix: one golden sentinel, one contract-test
+    # sentinel and the bench gate per backend. If gtest discovery or the
+    # per-backend registration breaks, the whole backend's slice vanishes
+    # from ctest silently — these names make that a matrix failure.
+    "gst/GoldenClusters.Small",
+    "kmer/GoldenClusters.Small",
+    "fm/GoldenClusters.Small",
+    "gst/PairSource.MatchesBruteForcePromisingPairs",
+    "kmer/PairSource.MatchesBruteForcePromisingPairs",
+    "fm/PairSource.MatchesBruteForcePromisingPairs",
+    "bench_smoke_gst",
+    "bench_smoke_kmer",
+    "bench_smoke_fm",
 )
 
 

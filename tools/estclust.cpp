@@ -39,6 +39,7 @@
 #include "pace/messages.hpp"
 #include "pace/parallel.hpp"
 #include "pace/sequential.hpp"
+#include "pairgen/source.hpp"
 #include "quality/report.hpp"
 #include "sim/workload.hpp"
 #include "util/cli.hpp"
@@ -55,6 +56,9 @@ int usage() {
          "           --out lib.fa [--truth truth.txt]\n"
          "  cluster  --in lib.fa --out clusters.txt [--psi 20] [--window 8]\n"
          "           [--min-quality 0.8] [--min-overlap 40] [--ranks P]\n"
+         "           [--pair-source gst|kmer|fm]  (candidate filter: GST\n"
+         "            walk, k-mer inverted index, or FM-index; clusters\n"
+         "            are identical across backends)\n"
          "           [--trace trace.json] [--breakdown report.txt]\n"
          "           [--profile[=prof.json]] [--metrics]\n"
          "           [--check off|warn|strict]\n"
@@ -101,6 +105,12 @@ pace::PaceConfig cluster_config(const CliArgs& args) {
   cfg.overlap.min_overlap =
       static_cast<std::size_t>(args.get_int("min-overlap", 40));
   cfg.overlap.band = static_cast<std::size_t>(args.get_int("band", 8));
+  const std::string source = args.get_string("pair-source", "gst");
+  const auto backend = pairgen::parse_backend(source);
+  ESTCLUST_CHECK_MSG(backend.has_value(),
+                     "--pair-source must be gst, kmer or fm (got '"
+                         << source << "')");
+  cfg.pair_source = *backend;
   return cfg;
 }
 
