@@ -31,6 +31,22 @@ void publish_phase_gauges(mpr::Communicator& comm, const PaceStats& st) {
       .set(static_cast<double>(st.num_clusters));
 }
 
+/// Wire codec for the final label broadcast. One vector field, but a
+/// named encode/decode pair keeps the payload inside the codec and
+/// bounds analyzer rules (field symmetry, exhaustion on receipt).
+mpr::Buffer encode_labels(const std::vector<std::uint32_t>& labels) {
+  mpr::BufWriter w;
+  w.put_vec(labels);
+  return w.take();
+}
+
+std::vector<std::uint32_t> decode_labels(const mpr::Buffer& b) {
+  mpr::BufReader r(b);
+  std::vector<std::uint32_t> labels = r.get_vec<std::uint32_t>();
+  r.expect_exhausted("labels");
+  return labels;
+}
+
 /// p = 1: the full pipeline on one rank with identical charging, so the
 /// single-processor point of the scaling curves is measured by the same
 /// clock as the parallel points.
@@ -176,11 +192,7 @@ ParallelResult cluster_parallel(mpr::Communicator& comm,
   if (comm.rank() == 0) publish_phase_gauges(comm, st);
 
   // Share the clustering with every rank.
-  mpr::BufWriter w;
-  w.put_vec(labels);
-  mpr::Buffer b = comm.broadcast(w.take());
-  mpr::BufReader r(b);
-  res.labels = r.get_vec<std::uint32_t>();
+  res.labels = decode_labels(comm.broadcast(encode_labels(labels)));
   return res;
 }
 

@@ -1,0 +1,174 @@
+"""Parsed-source cache: skips re-tokenization across analyzer runs.
+
+Each analyzed file gets one JSON document under the cache directory
+(default `build/analyze_cache/`), keyed by the sha256 of its raw text.
+The document stores the code view (strip_code output) and the extracted
+function records -- the two expensive products of parsing. A key
+mismatch is an ordinary miss; a *content* inconsistency (stored code
+view that no longer lines up with the text it claims to come from) is
+treated as corruption: the entry is dropped and rebuilt, never trusted.
+
+Writes are atomic (temp file + os.replace) so parallel ctest analyzer
+invocations sharing one cache directory cannot tear each other's
+entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from analyze.srcmodel import Function, SourceFile, strip_code
+
+SCHEMA = "estclust-analyze-cache-v1"
+
+
+class CacheInconsistency(Exception):
+    """A cache entry failed its self-consistency assertion."""
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+
+
+def text_key(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _entry_path(cache_dir: Path, rel: str) -> Path:
+    # Flatten the repo-relative path; it stays human-greppable and the
+    # embedded key check makes collisions impossible to silently serve.
+    return cache_dir / (rel.replace("/", "__") + ".json")
+
+
+def _check_entry(doc: dict, text: str, key: str) -> None:
+    """Self-consistency assertion for a cache entry about `text`.
+    Raises CacheInconsistency on any structural violation."""
+    if doc.get("schema") != SCHEMA:
+        raise CacheInconsistency("schema mismatch")
+    if doc.get("key") != key:
+        raise CacheInconsistency("key mismatch")
+    code = doc.get("code")
+    if not isinstance(code, str):
+        raise CacheInconsistency("missing code view")
+    # strip_code preserves line structure exactly; an entry whose code
+    # view has a different newline count cannot be a view of this text.
+    if code.count("\n") != text.count("\n"):
+        raise CacheInconsistency("code view line count diverges from text")
+    if not isinstance(doc.get("functions"), list):
+        raise CacheInconsistency("missing function records")
+
+
+def _functions_from(doc: dict, code: str) -> list[Function]:
+    out: list[Function] = []
+    for rec in doc["functions"]:
+        off, blen = rec["body_offset"], rec["body_len"]
+        if not (0 <= off <= off + blen <= len(code)):
+            raise CacheInconsistency("function body span out of range")
+        out.append(Function(
+            name=rec["name"], qual=rec["qual"],
+            start_line=rec["start_line"], end_line=rec["end_line"],
+            params=rec["params"], body=code[off:off + blen],
+            body_offset=off))
+    return out
+
+
+def _doc_for(src: SourceFile, key: str) -> dict:
+    return {
+        "schema": SCHEMA,
+        "key": key,
+        "code": src.code,
+        "functions": [{
+            "name": f.name, "qual": f.qual,
+            "start_line": f.start_line, "end_line": f.end_line,
+            "params": f.params, "body_offset": f.body_offset,
+            "body_len": len(f.body),
+        } for f in src.functions()],
+    }
+
+
+def _atomic_write(path: Path, doc: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def load_source(path: Path, rel: str, cache_dir: Path | None,
+                stats: CacheStats, verify: bool = False) -> SourceFile:
+    """SourceFile for `path`, served from the cache when the stored key
+    matches the current text. `verify` forces a full recompute and
+    compares it against the served entry (the --verify-cache gate)."""
+    text = path.read_text(encoding="utf-8")
+    if cache_dir is None:
+        return SourceFile(path, rel, text=text)
+
+    key = text_key(text)
+    entry = _entry_path(cache_dir, rel)
+    doc = None
+    if entry.exists():
+        try:
+            doc = json.loads(entry.read_text(encoding="utf-8"))
+            _check_entry(doc, text, key)
+        except (json.JSONDecodeError, OSError, KeyError, TypeError):
+            stats.corrupt += 1
+            doc = None
+        except CacheInconsistency:
+            if doc is not None and doc.get("key") == key:
+                # Same key but inconsistent content: genuine corruption.
+                stats.corrupt += 1
+            doc = None
+
+    if doc is not None:
+        stats.hits += 1
+        src = SourceFile(path, rel, code=doc["code"], text=text)
+        try:
+            src._functions = _functions_from(doc, src.code)
+        except (CacheInconsistency, KeyError, TypeError):
+            stats.hits -= 1
+            stats.corrupt += 1
+            src = None
+        if src is not None:
+            if verify:
+                _verify_against_fresh(path, rel, text, src)
+            return src
+
+    stats.misses += 1
+    src = SourceFile(path, rel, text=text)
+    src.functions()  # force extraction so the entry is complete
+    _atomic_write(entry, _doc_for(src, key))
+    return src
+
+
+def _verify_against_fresh(path: Path, rel: str, text: str,
+                          cached: SourceFile) -> None:
+    """Recompute the parse from scratch and assert the cached entry is
+    byte-identical. Raises CacheInconsistency on any divergence."""
+    fresh = SourceFile(path, rel, text=text)
+    if fresh.code != cached.code:
+        raise CacheInconsistency(f"{rel}: cached code view != recomputed")
+    ff, cf = fresh.functions(), cached.functions()
+    if len(ff) != len(cf):
+        raise CacheInconsistency(
+            f"{rel}: cached {len(cf)} functions, recomputed {len(ff)}")
+    for a, b in zip(ff, cf):
+        if (a.name, a.qual, a.start_line, a.end_line, a.params, a.body,
+                a.body_offset) != (b.name, b.qual, b.start_line, b.end_line,
+                                   b.params, b.body, b.body_offset):
+            raise CacheInconsistency(
+                f"{rel}: cached record for {a.qualname} diverges")

@@ -23,21 +23,31 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
-from analyze import (rules_clock, rules_codec, rules_conventions, rules_obs,
+from analyze import (cache, rules_bounds, rules_clock, rules_codec,
+                     rules_conventions, rules_detflow, rules_obs,
                      rules_proto, rules_tags)
-from analyze.srcmodel import SourceFile, Violation
+from analyze.srcmodel import SourceFile, SourceModel, Violation
 
+# Each family runs as fn(files, src_root, model); model is the shared
+# whole-tree SourceModel (built once per analyze() call) for the
+# interprocedural families, None for the purely lexical ones.
 FAMILIES = {
-    "codec": lambda files, src_root: rules_codec.run(files),
-    "tags": lambda files, src_root: rules_tags.run(files),
-    "clock": lambda files, src_root: rules_clock.run(files),
-    "obs": lambda files, src_root: rules_obs.run(files),
-    "conventions": lambda files, src_root: rules_conventions.run(
+    "codec": lambda files, src_root, model: rules_codec.run(files),
+    "tags": lambda files, src_root, model: rules_tags.run(files),
+    "clock": lambda files, src_root, model: rules_clock.run(files, model),
+    "detflow": lambda files, src_root, model: rules_detflow.run(model),
+    "bounds": lambda files, src_root, model: rules_bounds.run(files, model),
+    "obs": lambda files, src_root, model: rules_obs.run(files),
+    "conventions": lambda files, src_root, model: rules_conventions.run(
         files, src_root=src_root),
-    "proto": lambda files, src_root: rules_proto.run(files),
+    "proto": lambda files, src_root, model: rules_proto.run(files),
 }
+
+# Families that need the call graph / source model.
+MODEL_FAMILIES = ("clock", "detflow", "bounds")
 
 # Rule-id prefixes each family can emit; a suppression is attributed to
 # the families whose rules it could cover, so staleness is only judged
@@ -46,6 +56,8 @@ FAMILY_RULE_PREFIXES = {
     "codec": ("codec",),
     "tags": ("tag",),
     "clock": ("clock", "determinism"),
+    "detflow": ("detflow",),
+    "bounds": ("bounds",),
     "obs": ("obs",),
     "conventions": ("conventions",),
     "proto": ("proto",),
@@ -62,8 +74,12 @@ def repo_root() -> Path:
     return Path(__file__).resolve().parent.parent.parent
 
 
-def discover(root: Path, roots: list[str]) -> list[SourceFile]:
+def discover(root: Path, roots: list[str],
+             cache_dir: Path | None = None,
+             cache_stats: cache.CacheStats | None = None,
+             verify_cache: bool = False) -> list[SourceFile]:
     files: list[SourceFile] = []
+    stats = cache_stats if cache_stats is not None else cache.CacheStats()
     for base in roots:
         base_path = root / base
         if not base_path.exists():
@@ -74,7 +90,8 @@ def discover(root: Path, roots: list[str]) -> list[SourceFile]:
             rel = path.relative_to(root).as_posix()
             if rel.startswith("tools/analyze/"):
                 continue  # fixtures carry seeded violations by design
-            files.append(SourceFile(path, rel))
+            files.append(cache.load_source(path, rel, cache_dir, stats,
+                                           verify=verify_cache))
     return files
 
 
@@ -87,19 +104,31 @@ def load_sources(root: Path, paths: list[Path]) -> list[SourceFile]:
 
 def analyze(files: list[SourceFile], src_root: Path | None,
             families: list[str],
-            proto_artifacts: Path | None = None
+            proto_artifacts: Path | None = None,
+            model: SourceModel | None = None,
+            profile: dict[str, float] | None = None
             ) -> tuple[list[Violation], int]:
     """Runs the requested rule families; returns (violations, suppressed
     count) with suppressions already applied. `src_root` gates the
     per-module conventions check (None for fixture runs);
     `proto_artifacts` is where the proto family writes its extracted
-    automaton (None to skip the artifacts)."""
+    automaton (None to skip the artifacts). The SourceModel is built
+    once here (or passed in) and shared by every interprocedural
+    family; `profile` collects per-family wall seconds when given."""
+    if model is None and any(f in MODEL_FAMILIES for f in families):
+        t0 = time.monotonic()
+        model = SourceModel(files)
+        if profile is not None:
+            profile["model"] = time.monotonic() - t0
     raw: list[Violation] = []
     for fam in families:
+        t0 = time.monotonic()
         if fam == "proto":
             raw.extend(rules_proto.run(files, artifacts=proto_artifacts))
         else:
-            raw.extend(FAMILIES[fam](files, src_root))
+            raw.extend(FAMILIES[fam](files, src_root, model))
+        if profile is not None:
+            profile[fam] = time.monotonic() - t0
 
     by_rel = {f.rel: f for f in files}
     kept: list[Violation] = []
@@ -179,7 +208,8 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--json", action="store_true",
                     help="emit a machine-readable JSON report")
     ap.add_argument("--families",
-                    default="codec,tags,clock,obs,conventions,proto",
+                    default="codec,tags,clock,detflow,bounds,obs,"
+                            "conventions,proto",
                     help="comma-separated rule families to run")
     ap.add_argument("--baseline", type=Path, default=None,
                     help="baseline JSON (default: tools/analyze/"
@@ -187,6 +217,22 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--proto-artifacts", type=Path, default=None,
                     help="directory for the proto family's extracted "
                          "automaton (model.json, model.dot, explore.txt)")
+    ap.add_argument("--callgraph", type=Path, default=None,
+                    help="write the deterministic callgraph.json "
+                         "artifact (function index + resolved edges)")
+    ap.add_argument("--profile", action="store_true",
+                    help="print per-family wall times and cache stats")
+    ap.add_argument("--budget-seconds", type=float, default=None,
+                    help="fail (exit 1) if total analyzer wall time "
+                         "exceeds this budget")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="disable the parsed-source cache")
+    ap.add_argument("--cache-dir", type=Path, default=None,
+                    help="parsed-source cache directory (default: "
+                         "build/analyze_cache under the repo root)")
+    ap.add_argument("--verify-cache", action="store_true",
+                    help="recompute every cached parse and fail on any "
+                         "divergence (cache self-consistency gate)")
     ap.add_argument("--selftest", action="store_true",
                     help="run the rule fixtures under tools/analyze/"
                          "fixtures and verify every rule fires/stays quiet")
@@ -206,14 +252,41 @@ def main(argv: list[str] | None = None) -> int:
             print(f"analyze: unknown rule family '{fam}'", file=sys.stderr)
             return 2
 
-    if args.paths:
-        files = load_sources(root, args.paths)
-    else:
-        files = discover(root, ["src", "tools"])
+    started = time.monotonic()
+    cache_dir = None if args.no_cache else \
+        (args.cache_dir or root / "build/analyze_cache")
+    cache_stats = cache.CacheStats()
+    profile: dict[str, float] = {}
+    t0 = time.monotonic()
+    try:
+        if args.paths:
+            files = load_sources(root, args.paths)
+        else:
+            files = discover(root, ["src", "tools"], cache_dir=cache_dir,
+                             cache_stats=cache_stats,
+                             verify_cache=args.verify_cache)
+    except cache.CacheInconsistency as e:
+        print(f"analyze: cache self-consistency check failed: {e}",
+              file=sys.stderr)
+        return 2
+    profile["parse"] = time.monotonic() - t0
+
+    model: SourceModel | None = None
+    if args.callgraph or any(f in MODEL_FAMILIES for f in families):
+        t0 = time.monotonic()
+        model = SourceModel(files)
+        profile["model"] = time.monotonic() - t0
+    if args.callgraph is not None and model is not None:
+        args.callgraph.parent.mkdir(parents=True, exist_ok=True)
+        args.callgraph.write_text(
+            json.dumps(model.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
 
     violations, suppressed = analyze(files, root / "src", families,
-                                     proto_artifacts=args.proto_artifacts)
+                                     proto_artifacts=args.proto_artifacts,
+                                     model=model, profile=profile)
     warnings = stale_suppressions(files, families)
+    elapsed = time.monotonic() - started
     baseline_path = args.baseline or (root / "tools/analyze/baseline.json")
     try:
         baseline = load_baseline(baseline_path)
@@ -251,4 +324,17 @@ def main(argv: list[str] | None = None) -> int:
                   f"{len(families)} rule families, "
                   f"{suppressed} suppressed, "
                   f"{len(warnings)} stale suppression warning(s))")
+
+    if args.profile:
+        parts = [f"{k}={profile[k]:.3f}s" for k in profile]
+        print(f"analyze: profile: total={elapsed:.3f}s "
+              + " ".join(parts)
+              + (f" cache[hit={cache_stats.hits} miss={cache_stats.misses}"
+                 f" corrupt={cache_stats.corrupt}]"
+                 if cache_dir is not None else " cache=off"))
+    if args.budget_seconds is not None and elapsed > args.budget_seconds:
+        print(f"analyze: wall time {elapsed:.3f}s exceeds the committed "
+              f"budget of {args.budget_seconds:.3f}s -- a rule pass has "
+              "regressed (quadratic blowup?)", file=sys.stderr)
+        return 1
     return 1 if new else 0

@@ -1,0 +1,39 @@
+// Fixture: a decoder that never verifies exhaustion, called from a
+// recv site that does not check either. Trailing payload bytes --
+// version skew, a field added on the encode side only -- would be
+// silently ignored instead of failing loudly at the receiver.
+#include "mpr/communicator.hpp"
+#include "util/check.hpp"
+
+namespace estclust::fixture {
+
+inline constexpr int kTagLeakFix = 131;
+
+struct LeakFixMsg {
+  std::uint64_t value = 0;
+};
+
+mpr::Buffer encode_leakfix(const LeakFixMsg& m) {
+  mpr::BufWriter w;
+  w.put<std::uint64_t>(m.value);
+  return w.take();
+}
+
+LeakFixMsg decode_leakfix(const mpr::Buffer& b) {
+  mpr::BufReader r(b);
+  LeakFixMsg m;
+  m.value = r.get<std::uint64_t>();
+  return m;
+}
+
+void fixture_leak_pump(mpr::Communicator& comm) {
+  LeakFixMsg msg;
+  msg.value = 3;
+  comm.send(1, kTagLeakFix, encode_leakfix(msg));
+  mpr::CheckOpScope scope(comm, "fixture_bounds_noexhaust.await_leak");
+  mpr::Message in = comm.recv(0, kTagLeakFix);
+  const LeakFixMsg got = decode_leakfix(in.payload);  // ESTCLUST-EXPECT(bounds-missing-exhausted)
+  ESTCLUST_CHECK(got.value == msg.value);
+}
+
+}  // namespace estclust::fixture

@@ -1,0 +1,50 @@
+// Fixture: seeded decode-bounds defects. Three ways a decoder can
+// drift off the encoded byte sequence: raw buffer access that bypasses
+// the checked BufReader primitives, payload bytes parsed by hand at a
+// recv site outside any decode_* function, and a field read under a
+// different guard than it was written under.
+#include "mpr/communicator.hpp"
+#include "util/check.hpp"
+
+namespace estclust::fixture {
+
+inline constexpr int kTagProbeFix = 130;
+
+struct ProbeFixMsg {
+  std::uint64_t ticket = 0;
+  std::uint64_t extra = 0;
+};
+
+mpr::Buffer encode_probefix(const ProbeFixMsg& m, bool reliable) {
+  mpr::BufWriter w;
+  w.put<std::uint64_t>(m.ticket);
+  if (reliable) {
+    w.put<std::uint64_t>(m.extra);
+  }
+  return w.take();
+}
+
+ProbeFixMsg decode_probefix(const mpr::Buffer& b, bool reliable) {
+  mpr::BufReader r(b);
+  ProbeFixMsg m;
+  m.ticket = r.get<std::uint64_t>();
+  // Reads unconditionally what the encoder wrote conditionally.
+  m.extra = r.get<std::uint64_t>();     // ESTCLUST-EXPECT(bounds-guard-mismatch)
+  const std::uint8_t* raw = b.data();   // ESTCLUST-EXPECT(bounds-unchecked-read)
+  m.ticket += raw[0];
+  r.expect_exhausted("probefix");
+  return m;
+}
+
+void fixture_probe_pump(mpr::Communicator& comm) {
+  ProbeFixMsg msg;
+  msg.ticket = 9;
+  comm.send(1, kTagProbeFix, encode_probefix(msg, true));
+  mpr::CheckOpScope scope(comm, "fixture_bounds_unchecked.await_probe");
+  mpr::Message in = comm.recv(0, kTagProbeFix);
+  mpr::BufReader r(in.payload);
+  const std::uint64_t ticket = r.get<std::uint64_t>();  // ESTCLUST-EXPECT(bounds-unchecked-read)
+  ESTCLUST_CHECK(ticket == msg.ticket);
+}
+
+}  // namespace estclust::fixture

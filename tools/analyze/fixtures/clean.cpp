@@ -30,6 +30,7 @@ CleanMsg decode_cleanfix(const mpr::Buffer& b) {
   CleanMsg m;
   m.id = r.get<std::uint32_t>();
   m.counts = r.get_vec<std::uint64_t>();
+  r.expect_exhausted("cleanfix");
   return m;
 }
 

@@ -1,0 +1,27 @@
+// Fixture: cross-file clock pairing, the driver side. The char_op
+// charge here pairs the chars_scanned bump made by the builder in
+// clock_xfile_bump.cpp -- correct under the interprocedural rule,
+// invisible to a per-file check. The dp_cells bump over there stays
+// unpaired: this driver pulls it into a vtime-connected family but
+// never charges dp_cell.
+#include <cstdint>
+
+#include "mpr/communicator.hpp"
+
+namespace estclust::fixture {
+
+// Mirrors the shared-header declarations of clock_xfile_bump.cpp.
+struct FixtureTally {
+  std::uint64_t chars_scanned = 0;
+};
+FixtureTally fixture_tally_scan(std::uint64_t n);
+std::uint64_t fixture_lost_cells(std::uint64_t n);
+
+void fixture_drive(mpr::Communicator& comm, std::uint64_t n) {
+  const FixtureTally tally = fixture_tally_scan(n);
+  comm.charge(comm.cost_model().char_op, tally.chars_scanned);
+  comm.metrics().counter("gst.chars_scanned").add(tally.chars_scanned);
+  (void)fixture_lost_cells(n);
+}
+
+}  // namespace estclust::fixture

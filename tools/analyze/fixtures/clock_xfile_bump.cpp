@@ -1,0 +1,30 @@
+// Fixture: cross-file clock pairing, the bump side. Nothing in this
+// file touches a Communicator, so the old per-file pairing rule was
+// blind here: whether a bump is correctly accounted depends entirely
+// on its callers, which only the interprocedural pass walks.
+#include <cstdint>
+
+namespace estclust::fixture {
+
+struct FixtureTally {
+  std::uint64_t chars_scanned = 0;
+};
+
+// Paired: the driver in clock_xfile.cpp charges char_op for this bump
+// on the same call path.
+FixtureTally fixture_tally_scan(std::uint64_t n) {
+  FixtureTally t;
+  t.chars_scanned += n;
+  return t;
+}
+
+// Unpaired: the call-tree family of this function reaches a
+// Communicator (through fixture_drive) but no function in it ever
+// charges dp_cell.
+std::uint64_t fixture_lost_cells(std::uint64_t n) {
+  std::uint64_t dp_cells = 0;
+  dp_cells += n;  // ESTCLUST-EXPECT(clock-accounting)
+  return dp_cells;
+}
+
+}  // namespace estclust::fixture

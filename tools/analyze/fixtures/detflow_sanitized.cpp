@@ -1,0 +1,18 @@
+// Fixture: the sanitizer annotation is an explicit, auditable cut
+// point in the taint lattice. Same flow shape as detflow_taint.cpp --
+// wall-clock value imported from another translation unit and fed to a
+// metric -- but the import is annotated with a proof, so the selftest
+// requires zero violations from this file.
+#include "mpr/communicator.hpp"
+
+namespace estclust::fixture {
+
+double fixture_wall_hop();
+
+void fixture_publish_wall_column(mpr::Communicator& comm) {
+  // ESTCLUST-DETFLOW-SANITIZED(report-only wall column; never feeds vtime, the wire or clusters)
+  const double wall = fixture_wall_hop();
+  comm.metrics().gauge("fixture.wall_column", obs::MergeOp::kMax).set(wall);
+}
+
+}  // namespace estclust::fixture

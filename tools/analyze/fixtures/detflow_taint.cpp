@@ -1,0 +1,17 @@
+// Fixture: nondeterminism taint laundered through two calls in another
+// translation unit (detflow_taint_helper.cpp) must still be caught when
+// it reaches a determinism sink. No lexical rule can see this: the
+// wall-clock read and the metric publication are three functions and
+// two files apart.
+#include "mpr/communicator.hpp"
+
+namespace estclust::fixture {
+
+double fixture_wall_hop();
+
+void fixture_publish_lag(mpr::Communicator& comm) {
+  const double lag = fixture_wall_hop();
+  comm.metrics().gauge("fixture.lag", obs::MergeOp::kMax).set(lag);  // ESTCLUST-EXPECT(detflow-wall-clock)
+}
+
+}  // namespace estclust::fixture

@@ -1,0 +1,19 @@
+// Fixture: helper translation unit for the detflow taint fixtures. The
+// wall-clock read lives here, two calls away from any sink, in a file
+// that never touches a Communicator -- so the lexical
+// determinism-wall-clock rule cannot see a violation and only the
+// interprocedural taint pass connects the read to the sink in
+// detflow_taint.cpp.
+#include <chrono>
+
+namespace estclust::fixture {
+
+double fixture_wall_raw() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double fixture_wall_hop() { return fixture_wall_raw(); }
+
+}  // namespace estclust::fixture

@@ -1,0 +1,405 @@
+"""Forward dataflow/taint engine over the SourceModel call graph.
+
+The lattice is deliberately tiny: a value is either clean or carries a
+*taint* naming the nondeterminism source it came from (wall-clock read,
+rand, pointer-to-integer cast, unordered-container iteration, env read)
+plus a human-readable provenance chain. Propagation is
+statement-granular inside a function body (an assignment taints the
+left-hand side, `return` taints the function's return summary) and
+summary-based across calls:
+
+  * a call to a function whose summary says "returns taint" taints the
+    call expression (and therefore any assignment it feeds);
+  * passing a tainted variable as an argument to a function whose
+    summary says "reaches a sink" is itself a reach.
+
+Sinks are the four places nondeterminism would break the repo's
+guarantees: wire encoding (`encode_*`/`put*`), the virtual clock
+(`charge()`), cluster mutation (`unite()`), and metric publication
+(`counter/gauge/histogram`).
+
+`// ESTCLUST-DETFLOW-SANITIZED(reason)` is the explicit cut point: a
+statement it covers (its own line and the next) neither seeds nor
+propagates taint. The reason is mandatory -- it is the
+reviewer-visible proof of why the flow is harmless (e.g. a report-only
+column that never feeds vtime or the wire).
+
+Everything here over-approximates: the engine may report a flow the
+program never executes, but a flow it stays silent about has a
+machine-checked reason to be silent.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from analyze.srcmodel import FnNode, SourceModel, match_paren
+
+# --- Sources ---------------------------------------------------------------
+
+WALL_CLOCK_SRC_RE = re.compile(
+    r"\b(steady_clock|system_clock|high_resolution_clock|WallTimer|"
+    r"PhaseTimer)\b")
+RAND_SRC_RE = re.compile(
+    r"\b(?:std::)?(rand|srand)\s*\(|\b(random_device|default_random_engine)\b")
+PTR_CAST_SRC_RE = re.compile(
+    r"\breinterpret_cast\s*<\s*(?:std::)?u?intptr_t\b")
+ENV_SRC_RE = re.compile(r"\b(getenv|env_or)\s*\(")
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s+(\w+)\s*[;={(]")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*([^;()]*?):\s*([\w.\->]+)\s*\)")
+
+# Paths where env/argv reads are configuration parsing by design.
+ENV_EXEMPT_PREFIXES = ("src/util/cli", "tools/")
+
+# --- Sinks -----------------------------------------------------------------
+
+# kind -> (pattern, human description)
+SINKS: list[tuple[str, re.Pattern, str]] = [
+    ("wire", re.compile(r"\bencode_\w+\s*\(|[.>]put(?:_vec|_string)?\s*[(<]"),
+     "wire encoding"),
+    ("vtime", re.compile(r"\bcharge\s*\("), "virtual-clock charge"),
+    ("cluster", re.compile(r"[.>]unite\s*\("), "cluster mutation"),
+    ("metrics", re.compile(r"\b(?:counter|gauge|histogram)\s*\("),
+     "metric publication"),
+]
+
+ASSIGN_RE = re.compile(
+    r"(?:^|[;{(]\s*)(?:[\w:<>,\s&*\[\]]*?\s)?"
+    r"([A-Za-z_]\w*)(?:\.\w+|\[[^\]]*\])?\s*"
+    r"(?:[+\-*/|&^]|<<|>>)?=(?!=)")
+RETURN_RE = re.compile(r"\breturn\b")
+
+# Type/keyword words that must never become taint-carrying "variables".
+_NOT_A_VAR = frozenset({
+    "const", "auto", "int", "unsigned", "long", "short", "double", "float",
+    "bool", "char", "size_t", "uint64_t", "uint32_t", "int64_t", "int32_t",
+    "std", "string",
+})
+
+
+@dataclass
+class Source:
+    kind: str  # wall-clock | rand | pointer-cast | unordered-iter | env
+    rel: str
+    line: int
+    what: str  # the matched token, for messages
+
+    def key(self) -> tuple:
+        return (self.kind, self.rel, self.line)
+
+    def render(self) -> str:
+        return f"{self.kind} source '{self.what}' ({self.rel}:{self.line})"
+
+
+@dataclass
+class Taint:
+    source: Source
+    chain: tuple[str, ...] = ()
+    via_call: bool = False  # crossed a function boundary at least once
+
+    def step(self, text: str, via_call: bool = False) -> "Taint":
+        chain = self.chain if len(self.chain) >= 8 else self.chain + (text,)
+        return Taint(self.source, chain, self.via_call or via_call)
+
+
+@dataclass
+class Reach:
+    taint: Taint
+    sink_kind: str
+    sink_desc: str
+    rel: str  # where the flow enters the sink (reporting location)
+    line: int
+
+    def key(self) -> tuple:
+        return (self.taint.source.key(), self.sink_kind, self.rel, self.line)
+
+
+@dataclass
+class _Summary:
+    returns: Taint | None = None
+    sink: tuple[str, str, str, int] | None = None  # kind, desc, rel, line
+
+
+@dataclass
+class _Stmt:
+    """One statement chunk of a function body (split on ; { }), so a
+    statement wrapped over several physical lines is analyzed whole."""
+    lineno: int  # 1-based line of the chunk's first code character
+    offset: int  # char offset of the chunk within the body
+    text: str
+    calls: list  # CallSite objects inside this chunk
+    sinks: list[tuple[str, str, int]]  # (kind, desc, line of the match)
+    sanitized: bool
+
+
+class FlowEngine:
+    def __init__(self, model: SourceModel):
+        self.model = model
+        self.summaries: dict[str, _Summary] = {}
+        self._stmts: dict[str, list[_Stmt]] = {}
+        # uid -> list of (stmt index, Source, bound var or None)
+        self._seeds: dict[str, list[tuple[int, Source, str | None]]] = {}
+        for node in model.nodes:
+            self._stmts[node.uid] = self._split(node)
+            self._seeds[node.uid] = self._find_sources(node)
+            self.summaries[node.uid] = _Summary(
+                sink=self._local_sink(node.uid))
+
+    # -- preparation --------------------------------------------------------
+
+    def _split(self, node: FnNode) -> list[_Stmt]:
+        src, fn = node.src, node.fn
+        body = fn.body
+        bounds = [0] + [i + 1 for i, c in enumerate(body) if c in ";{}"] \
+            + [len(body)]
+        out: list[_Stmt] = []
+        for a, b in zip(bounds, bounds[1:]):
+            text = body[a:b]
+            if not text.strip():
+                continue
+            lead = len(text) - len(text.lstrip())
+            lineno = src.line_of(fn.body_offset + a + lead)
+            sinks = []
+            for kind, rx, desc in SINKS:
+                m = rx.search(text)
+                if m:
+                    sinks.append((kind, desc,
+                                  src.line_of(fn.body_offset + a + m.start())))
+            first = lineno
+            last = src.line_of(fn.body_offset + b - 1)
+            sanitized = any(src.sanitized_at(ln) is not None
+                            for ln in range(first, last + 1))
+            calls = [c for c in node.calls if a <= c.offset < b]
+            out.append(_Stmt(lineno, a, text, calls, sinks, sanitized))
+        return out
+
+    def _find_sources(self, node: FnNode
+                      ) -> list[tuple[int, Source, str | None]]:
+        """(stmt index, Source, bound variable or None) seeds. A bound
+        variable makes the taint var-shaped immediately (loop variables,
+        timer declarations); unbound sources taint whatever their own
+        statement assigns or returns."""
+        src, fn = node.src, node.fn
+        rel = src.rel
+        seeds: list[tuple[int, Source, str | None]] = []
+        unordered_vars = {m.group(1)
+                          for m in UNORDERED_DECL_RE.finditer(src.code)}
+        for idx, st in enumerate(self._stmts[node.uid]):
+            if st.sanitized:
+                continue
+            t = st.text
+
+            def _line(match_start: int) -> int:
+                return src.line_of(fn.body_offset + st.offset + match_start)
+
+            m = WALL_CLOCK_SRC_RE.search(t)
+            if m:
+                dm = re.search(r"\b(?:WallTimer|PhaseTimer)\s+(\w+)", t)
+                seeds.append((idx,
+                              Source("wall-clock", rel, _line(m.start()),
+                                     m.group(1)),
+                              dm.group(1) if dm else None))
+            m = RAND_SRC_RE.search(t)
+            if m:
+                seeds.append((idx,
+                              Source("rand", rel, _line(m.start()),
+                                     m.group(1) or m.group(2)), None))
+            m = PTR_CAST_SRC_RE.search(t)
+            if m:
+                seeds.append((idx,
+                              Source("pointer-cast", rel, _line(m.start()),
+                                     "reinterpret_cast<uintptr_t>"), None))
+            if not rel.startswith(ENV_EXEMPT_PREFIXES):
+                m = ENV_SRC_RE.search(t)
+                if m:
+                    seeds.append((idx,
+                                  Source("env", rel, _line(m.start()),
+                                         m.group(1)), None))
+            m = RANGE_FOR_RE.search(t)
+            if m and unordered_vars:
+                container = m.group(2).split(".")[-1].split(">")[-1]
+                if container in unordered_vars:
+                    head = re.sub(r"\w+\s*::\s*", "", m.group(1))
+                    for var in re.findall(r"\b([a-z_]\w*)\b", head):
+                        if var in _NOT_A_VAR:
+                            continue
+                        seeds.append((idx,
+                                      Source("unordered-iter", rel,
+                                             _line(m.start()), container),
+                                      var))
+        return seeds
+
+    def _local_sink(self, uid: str) -> tuple[str, str, str, int] | None:
+        for st in self._stmts[uid]:
+            if st.sinks:
+                kind, desc, line = st.sinks[0]
+                node = self.model.by_uid[uid]
+                return (kind, desc, node.src.rel, line)
+        return None
+
+    # -- fixpoint -----------------------------------------------------------
+
+    def run(self) -> list[Reach]:
+        # Sink reachability: local, else through any callee.
+        changed = True
+        while changed:
+            changed = False
+            for node in self.model.nodes:
+                s = self.summaries[node.uid]
+                if s.sink is not None:
+                    continue
+                for callee in self.model.callees(node.uid):
+                    cs = self.summaries[callee.uid].sink
+                    if cs is not None:
+                        s.sink = cs
+                        changed = True
+                        break
+        # Return-taint summaries to fixpoint, then a final collection
+        # pass with stable summaries.
+        for _ in range(8):
+            changed = False
+            for node in self.model.nodes:
+                returns = self._analyze(node, collect=None)
+                old = self.summaries[node.uid].returns
+                if (returns is None) != (old is None):
+                    self.summaries[node.uid].returns = returns
+                    changed = True
+            if not changed:
+                break
+        reaches: dict[tuple, Reach] = {}
+        for node in self.model.nodes:
+            self._analyze(node, collect=reaches)
+        return sorted(reaches.values(),
+                      key=lambda r: (r.rel, r.line, r.sink_kind,
+                                     r.taint.source.key()))
+
+    def _analyze(self, node: FnNode,
+                 collect: dict[tuple, Reach] | None) -> Taint | None:
+        """One intra-function pass; returns the function's return taint.
+        With `collect`, records source->sink reaches."""
+        rel = node.src.rel
+        if not self._seeds[node.uid] and not any(
+                self.summaries[c.uid].returns is not None
+                for c in self.model.callees(node.uid)):
+            return None  # nothing can be tainted in this function
+        var_taints: dict[str, Taint] = {}
+        seeds_by_stmt: dict[int, list[tuple[Source, str | None]]] = {}
+        for idx, source, var in self._seeds[node.uid]:
+            seeds_by_stmt.setdefault(idx, []).append((source, var))
+            if var is not None:
+                var_taints[var] = Taint(source)
+        returns: Taint | None = None
+        for _ in range(4):  # rescan for backward flows, to fixpoint
+            before = set(var_taints)
+            for idx, st in enumerate(self._stmts[node.uid]):
+                if st.sanitized:
+                    continue
+                active: list[Taint] = []
+                for source, var in seeds_by_stmt.get(idx, []):
+                    if var is None:
+                        active.append(Taint(source))
+                for var, t in var_taints.items():
+                    if re.search(r"\b" + re.escape(var) + r"\b", st.text):
+                        active.append(t)
+                for call in st.calls:
+                    for target in self.model.resolve(call):
+                        rt = self.summaries[target.uid].returns
+                        if rt is not None:
+                            active.append(rt.step(
+                                f"returned by {target.fn.qualname}() "
+                                f"into {rel}:{st.lineno}", via_call=True))
+                            break
+                if not active:
+                    continue
+                taint = min(active, key=lambda t: len(t.chain))
+                am = ASSIGN_RE.search(st.text)
+                if am and am.group(1) not in var_taints \
+                        and am.group(1) not in _NOT_A_VAR:
+                    var_taints[am.group(1)] = taint.step(
+                        f"flows into '{am.group(1)}' ({rel}:{st.lineno})")
+                if RETURN_RE.search(st.text) and returns is None:
+                    returns = taint.step(
+                        f"returned from {node.fn.qualname}()")
+                if collect is not None:
+                    self._collect_stmt(node, st, active, collect)
+            if set(var_taints) == before:
+                break
+        return returns
+
+    def _collect_stmt(self, node: FnNode, st: _Stmt,
+                      active: list[Taint],
+                      collect: dict[tuple, Reach]) -> None:
+        rel = node.src.rel
+        by_source: dict[tuple, Taint] = {}
+        for t in active:
+            k = t.source.key()
+            if k not in by_source or len(t.chain) < len(by_source[k].chain):
+                by_source[k] = t
+        for kind, desc, line in st.sinks:
+            for t in by_source.values():
+                r = Reach(t, kind, desc, rel, line)
+                collect.setdefault(r.key(), r)
+        # Tainted argument handed to a callee that reaches a sink.
+        for call in st.calls:
+            arg_text = self._arg_text(node, call)
+            if arg_text is None:
+                continue
+            hit = [t for t in by_source.values()
+                   if self._taints_text(t, arg_text, node, st)]
+            if not hit:
+                continue
+            for target in self.model.resolve(call):
+                sink = self.summaries[target.uid].sink
+                if sink is None:
+                    continue
+                kind, desc, srel, sline = sink
+                for t in hit:
+                    tt = t.step(
+                        f"passed to {target.fn.qualname}() at "
+                        f"{rel}:{call.line}, which reaches {desc} "
+                        f"({srel}:{sline})", via_call=True)
+                    r = Reach(tt, kind, desc, rel, call.line)
+                    collect.setdefault(r.key(), r)
+                break
+
+    def _arg_text(self, node: FnNode, call) -> str | None:
+        body = node.fn.body
+        open_idx = body.find("(", call.offset)
+        if open_idx < 0:
+            return None
+        close_idx = match_paren(body, open_idx)
+        if close_idx < 0:
+            return None
+        return body[open_idx + 1:close_idx]
+
+    def _taints_text(self, t: Taint, text: str, node: FnNode,
+                     st: _Stmt) -> bool:
+        """Does taint `t` flow through `text` (an argument list)?"""
+        # Var-shaped taints: the variable appears in the text. Expression
+        # sources (rand() etc.): the source statement is this one and the
+        # source token sits inside the text.
+        for idx, source, var in self._seeds[node.uid]:
+            if source.key() != t.source.key():
+                continue
+            if var is not None:
+                return bool(
+                    re.search(r"\b" + re.escape(var) + r"\b", text))
+            return self._stmts[node.uid][idx] is st
+        # Taint that flowed into a named variable earlier in the chain.
+        for step in t.chain:
+            m = re.search(r"flows into '(\w+)'", step)
+            if m and re.search(r"\b" + re.escape(m.group(1)) + r"\b", text):
+                return True
+        # Direct pass of a tainted call result: `publish(helper())` where
+        # helper()'s summary returns this taint.
+        if t.chain and f"into {node.src.rel}:{st.lineno}" in t.chain[-1]:
+            for call in st.calls:
+                if call.name not in text:
+                    continue
+                for target in self.model.resolve(call):
+                    rt = self.summaries[target.uid].returns
+                    if rt is not None and rt.source.key() == t.source.key():
+                        return True
+        return False

@@ -1,0 +1,200 @@
+"""Rule family: bounds -- decode functions must consume exactly the
+bytes their paired encoder produced, checked, on every path a receive
+can reach.
+
+BufReader's primitive get<T>() is bounds-checked at runtime, so the
+failure mode this family hunts is not a buffer overrun but *silent
+drift*: a decoder that stops early (trailing bytes ignored -- a version
+skew or a corrupted field goes unnoticed), a decoder that reads a field
+the encoder only conditionally wrote, or payload bytes parsed by hand
+outside any decode_* function where the codec-symmetry rule cannot see
+them. The walk is symbolic over the source model:
+
+  * `bounds-unchecked-read` -- (a) raw buffer escapes (memcpy, .data(),
+    reinterpret_cast) inside a decode_* function, which bypass the
+    checked primitives entirely; (b) BufReader get* calls outside any
+    decode_* function in a function a receive edge reaches: hand-rolled
+    parsing that must be hoisted into a named codec pair.
+  * `bounds-missing-exhausted` -- a decode_* function reachable from a
+    recv/broadcast/all_to_all call site where neither the decoder body
+    nor the calling function verifies exhaustion (expect_exhausted or
+    an exhausted() loop). Reported at the unchecked call site.
+  * `bounds-guard-mismatch` -- the if-guard stack around field i of
+    encode_X differs from the stack around field i of decode_X (e.g.
+    the encoder writes a field only `if (reliable)` but the decoder
+    reads it unconditionally, shifting every later field).
+
+src/mpr is exempt from the ad-hoc-read check: it *implements* the
+checked primitives and the transport, so raw buffer access there is the
+point. Fixture pseudo-trees get no exemption -- seeded bugs must fire.
+"""
+
+from __future__ import annotations
+
+import re
+
+from analyze.srcmodel import (FnNode, SourceFile, SourceModel, Violation,
+                              match_paren)
+
+GET_RE = re.compile(r"\b(\w+)\.(get(?:_vec|_string)?)\s*[<(]")
+PUT_RE = re.compile(r"\b(\w+)\.(put(?:_vec|_string)?)\s*[<(]")
+RAW_ESCAPE_RE = re.compile(
+    r"\bmemcpy\s*\(|\.data\s*\(\s*\)|\breinterpret_cast\s*<")
+RECV_RE = re.compile(
+    r"\b(?:recv2?|try_recv|broadcast|gather|scatter|all_to_all\w*|"
+    r"allreduce\w*)\s*\(")
+EXHAUST_RE = re.compile(r"\b(?:expect_)?exhausted\s*\(")
+READER_DECL_RE = re.compile(r"\bBufReader\s+(\w+)\s*[({]")
+
+
+def _is_decoder(node: FnNode) -> bool:
+    return (node.fn.name.startswith("decode_")
+            and bool(re.search(r"\bBufReader\b|\bBuffer\b",
+                               node.fn.params)))
+
+
+def _norm_cond(cond: str) -> str:
+    """Guard condition normalized for cross-side comparison: object
+    prefixes (`m.reliable` vs `out.reliable`) and whitespace dropped."""
+    return re.sub(r"\s+", "", re.sub(r"\b\w+\s*\.\s*", "", cond))
+
+
+def _guard_spans(body: str) -> list[tuple[int, int, str]]:
+    """(block start, block end, normalized condition) for every if()
+    block in a body -- braced or single-statement."""
+    spans: list[tuple[int, int, str]] = []
+    for m in re.finditer(r"\bif\s*\(", body):
+        open_idx = m.end() - 1
+        close = match_paren(body, open_idx)
+        if close < 0:
+            continue
+        cond = body[open_idx + 1:close]
+        j = close + 1
+        while j < len(body) and body[j].isspace():
+            j += 1
+        if j < len(body) and body[j] == "{":
+            end = match_paren(body, j, "{", "}")
+        else:
+            end = body.find(";", j)
+        if end < 0:
+            continue
+        spans.append((j, end, _norm_cond(cond)))
+    return spans
+
+
+def _guards_at(spans: list[tuple[int, int, str]], offset: int) -> tuple:
+    return tuple(cond for start, end, cond in spans
+                 if start <= offset <= end)
+
+
+def _wire_calls(node: FnNode, call_re: re.Pattern
+                ) -> list[tuple[int, int, str]]:
+    """(offset, line, method) of put*/get* calls in a function body."""
+    out = []
+    for m in call_re.finditer(node.fn.body):
+        line = node.src.line_of(node.fn.body_offset + m.start())
+        out.append((m.start(), line, m.group(2)))
+    return out
+
+
+def _recv_reachable(model: SourceModel, uid: str) -> bool:
+    """Does any transitive caller of `uid` contain a receive edge?"""
+    for caller_uid in model.closure({uid}, "up"):
+        if RECV_RE.search(model.by_uid[caller_uid].fn.body):
+            return True
+    return False
+
+
+def run(files: list[SourceFile],
+        model: SourceModel | None = None) -> list[Violation]:
+    if model is None:
+        model = SourceModel(files)
+    out: list[Violation] = []
+
+    decoders: dict[str, FnNode] = {}
+    encoders: dict[str, FnNode] = {}
+    for node in model.nodes:
+        if node.fn.name.startswith("decode_") and _is_decoder(node):
+            decoders.setdefault(node.fn.name.split("_", 1)[1], node)
+        elif node.fn.name.startswith("encode_"):
+            encoders.setdefault(node.fn.name.split("_", 1)[1], node)
+
+    # -- bounds-unchecked-read (a): raw escapes inside decoders ------------
+    for suffix in sorted(decoders):
+        node = decoders[suffix]
+        for m in RAW_ESCAPE_RE.finditer(node.fn.body):
+            line = node.src.line_of(node.fn.body_offset + m.start())
+            out.append(Violation(
+                node.src.rel, line, "bounds-unchecked-read",
+                f"decode_{suffix} bypasses the checked BufReader "
+                "primitives with raw buffer access; every wire read "
+                "must go through get/get_vec/get_string so underflow "
+                "is caught at the field that drifted"))
+
+    # -- bounds-unchecked-read (b): hand-rolled parsing ---------------------
+    for node in model.nodes:
+        if node.fn.name.startswith(("decode_", "encode_")):
+            continue
+        if node.src.rel.startswith("src/mpr/"):
+            continue  # implements the primitives and the transport
+        readers = set(READER_DECL_RE.findall(node.fn.body))
+        if not readers or not GET_RE.search(node.fn.body):
+            continue
+        if not (RECV_RE.search(node.fn.body)
+                or _recv_reachable(model, node.uid)):
+            continue
+        for m in GET_RE.finditer(node.fn.body):
+            if m.group(1) not in readers:
+                continue  # not a BufReader (e.g. CliArgs::get_string)
+            line = node.src.line_of(node.fn.body_offset + m.start())
+            out.append(Violation(
+                node.src.rel, line, "bounds-unchecked-read",
+                f"{node.fn.qualname}() parses received payload bytes "
+                "by hand; hoist the reads into a decode_* function "
+                "paired with its encode_* so the codec and bounds "
+                "rules can check the field sequence"))
+
+    # -- bounds-missing-exhausted ------------------------------------------
+    for suffix in sorted(decoders):
+        node = decoders[suffix]
+        if EXHAUST_RE.search(node.fn.body):
+            continue  # decoder verifies exhaustion itself
+        if not _recv_reachable(model, node.uid):
+            continue  # encode-only helper or test-local: nothing arrives
+        for caller in model.callers(node.uid):
+            if EXHAUST_RE.search(caller.fn.body):
+                continue  # caller-side exhaustion loop/check
+            for call in caller.calls:
+                if call.name != node.fn.name:
+                    continue
+                out.append(Violation(
+                    caller.src.rel, call.line, "bounds-missing-exhausted",
+                    f"decode_{suffix} ({node.src.rel}:{node.fn.start_line}) "
+                    "neither checks exhaustion itself nor is checked "
+                    "here: trailing payload bytes would be silently "
+                    "ignored; add expect_exhausted() to the decoder or "
+                    "an exhausted() check at this call site"))
+
+    # -- bounds-guard-mismatch ---------------------------------------------
+    for suffix in sorted(set(encoders) & set(decoders)):
+        enc, dec = encoders[suffix], decoders[suffix]
+        eputs = _wire_calls(enc, PUT_RE)
+        dgets = _wire_calls(dec, GET_RE)
+        if len(eputs) != len(dgets):
+            continue  # codec-symmetry owns count mismatches
+        espans = _guard_spans(enc.fn.body)
+        dspans = _guard_spans(dec.fn.body)
+        for i, ((eoff, eline, _), (doff, dline, _)) in enumerate(
+                zip(eputs, dgets)):
+            eg = _guards_at(espans, eoff)
+            dg = _guards_at(dspans, doff)
+            if eg != dg:
+                out.append(Violation(
+                    dec.src.rel, dline, "bounds-guard-mismatch",
+                    f"codec '{suffix}' field {i}: encoder guard stack "
+                    f"{list(eg) or 'unconditional'} != decoder guard "
+                    f"stack {list(dg) or 'unconditional'} "
+                    f"({enc.src.rel}:{eline}); a conditionally written "
+                    "field read under a different condition shifts "
+                    "every later field"))
+    return out

@@ -3,13 +3,20 @@
 Virtual-time correctness rests on two conventions a compiler cannot see:
 
   * `clock-accounting` -- accounted hot-loop work (DP cells filled,
-    characters scanned) published into the metrics registry or per-rank
-    counters must be charged to the VirtualClock in the same file.
-    A counter bump without a matching charge() means the modeled
-    run-time silently under-reports that work (the runtime checker's
-    finalize audit can only catch this on executed paths). Files that
-    never touch a Communicator are exempt: pure builders return their
-    counters to a caller who charges.
+    characters scanned, pairs produced) published into the metrics
+    registry or per-rank counters must be charged to the VirtualClock
+    *somewhere on the same call path*. The pairing is interprocedural
+    over the SourceModel call graph: a bump inside function F pairs
+    with a charge() of the matching cost unit anywhere in F's call-tree
+    family (its transitive callers, plus everything reachable down from
+    any of them -- which covers F's own callees and its siblings'
+    subtrees, e.g. a run() loop that charges in one callee and
+    publishes the counter from another). A counter bump with no charge
+    anywhere in the family means the modeled run-time silently
+    under-reports that work. Functions whose family never touches a
+    Communicator/VirtualClock are exempt: pure builders return their
+    counters to a caller who charges, and the serial baselines do not
+    model virtual time at all.
 
   * determinism bans, structured versions of the repo conventions:
       - `determinism-wall-clock`: wall-clock time sources in a file
@@ -23,26 +30,33 @@ Virtual-time correctness rests on two conventions a compiler cannot see:
       - `determinism-unordered-iter`: range-for over a container
         declared std::unordered_* in the same file. Iteration order is
         implementation-defined; if the loop feeds output, clusters or
-        clock charges the run is non-reproducible. Order-independent
-        reductions must say so with a suppression.
+        clock charges the run is non-reproducible. Loops whose body is
+        provably an order-independent reduction -- nothing but
+        commutative integer accumulation (`x += e`, `++x`,
+        `x = std::min/max(x, e)`) into integral locals -- are accepted
+        without a waiver; anything else must sort first.
       - `determinism-pointer-key`: map/set keyed by pointer; iteration
         order then depends on the allocator.
+
+Cross-function *flows* of nondeterministic values are the detflow
+family's job (tools/analyze/rules_detflow.py); this family owns the
+lexical bans and the accounting pairing.
 """
 
 from __future__ import annotations
 
 import re
 
-from analyze.srcmodel import SourceFile, Violation
+from analyze.srcmodel import SourceFile, SourceModel, Violation, match_paren
 
-# Accounted-work counter -> the CostModel unit that must be charged in
-# the same file.
+# Accounted-work counter -> the CostModel unit that must be charged on
+# the same call path.
 ACCOUNTED = {
     "dp_cells": "dp_cell",
     "chars_scanned": "char_op",
     # Pair production: every PairSource backend meters its batch work via
     # take_work_units(); a driver that publishes the pairs_generated
-    # counter must charge those units to pair_op in the same file.
+    # counter must charge those units to pair_op on the same call path.
     "pairs_generated": "pair_op",
 }
 
@@ -57,50 +71,162 @@ RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;()]*?:\s*([\w.\->]+)\s*\)")
 POINTER_KEY_RE = re.compile(
     r"\b(?:unordered_)?(?:map|set|multimap|multiset)\s*<\s*[\w:]+\s*\*")
 
+VTIME_TOKEN_RE = re.compile(
+    r"\bCommunicator\b|\bVirtualClock\b|\bcharge\s*\(")
+
+INTEGRAL_TYPES = r"(?:std::)?(?:u?int\d*_t|size_t|unsigned|long|int|short)"
+
+# Order-independent reduction statements (commutative over integers).
+_ACCUM_RES = [
+    re.compile(r"^(\w+)\s*\+=\s*[^=;]+$"),
+    re.compile(r"^\+\+\s*(\w+)$"),
+    re.compile(r"^(\w+)\s*\+\+$"),
+    re.compile(r"^(\w+)\s*=\s*std::(?:min|max)\s*\(\s*\1\s*,[^;]*\)$"),
+]
+
 
 def _participates_in_vtime(src: SourceFile) -> bool:
     return bool(re.search(r"\bCommunicator\b|\bVirtualClock\b|\.charge\(",
                           src.code))
 
 
-def run(files: list[SourceFile]) -> list[Violation]:
+def _integral_decl(code: str, var: str) -> bool:
+    return bool(re.search(
+        INTEGRAL_TYPES + r"[\w\s:<>,*&]*?\b" + re.escape(var) + r"\b", code))
+
+
+def _loop_body(code: str, after: int) -> str | None:
+    """Body text of a loop whose for-head closes just before `after`:
+    either the braced block or the single statement up to `;`."""
+    i = after
+    while i < len(code) and code[i].isspace():
+        i += 1
+    if i >= len(code):
+        return None
+    if code[i] == "{":
+        close = match_paren(code, i, "{", "}")
+        return code[i + 1:close] if close > 0 else None
+    end = code.find(";", i)
+    return code[i:end] if end > 0 else None
+
+
+def _order_independent(code: str, body: str) -> bool:
+    """True when every statement in a loop body is a commutative integer
+    accumulation into an integral variable declared in this file -- the
+    machine-checked version of the old 'order-independent reduction'
+    suppression reason."""
+    stmts = [s.strip() for s in body.split(";")]
+    if not any(stmts):
+        return False  # empty loop proves nothing; let a human look
+    for stmt in stmts:
+        if not stmt:
+            continue
+        for rx in _ACCUM_RES:
+            m = rx.match(stmt)
+            if m and _integral_decl(code, m.group(1)):
+                break
+        else:
+            return False
+    return True
+
+
+class _FamilyView:
+    """Per-run cache over the call graph: call-tree families, their
+    vtime connectivity, and unit-charge membership."""
+
+    def __init__(self, model: SourceModel):
+        self.model = model
+        self._vtime: dict[str, bool] = {}
+        self._family: dict[str, frozenset[str]] = {}
+
+    def family(self, uid: str) -> frozenset[str]:
+        got = self._family.get(uid)
+        if got is None:
+            got = frozenset(self.model.family(uid))
+            self._family[uid] = got
+        return got
+
+    def node_vtime(self, uid: str) -> bool:
+        got = self._vtime.get(uid)
+        if got is None:
+            fn = self.model.by_uid[uid].fn
+            got = bool(VTIME_TOKEN_RE.search(fn.body)
+                       or VTIME_TOKEN_RE.search(fn.params))
+            self._vtime[uid] = got
+        return got
+
+    def vtime_connected(self, family: frozenset[str]) -> bool:
+        return any(self.node_vtime(u) for u in family)
+
+    def charges(self, family: frozenset[str], unit: str) -> str | None:
+        """Qualname of a family member charging `unit`, else None."""
+        rx = re.compile(r"charge\s*\([^;]*\b" + unit + r"\b")
+        for u in sorted(family):
+            node = self.model.by_uid[u]
+            if rx.search(node.fn.body):
+                return f"{node.src.rel}:{node.fn.qualname}"
+        return None
+
+
+def run(files: list[SourceFile],
+        model: SourceModel | None = None) -> list[Violation]:
+    if model is None:
+        model = SourceModel(files)
+    fam_view = _FamilyView(model)
     out: list[Violation] = []
     for f in files:
         vtime = _participates_in_vtime(f)
 
-        # clock-accounting: counter bumps must pair with a charge().
-        if vtime:
-            bumps: list[tuple[str, str, int]] = []  # (counter, how, line)
-            # Metrics publications name the counter inside a string
-            # literal, which the code view blanks: scan raw lines, but
-            # only where the code view confirms a counter(...).add call
-            # (so a comment quoting the pattern cannot match).
-            publish_re = re.compile(r'counter\(\s*"[\w.]*?\b(' +
-                                    "|".join(ACCOUNTED) + r')"\s*\)\s*\.add')
-            for lineno, line in enumerate(f.lines, 1):
-                code_line = f.code_lines[lineno - 1] \
-                    if lineno - 1 < len(f.code_lines) else ""
-                if "counter(" not in code_line:
-                    continue
-                m = publish_re.search(line)
-                if m:
-                    bumps.append((m.group(1),
-                                  "published to the metrics registry",
-                                  lineno))
-            accum_re = re.compile(r"\b(" + "|".join(ACCOUNTED) + r")\s*\+=")
-            for m in accum_re.finditer(f.code):
+        # clock-accounting: counter bumps must pair with a charge() of
+        # the matching unit somewhere in the bump's call-tree family.
+        bumps: list[tuple[str, str, int]] = []  # (counter, how, line)
+        # Metrics publications name the counter inside a string
+        # literal, which the code view blanks: scan raw lines, but
+        # only where the code view confirms a counter(...).add call
+        # (so a comment quoting the pattern cannot match).
+        publish_re = re.compile(r'counter\(\s*"[\w.]*?\b(' +
+                                "|".join(ACCOUNTED) + r')"\s*\)\s*\.add')
+        for lineno, line in enumerate(f.lines, 1):
+            code_line = f.code_lines[lineno - 1] \
+                if lineno - 1 < len(f.code_lines) else ""
+            if "counter(" not in code_line:
+                continue
+            m = publish_re.search(line)
+            if m:
                 bumps.append((m.group(1),
-                              "accumulated into per-rank counters",
-                              f.line_of(m.start())))
-            for name, how, lineno in bumps:
-                unit = ACCOUNTED[name]
-                if not re.search(r"charge\([^;]*\b" + unit + r"\b", f.code):
-                    out.append(Violation(
-                        f.rel, lineno, "clock-accounting",
-                        f"accounted work '{name}' is {how} but this file "
-                        f"never charges cost_model().{unit} to the "
-                        "VirtualClock: modeled run-time under-reports "
-                        "this work"))
+                              "published to the metrics registry",
+                              lineno))
+        accum_re = re.compile(r"\b(" + "|".join(ACCOUNTED) + r")\s*\+=")
+        for m in accum_re.finditer(f.code):
+            bumps.append((m.group(1),
+                          "accumulated into per-rank counters",
+                          f.line_of(m.start())))
+        for name, how, lineno in bumps:
+            unit = ACCOUNTED[name]
+            node = model.enclosing(f.rel, lineno)
+            if node is not None:
+                family = fam_view.family(node.uid)
+                if not fam_view.vtime_connected(family):
+                    continue  # pure builder: a non-vtime caller owns it
+                if fam_view.charges(family, unit) is not None:
+                    continue
+                out.append(Violation(
+                    f.rel, lineno, "clock-accounting",
+                    f"accounted work '{name}' is {how} in "
+                    f"{node.fn.qualname}() but no function on its call "
+                    f"paths ({len(family)} candidates) charges "
+                    f"cost_model().{unit} to the VirtualClock: modeled "
+                    "run-time under-reports this work"))
+            elif vtime and not re.search(
+                    r"charge\([^;]*\b" + unit + r"\b", f.code):
+                # Bump outside any extracted function: fall back to the
+                # lexical per-file pairing.
+                out.append(Violation(
+                    f.rel, lineno, "clock-accounting",
+                    f"accounted work '{name}' is {how} but this file "
+                    f"never charges cost_model().{unit} to the "
+                    "VirtualClock: modeled run-time under-reports "
+                    "this work"))
 
         # determinism-wall-clock (only in virtual-time-modeled files).
         if vtime:
@@ -125,14 +251,18 @@ def run(files: list[SourceFile]) -> list[Violation]:
         if unordered_vars:
             for m in RANGE_FOR_RE.finditer(f.code):
                 target = m.group(1).split(".")[-1].split(">")[-1]
-                if target in unordered_vars:
-                    out.append(Violation(
-                        f.rel, f.line_of(m.start()),
-                        "determinism-unordered-iter",
-                        f"iteration over unordered container '{target}': "
-                        "order is implementation-defined; sort first, or "
-                        "suppress with the reason the loop is "
-                        "order-independent"))
+                if target not in unordered_vars:
+                    continue
+                body = _loop_body(f.code, m.end())
+                if body is not None and _order_independent(f.code, body):
+                    continue  # machine-proved commutative reduction
+                out.append(Violation(
+                    f.rel, f.line_of(m.start()),
+                    "determinism-unordered-iter",
+                    f"iteration over unordered container '{target}': "
+                    "order is implementation-defined and the body is "
+                    "not a provable order-independent integer "
+                    "reduction; sort first"))
 
         # determinism-pointer-key.
         for m in POINTER_KEY_RE.finditer(f.code):

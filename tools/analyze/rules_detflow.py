@@ -1,0 +1,47 @@
+"""Rule family: detflow -- nondeterminism taint must not reach
+determinism sinks along any call path.
+
+The per-file `clock` family already bans nondeterminism *sources*
+lexically (wall-clock in vtime files, rand anywhere, unordered
+iteration). What it cannot see is laundering: a helper reads the wall
+clock, returns the value, and two calls later it lands in a metric or a
+charge(). This family runs the flow engine over the whole-tree call
+graph and reports every source->sink reach that crosses a function
+boundary. Same-function reaches are left to the lexical rules -- one
+defect, one report.
+
+Two source kinds are reported even same-function, because no lexical
+rule owns them: `env` (environment reads outside config parsing) and
+`pointer-cast` (pointer values converted to integers, which makes
+allocator addresses observable).
+
+The escape hatch is not ESTCLUST-SUPPRESS but the flow-specific
+`// ESTCLUST-DETFLOW-SANITIZED(reason)` cut point, placed where the
+flow is provably harmless (the covered line neither seeds nor
+propagates taint). Rule ids: detflow-wall-clock, detflow-rand,
+detflow-pointer-cast, detflow-unordered-iter, detflow-env.
+"""
+
+from __future__ import annotations
+
+from analyze.flow import FlowEngine
+from analyze.srcmodel import SourceModel, Violation
+
+# Source kinds with no lexical twin: report even same-function reaches.
+ALWAYS_REPORT = ("env", "pointer-cast")
+
+
+def run(model: SourceModel) -> list[Violation]:
+    out: list[Violation] = []
+    for reach in FlowEngine(model).run():
+        t = reach.taint
+        if not t.via_call and t.source.kind not in ALWAYS_REPORT:
+            continue  # same-function: the lexical determinism rule owns it
+        chain = " -> ".join(t.chain) if t.chain else "directly"
+        out.append(Violation(
+            reach.rel, reach.line, f"detflow-{t.source.kind}",
+            f"{t.source.render()} reaches {reach.sink_desc} here "
+            f"({chain}); determinism sinks must only see virtual-time/"
+            "seeded values -- cut the flow or annotate the proof with "
+            "ESTCLUST-DETFLOW-SANITIZED(reason)"))
+    return out

@@ -37,7 +37,8 @@ from analyze.srcmodel import (EXPECT_RE, EXPECT_STALE_RE,
                               EXPECT_SUPPRESSED_RE, SourceFile)
 
 FIXTURES = Path(__file__).resolve().parent / "fixtures"
-MAIN_FAMILIES = ["codec", "tags", "clock", "obs", "conventions"]
+MAIN_FAMILIES = ["codec", "tags", "clock", "detflow", "bounds", "obs",
+                 "conventions"]
 
 
 def run() -> int:
@@ -103,12 +104,16 @@ def run() -> int:
         failures.append("no clean fixture present")
     if not any("suppressed" in f.rel for f in files):
         failures.append("no suppression fixture present")
+    if not any("sanitized" in f.rel for f in files):
+        failures.append("no DETFLOW-SANITIZED fixture present")
 
     rules_fired = {rule for (_, _, rule) in expected}
     for family_marker in ("codec-symmetry", "tag-protocol",
                           "clock-accounting", "determinism-rand",
                           "conventions-assert", "obs-span-literal",
-                          "obs-category-clash"):
+                          "obs-category-clash", "detflow-wall-clock",
+                          "bounds-unchecked-read", "bounds-missing-exhausted",
+                          "bounds-guard-mismatch"):
         if family_marker not in rules_fired:
             failures.append(f"fixture coverage gap: no fixture exercises "
                             f"{family_marker}")

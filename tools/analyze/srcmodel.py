@@ -16,6 +16,11 @@ from pathlib import Path
 SUPPRESS_RE = re.compile(
     r"ESTCLUST-SUPPRESS\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\)\s*:\s*(\S.*)"
 )
+# Explicit taint cut point for the detflow family: the annotated line (and
+# the line below it, so the comment can ride above a statement) does not
+# propagate nondeterminism taint. The reason is mandatory -- a cut point
+# is a human proof obligation, not a mute button.
+SANITIZED_RE = re.compile(r"ESTCLUST-DETFLOW-SANITIZED\((\S[^)]*)\)")
 EXPECT_RE = re.compile(r"ESTCLUST-EXPECT\(([a-z0-9-]+)\)")
 EXPECT_SUPPRESSED_RE = re.compile(r"ESTCLUST-EXPECT-SUPPRESSED\((\d+)\)")
 EXPECT_STALE_RE = re.compile(r"ESTCLUST-EXPECT-STALE\((\d+)\)")
@@ -56,6 +61,42 @@ class Function:
     params: str  # parameter list text (code view)
     body: str  # body text between braces (code view)
     body_offset: int  # char offset of the body within the file's code view
+    qual: str = ""  # class qualifier for out-of-line members ("Master")
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.qual}::{self.name}" if self.qual else self.name
+
+
+# Keywords and statement heads that look like `name (` but are never
+# function definitions or calls.
+_NOT_A_CALL = frozenset({
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "throw",
+    "static_cast", "reinterpret_cast", "const_cast", "dynamic_cast",
+    "alignof", "decltype", "noexcept", "constexpr", "static_assert",
+    "defined", "assert", "new", "delete", "operator", "requires",
+})
+
+CALL_RE = re.compile(r"(?:\b(\w+)\s*(?:<[^<>;(){}]*>)?\s*::\s*)?"
+                     r"\b([A-Za-z_]\w*)\s*\(")
+
+
+def calls_in(body: str) -> list[tuple[str, str, int]]:
+    """Call sites in a function body (code view): (qualifier, callee name,
+    offset of the callee name within `body`). The qualifier is whatever
+    sits before a trailing `::` -- a class, a namespace, or `std`; the
+    resolver decides what to make of it. Macro-style invocations resolve
+    to nothing later because macros are never extracted as functions."""
+    out: list[tuple[str, str, int]] = []
+    for m in CALL_RE.finditer(body):
+        name = m.group(2)
+        if name in _NOT_A_CALL:
+            continue
+        # Skip definition-ish noise: `name (` directly preceded by `.` or
+        # `->` is a member call (keep); preceded by `&` it is usually a
+        # function pointer reference (keep too -- conservative).
+        out.append((m.group(1) or "", name, m.start(2)))
+    return out
 
 
 def strip_code(text: str) -> str:
@@ -144,20 +185,28 @@ def normalize_type(t: str) -> str:
 class SourceFile:
     """One parsed source file: raw text, code view, suppressions."""
 
-    def __init__(self, path: Path, rel: str):
+    def __init__(self, path: Path, rel: str, code: str | None = None,
+                 text: str | None = None):
         self.path = path
         self.rel = rel
-        self.text = path.read_text(encoding="utf-8")
-        self.code = strip_code(self.text)
+        self.text = path.read_text(encoding="utf-8") if text is None else text
+        # `code` lets the cache skip re-tokenization; it must be the
+        # strip_code() of exactly this text (cache.py asserts that).
+        self.code = strip_code(self.text) if code is None else code
         self.lines = self.text.splitlines()
         self.code_lines = self.code.splitlines()
+        self._functions: list[Function] | None = None
         self.suppressions: list[Suppression] = []
+        self.sanitized: dict[int, str] = {}  # line -> reason
         for lineno, line in enumerate(self.lines, 1):
             m = SUPPRESS_RE.search(line)
             if m:
                 rules = [r.strip() for r in m.group(1).split(",")]
                 self.suppressions.append(
                     Suppression(lineno, rules, m.group(2).strip()))
+            sm = SANITIZED_RE.search(line)
+            if sm:
+                self.sanitized[lineno] = sm.group(1).strip()
 
     def line_of(self, offset: int) -> int:
         """1-based line number of a char offset into the code view."""
@@ -171,39 +220,91 @@ class SourceFile:
                 return s
         return None
 
+    def sanitized_at(self, line: int) -> str | None:
+        """Reason text if a DETFLOW-SANITIZED annotation covers `line`
+        (same coverage shape as suppressions: own line and the next)."""
+        return self.sanitized.get(line) or self.sanitized.get(line - 1)
+
     def functions(self, name_re: str = r"[A-Za-z_]\w*") -> list[Function]:
         """Free/member function definitions whose name matches `name_re`.
-        A definition is `name ( ... ) { ... }` with nothing but
-        qualifiers/specifiers between ')' and '{'."""
+        Extraction runs once per file and is filtered on demand (the
+        source-model cache injects the extracted list directly)."""
+        if self._functions is None:
+            self._functions = self._extract_functions()
+        if name_re == r"[A-Za-z_]\w*":
+            return list(self._functions)
+        rx = re.compile(name_re)
+        return [f for f in self._functions if rx.fullmatch(f.name)]
+
+    def _extract_functions(self) -> list[Function]:
+        """A definition is `[Class ::] name ( ... ) { ... }` with nothing
+        but qualifiers/specifiers (or a constructor initializer list)
+        between ')' and '{'."""
         out: list[Function] = []
-        for m in re.finditer(r"\b(" + name_re + r")\s*\(", self.code):
-            name = m.group(1)
-            if name in ("if", "for", "while", "switch", "return", "sizeof",
-                        "catch", "static_cast", "reinterpret_cast"):
+        name_re = r"[A-Za-z_]\w*"
+        pattern = (r"(?:\b(\w+)\s*::\s*)?\b(" + name_re + r")\s*\(")
+        for m in re.finditer(pattern, self.code):
+            name = m.group(2)
+            if name in _NOT_A_CALL:
                 continue
             open_idx = m.end() - 1
             close_idx = match_paren(self.code, open_idx)
             if close_idx < 0:
                 continue
-            after = self.code[close_idx + 1:close_idx + 120]
-            am = re.match(
-                r"\s*(?:const|noexcept|override|final|->\s*[\w:<>&*\s]+)*\s*\{",
-                after)
-            if not am:
+            body_open = self._body_open_after(close_idx)
+            if body_open < 0:
                 continue
-            body_open = close_idx + 1 + am.end() - 1
             body_close = match_paren(self.code, body_open, "{", "}")
             if body_close < 0:
                 continue
             out.append(Function(
                 name=name,
-                start_line=self.line_of(m.start()),
+                qual=m.group(1) or "",
+                start_line=self.line_of(m.start(2)),
                 end_line=self.line_of(body_close),
                 params=self.code[open_idx + 1:close_idx],
                 body=self.code[body_open + 1:body_close],
                 body_offset=body_open + 1,
             ))
         return out
+
+    def _body_open_after(self, close_idx: int) -> int:
+        """Offset of the body `{` following a parameter list's `)`, or -1
+        if this isn't a definition. Tolerates trailing qualifiers and a
+        constructor initializer list (`: a_(x), b_{y} {`)."""
+        after = self.code[close_idx + 1:close_idx + 160]
+        am = re.match(
+            r"\s*(?:const|noexcept|override|final|->\s*[\w:<>&*\s]+)*\s*",
+            after)
+        pos = close_idx + 1 + am.end()
+        if pos < len(self.code) and self.code[pos] == "{":
+            return pos
+        if pos >= len(self.code) or self.code[pos] != ":":
+            return -1
+        # Constructor initializer list: scan forward at top level; a `{`
+        # whose matching `}` is NOT followed by `,` ends the list and
+        # opens the body (brace-init members like `f_{x},` keep going).
+        i = pos + 1
+        limit = min(len(self.code), pos + 4000)
+        while i < limit:
+            c = self.code[i]
+            if c == "(":
+                i = match_paren(self.code, i)
+                if i < 0:
+                    return -1
+            elif c == "{":
+                close = match_paren(self.code, i, "{", "}")
+                if close < 0:
+                    return -1
+                nxt = re.match(r"\s*,", self.code[close + 1:close + 40])
+                if nxt:
+                    i = close
+                else:
+                    return i
+            elif c == ";":
+                return -1
+            i += 1
+        return -1
 
     def struct_fields(self) -> dict[str, dict[str, str]]:
         """struct name -> {field name -> declared type (normalized)}.
@@ -232,3 +333,125 @@ class SourceFile:
                     fields[fname] = normalize_type(dtype)
             out[name] = fields
         return out
+
+
+@dataclass
+class CallSite:
+    qual: str  # qualifier text before `::` at the call, "" if none
+    name: str
+    line: int  # 1-based line in the caller's file
+    offset: int  # char offset of the callee name within the caller's body
+
+
+@dataclass
+class FnNode:
+    uid: str  # "<rel>:<qualname>:<start_line>" -- stable and unique
+    src: "SourceFile"
+    fn: Function
+    calls: list[CallSite] = field(default_factory=list)
+
+
+class SourceModel:
+    """Whole-tree function index plus a conservative name-based call
+    graph. Resolution is by simple name; when the call spells a `Class::`
+    qualifier that matches some definition's qualifier, candidates narrow
+    to those (namespace qualifiers fall through to the name match). Edges
+    only point at functions *defined* in the scanned tree, so std:: and
+    macro calls resolve to nothing. Over-approximate by design: a rule
+    that walks the graph may visit functions the program never calls,
+    never the reverse."""
+
+    def __init__(self, files: list["SourceFile"]):
+        self.files = files
+        self.nodes: list[FnNode] = []
+        self.by_uid: dict[str, FnNode] = {}
+        self.by_name: dict[str, list[FnNode]] = {}
+        self.by_file: dict[str, list[FnNode]] = {}
+        for src in files:
+            file_nodes: list[FnNode] = []
+            for fn in src.functions():
+                uid = f"{src.rel}:{fn.qualname}:{fn.start_line}"
+                calls = [
+                    CallSite(q, n, src.line_of(fn.body_offset + off), off)
+                    for (q, n, off) in calls_in(fn.body)
+                ]
+                node = FnNode(uid, src, fn, calls)
+                file_nodes.append(node)
+                self.nodes.append(node)
+                self.by_uid[uid] = node
+                self.by_name.setdefault(fn.name, []).append(node)
+            self.by_file[src.rel] = file_nodes
+        # Edge maps, deduplicated, deterministic order (uid-sorted).
+        self._callees: dict[str, list[str]] = {}
+        self._callers: dict[str, set[str]] = {n.uid: set() for n in self.nodes}
+        for node in self.nodes:
+            outs: set[str] = set()
+            for call in node.calls:
+                for target in self.resolve(call):
+                    if target.uid != node.uid:
+                        outs.add(target.uid)
+                        self._callers[target.uid].add(node.uid)
+            self._callees[node.uid] = sorted(outs)
+
+    def resolve(self, call: CallSite) -> list[FnNode]:
+        candidates = self.by_name.get(call.name, [])
+        if call.qual:
+            qualified = [c for c in candidates if c.fn.qual == call.qual]
+            if qualified:
+                return qualified
+        return candidates
+
+    def callees(self, uid: str) -> list[FnNode]:
+        return [self.by_uid[u] for u in self._callees.get(uid, [])]
+
+    def callers(self, uid: str) -> list[FnNode]:
+        return [self.by_uid[u] for u in sorted(self._callers.get(uid, ()))]
+
+    def enclosing(self, rel: str, line: int) -> FnNode | None:
+        """Innermost function containing `line` in file `rel`."""
+        best: FnNode | None = None
+        for node in self.by_file.get(rel, []):
+            if node.fn.start_line <= line <= node.fn.end_line:
+                if best is None or (node.fn.end_line - node.fn.start_line <
+                                    best.fn.end_line - best.fn.start_line):
+                    best = node
+        return best
+
+    def closure(self, seeds: set[str], direction: str) -> set[str]:
+        """Transitive closure over callees ("down") or callers ("up"),
+        seeds included."""
+        step = self._callees.get if direction == "down" else \
+            (lambda u: self._callers.get(u, ()))
+        seen = set(seeds)
+        work = list(seeds)
+        while work:
+            for nxt in step(work.pop()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    work.append(nxt)
+        return seen
+
+    def family(self, uid: str) -> set[str]:
+        """The call-tree family of a function: every ancestor caller, plus
+        everything reachable down from any of those (which includes the
+        function's own callees and its siblings' subtrees). This is the
+        set in which a counter bump may find its matching charge()."""
+        return self.closure(self.closure({uid}, "up"), "down")
+
+    def to_json(self) -> dict:
+        """Deterministic document for the callgraph.json artifact."""
+        functions = []
+        for node in sorted(self.nodes, key=lambda n: n.uid):
+            functions.append({
+                "uid": node.uid,
+                "file": node.src.rel,
+                "name": node.fn.name,
+                "qual": node.fn.qual,
+                "lines": [node.fn.start_line, node.fn.end_line],
+                "calls": self._callees.get(node.uid, []),
+            })
+        return {
+            "schema": "estclust-callgraph-v1",
+            "files": sorted(self.by_file),
+            "functions": functions,
+        }

@@ -37,6 +37,9 @@ REQUIRED_TESTS = (
     "analyze",
     "analyze_selftest",
     "analyze_proto",
+    "analyze_clock",
+    "analyze_detflow",
+    "analyze_bounds",
     "trace_validate",
     "headers_standalone",
     "profile_smoke",
