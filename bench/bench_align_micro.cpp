@@ -142,5 +142,88 @@ int main(int argc, char** argv) {
               << "clusters never change. Banding turns the\nquadratic full "
               << "matrix into a linear strip.\n";
   }
+
+  // --- Wall-clock: scalar vs SIMD band sweeps on the same pair set. ---
+  // Real time, so machine-dependent: opt-in via --wallclock and gated by
+  // the bench_wallclock ctest through relative speedups only. Every
+  // variant must also reproduce the scalar scores and cell counts exactly
+  // — a mismatch is a hard failure, not a slow row.
+  if (args.has_flag("wallclock")) {
+    Reporter wall("align_wallclock",
+                  {"kernel", "len", "pairs", "reps", "cells",
+                   "kernel wall s", "speedup vs scalar"},
+                  args);
+    if (!wall.json_mode()) {
+      std::cout << "\nKernel variants, wall-clock per sweep over one pair "
+                   "set (band 8):\n\n";
+    }
+    std::vector<align::KernelVariant> variants{
+        align::KernelVariant::kScalar};
+    if (align::cpu_supports(align::KernelVariant::kSse2)) {
+      variants.push_back(align::KernelVariant::kSse2);
+    }
+    if (align::cpu_supports(align::KernelVariant::kAvx2)) {
+      variants.push_back(align::KernelVariant::kAvx2);
+    }
+    const std::size_t kBand = 8;
+    align::Scoring sc;
+    align::AlignArena arena;
+    for (std::size_t len : {std::size_t{200}, std::size_t{400}}) {
+      std::vector<std::pair<std::string, std::string>> cases;
+      Prng rng(1234 + len);
+      for (int i = 0; i < 8; ++i) {
+        std::string a = random_dna(rng, len);
+        std::string b = a;
+        for (auto& ch : b) {
+          if (rng.bernoulli(0.02)) {
+            ch = bio::decode_base(
+                (bio::encode_base(ch) + 1 + static_cast<int>(rng.uniform(3)))
+                % 4);
+          }
+        }
+        cases.emplace_back(std::move(a), std::move(b));
+      }
+      const std::size_t reps = 240000 / len;
+      double scalar_s = 0.0;
+      long scalar_sum = 0;
+      std::uint64_t scalar_cells = 0;
+      for (const align::KernelVariant v : variants) {
+        long sum = 0;
+        std::uint64_t cells = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t r = 0; r < reps; ++r) {
+          for (const auto& [a, b] : cases) {
+            const auto res =
+                align::extend_overlap_variant(v, a, b, sc, kBand, arena);
+            sum += res.score + static_cast<long>(res.a_len);
+            cells += res.cells;
+          }
+        }
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        if (v == align::KernelVariant::kScalar) {
+          scalar_s = secs;
+          scalar_sum = sum;
+          scalar_cells = cells;
+        } else if (sum != scalar_sum || cells != scalar_cells) {
+          std::cerr << "FATAL: kernel " << align::to_string(v)
+                    << " diverged from scalar at len " << len << "\n";
+          return 1;
+        }
+        wall.add_row({align::to_string(v), TablePrinter::fmt(len),
+                      TablePrinter::fmt(cases.size()),
+                      TablePrinter::fmt(reps), TablePrinter::fmt(cells),
+                      TablePrinter::fmt(secs, 6),
+                      TablePrinter::fmt(scalar_s / secs, 3)});
+      }
+    }
+    wall.print(std::cout);
+    if (!wall.json_mode()) {
+      std::cout << "\nSpeedups are relative to the scalar sweep in this "
+                   "same process; scores and\ncell counts are asserted "
+                   "identical across variants before timing is reported.\n";
+    }
+  }
   return 0;
 }

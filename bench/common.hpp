@@ -176,8 +176,15 @@ class Reporter {
           std::cout << '"' << json_escape(cells[i]) << '"';
         }
       }
-      char wall[32];
-      std::snprintf(wall, sizeof(wall), "%.6f", wall_s);
+      // %.17g, the round-trip-exact convention used everywhere else
+      // (obs/profile.cpp): %.6f truncated sub-microsecond rows to 0 and a
+      // comma-decimal locale would break every --json consumer. snprintf
+      // still honors the C locale's decimal point, so normalize defensively.
+      char wall[64];
+      std::snprintf(wall, sizeof(wall), "%.17g", wall_s);
+      for (char* p = wall; *p; ++p) {
+        if (*p == ',') *p = '.';
+      }
       std::cout << ",\"wall_s\":" << wall << "}\n";
     }
     table_.add_row(std::move(cells));

@@ -1,0 +1,84 @@
+#include "align/dispatch.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "align/kernel_simd.hpp"
+#include "util/check.hpp"
+
+namespace estclust::align {
+
+namespace {
+
+bool cpu_has_sse2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("sse2");
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const char* to_string(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::kSse2:
+      return "sse2";
+    case KernelVariant::kAvx2:
+      return "avx2";
+    case KernelVariant::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+bool cpu_supports(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::kSse2:
+      return detail::have_sse2_kernel() && cpu_has_sse2();
+    case KernelVariant::kAvx2:
+      return detail::have_avx2_kernel() && cpu_has_avx2();
+    case KernelVariant::kScalar:
+      break;
+  }
+  return true;
+}
+
+KernelVariant resolve_kernel(const char* env, bool sse2_ok, bool avx2_ok) {
+  const std::string_view req = env ? std::string_view(env) : std::string_view();
+  if (req.empty() || req == "auto") {
+    if (avx2_ok) return KernelVariant::kAvx2;
+    if (sse2_ok) return KernelVariant::kSse2;
+    return KernelVariant::kScalar;
+  }
+  if (req == "scalar") return KernelVariant::kScalar;
+  if (req == "sse2") {
+    return sse2_ok ? KernelVariant::kSse2 : KernelVariant::kScalar;
+  }
+  if (req == "avx2") {
+    if (avx2_ok) return KernelVariant::kAvx2;
+    return sse2_ok ? KernelVariant::kSse2 : KernelVariant::kScalar;
+  }
+  ESTCLUST_CHECK_MSG(false, "ESTCLUST_KERNEL must be scalar|sse2|avx2|auto, "
+                            "got '" << req << "'");
+  return KernelVariant::kScalar;
+}
+
+KernelVariant active_kernel() {
+  // ESTCLUST-DETFLOW-SANITIZED(every variant is bit-identical by the differential/fuzz contract, so the choice can never reach scores, cells or any charged quantity; the env value only names the implementation in the kernel.variant attribution counter)
+  static const KernelVariant v =
+      resolve_kernel(std::getenv("ESTCLUST_KERNEL"),
+                     cpu_supports(KernelVariant::kSse2),
+                     cpu_supports(KernelVariant::kAvx2));
+  return v;
+}
+
+}  // namespace estclust::align

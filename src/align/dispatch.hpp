@@ -1,0 +1,32 @@
+// Runtime selection of the banded-DP kernel variant.
+//
+// The scalar sweep is the reference and the always-available fallback; the
+// SSE2/AVX2 sweeps are drop-in replacements that must return bit-identical
+// results. Selection happens once per process: the ESTCLUST_KERNEL
+// environment variable (scalar|sse2|avx2|auto, default auto) intersected
+// with what the CPU supports and what was compiled in. A variant that was
+// requested but is unavailable degrades to the next-best available one, so
+// a pinned config stays runnable on older hardware.
+#pragma once
+
+namespace estclust::align {
+
+enum class KernelVariant { kScalar, kSse2, kAvx2 };
+
+/// Stable lowercase name ("scalar", "sse2", "avx2") for metrics and traces.
+const char* to_string(KernelVariant v);
+
+/// True iff this host can run `v`: the CPU advertises the instruction set
+/// and the corresponding sweep was compiled in. kScalar is always true.
+bool cpu_supports(KernelVariant v);
+
+/// Pure resolution rule (unit-testable): maps an ESTCLUST_KERNEL value
+/// (nullptr/"" and "auto" mean best-available) and the host's capabilities
+/// to the variant to run. Unknown values fail loudly (CheckError).
+KernelVariant resolve_kernel(const char* env, bool sse2_ok, bool avx2_ok);
+
+/// The process-wide variant: resolve_kernel(getenv("ESTCLUST_KERNEL"), ...)
+/// evaluated once on first use and cached.
+KernelVariant active_kernel();
+
+}  // namespace estclust::align

@@ -3,13 +3,33 @@
 #include <algorithm>
 #include <cmath>
 
+#include "align/kernel_simd.hpp"
 #include "util/check.hpp"
 
 namespace estclust::align {
 
 namespace {
 
-constexpr long kNegInf = std::numeric_limits<long>::min() / 4;
+constexpr long kNegInf = detail::kNegInfScore;
+
+// Bands wider than the longer string change nothing: every row's live
+// j-range is already clipped to [0, n], so clamping the band to max(m, n)
+// leaves the live cell set of every row — and therefore scores, end
+// positions and cell counts — identical, while keeping width = 2*band + 1
+// from overflowing or allocating rows the sweep can never touch.
+std::size_t clamp_band(std::size_t band, std::size_t m, std::size_t n) {
+  const std::size_t cap = std::max(m, n);
+  return band > cap ? cap : band;
+}
+
+// Strict uppercase ACGT, so 2-bit code equality in the SIMD sweeps agrees
+// with the scalar sweep's byte comparison.
+bool codes_clean(std::string_view s) {
+  for (char c : s) {
+    if (c != 'A' && c != 'C' && c != 'G' && c != 'T') return false;
+  }
+  return true;
+}
 
 // The band sweep shared by the exact and bounded modes. Bounded is a
 // compile-time flag so the exact hot loop carries no bound bookkeeping.
@@ -20,6 +40,7 @@ constexpr long kNegInf = std::numeric_limits<long>::min() / 4;
 // them). So max(cur[j] + match * min(m - i, n - j)) bounds every boundary
 // cell still ahead; if that bound and the best boundary cell seen so far
 // are both below `give_up`, the final score is certainly below `give_up`.
+// `band` must arrive pre-clamped (clamp_band) so width cannot overflow.
 template <bool Bounded>
 ExtensionResult band_sweep(std::string_view a, std::string_view b,
                            const Scoring& sc, std::size_t band,
@@ -83,13 +104,15 @@ ExtensionResult band_sweep(std::string_view a, std::string_view b,
     const std::size_t jlo = (i > band) ? i - band : 0;
     if (jlo > n) break;  // band has left the rectangle
     const std::size_t jhi = std::min(n, i + band);
-    const std::size_t klo = jlo - i + band;
-    const std::size_t khi = jhi - i + band;
+    // Wrap-free forms of jlo - i + band / jhi - i + band (i - jlo <= band
+    // by construction; jhi >= i - band whenever the row is live).
+    const std::size_t klo = band - (i - jlo);
+    const std::size_t khi = (jhi >= i) ? jhi - i + band : band - (i - jhi);
     if (klo > 0) cur[klo - 1] = kNegInf;
     if (khi + 1 < width) cur[khi + 1] = kNegInf;
     [[maybe_unused]] long row_ub = kNegInf;
     for (std::size_t j = jlo; j <= jhi; ++j) {
-      const std::size_t k = j - i + band;  // in [0, width)
+      const std::size_t k = klo + (j - jlo);  // in [0, width)
       long v = kNegInf;
       // Diagonal from (i-1, j-1): window offset k in the previous row.
       if (j > 0 && prev[k] != kNegInf) {
@@ -257,6 +280,25 @@ OverlapResult anchored_core(std::string_view a, std::string_view b,
 
 }  // namespace
 
+namespace detail {
+
+bool simd_eligible(std::string_view a, std::string_view b, const Scoring& sc,
+                   long give_up) {
+  if (sc.match < 0 || sc.mismatch > 0 || sc.gap > 0) return false;
+  const long maxcoef = std::max(
+      {static_cast<long>(sc.match), -static_cast<long>(sc.mismatch),
+       -static_cast<long>(sc.gap), 1L});
+  if (maxcoef > kSimdMaxMass) return false;
+  const std::size_t mass = a.size() + b.size() + 2;
+  if (static_cast<long>(mass) > kSimdMaxMass / maxcoef) return false;
+  if (give_up != kNoGiveUp && give_up <= static_cast<long>(kDead16)) {
+    return false;
+  }
+  return codes_clean(a) && codes_clean(b);
+}
+
+}  // namespace detail
+
 AlignArena& tls_arena() {
   thread_local AlignArena arena;
   return arena;
@@ -265,6 +307,22 @@ AlignArena& tls_arena() {
 ExtensionResult extend_overlap(std::string_view a, std::string_view b,
                                const Scoring& sc, std::size_t band,
                                AlignArena& arena, long give_up) {
+  return extend_overlap_variant(active_kernel(), a, b, sc, band, arena,
+                                give_up);
+}
+
+ExtensionResult extend_overlap_variant(KernelVariant variant,
+                                       std::string_view a, std::string_view b,
+                                       const Scoring& sc, std::size_t band,
+                                       AlignArena& arena, long give_up) {
+  band = clamp_band(band, a.size(), b.size());
+  if (variant != KernelVariant::kScalar && cpu_supports(variant) &&
+      detail::simd_eligible(a, b, sc, give_up)) {
+    if (variant == KernelVariant::kAvx2) {
+      return detail::band_sweep_avx2(a, b, sc, band, arena, give_up);
+    }
+    return detail::band_sweep_sse2(a, b, sc, band, arena, give_up);
+  }
   if (give_up == kNoGiveUp) {
     return band_sweep<false>(a, b, sc, band, arena, give_up);
   }
@@ -280,6 +338,7 @@ long banded_global_score(std::string_view a, std::string_view b,
     if (cells_out) *cells_out = 0;
     return kNegInf;
   }
+  band = clamp_band(band, m, n);
   const std::size_t width = 2 * band + 1;
   arena.ensure_width(width);
   long* prev = arena.prev.data();
@@ -294,12 +353,12 @@ long banded_global_score(std::string_view a, std::string_view b,
   for (std::size_t i = 1; i <= m; ++i) {
     const std::size_t jlo = (i > band) ? i - band : 0;
     const std::size_t jhi = std::min(n, i + band);
-    const std::size_t klo = jlo - i + band;
-    const std::size_t khi = jhi - i + band;
+    const std::size_t klo = band - (i - jlo);
+    const std::size_t khi = (jhi >= i) ? jhi - i + band : band - (i - jhi);
     if (klo > 0) cur[klo - 1] = kNegInf;
     if (khi + 1 < width) cur[khi + 1] = kNegInf;
     for (std::size_t j = jlo; j <= jhi; ++j) {
-      const std::size_t k = j - i + band;
+      const std::size_t k = klo + (j - jlo);
       long v = kNegInf;
       if (j > 0 && prev[k] != kNegInf) {
         v = prev[k] + (a[i - 1] == b[j - 1] ? sc.match : sc.mismatch);
@@ -317,7 +376,7 @@ long banded_global_score(std::string_view a, std::string_view b,
   }
   if (cells_out) *cells_out = cells;
   // |n - m| <= band was checked above, so this index is inside the window.
-  return prev[n - m + band];
+  return prev[(n >= m) ? n - m + band : band - (m - n)];
 }
 
 OverlapResult align_anchored(std::string_view a, std::string_view b,

@@ -22,8 +22,16 @@
 //    acceptance verdicts — and therefore clusters — are unchanged.
 //    Without a bound (kNoGiveUp) the kernel is bit-identical to the
 //    pre-arena implementation.
+//
+//  * A SIMD band sweep (SSE2/AVX2, 16-bit lanes) behind a one-time runtime
+//    dispatch (dispatch.hpp). The vector sweeps are bit-identical to the
+//    scalar one — same scores, end positions, capped flags and DP-cell
+//    counts — so accounting, verdicts and clusters are variant-invariant.
+//    Pairs outside the vector kernels' value-range envelope silently take
+//    the scalar path.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -32,6 +40,7 @@
 
 #include "align/anchored.hpp"
 #include "align/banded.hpp"
+#include "align/dispatch.hpp"
 #include "align/scoring.hpp"
 
 namespace estclust::align {
@@ -42,14 +51,95 @@ struct AlignArena {
   std::vector<long> prev, cur;  ///< band rows, (2*band + 1) wide
   std::string rev_a, rev_b;     ///< reversed prefixes for leftward extension
 
-  /// Grows the band rows to at least `width` cells. Contents are not
+  // SIMD scratch: 16-bit band rows (width + kSimdRowPad so full-vector
+  // loads/stores past the live range stay in bounds) and byte-per-base
+  // code buffers unpacked from the 2-bit packing. codes_b carries one
+  // front pad byte so lane loads for j = 0 read memory, not UB; the
+  // corresponding diagonal input is a dead guard cell, so the pad value
+  // never reaches a live cell.
+  std::vector<std::int16_t> prev16, cur16;
+  std::vector<std::uint8_t> codes_a, codes_b;
+  std::vector<std::uint64_t> pack_words;  ///< 2-bit packing scratch
+
+  /// Slack past the (2*band + 1) live window for unmasked vector tails.
+  static constexpr std::size_t kSimdRowPad = 32;
+
+  /// Shrink policy: after this many consecutive ensure_width calls that
+  /// need at most half the current row capacity, the arena decays to the
+  /// peak width of that streak. One pathological long pair therefore no
+  /// longer pins high-water band memory for the rest of a slave's life.
+  static constexpr std::size_t kShrinkAfterUses = 512;
+
+  /// Grows the band rows to at least `width` cells (shrinking them again
+  /// after a long streak of much smaller requests). Contents are not
   /// preserved; the kernel re-seeds both rows on entry.
   void ensure_width(std::size_t width) {
-    if (prev.size() < width) {
+    if (width > prev.size()) {
       prev.resize(width);
       cur.resize(width);
+      streak_ = 0;
+      streak_peak_ = 0;
+    } else if (2 * width <= prev.size()) {
+      // streak_peak_ accumulates only widths seen during the streak — if
+      // it carried the grown capacity, shrink_to would be a no-op and one
+      // pathological pair would pin band memory forever.
+      streak_peak_ = std::max(streak_peak_, width);
+      if (++streak_ >= kShrinkAfterUses) shrink_to(streak_peak_);
+    } else {
+      streak_ = 0;
+      streak_peak_ = 0;
     }
+    high_water_ = std::max(high_water_, bytes());
   }
+
+  /// ensure_width plus the SIMD row/code buffers for an (m, n) pair.
+  void ensure_simd(std::size_t width, std::size_t m, std::size_t n) {
+    ensure_width(width);
+    const std::size_t rows = width + kSimdRowPad;
+    if (prev16.size() < rows) {
+      prev16.resize(rows);
+      cur16.resize(rows);
+    }
+    if (codes_a.size() < m) codes_a.resize(m);
+    if (codes_b.size() < n + 1 + kSimdRowPad) {
+      codes_b.resize(n + 1 + kSimdRowPad);
+    }
+    high_water_ = std::max(high_water_, bytes());
+  }
+
+  /// Current heap footprint of all scratch buffers.
+  std::size_t bytes() const {
+    return (prev.capacity() + cur.capacity()) * sizeof(long) +
+           (prev16.capacity() + cur16.capacity()) * sizeof(std::int16_t) +
+           codes_a.capacity() + codes_b.capacity() +
+           pack_words.capacity() * sizeof(std::uint64_t) + rev_a.capacity() +
+           rev_b.capacity();
+  }
+
+  /// Largest bytes() ever observed; feeds the align.arena_bytes gauge.
+  std::size_t high_water_bytes() const { return high_water_; }
+
+  /// Band-row capacity, in cells (test/introspection hook).
+  std::size_t row_capacity() const { return prev.size(); }
+
+ private:
+  void shrink_to(std::size_t width) {
+    // Swap-trick so capacity actually drops; the SIMD scratch regrows on
+    // demand, so it is simply released along with the rows.
+    std::vector<long>(width).swap(prev);
+    std::vector<long>(width).swap(cur);
+    prev16 = {};
+    cur16 = {};
+    codes_a = {};
+    codes_b = {};
+    pack_words = {};
+    streak_ = 0;
+    streak_peak_ = 0;
+  }
+
+  std::size_t streak_ = 0;       ///< consecutive small ensure_width calls
+  std::size_t streak_peak_ = 0;  ///< max width requested during the streak
+  std::size_t high_water_ = 0;
 };
 
 /// Sentinel: no give-up bound, compute the exact extension.
@@ -67,6 +157,18 @@ AlignArena& tls_arena();
 ExtensionResult extend_overlap(std::string_view a, std::string_view b,
                                const Scoring& sc, std::size_t band,
                                AlignArena& arena, long give_up = kNoGiveUp);
+
+/// extend_overlap computed by an explicit kernel variant instead of the
+/// process-wide active_kernel(). Every variant returns bit-identical
+/// results (the differential tests and fuzzers lock this in); variants the
+/// host cannot run — and pairs outside the 16-bit kernels' value-range
+/// envelope — fall back to the scalar sweep. This is the hook tests and
+/// benches use to compare variants side by side in one process.
+ExtensionResult extend_overlap_variant(KernelVariant variant,
+                                       std::string_view a, std::string_view b,
+                                       const Scoring& sc, std::size_t band,
+                                       AlignArena& arena,
+                                       long give_up = kNoGiveUp);
 
 /// Banded global score (same semantics as banded.hpp's
 /// banded_global_score) computed in `arena`.

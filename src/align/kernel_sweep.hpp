@@ -1,0 +1,321 @@
+// Generic 16-bit striped band sweep, shared by the SSE2 and AVX2
+// translation units via a vector-ops policy `V` (lane count, saturating
+// adds, max/min, compares, lane shifts, reductions). No intrinsics appear
+// here, so the header compiles standalone; only the per-ISA policies in
+// kernel_sse2.cpp / kernel_avx2.cpp pull in immintrin.
+//
+// Layout: same window coordinates as the scalar sweep (k = j - i + band,
+// width = 2*band + 1), two int16 rows with kSimdRowPad slack. Per row, a
+// scalar head handles the `ncells % kLanes` leftover cells at the low end,
+// then full vector chunks cover the rest, ending exactly at khi:
+//
+//   1. diagonal inputs are chunk-aligned loads of the previous row (each
+//      exactly matching one of its vector stores, so store-to-load
+//      forwarding always succeeds); the one-lane-shifted "up" input is
+//      derived in-register from consecutive diagonal vectors
+//      (shift_down_concat); the substitution score is a blend on a code
+//      compare against the packed-view byte codes of b;
+//   2. the serial left-gap dependency cur[k] >= cur[k-1] + gap is closed
+//      with a max-plus prefix scan: log2(kLanes) shift-and-add-max steps
+//      (shift s lanes, add s*gap), which is exact because gap weights are
+//      additive along the chain; the head's last cell enters the first
+//      chunk as a scalar carry (last value + (l+1)*gap ramp), and the same
+//      ramp links consecutive chunks;
+//   3. lanes shifted in at the low end hold dead values (<= kDead16); the
+//      scalar sweep's guard cells become three here (klo-1, khi+1, khi+2)
+//      because the next row's last chunk reads its up-neighbour one past
+//      its own khi, which can sit two past this row's.
+//
+// Bit-identity with the scalar sweep: eligibility (kernel_simd.hpp) keeps
+// live-lane arithmetic inside [-2*kSimdMaxMass, 2*kSimdMaxMass], so the
+// saturating adds are exact where it matters and the kDead16 comparison
+// reproduces the scalar != kNegInf liveness test. Cell counts, the
+// consider() visit order (only the j == n cell for rows i < m, a full
+// ascending scan at i == m), and the bounded give-up branch are evaluated
+// in the same order with the same values as the scalar code, so every
+// result field — including `cells` and `capped` — matches bit for bit.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string_view>
+
+#include "align/kernel_simd.hpp"
+#include "bio/sequence.hpp"
+#include "util/check.hpp"
+
+namespace estclust::align::detail {
+
+template <class V, bool Bounded>
+ExtensionResult band_sweep_simd(std::string_view a, std::string_view b,
+                                const Scoring& sc, std::size_t band,
+                                AlignArena& arena, long give_up) {
+  using vec = typename V::vec;
+  constexpr int L = V::kLanes;
+  const std::size_t m = a.size(), n = b.size();
+  ExtensionResult best;
+  best.score = kNegInfScore;
+
+  if (m == 0 || n == 0) {
+    best.score = 0;
+    best.a_len = 0;
+    best.b_len = 0;
+    best.a_exhausted = (m == 0);
+    best.b_exhausted = (n == 0);
+    return best;
+  }
+
+  if constexpr (Bounded) {
+    if (sc.match * static_cast<long>(std::min(m, n)) < give_up) {
+      best.capped = true;
+      return best;
+    }
+  }
+
+  const std::size_t width = 2 * band + 1;
+  arena.ensure_simd(width, m, n);
+  std::int16_t* prev = arena.prev16.data();
+  std::int16_t* cur = arena.cur16.data();
+  const std::size_t row_len = width + AlignArena::kSimdRowPad;
+  std::fill_n(prev, row_len, kNegInf16);
+  std::fill_n(cur, row_len, kNegInf16);
+
+  // Byte codes via the 2-bit packed view. codes_b[0] is the front pad for
+  // the j = 0 diagonal load (whose other input is a dead guard cell).
+  bio::pack_2bit(a, arena.pack_words).unpack_codes(arena.codes_a.data());
+  std::uint8_t* cb = arena.codes_b.data();
+  cb[0] = 0;
+  bio::pack_2bit(b, arena.pack_words).unpack_codes(cb + 1);
+  std::fill(cb + 1 + n, cb + arena.codes_b.size(), 0);
+  const std::uint8_t* ca = arena.codes_a.data();
+
+  std::uint64_t cells = 0;
+
+  auto consider = [&](long score, std::size_t i, std::size_t j) {
+    if (i != m && j != n) return;
+    if (score > best.score ||
+        (score == best.score && i + j > best.a_len + best.b_len)) {
+      best.score = score;
+      best.a_len = i;
+      best.b_len = j;
+      best.a_exhausted = (i == m);
+      best.b_exhausted = (j == n);
+    }
+  };
+
+  for (std::size_t j = 0; j <= std::min(n, band); ++j) {
+    const long s = static_cast<long>(j) * sc.gap;
+    prev[j + band] = static_cast<std::int16_t>(s);
+    consider(s, 0, j);
+  }
+
+  const vec vgap1 = V::broadcast(static_cast<std::int16_t>(sc.gap));
+  const vec vgap2 = V::broadcast(static_cast<std::int16_t>(2 * sc.gap));
+  const vec vgap4 = V::broadcast(static_cast<std::int16_t>(4 * sc.gap));
+  const vec vbridge_ramp = V::mullo(V::bridge_iota(), vgap1);
+  const vec vmatch = V::broadcast(static_cast<std::int16_t>(sc.match));
+  const vec vmis = V::broadcast(static_cast<std::int16_t>(sc.mismatch));
+  const vec vdead = V::broadcast(kNegInf16);
+  const vec vthresh = V::broadcast(kDead16);
+  const vec viota = V::iota();
+  // Inter-chunk carry ramp: lane l receives carry + (l + 1) * gap.
+  const vec vramp = V::mullo(V::add(viota, V::broadcast(1)), vgap1);
+
+  // One band row: a scalar head for the `ncells % L` leftover cells, then
+  // full vector chunks covering the rest, ending exactly at khi. The
+  // leftovers go at the LOW end on purpose: the head's value feeds the
+  // first chunk through the ordinary carry ramp and is computed from two
+  // early scalar loads, off the row's critical path — whereas a scalar
+  // tail at the high end would sit ON the serial cross-row chain (tail ->
+  // next row's last up-lane -> scan -> tail). With the vector part ending
+  // at khi, the last chunk's up-neighbour is prev[khi + 1]: either the
+  // dead guard (whose constant store forwards instantly) or, in the
+  // shrinking end-game rows, the previous row's real last cell. Chunks
+  // never store past khi, so no masking of lanes beyond the live range is
+  // ever needed. Returns the row's score upper bound (only meaningful when
+  // Bounded). Inlined at two call sites: the general boundary rows, and
+  // the interior loop where klo == 0 and the geometry is loop-invariant,
+  // letting constant propagation strip the klo/head arithmetic from the
+  // hot copy.
+  // always_inline: an out-of-line copy of either lambda would force the
+  // by-reference capture frame (holding every hoisted vector constant)
+  // into memory, and the hot loop would then reload each constant through
+  // two indirections per row instead of keeping them in registers.
+  const auto sweep_row = [&](std::size_t i, std::size_t jlo, std::size_t klo,
+                             std::size_t ncells)
+                             __attribute__((always_inline)) -> long {
+    const std::size_t full = ncells / L;
+    const std::size_t head = ncells - full * L;
+    const std::int16_t cai = static_cast<std::int16_t>(ca[i - 1]);
+    const vec va = V::broadcast(cai);
+    std::int16_t* crow = cur + klo;
+    const std::int16_t* prow = prev + klo;
+    // Cell offset o within the row maps to j = jlo + o; its b code b[j-1]
+    // sits at cb[j] thanks to the front pad.
+    const std::uint8_t* brow = cb + jlo;
+    vec vrowmax = vdead;
+    long head_ub = kNegInfScore;
+    // Scalar head with the same saturating 16-bit semantics as the lanes
+    // (the serial left-gap chain is exact here, no scan involved). Its
+    // last cell becomes the first chunk's carry.
+    const auto sat16 = [](int x) {
+      return x < -32768 ? -32768 : (x > 32767 ? 32767 : x);
+    };
+    int left = kNegInf16;
+    for (std::size_t t = 0; t < head; ++t) {
+      const int sub = (brow[t] == cai) ? sc.match : sc.mismatch;
+      int v = sat16(prow[t] + sub);
+      v = std::max(v, sat16(prow[t + 1] + sc.gap));
+      v = std::max(v, sat16(left + sc.gap));
+      cur[klo + t] = static_cast<std::int16_t>(v);
+      left = v;
+      if constexpr (Bounded) {
+        if (v > kDead16) {
+          const long headroom = sc.match * static_cast<long>(std::min(
+                                               m - i, n - (jlo + t)));
+          head_ub = std::max(head_ub, static_cast<long>(v) + headroom);
+        }
+      }
+    }
+    std::int16_t carry = static_cast<std::int16_t>(left);
+    // Diagonal inputs are loaded only at chunk-aligned offsets, where each
+    // load exactly matches one vector store from the previous row, so
+    // store-to-load forwarding always succeeds. The one-lane-shifted "up"
+    // input is derived in-register from this chunk's and the next chunk's
+    // diagonal vectors (shift_down_concat) instead of an off-by-one load
+    // that would straddle a vector store and the scalar head/guard stores.
+    vec vdiag = full != 0 ? V::load(prow + head) : vdead;
+    for (std::size_t c = 0; c < full; ++c) {
+      const std::size_t off = head + c * L;
+      const vec vb = V::widen_codes(brow + off);
+      const vec vsub = V::blend(V::cmpeq(vb, va), vmatch, vmis);
+      const vec vnext = (c + 1 < full) ? V::load(prow + off + L)
+                                       : V::broadcast(prow[off + L]);
+      vec v = V::add(vdiag, vsub);
+      v = V::max(v, V::add(V::shift_down_concat(vdiag, vnext), vgap1));
+      vdiag = vnext;
+      // Lane l of the ramp receives carry + (l + 1) * gap. With no head
+      // and no predecessor chunk the carry is still the dead sentinel and
+      // can never win the max, so skip the ramp entirely.
+      if (c != 0 || head != 0) {
+        v = V::max(v, V::add(V::broadcast(carry), vramp));
+      }
+      // Max-plus scan with an early exit: if the distance-1 step raises no
+      // lane then v[l] >= v[l-1] + gap inside each shift half, hence
+      // v[l] >= v[l-s] + s*gap for every in-half s by induction — the
+      // per-half scan has already converged. With negative gap scores that
+      // is the common case for interior rows; only a real score cliff runs
+      // the longer steps. The bridge completes the scan across the half
+      // boundary on BOTH paths (the early exit says nothing about lane
+      // 7 -> lane 8 propagation); it is the identity when the register is
+      // a single half.
+      const vec s1 = V::max(v, V::add(V::shift1(v), vgap1));
+      if (!V::all_equal(s1, v)) {
+        v = V::max(s1, V::add(V::shift2(s1), vgap2));
+        v = V::max(v, V::add(V::shift4(v), vgap4));
+      } else {
+        v = s1;
+      }
+      v = V::bridge(v, vbridge_ramp);
+      V::store(crow + off, v);
+      if (c + 1 < full) carry = V::last_lane(v);
+      if constexpr (Bounded) {
+        // headroom = match * min(m - i, n - j); exact in 16 bits because
+        // both factors are bounded by the eligibility mass. Dead lanes are
+        // masked out so only the cells the scalar sweep scores contribute.
+        const vec vnj =
+            V::sub(V::broadcast(static_cast<std::int16_t>(n - jlo - off)),
+                   viota);
+        const vec vhm =
+            V::min(V::broadcast(static_cast<std::int16_t>(m - i)), vnj);
+        vec vcand = V::add(v, V::mullo(vhm, vmatch));
+        vcand = V::blend(V::cmpgt(v, vthresh), vcand, vdead);
+        vrowmax = V::max(vrowmax, vcand);
+      }
+    }
+    // Guard cells for the next row, mirroring the scalar sweep (plus one:
+    // the next row's loads reach prev[khi + 2] when its own khi grows by
+    // one).
+    const std::size_t khi = klo + ncells - 1;
+    if (klo > 0) cur[klo - 1] = kNegInf16;
+    cur[khi + 1] = kNegInf16;
+    cur[khi + 2] = kNegInf16;
+    if constexpr (Bounded) {
+      return std::max(static_cast<long>(V::hmax(vrowmax)), head_ub);
+    }
+    return kNegInfScore;
+  };
+
+  // Bounded give-up test, evaluated after every row in the same order as
+  // the scalar sweep.
+  const auto row_capped = [&](long row_ub) {
+    return best.score < give_up && row_ub < give_up;
+  };
+
+  // Interior rows [band + 1, min(m - 1, n - band - 1)] have klo == 0,
+  // ncells == width, jhi < n and i < m: no boundary cell to consider, no
+  // left guard, loop-invariant geometry. Boundary rows before and after
+  // run the general form.
+  const std::size_t int_lo = band + 1;
+  const std::size_t int_hi =
+      std::min(m - 1, (n > band + 1) ? n - band - 1 : std::size_t{0});
+
+  std::size_t i = 1;
+  const auto general_rows = [&](std::size_t stop)
+                                __attribute__((always_inline)) -> bool {
+    for (; i <= stop; ++i) {
+      const std::size_t jlo = (i > band) ? i - band : 0;
+      if (jlo > n) return false;  // band has left the rectangle
+      const std::size_t jhi = std::min(n, i + band);
+      const std::size_t klo = band - (i - jlo);
+      const std::size_t khi = (jhi >= i) ? jhi - i + band : band - (i - jhi);
+      const std::size_t ncells = jhi - jlo + 1;
+      const long row_ub = sweep_row(i, jlo, klo, ncells);
+      cells += ncells;
+      if (i == m) {
+        for (std::size_t k = klo; k <= khi; ++k) {
+          if (cur[k] > kDead16) {
+            consider(static_cast<long>(cur[k]), m, jlo + (k - klo));
+          }
+        }
+      } else if (jhi == n) {
+        if (cur[khi] > kDead16) {
+          consider(static_cast<long>(cur[khi]), i, n);
+        }
+      }
+      if constexpr (Bounded) {
+        if (row_capped(row_ub)) {
+          best.capped = true;
+          return false;
+        }
+      }
+      std::swap(prev, cur);
+    }
+    return true;
+  };
+
+  bool live = general_rows(std::min(m, int_lo - 1));
+  if (live && int_lo <= int_hi) {
+    for (; i <= int_hi; ++i) {
+      const long row_ub = sweep_row(i, i - band, 0, width);
+      cells += width;
+      if constexpr (Bounded) {
+        if (row_capped(row_ub)) {
+          best.capped = true;
+          live = false;
+          break;
+        }
+      }
+      std::swap(prev, cur);
+    }
+  }
+  if (live) general_rows(m);
+
+  best.cells = cells;
+  if (best.capped) return best;  // give-up bound fired mid-sweep
+  ESTCLUST_CHECK_MSG(best.score != kNegInfScore,
+                     "banded extension found no boundary cell");
+  return best;
+}
+
+}  // namespace estclust::align::detail

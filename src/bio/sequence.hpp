@@ -25,6 +25,39 @@ std::string normalize_bases(std::string_view raw);
 /// True iff every character is one of ACGTacgt.
 bool all_valid_bases(std::string_view s);
 
+/// Non-owning view over 2-bit-packed bases (32 per word, LSB-first). The
+/// kernel-facing face of the packing: the SIMD alignment sweep consumes
+/// sequences through this view, expanding codes into its lane buffers with
+/// unpack_codes (word-at-a-time, 32 bases per shift chain).
+class PackedView {
+ public:
+  PackedView() = default;
+  PackedView(const std::uint64_t* words, std::size_t size)
+      : words_(words), size_(size) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Code 0..3 at position i.
+  int code_at(std::size_t i) const {
+    return static_cast<int>((words_[i / 32] >> ((i % 32) * 2)) & 3);
+  }
+
+  /// Expands the 2-bit codes into one byte per base (values 0..3).
+  /// `dst` must have room for size() bytes.
+  void unpack_codes(std::uint8_t* dst) const;
+
+ private:
+  const std::uint64_t* words_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Packs ACGT characters into 2-bit words appended onto `words` (cleared
+/// first). The scratch-vector form lets hot-path callers reuse one heap
+/// allocation per arena instead of constructing a PackedSeq per call.
+/// Returns a view over the packed contents (valid until `words` mutates).
+PackedView pack_2bit(std::string_view bases, std::vector<std::uint64_t>& words);
+
 /// Space-efficient 2-bit/base storage. Used by the GST layer's space
 /// accounting and by tests that check the O(N) memory contract.
 class PackedSeq {
@@ -43,6 +76,9 @@ class PackedSeq {
 
   /// Decode the whole sequence.
   std::string unpack() const;
+
+  /// Kernel-facing view over the packed words.
+  PackedView view() const { return PackedView(words_.data(), size_); }
 
   /// Bytes of heap storage used.
   std::size_t storage_bytes() const { return words_.capacity() * 8; }

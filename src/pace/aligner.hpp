@@ -41,6 +41,9 @@ class PairAligner {
 
   const MemoStats& memo_stats() const { return memo_.stats(); }
 
+  /// Scratch-arena introspection (feeds the align.arena_bytes gauge).
+  const align::AlignArena& arena() const { return arena_; }
+
  private:
   const bio::EstSet& ests_;
   const PaceConfig& cfg_;

@@ -124,6 +124,27 @@ ParallelResult cluster_single_rank(mpr::Communicator& comm,
   metrics.counter("pace.memo_hits").add(memo.hits);
   metrics.counter("pace.memo_insertions").add(memo.insertions);
   metrics.counter("pace.memo_evictions").add(memo.evictions);
+
+  // Kernel-variant attribution, mirroring Slave::finish: pure
+  // observability, every charged quantity is variant-invariant.
+  const align::KernelVariant kv = align::active_kernel();
+  switch (kv) {
+    case align::KernelVariant::kAvx2:
+      metrics.counter("kernel.variant.avx2").add(st.pairs_processed);
+      break;
+    case align::KernelVariant::kSse2:
+      metrics.counter("kernel.variant.sse2").add(st.pairs_processed);
+      break;
+    case align::KernelVariant::kScalar:
+      metrics.counter("kernel.variant.scalar").add(st.pairs_processed);
+      break;
+  }
+  metrics.gauge("align.arena_bytes", obs::MergeOp::kMax)
+      .set(static_cast<double>(aligner.arena().high_water_bytes()));
+  if (tracer) {
+    tracer->instant("kernel.variant", "align",
+                    static_cast<std::uint64_t>(kv));
+  }
   publish_phase_gauges(comm, st);
   return res;
 }

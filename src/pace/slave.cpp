@@ -292,6 +292,28 @@ SlaveCounters Slave::finish(double loop_start) {
   metrics.gauge("pace.t_sort", obs::MergeOp::kMax).set(counters_.sort_vtime);
   metrics.gauge("pace.t_align", obs::MergeOp::kMax)
       .set(counters_.loop_vtime);
+
+  // Kernel-variant attribution: which band-sweep implementation aligned
+  // this rank's pairs. Variants are bit-identical, so this is pure
+  // observability — all modeled quantities above are variant-invariant.
+  const align::KernelVariant kv = align::active_kernel();
+  switch (kv) {
+    case align::KernelVariant::kAvx2:
+      metrics.counter("kernel.variant.avx2").add(counters_.pairs_aligned);
+      break;
+    case align::KernelVariant::kSse2:
+      metrics.counter("kernel.variant.sse2").add(counters_.pairs_aligned);
+      break;
+    case align::KernelVariant::kScalar:
+      metrics.counter("kernel.variant.scalar").add(counters_.pairs_aligned);
+      break;
+  }
+  metrics.gauge("align.arena_bytes", obs::MergeOp::kMax)
+      .set(static_cast<double>(aligner_.arena().high_water_bytes()));
+  if (obs::RankTracer* tracer = comm_.tracer()) {
+    tracer->instant("kernel.variant", "align",
+                    static_cast<std::uint64_t>(kv));
+  }
   return counters_;
 }
 

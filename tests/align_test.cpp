@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 
 #include "align/anchored.hpp"
 #include "align/banded.hpp"
+#include "align/kernel.hpp"
 #include "align/nw.hpp"
 #include "align/scoring.hpp"
 #include "bio/alphabet.hpp"
@@ -529,6 +531,211 @@ TEST_P(RandomOverlapTest, TrueOverlapsAcceptedAcrossSeeds) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomOverlapTest, testing::Range(100, 120));
+
+// ---------------------------------------------------------------------------
+// Band-edge arithmetic: the window math is all unsigned, so the degenerate
+// geometries (band 0, empty sides, bands at or beyond the string lengths)
+// are exactly where a wrap bug would hide. Pin each one.
+// ---------------------------------------------------------------------------
+
+TEST(BandEdge, BandZeroIsTheDiagonal) {
+  AlignArena arena;
+  // Equal strings: the diagonal alone carries the full-match extension.
+  auto r = extend_overlap("ACGTACGT", "ACGTACGT", sc(), 0, arena);
+  EXPECT_EQ(r.score, 8 * sc().match);
+  EXPECT_EQ(r.a_len, 8u);
+  EXPECT_EQ(r.b_len, 8u);
+  EXPECT_TRUE(r.a_exhausted);
+  EXPECT_TRUE(r.b_exhausted);
+  EXPECT_EQ(r.cells, 8u);  // one cell per row, rows 1..8
+}
+
+TEST(BandEdge, BandZeroUnequalLengthsStopAtTheShorter) {
+  AlignArena arena;
+  // Band 0 with m > n: rows past n have no live cells; the best boundary
+  // is the j == n cell of row n.
+  auto r = extend_overlap("ACGTAC", "ACG", sc(), 0, arena);
+  EXPECT_EQ(r.score, 3 * sc().match);
+  EXPECT_EQ(r.a_len, 3u);
+  EXPECT_EQ(r.b_len, 3u);
+  EXPECT_FALSE(r.a_exhausted);
+  EXPECT_TRUE(r.b_exhausted);
+  EXPECT_EQ(r.cells, 3u);
+}
+
+TEST(BandEdge, EmptySidesAreBoundaryCells) {
+  AlignArena arena;
+  for (std::size_t band : {std::size_t{0}, std::size_t{8}}) {
+    auto r = extend_overlap("", "ACGT", sc(), band, arena);
+    EXPECT_EQ(r.score, 0);
+    EXPECT_TRUE(r.a_exhausted);
+    EXPECT_FALSE(r.b_exhausted);
+    auto r2 = extend_overlap("", "", sc(), band, arena);
+    EXPECT_EQ(r2.score, 0);
+    EXPECT_TRUE(r2.a_exhausted);
+    EXPECT_TRUE(r2.b_exhausted);
+  }
+}
+
+TEST(BandEdge, HugeBandIsClampedNotOverflowed) {
+  // band = SIZE_MAX would make width = 2*band + 1 wrap to SIZE_MAX without
+  // the clamp; results must equal the widest meaningful band.
+  AlignArena arena;
+  Prng rng(99);
+  std::string a = random_dna(rng, 30);
+  std::string b = mutate(rng, a, 0.1, 0.03, 0.03);
+  auto wide = extend_overlap(a, b, sc(), a.size() + b.size(), arena);
+  auto huge =
+      extend_overlap(a, b, sc(), std::numeric_limits<std::size_t>::max(),
+                     arena);
+  EXPECT_EQ(huge.score, wide.score);
+  EXPECT_EQ(huge.a_len, wide.a_len);
+  EXPECT_EQ(huge.b_len, wide.b_len);
+  EXPECT_EQ(huge.cells, wide.cells);
+}
+
+TEST(BandEdge, BandAtLeastLengthEqualsFullReference) {
+  AlignArena arena;
+  Prng rng(7);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::string a = random_dna(rng, rng.uniform(25));
+    std::string b = random_dna(rng, rng.uniform(25));
+    auto ref = extend_overlap_reference(a, b, sc());
+    // Any band >= max(m, n) covers every cell of the rectangle.
+    auto r = extend_overlap(a, b, sc(), std::max(a.size(), b.size()), arena);
+    EXPECT_EQ(r.score, ref.score) << "iter " << iter;
+    EXPECT_EQ(r.a_len, ref.a_len) << "iter " << iter;
+    EXPECT_EQ(r.b_len, ref.b_len) << "iter " << iter;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AlignArena: growth, shrink policy, and the high-water gauge.
+// ---------------------------------------------------------------------------
+
+TEST(AlignArena, ShrinksAfterLongStreakOfSmallRequests) {
+  AlignArena arena;
+  arena.ensure_width(4096);
+  EXPECT_GE(arena.row_capacity(), 4096u);
+  // A long run of requests needing at most half the capacity decays the
+  // arena to the streak's peak width.
+  for (std::size_t i = 0; i < AlignArena::kShrinkAfterUses; ++i) {
+    arena.ensure_width(16);
+  }
+  EXPECT_EQ(arena.row_capacity(), 16u);
+}
+
+TEST(AlignArena, LargeRequestResetsTheShrinkStreak) {
+  AlignArena arena;
+  arena.ensure_width(4096);
+  for (std::size_t i = 0; i < AlignArena::kShrinkAfterUses - 1; ++i) {
+    arena.ensure_width(16);
+  }
+  // One request above half capacity interrupts the streak...
+  arena.ensure_width(3000);
+  EXPECT_GE(arena.row_capacity(), 4096u);
+  // ...and the count starts over: kShrinkAfterUses - 1 more small calls
+  // must not shrink, the next one does, decaying to the streak peak.
+  for (std::size_t i = 0; i < AlignArena::kShrinkAfterUses - 1; ++i) {
+    arena.ensure_width(16);
+    EXPECT_GE(arena.row_capacity(), 4096u) << "call " << i;
+  }
+  arena.ensure_width(24);
+  EXPECT_EQ(arena.row_capacity(), 24u);
+}
+
+TEST(AlignArena, ShrinkDecaysToStreakPeakNotLastRequest) {
+  AlignArena arena;
+  arena.ensure_width(4096);
+  for (std::size_t i = 0; i < AlignArena::kShrinkAfterUses; ++i) {
+    // The peak of the small streak (100) must survive the shrink even
+    // though the final requests are smaller.
+    arena.ensure_width(i == 0 ? 100 : 16);
+  }
+  EXPECT_EQ(arena.row_capacity(), 100u);
+}
+
+TEST(AlignArena, HighWaterGaugeSurvivesShrink) {
+  AlignArena arena;
+  arena.ensure_simd(4096, 500, 500);
+  const std::size_t peak = arena.bytes();
+  EXPECT_GE(arena.high_water_bytes(), peak);
+  for (std::size_t i = 0; i < AlignArena::kShrinkAfterUses; ++i) {
+    arena.ensure_width(16);
+  }
+  EXPECT_LT(arena.bytes(), peak);
+  EXPECT_GE(arena.high_water_bytes(), peak);
+}
+
+TEST(AlignArena, ShrinkDoesNotChangeResults) {
+  AlignArena big, fresh;
+  Prng rng(21);
+  std::string a = random_dna(rng, 60);
+  std::string b = mutate(rng, a, 0.05, 0.02, 0.02);
+  big.ensure_width(1 << 16);
+  for (std::size_t i = 0; i <= AlignArena::kShrinkAfterUses; ++i) {
+    big.ensure_width(8);
+  }
+  auto r1 = extend_overlap(a, b, sc(), 8, big);
+  auto r2 = extend_overlap(a, b, sc(), 8, fresh);
+  EXPECT_EQ(r1.score, r2.score);
+  EXPECT_EQ(r1.cells, r2.cells);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel dispatch: the pure resolution rule and the variant entry point.
+// ---------------------------------------------------------------------------
+
+TEST(KernelDispatch, ResolutionMatrix) {
+  using KV = KernelVariant;
+  // auto / unset pick the best available.
+  for (const char* env : {static_cast<const char*>(nullptr), "", "auto"}) {
+    EXPECT_EQ(resolve_kernel(env, true, true), KV::kAvx2);
+    EXPECT_EQ(resolve_kernel(env, true, false), KV::kSse2);
+    EXPECT_EQ(resolve_kernel(env, false, false), KV::kScalar);
+  }
+  // Explicit requests are honored when available...
+  EXPECT_EQ(resolve_kernel("scalar", true, true), KV::kScalar);
+  EXPECT_EQ(resolve_kernel("sse2", true, true), KV::kSse2);
+  EXPECT_EQ(resolve_kernel("avx2", true, true), KV::kAvx2);
+  // ...and degrade to the next-best one otherwise, so a pinned config
+  // stays runnable on older hardware.
+  EXPECT_EQ(resolve_kernel("avx2", true, false), KV::kSse2);
+  EXPECT_EQ(resolve_kernel("avx2", false, false), KV::kScalar);
+  EXPECT_EQ(resolve_kernel("sse2", false, false), KV::kScalar);
+}
+
+TEST(KernelDispatch, UnknownValueFailsLoudly) {
+  EXPECT_THROW(resolve_kernel("sse9", true, true), CheckError);
+  EXPECT_THROW(resolve_kernel("Scalar", true, true), CheckError);
+  EXPECT_THROW(resolve_kernel(" avx2", true, true), CheckError);
+}
+
+TEST(KernelDispatch, VariantNamesAreStable) {
+  // Metric/trace consumers key on these strings.
+  EXPECT_STREQ(to_string(KernelVariant::kScalar), "scalar");
+  EXPECT_STREQ(to_string(KernelVariant::kSse2), "sse2");
+  EXPECT_STREQ(to_string(KernelVariant::kAvx2), "avx2");
+}
+
+TEST(KernelDispatch, ScalarAlwaysSupported) {
+  EXPECT_TRUE(cpu_supports(KernelVariant::kScalar));
+}
+
+TEST(KernelDispatch, IneligiblePairsFallBackToScalarResults) {
+  // Lowercase bases are valid to the scalar sweep but outside the SIMD
+  // kernels' strict-ACGT envelope; every variant must still return the
+  // scalar result (via silent fallback), not fail.
+  AlignArena arena;
+  auto scalar =
+      extend_overlap_variant(KernelVariant::kScalar, "acgtacgt", "acgtacgt",
+                             sc(), 4, arena);
+  for (KernelVariant v : {KernelVariant::kSse2, KernelVariant::kAvx2}) {
+    auto r = extend_overlap_variant(v, "acgtacgt", "acgtacgt", sc(), 4, arena);
+    EXPECT_EQ(r.score, scalar.score);
+    EXPECT_EQ(r.cells, scalar.cells);
+  }
+}
 
 }  // namespace
 }  // namespace estclust::align

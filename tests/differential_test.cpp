@@ -238,6 +238,77 @@ TEST(KernelDifferential, BlockedSweepMatchesFullMatrixReference) {
   }
 }
 
+TEST(KernelDifferential, SimdVariantsMatchScalarAcrossRegimes) {
+  // Every kernel variant the host supports must reproduce the scalar sweep
+  // bit for bit — score, end positions, exhaustion flags, the capped flag
+  // AND the cell count (which feeds the virtual-time model) — across
+  // bands, lengths and give-up regimes. Lengths run past 2 * 16 lanes so
+  // both the scalar-head and multi-chunk code paths are hit for SSE2 and
+  // AVX2; bands include 0 (head-only rows) and values far above the lane
+  // count.
+  std::vector<align::KernelVariant> variants;
+  for (auto v : {align::KernelVariant::kSse2, align::KernelVariant::kAvx2}) {
+    if (align::cpu_supports(v)) variants.push_back(v);
+  }
+  if (variants.empty()) GTEST_SKIP() << "host has no SIMD kernels";
+
+  Prng rng(0x51D0D1FF);
+  const align::Scoring sc;
+  align::AlignArena arena;
+  const std::size_t bands[] = {0, 1, 2, 3, 5, 8, 16, 33};
+  int capped_seen = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string a = random_dna(rng, rng.uniform(250));
+    std::string b = rng.bernoulli(0.5)
+                        ? mutate(rng, a, 0.08, 0.03, 0.03)
+                        : random_dna(rng, rng.uniform(250));
+    const std::size_t band = bands[rng.uniform(8)];
+    // Give-up regimes: exact, a loose bound that rarely fires, a bound in
+    // the plausible-score range, and one the pre-check rejects instantly.
+    long give_up = align::kNoGiveUp;
+    switch (iter % 4) {
+      case 1:
+        give_up = -10000;
+        break;
+      case 2:
+        give_up = static_cast<long>(rng.uniform(200)) - 100;
+        break;
+      case 3:
+        give_up =
+            sc.match * static_cast<long>(std::min(a.size(), b.size()) + 1);
+        break;
+      default:
+        break;
+    }
+
+    const auto scalar = align::extend_overlap_variant(
+        align::KernelVariant::kScalar, a, b, sc, band, arena, give_up);
+    if (scalar.capped) ++capped_seen;
+    for (const align::KernelVariant v : variants) {
+      const auto simd =
+          align::extend_overlap_variant(v, a, b, sc, band, arena, give_up);
+      ASSERT_EQ(simd.score, scalar.score)
+          << align::to_string(v) << " iter " << iter << " band " << band
+          << " give_up " << give_up;
+      ASSERT_EQ(simd.a_len, scalar.a_len)
+          << align::to_string(v) << " iter " << iter;
+      ASSERT_EQ(simd.b_len, scalar.b_len)
+          << align::to_string(v) << " iter " << iter;
+      ASSERT_EQ(simd.a_exhausted, scalar.a_exhausted)
+          << align::to_string(v) << " iter " << iter;
+      ASSERT_EQ(simd.b_exhausted, scalar.b_exhausted)
+          << align::to_string(v) << " iter " << iter;
+      ASSERT_EQ(simd.cells, scalar.cells)
+          << align::to_string(v) << " iter " << iter << " band " << band
+          << " give_up " << give_up;
+      ASSERT_EQ(simd.capped, scalar.capped)
+          << align::to_string(v) << " iter " << iter;
+    }
+  }
+  // The corpus must actually exercise the give-up machinery.
+  EXPECT_GT(capped_seen, 100);
+}
+
 TEST(BoundedDifferential, TruncationImpliesRejectionOtherwiseIdentical) {
   // Overlapping pairs built around an exact common core so the anchor
   // precondition holds; flanks range from perfect copies to unrelated

@@ -15,6 +15,7 @@
 #include <tuple>
 
 #include "align/banded.hpp"
+#include "align/kernel.hpp"
 #include "align/nw.hpp"
 #include "bio/alphabet.hpp"
 #include "bio/dataset.hpp"
@@ -129,6 +130,47 @@ TEST_P(AlignFuzz, GlobalScoreBounds) {
   // Local alignment dominates global; affine-local dominates zero.
   EXPECT_GE(align::local_align(a, b, sc).score, g.score);
   EXPECT_GE(align::local_align_affine(a, b, sc).score, 0);
+}
+
+TEST_P(AlignFuzz, KernelVariantsAgreeWithScalar) {
+  // Scalar-vs-SIMD differential: every variant the host supports must
+  // reproduce the scalar banded extension bit for bit on random pairs —
+  // including `cells` and `capped` — under random bands and random
+  // give-up bounds. Re-seedable via ESTCLUST_FUZZ_SEED like the rest of
+  // the suite.
+  const std::uint64_t seed = fuzz_seed(GetParam() + 13000);
+  SCOPED_TRACE(seed_trace(seed));
+  Prng rng(seed);
+  align::Scoring sc;
+  align::AlignArena arena;
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string a = random_dna(rng, rng.uniform(120));
+    std::string b = rng.bernoulli(0.5) ? mutate(rng, a, 0.1, 0.04, 0.04)
+                                       : random_dna(rng, rng.uniform(120));
+    const std::size_t band = rng.uniform(20);
+    const long give_up =
+        rng.bernoulli(0.5)
+            ? align::kNoGiveUp
+            : static_cast<long>(rng.uniform(240)) - 120;
+    const auto scalar = align::extend_overlap_variant(
+        align::KernelVariant::kScalar, a, b, sc, band, arena, give_up);
+    for (auto v : {align::KernelVariant::kSse2, align::KernelVariant::kAvx2}) {
+      if (!align::cpu_supports(v)) continue;
+      const auto simd =
+          align::extend_overlap_variant(v, a, b, sc, band, arena, give_up);
+      ASSERT_EQ(simd.score, scalar.score)
+          << align::to_string(v) << " iter " << iter << " band " << band
+          << " give_up " << give_up << " a=" << a << " b=" << b;
+      ASSERT_EQ(simd.a_len, scalar.a_len) << align::to_string(v);
+      ASSERT_EQ(simd.b_len, scalar.b_len) << align::to_string(v);
+      ASSERT_EQ(simd.a_exhausted, scalar.a_exhausted) << align::to_string(v);
+      ASSERT_EQ(simd.b_exhausted, scalar.b_exhausted) << align::to_string(v);
+      ASSERT_EQ(simd.cells, scalar.cells)
+          << align::to_string(v) << " iter " << iter << " band " << band
+          << " give_up " << give_up << " a=" << a << " b=" << b;
+      ASSERT_EQ(simd.capped, scalar.capped) << align::to_string(v);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AlignFuzz,

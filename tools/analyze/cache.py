@@ -24,7 +24,10 @@ from pathlib import Path
 
 from analyze.srcmodel import Function, SourceFile, strip_code
 
-SCHEMA = "estclust-analyze-cache-v1"
+# Bump the suffix whenever srcmodel's parsing/extraction semantics
+# change: the entry key is only the file text's sha256, so a stale
+# schema would otherwise keep serving records from the old parser.
+SCHEMA = "estclust-analyze-cache-v2"
 
 
 class CacheInconsistency(Exception):

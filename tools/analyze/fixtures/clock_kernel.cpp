@@ -1,0 +1,51 @@
+// Fixture: clock-kernel-cells. A band-sweep kernel counts the DP cells
+// it fills in a local accumulator; the count must leave the kernel
+// through its result, because the pace layer charges
+// cost_model().dp_cell from ExtensionResult.cells. A variant that
+// drops the count on the floor feeds different charge() units than the
+// scalar sweep, so modeled run-times diverge by host CPU.
+#include <cstdint>
+
+namespace estclust::fixture {
+
+struct FixtureExtension {
+  long score = 0;
+  std::uint64_t cells = 0;
+};
+
+// Conforming sweep: the accumulation is exported through the result,
+// matching the scalar kernel's `best.cells = cells` contract.
+FixtureExtension fixture_sweep_exports(int rows, int width) {
+  FixtureExtension best;
+  std::uint64_t cells = 0;
+  for (int i = 0; i < rows; ++i) {
+    cells += static_cast<std::uint64_t>(width);
+    best.score += width;
+  }
+  best.cells = cells;
+  return best;
+}
+
+// Conforming sweep: exported through an out-parameter instead, the
+// banded_global_score shape.
+long fixture_sweep_out_param(int rows, std::uint64_t* cells_out) {
+  std::uint64_t cells = 0;
+  for (int i = 0; i < rows; ++i) ++cells;
+  if (cells_out) *cells_out = cells;
+  return static_cast<long>(rows);
+}
+
+// Broken SIMD-style sweep: counts its vector rows but never writes the
+// result's cells field -- the slave would charge dp_cell for zero work
+// on this variant while the scalar path charges the true count.
+FixtureExtension fixture_sweep_drops_count(int rows, int width) {
+  FixtureExtension best;
+  std::uint64_t cells = 0;
+  for (int i = 0; i < rows; ++i) {
+    cells += static_cast<std::uint64_t>(width);  // ESTCLUST-EXPECT(clock-kernel-cells)
+    best.score += width;
+  }
+  return best;
+}
+
+}  // namespace estclust::fixture

@@ -18,6 +18,17 @@ Virtual-time correctness rests on two conventions a compiler cannot see:
     counters to a caller who charges, and the serial baselines do not
     model virtual time at all.
 
+  * `clock-kernel-cells` -- a band-sweep kernel that counts the DP
+    cells it fills in a local `cells` accumulator must export the count
+    through its result (`best.cells = cells`, `*cells_out = cells`, or
+    by returning it). The pace layer charges cost_model().dp_cell from
+    ExtensionResult.cells, so a kernel variant that drops the count on
+    the floor feeds different charge() units than the scalar sweep and
+    the modeled run-time silently diverges by host CPU. This is the
+    kernel-side half of the dp_cells pairing above: the bump lives in
+    src/align, the charge in src/pace, and the `.cells` field is the
+    contract between them.
+
   * determinism bans, structured versions of the repo conventions:
       - `determinism-wall-clock`: wall-clock time sources in a file
         that participates in virtual-time modeling. Rank time is
@@ -70,6 +81,17 @@ UNORDERED_DECL_RE = re.compile(
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;()]*?:\s*([\w.\->]+)\s*\)")
 POINTER_KEY_RE = re.compile(
     r"\b(?:unordered_)?(?:map|set|multimap|multiset)\s*<\s*[\w:]+\s*\*")
+
+# A local DP-cell accumulator bump inside a kernel sweep. The negative
+# lookbehind keeps member counters (counters_.dp_cells, overlap.cells)
+# out: those are the pace-side counters the `clock-accounting` pairing
+# above owns.
+KERNEL_CELLS_BUMP_RE = re.compile(
+    r"(?<![\w.>])cells\s*(?:\+\+|\+=)|\+\+\s*cells\b")
+# Accepted exports of the accumulator: written into a result's .cells
+# field, through a *cells_out out-parameter, or returned directly.
+KERNEL_CELLS_EXPORT_RE = re.compile(
+    r"\.\s*cells\s*=|\*\s*cells_out\s*=|\breturn\b[^;{}]*\bcells\b")
 
 VTIME_TOKEN_RE = re.compile(
     r"\bCommunicator\b|\bVirtualClock\b|\bcharge\s*\(")
@@ -227,6 +249,30 @@ def run(files: list[SourceFile],
                     f"never charges cost_model().{unit} to the "
                     "VirtualClock: modeled run-time under-reports "
                     "this work"))
+
+        # clock-kernel-cells: a kernel sweep's local `cells` accumulator
+        # must leave the function through its result; the pace layer
+        # charges cost_model().dp_cell from that field, so every kernel
+        # variant feeds the same charge() units as the scalar sweep.
+        for m in KERNEL_CELLS_BUMP_RE.finditer(f.code):
+            lineno = f.line_of(m.start())
+            node = model.enclosing(f.rel, lineno)
+            # Lambdas are not extracted as functions, so the enclosing
+            # node (and its body) is the named sweep that owns them —
+            # exactly the scope whose result must carry the count.
+            scope = node.fn.body if node is not None else f.code
+            if KERNEL_CELLS_EXPORT_RE.search(scope):
+                continue
+            where = f"{node.fn.qualname}()" if node is not None \
+                else "file scope"
+            out.append(Violation(
+                f.rel, lineno, "clock-kernel-cells",
+                f"kernel sweep {where} accumulates DP work in a local "
+                "'cells' counter but never exports it (.cells = cells, "
+                "*cells_out = cells, or return): the pace layer charges "
+                "cost_model().dp_cell from the result's cells field, so "
+                "this variant's work would vanish from the modeled "
+                "run-time and diverge from the scalar sweep"))
 
         # determinism-wall-clock (only in virtual-time-modeled files).
         if vtime:

@@ -109,7 +109,8 @@ def run() -> int:
 
     rules_fired = {rule for (_, _, rule) in expected}
     for family_marker in ("codec-symmetry", "tag-protocol",
-                          "clock-accounting", "determinism-rand",
+                          "clock-accounting", "clock-kernel-cells",
+                          "determinism-rand",
                           "conventions-assert", "obs-span-literal",
                           "obs-category-clash", "detflow-wall-clock",
                           "bounds-unchecked-read", "bounds-missing-exhausted",

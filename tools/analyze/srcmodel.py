@@ -75,6 +75,10 @@ _NOT_A_CALL = frozenset({
     "static_cast", "reinterpret_cast", "const_cast", "dynamic_cast",
     "alignof", "decltype", "noexcept", "constexpr", "static_assert",
     "defined", "assert", "new", "delete", "operator", "requires",
+    # Compiler attributes on lambdas otherwise parse as a definition
+    # named "__attribute__" whose body is the lambda's, splitting the
+    # lambda out of its enclosing function.
+    "__attribute__", "__declspec",
 })
 
 CALL_RE = re.compile(r"(?:\b(\w+)\s*(?:<[^<>;(){}]*>)?\s*::\s*)?"

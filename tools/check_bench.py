@@ -13,14 +13,28 @@ backend's table1_backends rows: the backend's partition must match the
 gst reference run, and its index bytes / pair count / DP-cell volume are
 compared against the per-backend baseline section (table1_<backend>).
 
-All quantities checked here are virtual-time work units (DP cells, message
-counts, index bytes) from seeded workloads, so they are bit-deterministic
-across machines; the baseline tolerance exists only to keep small,
-deliberate retunings from needing a lockstep baseline update.
+With --wallclock BIN it gates the SIMD kernel variants' real wall-clock
+rows from `bench_align_micro --wallclock`: every variant the host supports
+must report identical cell counts to scalar (the binary itself hard-fails
+on score divergence before emitting the row) and beat scalar by at least
+MIN_SIMD_SPEEDUP. That threshold is deliberately far below the measured
+4-6x so scheduler noise on loaded CI machines cannot flake the gate; the
+honest numbers live in EXPERIMENTS.md. This mode also validates the
+Reporter's wall_s convention: every row must carry a strictly positive,
+locale-clean float (the %.6f fixed-buffer bug truncated sub-microsecond
+rows to 0 and comma-decimal locales broke JSON parsing outright).
+
+All quantities checked by the baseline modes are virtual-time work units
+(DP cells, message counts, index bytes) from seeded workloads, so they are
+bit-deterministic across machines; the baseline tolerance exists only to
+keep small, deliberate retunings from needing a lockstep baseline update.
+The --wallclock mode is the one real-time gate, hence its loose margin
+and the absence of a baseline section.
 
 Usage:
   check_bench.py --align-micro BIN --table3 BIN --baseline FILE [--update]
   check_bench.py --table1 BIN --pair-source B --baseline FILE [--update]
+  check_bench.py --wallclock BIN
 """
 
 import argparse
@@ -38,6 +52,13 @@ TOLERANCE = 1.02
 # least 1.5x fewer work units per accepted pair than the exact engine.
 MIN_SPEEDUP = 1.5
 
+# Wall-clock floor for each SIMD variant vs the scalar sweep in the same
+# process. Measured medians are 4-6x (see EXPERIMENTS.md); 1.7 leaves room
+# for a CI box that is busy, thermally throttled, or virtualized, while
+# still catching "the dispatcher silently fell back to scalar" (ratio ~1.0)
+# and wholesale kernel regressions.
+MIN_SIMD_SPEEDUP = 1.7
+
 failures = []
 
 
@@ -47,8 +68,8 @@ def check(cond, msg):
         print("FAIL: " + msg)
 
 
-def run_bench(path, extra=()):
-    cmd = [path, "--ests", SMOKE_ESTS, "--json"] + list(extra)
+def run_bench(path, extra=(), ests=SMOKE_ESTS):
+    cmd = [path, "--ests", ests, "--json"] + list(extra)
     proc = subprocess.run(cmd, capture_output=True, text=True, timeout=600)
     if proc.returncode != 0:
         sys.exit("%s exited with %d:\n%s" % (cmd, proc.returncode,
@@ -169,6 +190,52 @@ def check_table1_backend(rows, backend):
             "dp_cells": r["dp_cells"]}
 
 
+def check_wallclock(rows):
+    wall = by_bench(rows, "align_wallclock")
+    require_keys(wall, "align_wallclock",
+                 ["kernel", "len", "pairs", "reps", "cells",
+                  "kernel_wall_s", "speedup_vs_scalar", "wall_s"])
+    check(len(wall) > 0, "no align_wallclock rows emitted")
+    per_len = {}
+    for r in wall:
+        # wall_s validation (the %.17g Reporter convention): present, a
+        # real JSON number, strictly positive — %.6f into a fixed buffer
+        # used to truncate sub-microsecond rows to exactly 0.
+        check(isinstance(r.get("wall_s"), float) and r["wall_s"] > 0,
+              "align_wallclock row has a non-positive or non-float wall_s: "
+              "%r" % r)
+        check(isinstance(r.get("kernel_wall_s"), float)
+              and r["kernel_wall_s"] > 0,
+              "align_wallclock row has non-positive kernel_wall_s: %r" % r)
+        per_len.setdefault(r["len"], {})[r["kernel"]] = r
+    for length, kernels in sorted(per_len.items()):
+        check("scalar" in kernels,
+              "len %s has no scalar reference row" % length)
+        if "scalar" not in kernels:
+            continue
+        scalar = kernels["scalar"]
+        check(scalar["speedup_vs_scalar"] == 1.0,
+              "scalar row's self-speedup is %s, not 1.0"
+              % scalar["speedup_vs_scalar"])
+        for name, r in sorted(kernels.items()):
+            if name == "scalar":
+                continue
+            check(name in ("sse2", "avx2"),
+                  "unexpected kernel variant %r at len %s" % (name, length))
+            # The binary FATALs on score divergence before emitting the
+            # row; re-assert the cell identity from the emitted JSON so a
+            # future refactor of that guard cannot silently drop it.
+            check(r["cells"] == scalar["cells"],
+                  "%s cells %s != scalar cells %s at len %s"
+                  % (name, r["cells"], scalar["cells"], length))
+            speedup = scalar["kernel_wall_s"] / r["kernel_wall_s"]
+            check(speedup >= MIN_SIMD_SPEEDUP,
+                  "%s is only %.2fx faster than scalar at len %s "
+                  "(floor %.1fx)" % (name, speedup, length,
+                                     MIN_SIMD_SPEEDUP))
+            print("  %s len %s: %.2fx vs scalar" % (name, length, speedup))
+
+
 def load_baseline(baseline_path):
     try:
         with open(baseline_path) as f:
@@ -224,10 +291,26 @@ def main():
     ap.add_argument("--table1")
     ap.add_argument("--pair-source",
                     help="backend for the --table1 gate (gst, kmer or fm)")
-    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--wallclock",
+                    help="bench_align_micro binary for the SIMD wall-clock "
+                         "gate (no baseline: real time, loose margins)")
+    ap.add_argument("--baseline",
+                    help="baseline JSON (required except with --wallclock)")
     ap.add_argument("--update", action="store_true",
                     help="re-bake the baseline JSON instead of checking")
     args = ap.parse_args()
+
+    if args.wallclock:
+        # Tiny --ests: the engine-comparison section is not under test
+        # here, the fixed-size wallclock section is.
+        check_wallclock(run_bench(args.wallclock, ["--wallclock"],
+                                  ests="50"))
+        if failures:
+            sys.exit("%d bench check(s) failed" % len(failures))
+        print("wallclock checks passed")
+        return
+    if not args.baseline:
+        ap.error("--baseline is required except with --wallclock")
 
     current = {"ests": int(SMOKE_ESTS)}
     sections = []

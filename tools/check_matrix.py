@@ -57,6 +57,11 @@ REQUIRED_TESTS = (
     "bench_smoke_gst",
     "bench_smoke_kmer",
     "bench_smoke_fm",
+    # SIMD kernel gates: the wall-clock speedup floor and the forced-scalar
+    # golden leg must both stay registered, or a dispatch regression could
+    # hide behind whatever kernel the build host happens to pick.
+    "bench_wallclock",
+    "golden_clusters_scalar_kernel",
 )
 
 
